@@ -1,0 +1,204 @@
+//! Narrow and wide rules of augmented bridges (paper, Section 5).
+//!
+//! For an augmented bridge of a rule `r` whose separator satisfies
+//! `x ∈ V′ ⇔ h(x) ∈ V′`:
+//!
+//! * the **narrow rule** keeps only the consequent positions whose variables
+//!   appear in the augmented bridge (projecting the recursive predicate) and
+//!   the nonrecursive atoms whose arcs lie in the bridge;
+//! * the **wide rule** keeps the full arity, turning every distinguished
+//!   variable outside the bridge into a free 1-persistent one.
+//!
+//! Both are unique for a given augmented bridge, and the wide rules of the
+//! bridges multiply back to the original operator (Lemma 6.5; checked in the
+//! tests and in `linrec-core`).
+
+use crate::bridges::AugmentedBridge;
+use crate::graph::{AlphaGraph, EdgeRef};
+use linrec_datalog::hash::FastSet;
+use linrec_datalog::{Atom, LinearRule, RuleError, Term};
+
+/// The indices of the nonrecursive atoms whose static arcs all lie inside
+/// the augmented bridge. Errors if some atom has arcs both inside and
+/// outside (cannot happen with the atom-grouped bridge decomposition of this
+/// crate, but guards against hand-built bridges).
+pub fn atoms_in_bridge(graph: &AlphaGraph, aug: &AugmentedBridge) -> Result<Vec<usize>, RuleError> {
+    let edge_set: FastSet<EdgeRef> = aug.edges.iter().copied().collect();
+    let mut atoms = Vec::new();
+    for ai in 0..graph.rule().nonrec_atoms().len() {
+        let arcs = graph.arcs_of_atom(ai);
+        let inside = arcs
+            .iter()
+            .filter(|&&a| edge_set.contains(&EdgeRef::Static(a)))
+            .count();
+        if inside == arcs.len() {
+            atoms.push(ai);
+        } else if inside > 0 {
+            return Err(RuleError::Parse(format!(
+                "atom {} straddles bridges",
+                graph.rule().nonrec_atoms()[ai]
+            )));
+        }
+    }
+    Ok(atoms)
+}
+
+/// The narrow rule of an augmented bridge.
+pub fn narrow_rule(graph: &AlphaGraph, aug: &AugmentedBridge) -> Result<LinearRule, RuleError> {
+    let rule = graph.rule();
+    let keep: Vec<usize> = (0..rule.arity())
+        .filter(|&i| {
+            rule.head().terms[i]
+                .as_var()
+                .is_some_and(|v| aug.nodes.contains(&v))
+        })
+        .collect();
+    let head = Atom::new(
+        rule.rec_pred(),
+        keep.iter().map(|&i| rule.head().terms[i]).collect(),
+    );
+    let rec = Atom::new(
+        rule.rec_pred(),
+        keep.iter().map(|&i| rule.rec_atom().terms[i]).collect(),
+    );
+    let nonrec: Vec<Atom> = atoms_in_bridge(graph, aug)?
+        .into_iter()
+        .map(|ai| rule.nonrec_atoms()[ai].clone())
+        .collect();
+    LinearRule::from_parts(head, rec, nonrec)
+}
+
+/// The wide rule of an augmented bridge: full arity, with every consequent
+/// position outside the bridge made free 1-persistent.
+pub fn wide_rule(graph: &AlphaGraph, aug: &AugmentedBridge) -> Result<LinearRule, RuleError> {
+    let rule = graph.rule();
+    let rec_terms: Vec<Term> = (0..rule.arity())
+        .map(|i| {
+            let head_var = rule.head().terms[i].as_var().expect("constant-free head");
+            if aug.nodes.contains(&head_var) {
+                rule.rec_atom().terms[i]
+            } else {
+                Term::Var(head_var)
+            }
+        })
+        .collect();
+    let rec = Atom::new(rule.rec_pred(), rec_terms);
+    let nonrec: Vec<Atom> = atoms_in_bridge(graph, aug)?
+        .into_iter()
+        .map(|ai| rule.nonrec_atoms()[ai].clone())
+        .collect();
+    LinearRule::from_parts(rule.head().clone(), rec, nonrec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bridges::BridgeDecomposition;
+    use crate::classify::Classification;
+    use linrec_datalog::{parse_linear_rule, Var};
+
+    fn setup(src: &str) -> (AlphaGraph, Classification) {
+        let r = parse_linear_rule(src).unwrap();
+        (
+            AlphaGraph::new(&r).unwrap(),
+            Classification::classify(&r).unwrap(),
+        )
+    }
+
+    fn v(s: &str) -> Var {
+        Var::new(s)
+    }
+
+    #[test]
+    fn figure_2_narrow_rules() {
+        let (g, c) = setup("p(u,w,x,y,z) :- p(u,u,u,y,y), q(u,u,y), r(w), s(x), t(z).");
+        let d = BridgeDecomposition::wrt_link1(&g, &c);
+        // w's augmented bridge → narrow rule P(u,w) :- P(u,u), R(w)
+        // (paper, Example 5.1 narrow rules).
+        let bw = d.bridge_containing(v("w")).unwrap();
+        let n = narrow_rule(&g, &d.augmented(&g, bw)).unwrap();
+        let expected = parse_linear_rule("p(u,w) :- p(u,u), r(w).").unwrap();
+        assert_eq!(n, expected);
+        // z's: P(y,z) :- P(y,y), T(z).
+        let bz = d.bridge_containing(v("z")).unwrap();
+        let n = narrow_rule(&g, &d.augmented(&g, bz)).unwrap();
+        let expected = parse_linear_rule("p(y,z) :- p(y,y), t(z).").unwrap();
+        assert_eq!(n, expected);
+    }
+
+    #[test]
+    fn figure_2_wide_rules() {
+        let (g, c) = setup("p(u,w,x,y,z) :- p(u,u,u,y,y), q(u,u,y), r(w), s(x), t(z).");
+        let d = BridgeDecomposition::wrt_link1(&g, &c);
+        // w's wide rule (paper): P(u,w,x,y,z) :- P(u,u,x,y,z), R(w).
+        let bw = d.bridge_containing(v("w")).unwrap();
+        let w = wide_rule(&g, &d.augmented(&g, bw)).unwrap();
+        let expected =
+            parse_linear_rule("p(u,w,x,y,z) :- p(u,u,x,y,z), r(w).").unwrap();
+        assert_eq!(w, expected);
+        // z's wide rule (paper): P(u,w,x,y,z) :- P(u,w,x,y,y), T(z).
+        let bz = d.bridge_containing(v("z")).unwrap();
+        let w = wide_rule(&g, &d.augmented(&g, bz)).unwrap();
+        let expected =
+            parse_linear_rule("p(u,w,x,y,z) :- p(u,w,x,y,y), t(z).").unwrap();
+        assert_eq!(w, expected);
+    }
+
+    #[test]
+    fn example_6_2_wide_rule_is_paper_c() {
+        // A: P(w,x,y,z) :- P(x,w,x,u), Q(x,u), R(x,y), S(u,z);
+        // the R-bridge's wide rule must be the paper's
+        // C: P(w,x,y,z) :- P(x,w,x,z), R(x,y).
+        let (g, c) = setup("p(w,x,y,z) :- p(x,w,x,u), q(x,u), r(x,y), s(u,z).");
+        let d = BridgeDecomposition::wrt_i(&g, &c);
+        let r_idx = (0..d.bridges().len())
+            .find(|&i| {
+                d.bridges()[i].edges.iter().any(|e| {
+                    matches!(e, EdgeRef::Static(s)
+                        if g.static_arcs()[*s].pred == linrec_datalog::Symbol::new("r"))
+                })
+            })
+            .unwrap();
+        let aug = d.augmented(&g, r_idx);
+        let wide = wide_rule(&g, &aug).unwrap();
+        let expected = parse_linear_rule("p(w,x,y,z) :- p(x,w,x,z), r(x,y).").unwrap();
+        assert_eq!(wide, expected);
+        // Narrow rule: P(w,x,y) :- P(x,w,x), R(x,y).
+        let narrow = narrow_rule(&g, &aug).unwrap();
+        let expected = parse_linear_rule("p(w,x,y) :- p(x,w,x), r(x,y).").unwrap();
+        assert_eq!(narrow, expected);
+    }
+
+    #[test]
+    fn wide_rules_multiply_back_to_original() {
+        // Product of all wide rules (in a bridge-compatible order) must be
+        // equivalent to the original rule (Lemma 6.5 / Theorem 5.1 proof).
+        let (g, c) = setup("p(u,w,x,y,z) :- p(u,u,u,y,y), q(u,u,y), r(w), s(x), t(z).");
+        let d = BridgeDecomposition::wrt_link1(&g, &c);
+        let wides: Vec<LinearRule> = (0..d.bridges().len())
+            .map(|i| wide_rule(&g, &d.augmented(&g, i)).unwrap())
+            .collect();
+        let mut product = wides[0].clone();
+        for wr in &wides[1..] {
+            product = linrec_cq::compose(&product, wr).unwrap();
+        }
+        assert!(linrec_cq::linear_equivalent(&product, g.rule()));
+    }
+
+    #[test]
+    fn chord_bridge_narrow_rule() {
+        let (g, c) = setup("p(u,w,x,y,z) :- p(u,u,u,y,y), q(u,u,y), r(w), s(x), t(z).");
+        let d = BridgeDecomposition::wrt_link1(&g, &c);
+        let q_idx = (0..d.bridges().len())
+            .find(|&i| {
+                d.bridges()[i].edges.iter().all(|e| {
+                    matches!(e, EdgeRef::Static(s)
+                        if g.static_arcs()[*s].pred == linrec_datalog::Symbol::new("q"))
+                })
+            })
+            .unwrap();
+        let n = narrow_rule(&g, &d.augmented(&g, q_idx)).unwrap();
+        let expected = parse_linear_rule("p(u,y) :- p(u,y), q(u,u,y).").unwrap();
+        assert_eq!(n, expected);
+    }
+}

@@ -1,0 +1,49 @@
+//! α-graphs of linear recursive rules (Ioannidis, VLDB 1989, Sections 5–6).
+//!
+//! The α-graph is the syntactic object on which the paper's commutativity
+//! characterization is stated: one node per variable, *static* arcs for
+//! consecutive argument positions of nonrecursive atoms, *dynamic* arcs for
+//! the antecedent→consequent flow of the recursive predicate. On top of it
+//! this crate provides:
+//!
+//! * the **persistence classification** of distinguished variables
+//!   (free/link n-persistent, general, n-ray) — [`Classification`];
+//! * the **bridge decomposition** with respect to a separator subgraph
+//!   (link 1-persistent self-arcs for Section 5, `G_I` for Section 6) —
+//!   [`BridgeDecomposition`];
+//! * **narrow** and **wide rules** of augmented bridges — [`narrow_rule`],
+//!   [`wide_rule`] — whose products reconstruct the original operator;
+//! * DOT / text **rendering** used to regenerate the paper's Figures 1–9.
+//!
+//! # Example
+//!
+//! ```
+//! use linrec_datalog::{parse_linear_rule, Var};
+//! use linrec_alpha::{AlphaGraph, Classification, PersistenceClass};
+//!
+//! // Example 6.1: cheap is attached to the link 1-persistent variable y.
+//! let r = parse_linear_rule("buys(x,y) :- knows(x,z), buys(z,y), cheap(y).").unwrap();
+//! let classes = Classification::classify(&r).unwrap();
+//! assert_eq!(
+//!     classes.class(Var::new("y")),
+//!     Some(PersistenceClass::LinkPersistent(1)),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bridges;
+pub mod classify;
+pub mod extract;
+pub mod graph;
+pub mod render;
+pub mod unionfind;
+
+pub use bridges::{
+    i_separator, link1_separator, AugmentedBridge, Bridge, BridgeDecomposition,
+};
+pub use classify::{Classification, PersistenceClass};
+pub use extract::{atoms_in_bridge, narrow_rule, wide_rule};
+pub use graph::{AlphaGraph, DynamicArc, EdgeRef, StaticArc};
+pub use render::{summary, to_dot};
+pub use unionfind::UnionFind;

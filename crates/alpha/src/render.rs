@@ -1,0 +1,128 @@
+//! Rendering of α-graphs: Graphviz DOT and plain-text summaries.
+//!
+//! Static arcs are drawn thin/solid, dynamic arcs bold — the paper's
+//! thin-line / thick-line convention for its Figures 1–9.
+
+use crate::bridges::BridgeDecomposition;
+use crate::classify::{Classification, PersistenceClass};
+use crate::graph::AlphaGraph;
+use std::fmt::Write as _;
+
+fn class_label(c: PersistenceClass) -> String {
+    match c {
+        PersistenceClass::FreePersistent(n) => format!("free {n}-persistent"),
+        PersistenceClass::LinkPersistent(n) => format!("link {n}-persistent"),
+        PersistenceClass::General { ray: Some(n) } => format!("general, {n}-ray"),
+        PersistenceClass::General { ray: None } => "general".to_owned(),
+    }
+}
+
+/// Render the α-graph in Graphviz DOT format, annotating each node with its
+/// persistence class.
+pub fn to_dot(graph: &AlphaGraph, classes: &Classification) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph alpha {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for &v in graph.vars() {
+        let label = match classes.class(v) {
+            Some(c) => format!("{v}\\n{}", class_label(c)),
+            None => format!("{v}\\n(nondistinguished)"),
+        };
+        let _ = writeln!(out, "  \"{v}\" [label=\"{label}\"];");
+    }
+    for a in graph.static_arcs() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{}\", penwidth=1];",
+            a.from, a.to, a.pred
+        );
+    }
+    for a in graph.dynamic_arcs() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [penwidth=3, color=black];",
+            a.from, a.to
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// A plain-text summary: the rule, the per-variable classification, the
+/// arcs, and (optionally) the bridges of a decomposition.
+pub fn summary(
+    graph: &AlphaGraph,
+    classes: &Classification,
+    bridges: Option<&BridgeDecomposition>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "rule: {}", graph.rule());
+    let _ = writeln!(out, "variables:");
+    for (v, c) in classes.iter() {
+        let _ = writeln!(out, "  {v:<4} {}", class_label(c));
+    }
+    let _ = writeln!(out, "static arcs:");
+    for a in graph.static_arcs() {
+        let _ = writeln!(out, "  {} -{}-> {}", a.from, a.pred, a.to);
+    }
+    let _ = writeln!(out, "dynamic arcs:");
+    for a in graph.dynamic_arcs() {
+        let _ = writeln!(out, "  {} ==> {}  (position {})", a.from, a.to, a.position);
+    }
+    if let Some(d) = bridges {
+        let _ = writeln!(out, "bridges (separator: {} arcs):", d.separator_edges().len());
+        for (i, b) in d.bridges().iter().enumerate() {
+            let mut nodes: Vec<&str> = b.nodes.iter().map(|v| v.name()).collect();
+            nodes.sort();
+            let _ = writeln!(
+                out,
+                "  bridge {i}: {} edges, nodes {{{}}}",
+                b.edges.len(),
+                nodes.join(", ")
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrec_datalog::parse_linear_rule;
+
+    fn setup(src: &str) -> (AlphaGraph, Classification) {
+        let r = parse_linear_rule(src).unwrap();
+        (
+            AlphaGraph::new(&r).unwrap(),
+            Classification::classify(&r).unwrap(),
+        )
+    }
+
+    #[test]
+    fn dot_mentions_every_variable_and_arc_style() {
+        let (g, c) = setup("p(x,y) :- p(x,z), e(z,y).");
+        let dot = to_dot(&g, &c);
+        assert!(dot.contains("digraph alpha"));
+        assert!(dot.contains("\"x\""));
+        assert!(dot.contains("penwidth=3")); // dynamic
+        assert!(dot.contains("label=\"e\"")); // static labelled by predicate
+        assert!(dot.contains("free 1-persistent"));
+    }
+
+    #[test]
+    fn summary_lists_classes_and_bridges() {
+        let (g, c) = setup("p(u,w) :- p(u,u), r(w).");
+        let d = BridgeDecomposition::wrt_link1(&g, &c);
+        let s = summary(&g, &c, Some(&d));
+        assert!(s.contains("link 1-persistent"));
+        assert!(s.contains("bridge 0"));
+        assert!(s.contains("==>"));
+    }
+
+    #[test]
+    fn summary_marks_nondistinguished() {
+        let (g, c) = setup("p(x) :- p(y), e(y,x).");
+        let dot = to_dot(&g, &c);
+        assert!(dot.contains("nondistinguished"));
+    }
+}

@@ -1,0 +1,114 @@
+//! A small union-find (disjoint-set) structure with path compression and
+//! union by rank, used for the bridge decomposition (Lemma 5.3).
+
+/// Disjoint sets over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` iff they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Group elements by representative, in first-seen order.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut index: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for x in 0..n {
+            let r = self.find(x);
+            let slot = *index.entry(r).or_insert_with(|| {
+                out.push(Vec::new());
+                out.len() - 1
+            });
+            out[slot].push(x);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.groups().len(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(3));
+        assert_eq!(uf.groups().len(), 3);
+    }
+
+    #[test]
+    fn transitive_union() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert_eq!(uf.find(0), uf.find(2));
+        let groups = uf.groups();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![0, 1, 2]);
+        assert_eq!(groups[1], vec![3]);
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert!(uf.groups().is_empty());
+    }
+}

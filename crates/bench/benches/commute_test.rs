@@ -1,0 +1,36 @@
+//! E4 (§5.3, Theorem 5.3): the exact O(a log a) commutativity test versus
+//! the definition-based test (compose + NP-hard equivalence), as the rule
+//! size grows; plus the definition test on the repeated-predicate family
+//! where the exact test does not apply.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linrec_bench::{commuting_pair, repeated_pred_pair};
+use linrec_core::{commute_by_definition, commutes_exact, commutes_sufficient};
+
+fn bench_commute_tests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_commute_test");
+    for k in [2usize, 8, 32, 128] {
+        let (r1, r2) = commuting_pair(k);
+        group.bench_with_input(BenchmarkId::new("exact_thm52", k), &k, |b, _| {
+            b.iter(|| commutes_exact(&r1, &r2).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sufficient_thm51", k), &k, |b, _| {
+            b.iter(|| commutes_sufficient(&r1, &r2).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("definition", k), &k, |b, _| {
+            b.iter(|| commute_by_definition(&r1, &r2).unwrap())
+        });
+    }
+    for k in [2usize, 4, 6] {
+        let (r1, r2) = repeated_pred_pair(k);
+        group.bench_with_input(
+            BenchmarkId::new("definition_repeated_preds", k),
+            &k,
+            |b, _| b.iter(|| commute_by_definition(&r1, &r2).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commute_tests);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E5 (§3.2 identities and §7 partial commutativity): the decomposition
+//! planner and cluster-decomposed evaluation for multi-operator recursions;
+//! ablation of minimize-during-powers in the torsion search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linrec_core::plan_decomposition;
+use linrec_datalog::parse_linear_rule;
+use linrec_engine::{eval_decomposed, eval_direct, workload};
+
+fn operators() -> Vec<linrec_datalog::LinearRule> {
+    vec![
+        parse_linear_rule("p(x,y,z) :- p(x,y,w), a(w,z).").unwrap(),
+        parse_linear_rule("p(x,y,z) :- p(w,y,z), b(x,w).").unwrap(),
+        parse_linear_rule("p(x,y,z) :- p(x,w,z), c(w,y).").unwrap(),
+    ]
+}
+
+fn setup(n: i64, seed: u64) -> (linrec_datalog::Database, linrec_datalog::Relation) {
+    let mut db = linrec_datalog::Database::new();
+    db.set_relation("a", workload::random_graph(n, 2 * n as usize, seed));
+    db.set_relation("b", workload::random_graph(n, 2 * n as usize, seed + 1));
+    db.set_relation("c", workload::random_graph(n, 2 * n as usize, seed + 2));
+    let mut init = linrec_datalog::Relation::new(3);
+    for t in workload::random_graph(n, n as usize, seed + 3).iter() {
+        init.insert(vec![t[0], t[1], t[0]]);
+    }
+    (db, init)
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let ops = operators();
+    let mut group = c.benchmark_group("e5_decompose");
+    group.sample_size(10);
+
+    group.bench_function("planning_3_ops", |b| {
+        b.iter(|| plan_decomposition(&ops, 0).unwrap())
+    });
+
+    for n in [16i64, 32, 64] {
+        let (db, init) = setup(n, 5);
+        group.bench_with_input(BenchmarkId::new("direct_3ops", n), &n, |b, _| {
+            b.iter(|| eval_direct(&ops, &db, &init))
+        });
+        let groups: Vec<Vec<linrec_datalog::LinearRule>> =
+            ops.iter().map(|r| vec![r.clone()]).collect();
+        group.bench_with_input(BenchmarkId::new("decomposed_3ops", n), &n, |b, _| {
+            b.iter(|| eval_decomposed(&groups, &db, &init))
+        });
+    }
+
+    // Ablation: torsion search with and without per-step minimization.
+    let c_rule = parse_linear_rule("p(w,x,y,z) :- p(x,w,x,z), r(x,y).").unwrap();
+    group.bench_function("torsion_minimized_powers", |b| {
+        b.iter(|| linrec_core::torsion_index(&c_rule, 8).unwrap())
+    });
+    group.bench_function("torsion_raw_powers_ablation", |b| {
+        b.iter(|| {
+            // Raw powers with only pairwise equivalence checks (no
+            // minimization): the ablation baseline.
+            use linrec_cq::{compose, linear_equivalent};
+            let mut powers = vec![c_rule.clone()];
+            'outer: for _ in 1..8 {
+                let next = compose(powers.last().unwrap(), &c_rule).unwrap();
+                for prev in &powers {
+                    if linear_equivalent(prev, &next) {
+                        break 'outer;
+                    }
+                }
+                powers.push(next);
+            }
+            powers.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompose);
+criterion_main!(benches);

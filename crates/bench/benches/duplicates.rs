@@ -1,0 +1,28 @@
+//! E1 (§3, Theorem 3.1): decomposed evaluation `B*C*` versus direct
+//! `(B+C)*` — wall-clock across workload families. Duplicate counts are
+//! reported by `cargo run -p linrec-bench --bin experiments e1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linrec_engine::{eval_decomposed, eval_direct, rules, workload};
+
+fn bench_duplicates(c: &mut Criterion) {
+    let up = rules::up_rule();
+    let down = rules::down_rule();
+    let mut group = c.benchmark_group("e1_duplicates");
+    group.sample_size(10);
+    for depth in [6u32, 8, 10] {
+        let (db, init) = workload::up_down(depth, 7);
+        group.bench_with_input(BenchmarkId::new("direct", depth), &depth, |b, _| {
+            b.iter(|| eval_direct(&[up.clone(), down.clone()], &db, &init))
+        });
+        group.bench_with_input(BenchmarkId::new("decomposed", depth), &depth, |b, _| {
+            b.iter(|| {
+                eval_decomposed(&[vec![up.clone()], vec![down.clone()]], &db, &init)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_duplicates);
+criterion_main!(benches);

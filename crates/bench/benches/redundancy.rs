@@ -1,0 +1,28 @@
+//! E3 (§4.2/§6.2, Theorems 4.2/6.4): redundancy-bounded evaluation versus
+//! direct evaluation on the Example 6.1 shopping workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linrec_datalog::Symbol;
+use linrec_engine::{eval_direct, eval_redundancy_bounded, rules, workload};
+
+fn bench_redundancy(c: &mut Criterion) {
+    let rule = rules::shopping_rule();
+    let dec = linrec_core::decomposition_for_pred(&rule, Symbol::new("cheap"), 8)
+        .unwrap()
+        .expect("cheap is redundant");
+    let mut group = c.benchmark_group("e3_redundancy");
+    group.sample_size(10);
+    for people in [100i64, 400, 1600] {
+        let (db, init) = workload::shopping(people, 30, 4, 99);
+        group.bench_with_input(BenchmarkId::new("direct", people), &people, |b, _| {
+            b.iter(|| eval_direct(std::slice::from_ref(&rule), &db, &init))
+        });
+        group.bench_with_input(BenchmarkId::new("bounded", people), &people, |b, _| {
+            b.iter(|| eval_redundancy_bounded(&rule, &dec, &db, &init).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_redundancy);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E6 (substrate, Bancilhon [5]): semi-naive versus naive fixpoint
+//! evaluation of transitive closure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linrec_engine::{eval_direct, eval_naive, rules, workload};
+
+fn bench_seminaive(c: &mut Criterion) {
+    let tc = rules::tc_right();
+    let mut group = c.benchmark_group("e6_seminaive");
+    group.sample_size(10);
+    for n in [64i64, 256, 1024] {
+        let edges = workload::chain(n);
+        let db = workload::graph_db("q", edges.clone());
+        group.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
+            b.iter(|| eval_direct(std::slice::from_ref(&tc), &db, &edges))
+        });
+        if n <= 256 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| eval_naive(std::slice::from_ref(&tc), &db, &edges))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seminaive);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E2 (§4.1/§6.1, Theorem 4.1/Algorithm 4.1): the separable algorithm for
+//! `σ(A₁+A₂)*` versus select-after-fixpoint.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linrec_engine::{eval_select_after, eval_separable, rules, workload, Selection};
+
+fn bench_separable(c: &mut Criterion) {
+    let up = rules::up_rule();
+    let down = rules::down_rule();
+    let mut group = c.benchmark_group("e2_separable");
+    group.sample_size(10);
+    for depth in [7u32, 9, 11] {
+        let (db, init) = workload::up_down(depth, 11);
+        let sel = Selection::eq(1, (1i64 << (depth + 1)) + 1);
+        let all = [down.clone(), up.clone()];
+        group.bench_with_input(BenchmarkId::new("select_after", depth), &depth, |b, _| {
+            b.iter(|| eval_select_after(&all, &db, &init, &sel))
+        });
+        group.bench_with_input(BenchmarkId::new("separable", depth), &depth, |b, _| {
+            b.iter(|| eval_separable(&up, &down, &db, &init, &sel).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_separable);
+criterion_main!(benches);

@@ -1,0 +1,229 @@
+//! Regenerate every experiment table of `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run --release -p linrec-bench --bin experiments          # all
+//! cargo run --release -p linrec-bench --bin experiments e1 e4   # subset
+//! ```
+//!
+//! The paper (a theory paper) reports no absolute numbers; the reproduction
+//! target is the *shape* of each efficiency claim. Every table prints the
+//! measured series alongside the claim it validates.
+
+use linrec_bench::{commuting_pair, repeated_pred_pair};
+use linrec_core::{
+    commute_by_definition, commutes_exact, commutes_sufficient, decomposition_for_pred,
+    plan_decomposition,
+};
+use linrec_datalog::Symbol;
+use linrec_engine::{
+    eval_decomposed, eval_direct, eval_naive, eval_redundancy_bounded, eval_select_after,
+    eval_separable, rules, workload, Selection,
+};
+use std::time::Instant;
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed().as_secs_f64() * 1e3)
+}
+
+fn e1() {
+    println!("## E1 — Theorem 3.1: duplicates of (B+C)* vs B*C* (up/down pair)\n");
+    println!("| workload | tuples | dup direct | dup decomposed | der direct | der decomposed | ms direct | ms decomposed |");
+    println!("|---|---|---|---|---|---|---|---|");
+    let up = rules::up_rule();
+    let down = rules::down_rule();
+    let mut cases: Vec<(String, linrec_datalog::Database, linrec_datalog::Relation)> = Vec::new();
+    for depth in [6u32, 8, 10] {
+        let (db, init) = workload::up_down(depth, 7);
+        cases.push((format!("tree depth {depth}"), db, init));
+    }
+    for (n, m) in [(200i64, 400usize), (400, 800)] {
+        let edges = workload::random_graph(n, m, 13);
+        let mut db = linrec_datalog::Database::new();
+        db.set_relation("up", workload::random_graph(n, m, 14));
+        db.set_relation("down", edges);
+        let init = workload::random_graph(n, 40, 15);
+        cases.push((format!("random G({n},{m})"), db, init));
+    }
+    for (name, db, init) in cases {
+        let ((direct, sd), td) = time(|| eval_direct(&[up.clone(), down.clone()], &db, &init));
+        let ((dec, sc), tc) = time(|| {
+            eval_decomposed(&[vec![up.clone()], vec![down.clone()]], &db, &init)
+        });
+        assert_eq!(direct.sorted(), dec.sorted());
+        println!(
+            "| {name} | {} | {} | {} | {} | {} | {td:.1} | {tc:.1} |",
+            sd.tuples, sd.duplicates, sc.duplicates, sd.derivations, sc.derivations
+        );
+    }
+    println!("\nClaim: decomposed never produces more duplicates (often far fewer).\n");
+}
+
+fn e2() {
+    println!("## E2 — Theorem 4.1 / Algorithm 4.1: σ(A1+A2)* strategies\n");
+    println!("| depth | answers | der select-after | der separable | ms select-after | ms separable |");
+    println!("|---|---|---|---|---|---|");
+    let up = rules::up_rule();
+    let down = rules::down_rule();
+    for depth in [7u32, 9, 11, 12] {
+        let (db, init) = workload::up_down(depth, 11);
+        let sel = Selection::eq(1, (1i64 << (depth + 1)) + 1);
+        let all = [down.clone(), up.clone()];
+        let ((slow, ss), ts) = time(|| eval_select_after(&all, &db, &init, &sel));
+        let ((fast, sf), tf) = time(|| eval_separable(&up, &down, &db, &init, &sel).unwrap());
+        assert_eq!(slow.sorted(), fast.sorted());
+        println!(
+            "| {depth} | {} | {} | {} | {ts:.1} | {tf:.1} |",
+            fast.len(),
+            ss.derivations,
+            sf.derivations
+        );
+    }
+    println!("\nClaim: the separable algorithm touches only selection-relevant tuples.\n");
+}
+
+fn e3() {
+    println!("## E3 — Theorems 4.2/6.4: redundancy-bounded evaluation (Example 6.1)\n");
+    println!("| people | tuples | der direct | der bounded | C-joins direct | C-joins bounded | ms direct | ms bounded |");
+    println!("|---|---|---|---|---|---|---|---|");
+    let rule = rules::shopping_rule();
+    let dec = decomposition_for_pred(&rule, Symbol::new("cheap"), 8)
+        .unwrap()
+        .expect("cheap is redundant");
+    let c_joins_bounded: usize = (0..dec.torsion.period())
+        .map(|r| (dec.torsion.k + r) * dec.l)
+        .sum();
+    for people in [100i64, 400, 1600] {
+        let (db, init) = workload::shopping(people, 30, 4, 99);
+        let ((direct, sd), td) = time(|| eval_direct(std::slice::from_ref(&rule), &db, &init));
+        let ((bounded, sb), tb) =
+            time(|| eval_redundancy_bounded(&rule, &dec, &db, &init).unwrap());
+        assert_eq!(direct.sorted(), bounded.sorted());
+        println!(
+            "| {people} | {} | {} | {} | {} | {c_joins_bounded} | {td:.1} | {tb:.1} |",
+            sd.tuples, sd.derivations, sb.derivations, sd.iterations
+        );
+    }
+    println!("\nClaim: C (the `cheap` filter join) is processed a bounded number of");
+    println!("times (NL−1), independent of the recursion depth.\n");
+}
+
+fn e4() {
+    println!("## E4 — Theorem 5.3: commutativity-test scaling\n");
+    println!("| argument positions a | exact Thm 5.2 (µs) | sufficient Thm 5.1 (µs) | definition (µs) |");
+    println!("|---|---|---|---|");
+    for k in [2usize, 8, 32, 128, 512] {
+        let (r1, r2) = commuting_pair(k);
+        let a = r1.argument_positions() + r2.argument_positions();
+        let reps = 3;
+        let (_, te) = time(|| {
+            for _ in 0..reps {
+                commutes_exact(&r1, &r2).unwrap();
+            }
+        });
+        let (_, tsuf) = time(|| {
+            for _ in 0..reps {
+                commutes_sufficient(&r1, &r2).unwrap();
+            }
+        });
+        let (_, td) = time(|| {
+            for _ in 0..reps {
+                commute_by_definition(&r1, &r2).unwrap();
+            }
+        });
+        println!(
+            "| {a} | {:.1} | {:.1} | {:.1} |",
+            te * 1e3 / reps as f64,
+            tsuf * 1e3 / reps as f64,
+            td * 1e3 / reps as f64
+        );
+    }
+    println!("\n| q-chain length (repeated preds) | definition (µs) |");
+    println!("|---|---|");
+    for k in [2usize, 4, 6, 8] {
+        let (r1, r2) = repeated_pred_pair(k);
+        let (_, td) = time(|| commute_by_definition(&r1, &r2).unwrap());
+        println!("| {k} | {:.1} |", td * 1e3);
+    }
+    println!("\nClaim: the exact test scales ~a·log a; the definition test grows much");
+    println!("faster and is the only option outside the restricted class.\n");
+}
+
+fn e5() {
+    println!("## E5 — §3.2 identities and partial commutativity (3 operators)\n");
+    let ops = [
+        linrec_datalog::parse_linear_rule("p(x,y,z) :- p(x,y,w), a(w,z).").unwrap(),
+        linrec_datalog::parse_linear_rule("p(x,y,z) :- p(w,y,z), b(x,w).").unwrap(),
+        linrec_datalog::parse_linear_rule("p(x,y,z) :- p(x,w,z), c(w,y).").unwrap(),
+    ];
+    let plan = plan_decomposition(&ops, 0).unwrap();
+    println!("planner clusters: {:?} (fully decomposed: {})\n", plan.clusters, plan.is_fully_decomposed());
+    println!("| n | tuples | dup direct | dup decomposed | ms direct | ms decomposed |");
+    println!("|---|---|---|---|---|---|");
+    for n in [16i64, 32, 64] {
+        let mut db = linrec_datalog::Database::new();
+        db.set_relation("a", workload::random_graph(n, 2 * n as usize, 5));
+        db.set_relation("b", workload::random_graph(n, 2 * n as usize, 6));
+        db.set_relation("c", workload::random_graph(n, 2 * n as usize, 7));
+        let mut init = linrec_datalog::Relation::new(3);
+        for t in workload::random_graph(n, n as usize, 8).iter() {
+            init.insert(vec![t[0], t[1], t[0]]);
+        }
+        let ((direct, sd), td) = time(|| eval_direct(&ops, &db, &init));
+        let groups: Vec<Vec<linrec_datalog::LinearRule>> =
+            ops.iter().map(|r| vec![r.clone()]).collect();
+        let ((dec, sc), tc) = time(|| eval_decomposed(&groups, &db, &init));
+        assert_eq!(direct.sorted(), dec.sorted());
+        println!(
+            "| {n} | {} | {} | {} | {td:.1} | {tc:.1} |",
+            sd.tuples, sd.duplicates, sc.duplicates
+        );
+    }
+    println!("\nClaim: mutual commutativity decomposes an n-operator star into n");
+    println!("single-operator stars ((A1+…+An)* = A1*…An*).\n");
+}
+
+fn e6() {
+    println!("## E6 — substrate: semi-naive vs naive (Bancilhon [5])\n");
+    println!("| chain n | tuples | der semi-naive | der naive | ms semi-naive | ms naive |");
+    println!("|---|---|---|---|---|---|");
+    let tc = rules::tc_right();
+    for n in [64i64, 128, 256] {
+        let edges = workload::chain(n);
+        let db = workload::graph_db("q", edges.clone());
+        let ((a, sa), ta) = time(|| eval_direct(std::slice::from_ref(&tc), &db, &edges));
+        let ((b, sb), tb) = time(|| eval_naive(std::slice::from_ref(&tc), &db, &edges));
+        assert_eq!(a.sorted(), b.sorted());
+        println!(
+            "| {n} | {} | {} | {} | {ta:.1} | {tb:.1} |",
+            sa.tuples, sa.derivations, sb.derivations
+        );
+    }
+    println!("\nClaim: semi-naive avoids the naive re-derivation blow-up — the model of");
+    println!("computation assumed by Theorem 3.1.\n");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
+    println!("# linrec experiment tables\n");
+    if run("e1") {
+        e1();
+    }
+    if run("e2") {
+        e2();
+    }
+    if run("e3") {
+        e3();
+    }
+    if run("e4") {
+        e4();
+    }
+    if run("e5") {
+        e5();
+    }
+    if run("e6") {
+        e6();
+    }
+}

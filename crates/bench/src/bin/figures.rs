@@ -1,0 +1,47 @@
+//! Regenerate the paper's Figures 1–9 (α-graphs, classifications, bridges)
+//! and the per-figure claims — the `linrec-bench` twin of the root
+//! `figures` example, kept here so `EXPERIMENTS.md` can reference a single
+//! crate for all regeneration targets.
+//!
+//! ```sh
+//! cargo run --release -p linrec-bench --bin figures
+//! cargo run --release -p linrec-bench --bin figures -- --dot
+//! ```
+
+use linrec_alpha::{summary, to_dot, AlphaGraph, BridgeDecomposition, Classification};
+use linrec_core::{pair_report, redundancy_report};
+use linrec_engine::rules;
+
+fn main() {
+    let dot = std::env::args().any(|a| a == "--dot");
+    for (name, rule) in rules::paper_rules() {
+        println!("==== {name} ====");
+        let graph = AlphaGraph::new(&rule).expect("paper rules are analyzable");
+        let classes = Classification::classify(&rule).expect("classifiable");
+        if dot {
+            println!("{}", to_dot(&graph, &classes));
+        } else {
+            let bridges = BridgeDecomposition::wrt_link1(&graph, &classes);
+            println!("{}", summary(&graph, &classes, Some(&bridges)));
+        }
+    }
+    if dot {
+        return;
+    }
+    for (label, r1, r2) in [
+        ("figure 3 pair (Example 5.2)", rules::tc_right(), rules::tc_left()),
+        ("figure 4 pair (Example 5.3)", rules::example_5_3_r1(), rules::example_5_3_r2()),
+        ("figure 5 pair (Example 5.4)", rules::example_5_4_r1(), rules::example_5_4_r2()),
+    ] {
+        println!("==== {label} ====");
+        println!("{}", pair_report(&r1, &r2).unwrap());
+    }
+    for (label, rule) in [
+        ("figure 6 (Example 6.1)", rules::shopping_rule()),
+        ("figures 7/8 (Example 6.2)", rules::example_6_2()),
+        ("figure 9 (Example 6.3)", rules::example_6_3()),
+    ] {
+        println!("==== {label} ====");
+        println!("{}", redundancy_report(&rule, 8).unwrap());
+    }
+}

@@ -1,0 +1,213 @@
+//! Star-decomposition planning.
+//!
+//! Given `A = A₁ + … + A_n`, the paper's results yield decompositions of
+//! `A*` into products of smaller stars:
+//!
+//! * if all pairs commute, `A* = A₁* A₂* … A_n*` (§3, §4.1 remark);
+//! * more generally (§7 "partial commutativity", implemented here as an
+//!   extension): cluster the operators so that **every cross-cluster pair
+//!   commutes**; then `A* = (ΣC₁)* (ΣC₂)* …` with one star per cluster.
+//!   Clusters are the connected components of the *non*-commutativity
+//!   graph, so the plan is canonical and always exists (worst case: one
+//!   cluster = no decomposition).
+//!
+//! For two operators the planner also recognizes the one-sided
+//! semi-commutation certificate `CB ≤ BᵏCˡ` (§3, \[13\]), which fixes the
+//! order `B* C*`.
+
+use crate::algebra::semi_commute;
+use crate::commutativity::commute_by_definition;
+use crate::exact::{commutes_exact, is_restricted_pair, ExactOutcome};
+use linrec_datalog::{LinearRule, RuleError};
+
+/// How a pair of operators relates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairRelation {
+    /// They commute (`BC = CB`).
+    Commute,
+    /// `CB ≤ BᵏCˡ` for the recorded `(k, l)` — order-constrained
+    /// decomposition (`B` must precede `C`).
+    SemiCommute(usize, usize),
+    /// No decomposition certificate found.
+    None,
+}
+
+/// A star-decomposition plan for `(ΣAᵢ)*`.
+#[derive(Debug, Clone)]
+pub struct DecompositionPlan {
+    /// Pairwise relations, `relations[i][j]` for `i < j`.
+    pub relations: Vec<Vec<PairRelation>>,
+    /// Clusters of operator indices; `(ΣAᵢ)* = Π_c (Σ_{i∈c} Aᵢ)*`, applied
+    /// right-to-left (the rightmost cluster is applied to the input first —
+    /// any order is valid since clusters commute pairwise).
+    pub clusters: Vec<Vec<usize>>,
+}
+
+impl DecompositionPlan {
+    /// True iff the plan actually splits the star (more than one cluster).
+    pub fn is_decomposed(&self) -> bool {
+        self.clusters.len() > 1
+    }
+
+    /// True iff every operator is its own cluster.
+    pub fn is_fully_decomposed(&self) -> bool {
+        self.clusters.iter().all(|c| c.len() == 1)
+    }
+}
+
+/// Decide whether a pair commutes, preferring the O(a log a) exact test on
+/// the restricted class and falling back to the definition.
+pub fn pair_commutes(a: &LinearRule, b: &LinearRule) -> Result<bool, RuleError> {
+    if is_restricted_pair(a, b) {
+        match commutes_exact(a, b) {
+            Ok(ExactOutcome::Commute) => return Ok(true),
+            Ok(ExactOutcome::DoNotCommute(_)) => return Ok(false),
+            Err(_) => {}
+        }
+    }
+    commute_by_definition(a, b)
+}
+
+/// Compute a decomposition plan for `rules` (all sharing a consequent after
+/// alignment). `semi_exp` bounds the exponent search for two-operator
+/// semi-commutation certificates (0 disables it).
+#[allow(clippy::needless_range_loop)] // pairwise matrix indexing
+pub fn plan_decomposition(
+    rules: &[LinearRule],
+    semi_exp: usize,
+) -> Result<DecompositionPlan, RuleError> {
+    let n = rules.len();
+    let head = rules
+        .first()
+        .ok_or(RuleError::ConsequentMismatch)?
+        .head()
+        .clone();
+    let aligned: Vec<LinearRule> = rules
+        .iter()
+        .map(|r| r.align_consequent(&head))
+        .collect::<Result<_, _>>()?;
+
+    let mut relations: Vec<Vec<PairRelation>> = vec![vec![PairRelation::None; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let rel = if pair_commutes(&aligned[i], &aligned[j])? {
+                PairRelation::Commute
+            } else if semi_exp > 0 {
+                // Try CB ≤ BᵏCˡ in both roles.
+                if let Some((k, l)) = semi_commute(&aligned[i], &aligned[j], semi_exp)? {
+                    PairRelation::SemiCommute(k, l)
+                } else {
+                    PairRelation::None
+                }
+            } else {
+                PairRelation::None
+            };
+            relations[i][j] = rel;
+            relations[j][i] = match rel {
+                // Semi-commutation is order-directed: record it only at
+                // [i][j] meaning "i before j"; the mirror entry is None.
+                PairRelation::SemiCommute(_, _) => PairRelation::None,
+                other => other,
+            };
+        }
+    }
+
+    // Clusters: connected components of the non-commuting graph.
+    let mut uf = linrec_alpha::UnionFind::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let commuting = relations[i][j] == PairRelation::Commute;
+            if !commuting {
+                uf.union(i, j);
+            }
+        }
+    }
+    let clusters = uf.groups();
+
+    Ok(DecompositionPlan {
+        relations,
+        clusters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrec_datalog::parse_linear_rule;
+
+    fn lr(src: &str) -> LinearRule {
+        parse_linear_rule(src).unwrap()
+    }
+
+    #[test]
+    fn fully_commuting_pair_fully_decomposes() {
+        let rules = [
+            lr("p(x,y) :- p(x,z), q(z,y)."),
+            lr("p(x,y) :- p(w,y), q(x,w)."),
+        ];
+        let plan = plan_decomposition(&rules, 0).unwrap();
+        assert!(plan.is_fully_decomposed());
+        assert_eq!(plan.relations[0][1], PairRelation::Commute);
+    }
+
+    #[test]
+    fn non_commuting_pair_stays_together() {
+        let rules = [
+            lr("p(x,y) :- p(x,z), a(z,y)."),
+            lr("p(x,y) :- p(x,z), b(z,y)."),
+        ];
+        let plan = plan_decomposition(&rules, 0).unwrap();
+        assert!(!plan.is_decomposed());
+        assert_eq!(plan.clusters, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn three_operators_cluster_correctly() {
+        // a and b expand the same (right) side with different predicates:
+        // they do not commute with each other but both commute with the
+        // left-expanding c.
+        let rules = [
+            lr("p(x,y) :- p(x,z), a(z,y)."),
+            lr("p(x,y) :- p(x,z), b(z,y)."),
+            lr("p(x,y) :- p(w,y), c(x,w)."),
+        ];
+        let plan = plan_decomposition(&rules, 0).unwrap();
+        assert_eq!(plan.clusters.len(), 2);
+        let mut sizes: Vec<usize> = plan.clusters.iter().map(|c| c.len()).collect();
+        sizes.sort();
+        assert_eq!(sizes, vec![1, 2]);
+        assert_eq!(plan.relations[0][2], PairRelation::Commute);
+        assert_eq!(plan.relations[1][2], PairRelation::Commute);
+        assert_eq!(plan.relations[0][1], PairRelation::None);
+    }
+
+    #[test]
+    fn semi_commutation_is_detected_when_enabled() {
+        // B adds a filter on the *moving* column: B and C do not commute
+        // (the filter lands at different walk depths), but CB ≤ C², so
+        // (B+C)* = B*C* still holds by the generalized condition of [13].
+        let rules = [
+            lr("p(x,y) :- p(x,z), q(z,y), t(y)."),
+            lr("p(x,y) :- p(x,z), q(z,y)."),
+        ];
+        let plan = plan_decomposition(&rules, 2).unwrap();
+        assert_eq!(plan.relations[0][1], PairRelation::SemiCommute(0, 2));
+    }
+
+    #[test]
+    fn mutual_commutativity_of_many_filters() {
+        let rules = [
+            lr("p(x,y,z) :- p(x,y,z), f1(x)."),
+            lr("p(x,y,z) :- p(x,y,z), f2(y)."),
+            lr("p(x,y,z) :- p(x,y,z), f3(z)."),
+        ];
+        let plan = plan_decomposition(&rules, 0).unwrap();
+        assert!(plan.is_fully_decomposed());
+        assert_eq!(plan.clusters.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(plan_decomposition(&[], 0).is_err());
+    }
+}

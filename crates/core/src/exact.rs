@@ -1,0 +1,239 @@
+//! The exact (necessary *and* sufficient) commutativity test for the
+//! restricted class (Theorems 5.2 and 5.3).
+//!
+//! For **range-restricted** rules with **no repeated consequent variables**
+//! and **no repeated nonrecursive predicates** (after eliminating
+//! equalities), the Theorem 5.1 condition characterizes commutativity
+//! exactly and can be decided in `O(a log a)` time, where `a` is the total
+//! number of argument positions: the only potentially expensive step —
+//! equivalence of augmented bridges — degenerates to the forced-pairing
+//! isomorphism of Lemma 5.4.
+
+use crate::sufficient::{PairAnalysis, VarCondition};
+use linrec_datalog::{LinearRule, RuleError, Var};
+
+/// Why a rule pair is outside the restricted class of Theorem 5.2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Restriction {
+    /// A rule mentions constants.
+    Constants,
+    /// A rule is not range-restricted (the offending variable).
+    NotRangeRestricted(&'static str),
+    /// A rule repeats a variable in its consequent.
+    RepeatedHeadVars(&'static str),
+    /// A rule repeats a nonrecursive predicate in its antecedent.
+    RepeatedNonrecPreds,
+}
+
+/// Check a single rule against the restricted class, returning every
+/// violation. Equality atoms are eliminated before the check, as the paper
+/// prescribes.
+pub fn restricted_class_violations(rule: &LinearRule) -> Vec<Restriction> {
+    let rule = match rule.eliminate_equalities() {
+        Ok(r) => r,
+        Err(_) => return vec![Restriction::Constants],
+    };
+    let mut out = Vec::new();
+    if !rule.is_constant_free() {
+        out.push(Restriction::Constants);
+    }
+    if rule.has_repeated_head_vars() {
+        let mut seen = linrec_datalog::hash::FastSet::default();
+        if let Some(v) = rule.head_vars().into_iter().find(|&v| !seen.insert(v)) {
+            out.push(Restriction::RepeatedHeadVars(v.name()));
+        }
+    }
+    if !rule.is_range_restricted() {
+        let body_vars: linrec_datalog::hash::FastSet<Var> = rule
+            .rec_atom()
+            .vars()
+            .chain(rule.nonrec_atoms().iter().flat_map(|a| a.vars()))
+            .collect();
+        if let Some(v) = rule.head_vars().into_iter().find(|v| !body_vars.contains(v)) {
+            out.push(Restriction::NotRangeRestricted(v.name()));
+        }
+    }
+    if rule.has_repeated_nonrec_preds() {
+        out.push(Restriction::RepeatedNonrecPreds);
+    }
+    out
+}
+
+/// The outcome of the exact test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExactOutcome {
+    /// The rules commute (guaranteed, Theorem 5.2 "if").
+    Commute,
+    /// The rules do **not** commute (guaranteed, Theorem 5.2 "only if").
+    /// The variables violating the condition are listed.
+    DoNotCommute(Vec<Var>),
+}
+
+/// Decide commutativity of two restricted-class rules exactly
+/// (Theorem 5.2), using the Theorem 5.3 algorithm structure: classify
+/// variables, decompose into bridges, compare augmented bridges with the
+/// Lemma 5.4 isomorphism.
+///
+/// Errors if either rule is outside the restricted class — use
+/// [`crate::commutativity::commute_by_definition`] (always correct, slower)
+/// or [`crate::sufficient::commutes_sufficient`] (sound, incomplete) there.
+pub fn commutes_exact(r1: &LinearRule, r2: &LinearRule) -> Result<ExactOutcome, RuleError> {
+    for rule in [r1, r2] {
+        let violations = restricted_class_violations(rule);
+        if let Some(first) = violations.first() {
+            return Err(match first {
+                Restriction::Constants => RuleError::HasConstants,
+                Restriction::NotRangeRestricted(v) => {
+                    RuleError::NotRangeRestricted { var: v }
+                }
+                Restriction::RepeatedHeadVars(v) => RuleError::RepeatedHeadVars { var: v },
+                Restriction::RepeatedNonrecPreds => RuleError::Parse(
+                    "rule repeats a nonrecursive predicate; outside the Theorem 5.2 class"
+                        .into(),
+                ),
+            });
+        }
+    }
+    let r1 = r1.eliminate_equalities()?;
+    let r2 = r2.eliminate_equalities()?;
+    // Restricted-class rules are their own cores (no atom can fold onto
+    // another: every body predicate occurs once), so no minimization is
+    // needed — matching the O(a log a) bound.
+    let pa = PairAnalysis::build(&r1, &r2, false)?;
+    let per_var = pa.check_conditions(&mut |a, b| {
+        linrec_cq::restricted_isomorphism(&a.underlying(), &b.underlying()).is_some()
+    });
+    let failing: Vec<Var> = per_var
+        .iter()
+        .filter(|(_, c)| *c == VarCondition::Fails)
+        .map(|&(v, _)| v)
+        .collect();
+    Ok(if failing.is_empty() {
+        ExactOutcome::Commute
+    } else {
+        ExactOutcome::DoNotCommute(failing)
+    })
+}
+
+/// `true` iff both rules are in the restricted class of Theorem 5.2.
+pub fn is_restricted_pair(r1: &LinearRule, r2: &LinearRule) -> bool {
+    restricted_class_violations(r1).is_empty() && restricted_class_violations(r2).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commutativity::commute_by_definition;
+    use linrec_datalog::parse_linear_rule;
+
+    fn lr(src: &str) -> LinearRule {
+        parse_linear_rule(src).unwrap()
+    }
+
+    #[test]
+    fn transitive_closure_pair_commutes() {
+        let up = lr("p(x,y) :- p(x,z), q(z,y).");
+        let down = lr("p(x,y) :- p(w,y), q(x,w).");
+        assert_eq!(commutes_exact(&up, &down).unwrap(), ExactOutcome::Commute);
+    }
+
+    #[test]
+    fn same_side_expansion_does_not_commute() {
+        let r1 = lr("p(x,y) :- p(x,z), a(z,y).");
+        let r2 = lr("p(x,y) :- p(x,z), b(z,y).");
+        match commutes_exact(&r1, &r2).unwrap() {
+            ExactOutcome::DoNotCommute(vars) => {
+                assert_eq!(vars, vec![Var::new("y")]);
+            }
+            ExactOutcome::Commute => panic!("must not commute"),
+        }
+    }
+
+    #[test]
+    fn example_5_3_commutes_exactly() {
+        let r1 = lr("p(x,y,z) :- p(u,y,z), q(x,y).");
+        let r2 = lr("p(x,y,z) :- p(x,y,v), r(z,y).");
+        assert_eq!(commutes_exact(&r1, &r2).unwrap(), ExactOutcome::Commute);
+    }
+
+    #[test]
+    fn rejects_rules_outside_the_class() {
+        // Example 5.4's second rule repeats predicate q.
+        let r1 = lr("p(x,y) :- p(y,w), q(x).");
+        let r2 = lr("p(x,y) :- p(u,v), q(x), q(y).");
+        assert!(commutes_exact(&r1, &r2).is_err());
+        assert!(!is_restricted_pair(&r1, &r2));
+        // r1 alone is also not range-restricted? x appears in q(x): it is.
+        // But p(x,y) :- p(y,w), q(x): y appears in the recursive atom: fine.
+        assert!(restricted_class_violations(&r1).is_empty());
+    }
+
+    #[test]
+    fn violations_are_specific() {
+        let not_rr = lr("p(x,y) :- p(x,x), q(x).");
+        assert!(matches!(
+            restricted_class_violations(&not_rr).as_slice(),
+            [Restriction::NotRangeRestricted("y")]
+        ));
+        let repeated_head = lr("p(x,x) :- p(x,y), q(y,x).");
+        assert!(restricted_class_violations(&repeated_head)
+            .iter()
+            .any(|r| matches!(r, Restriction::RepeatedHeadVars(_))));
+        let constants = lr("p(x,y) :- p(x,z), q(z,y,1).");
+        assert_eq!(
+            restricted_class_violations(&constants),
+            vec![Restriction::Constants]
+        );
+    }
+
+    #[test]
+    fn equality_atoms_are_eliminated_before_the_class_check() {
+        // After eliminating z = y the rule is a plain TC rule.
+        let r = lr("p(x,y) :- p(x,z), q(z,w), =(w,y).");
+        assert!(restricted_class_violations(&r).is_empty());
+        let down = lr("p(x,y) :- p(w,y), q(x,w).");
+        assert_eq!(commutes_exact(&r, &down).unwrap(), ExactOutcome::Commute);
+    }
+
+    #[test]
+    fn exact_agrees_with_definition_on_restricted_samples() {
+        let rules = [
+            "p(x,y) :- p(x,z), q(z,y).",
+            "p(x,y) :- p(w,y), q(x,w).",
+            "p(x,y) :- p(x,z), r(z,y).",
+            "p(x,y) :- p(y,x), q(x,y).",
+            "p(x,y) :- p(x,y), s(x).",
+            "p(x,y) :- p(x,y), t(y).",
+            "p(x,y) :- p(w,z), q(x,w), r(z,y).",
+        ];
+        for s1 in rules {
+            for s2 in rules {
+                let (r1, r2) = (lr(s1), lr(s2));
+                if !is_restricted_pair(&r1, &r2) {
+                    continue;
+                }
+                let exact = commutes_exact(&r1, &r2).unwrap();
+                let truth = commute_by_definition(&r1, &r2).unwrap();
+                assert_eq!(
+                    exact == ExactOutcome::Commute,
+                    truth,
+                    "disagreement on {s1} / {s2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_persistent_cycles_exactly() {
+        let r1 = lr("p(x,y,u,v) :- p(y,x,u,w), q(v,w).");
+        let r2 = lr("p(x,y,u,v) :- p(y,x,w,v), r(u,w).");
+        assert_eq!(commutes_exact(&r1, &r2).unwrap(), ExactOutcome::Commute);
+        let r3 = lr("p(x,y,u,v) :- p(y,u,v,x), r(x,w).");
+        // r3 rotates a 4-cycle (x is link); against r1 the cycles clash.
+        match commutes_exact(&r1, &r3).unwrap() {
+            ExactOutcome::DoNotCommute(_) => {}
+            ExactOutcome::Commute => panic!("must not commute"),
+        }
+        assert!(!commute_by_definition(&r1, &r3).unwrap());
+    }
+}

@@ -1,0 +1,400 @@
+//! Operator expressions — the closed semi-ring of Section 2 as a syntax.
+//!
+//! The paper's manipulations (`A* = B*C*`, `A* = Σ_{m<KL}Aᵐ + …`) are
+//! equations between *expressions* over linear operators. This module makes
+//! those expressions first-class: an [`OpExpr`] is built from named base
+//! operators with `+`, `·`, and `*`, can be simplified with the semi-ring
+//! unit/absorption laws, pretty-printed in the paper's notation, and —
+//! centrally — **rewritten** by [`decompose_stars`], which replaces every
+//! `(Σᵢ Aᵢ)*` subexpression by a product of cluster stars licensed by
+//! pairwise commutativity (§3, §7 "partial commutativity").
+//!
+//! `linrec-engine` evaluates expressions over data
+//! (`linrec_engine::eval_expr`), and the integration tests check that
+//! rewriting never changes the computed relation.
+
+use crate::decompose::plan_decomposition;
+use linrec_datalog::{LinearRule, RuleError};
+use std::fmt;
+
+/// A symbolic operator expression over a table of named base operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpExpr {
+    /// The additive identity `0` (`0·P = ∅`).
+    Zero,
+    /// The multiplicative identity `1` (`1·P = P`).
+    One,
+    /// A base operator, indexed into the [`ExprContext`].
+    Base(usize),
+    /// Sum (union of results).
+    Sum(Vec<OpExpr>),
+    /// Product; `Product([A, B])` means `A·B`, i.e. apply `B` first.
+    Product(Vec<OpExpr>),
+    /// Kleene star `E* = Σₖ Eᵏ`.
+    Star(Box<OpExpr>),
+}
+
+/// A table of named base operators shared by a family of expressions.
+#[derive(Debug, Clone)]
+pub struct ExprContext {
+    rules: Vec<(String, LinearRule)>,
+}
+
+impl ExprContext {
+    /// Build a context from `(name, rule)` pairs; all rules are aligned to
+    /// the first rule's consequent.
+    pub fn new(rules: Vec<(String, LinearRule)>) -> Result<ExprContext, RuleError> {
+        let head = rules
+            .first()
+            .ok_or(RuleError::ConsequentMismatch)?
+            .1
+            .head()
+            .clone();
+        let rules = rules
+            .into_iter()
+            .map(|(n, r)| Ok((n, r.align_consequent(&head)?)))
+            .collect::<Result<Vec<_>, RuleError>>()?;
+        Ok(ExprContext { rules })
+    }
+
+    /// Number of base operators.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True iff the context is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The rule for base operator `i`.
+    pub fn rule(&self, i: usize) -> &LinearRule {
+        &self.rules[i].1
+    }
+
+    /// The name of base operator `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.rules[i].0
+    }
+
+    /// All rules, in index order.
+    pub fn rules(&self) -> Vec<LinearRule> {
+        self.rules.iter().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// Render an expression in the paper's notation.
+    pub fn render(&self, e: &OpExpr) -> String {
+        fn go(ctx: &ExprContext, e: &OpExpr, parent_product: bool) -> String {
+            match e {
+                OpExpr::Zero => "0".into(),
+                OpExpr::One => "1".into(),
+                OpExpr::Base(i) => ctx.name(*i).to_owned(),
+                OpExpr::Sum(terms) => {
+                    let inner = terms
+                        .iter()
+                        .map(|t| go(ctx, t, false))
+                        .collect::<Vec<_>>()
+                        .join(" + ");
+                    if parent_product {
+                        format!("({inner})")
+                    } else {
+                        inner
+                    }
+                }
+                OpExpr::Product(factors) => factors
+                    .iter()
+                    .map(|f| go(ctx, f, true))
+                    .collect::<Vec<_>>()
+                    .join(""),
+                OpExpr::Star(inner) => {
+                    let body = go(ctx, inner, false);
+                    if matches!(**inner, OpExpr::Base(_) | OpExpr::One | OpExpr::Zero) {
+                        format!("{body}*")
+                    } else {
+                        format!("({body})*")
+                    }
+                }
+            }
+        }
+        go(self, e, false)
+    }
+}
+
+impl OpExpr {
+    /// `(Σ operators)*` for the given base indices.
+    pub fn star_of_sum(indices: impl IntoIterator<Item = usize>) -> OpExpr {
+        OpExpr::Star(Box::new(OpExpr::Sum(
+            indices.into_iter().map(OpExpr::Base).collect(),
+        )))
+    }
+
+    /// Apply the semi-ring unit and absorption laws:
+    /// `E+0 = E`, `E·1 = E`, `E·0 = 0`, `0* = 1* = 1`, flattening nested
+    /// sums/products and collapsing singletons.
+    pub fn simplify(&self) -> OpExpr {
+        match self {
+            OpExpr::Zero => OpExpr::Zero,
+            OpExpr::One => OpExpr::One,
+            OpExpr::Base(i) => OpExpr::Base(*i),
+            OpExpr::Sum(terms) => {
+                let mut flat = Vec::new();
+                for t in terms {
+                    match t.simplify() {
+                        OpExpr::Zero => {}
+                        OpExpr::Sum(inner) => flat.extend(inner),
+                        other => flat.push(other),
+                    }
+                }
+                match flat.len() {
+                    0 => OpExpr::Zero,
+                    1 => flat.pop().unwrap(),
+                    _ => OpExpr::Sum(flat),
+                }
+            }
+            OpExpr::Product(factors) => {
+                let mut flat = Vec::new();
+                for f in factors {
+                    match f.simplify() {
+                        OpExpr::One => {}
+                        OpExpr::Zero => return OpExpr::Zero,
+                        OpExpr::Product(inner) => flat.extend(inner),
+                        other => flat.push(other),
+                    }
+                }
+                match flat.len() {
+                    0 => OpExpr::One,
+                    1 => flat.pop().unwrap(),
+                    _ => OpExpr::Product(flat),
+                }
+            }
+            OpExpr::Star(inner) => match inner.simplify() {
+                OpExpr::Zero | OpExpr::One => OpExpr::One,
+                other => OpExpr::Star(Box::new(other)),
+            },
+        }
+    }
+
+    /// The base operators mentioned by the expression.
+    pub fn bases(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        fn go(e: &OpExpr, out: &mut Vec<usize>) {
+            match e {
+                OpExpr::Base(i) => {
+                    if !out.contains(i) {
+                        out.push(*i);
+                    }
+                }
+                OpExpr::Sum(v) | OpExpr::Product(v) => v.iter().for_each(|e| go(e, out)),
+                OpExpr::Star(inner) => go(inner, out),
+                OpExpr::Zero | OpExpr::One => {}
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for OpExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Nameless rendering (indices as A0, A1, …).
+        match self {
+            OpExpr::Zero => write!(f, "0"),
+            OpExpr::One => write!(f, "1"),
+            OpExpr::Base(i) => write!(f, "A{i}"),
+            OpExpr::Sum(v) => {
+                let parts: Vec<String> = v.iter().map(|e| e.to_string()).collect();
+                write!(f, "({})", parts.join(" + "))
+            }
+            OpExpr::Product(v) => {
+                for e in v {
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+            OpExpr::Star(inner) => match **inner {
+                // Sums display with their own parentheses.
+                OpExpr::Base(_) | OpExpr::Sum(_) => write!(f, "{inner}*"),
+                _ => write!(f, "({inner})*"),
+            },
+        }
+    }
+}
+
+/// Rewrite every `Star(Sum(bases…))` subexpression into a product of
+/// cluster stars, as licensed by pairwise commutativity: the §3
+/// decomposition `(B+C)* = B*C*`, generalized to commuting clusters (§7).
+/// Subexpressions whose star body is not a sum of bases are left intact.
+/// Returns the rewritten expression together with a log of the applied
+/// decompositions.
+pub fn decompose_stars(
+    expr: &OpExpr,
+    ctx: &ExprContext,
+) -> Result<(OpExpr, Vec<String>), RuleError> {
+    let mut log = Vec::new();
+    let out = go(&expr.simplify(), ctx, &mut log)?;
+    return Ok((out.simplify(), log));
+
+    fn go(e: &OpExpr, ctx: &ExprContext, log: &mut Vec<String>) -> Result<OpExpr, RuleError> {
+        Ok(match e {
+            OpExpr::Star(inner) => {
+                // Only sums of bases are decomposable by the planner.
+                let bases: Option<Vec<usize>> = match &**inner {
+                    OpExpr::Base(i) => Some(vec![*i]),
+                    OpExpr::Sum(terms) => terms
+                        .iter()
+                        .map(|t| match t {
+                            OpExpr::Base(i) => Some(*i),
+                            _ => None,
+                        })
+                        .collect(),
+                    _ => None,
+                };
+                match bases {
+                    Some(indices) if indices.len() > 1 => {
+                        let rules: Vec<LinearRule> =
+                            indices.iter().map(|&i| ctx.rule(i).clone()).collect();
+                        let plan = plan_decomposition(&rules, 0)?;
+                        if plan.is_decomposed() {
+                            let factors: Vec<OpExpr> = plan
+                                .clusters
+                                .iter()
+                                .map(|cluster| {
+                                    OpExpr::Star(Box::new(OpExpr::Sum(
+                                        cluster
+                                            .iter()
+                                            .map(|&ci| OpExpr::Base(indices[ci]))
+                                            .collect(),
+                                    )))
+                                })
+                                .collect();
+                            let new = OpExpr::Product(factors).simplify();
+                            log.push(format!(
+                                "{} => {} (pairwise commutativity)",
+                                ctx.render(e),
+                                ctx.render(&new)
+                            ));
+                            new
+                        } else {
+                            e.clone()
+                        }
+                    }
+                    _ => OpExpr::Star(Box::new(go(inner, ctx, log)?)),
+                }
+            }
+            OpExpr::Sum(v) => OpExpr::Sum(
+                v.iter()
+                    .map(|t| go(t, ctx, log))
+                    .collect::<Result<_, _>>()?,
+            ),
+            OpExpr::Product(v) => OpExpr::Product(
+                v.iter()
+                    .map(|t| go(t, ctx, log))
+                    .collect::<Result<_, _>>()?,
+            ),
+            other => other.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrec_datalog::parse_linear_rule;
+
+    fn ctx_updown() -> ExprContext {
+        ExprContext::new(vec![
+            (
+                "B".into(),
+                parse_linear_rule("p(x,y) :- p(x,z), down(z,y).").unwrap(),
+            ),
+            (
+                "C".into(),
+                parse_linear_rule("p(x,y) :- p(w,y), up(x,w).").unwrap(),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rendering_matches_paper_notation() {
+        let ctx = ctx_updown();
+        let e = OpExpr::star_of_sum([0, 1]);
+        assert_eq!(ctx.render(&e), "(B + C)*");
+        let p = OpExpr::Product(vec![
+            OpExpr::Star(Box::new(OpExpr::Base(0))),
+            OpExpr::Star(Box::new(OpExpr::Base(1))),
+        ]);
+        assert_eq!(ctx.render(&p), "B*C*");
+    }
+
+    #[test]
+    fn simplify_applies_unit_laws() {
+        let e = OpExpr::Sum(vec![
+            OpExpr::Zero,
+            OpExpr::Product(vec![OpExpr::One, OpExpr::Base(0), OpExpr::One]),
+        ]);
+        assert_eq!(e.simplify(), OpExpr::Base(0));
+        let z = OpExpr::Product(vec![OpExpr::Base(0), OpExpr::Zero]);
+        assert_eq!(z.simplify(), OpExpr::Zero);
+        assert_eq!(OpExpr::Star(Box::new(OpExpr::Zero)).simplify(), OpExpr::One);
+        let nested = OpExpr::Sum(vec![OpExpr::Sum(vec![OpExpr::Base(0), OpExpr::Base(1)])]);
+        assert_eq!(
+            nested.simplify(),
+            OpExpr::Sum(vec![OpExpr::Base(0), OpExpr::Base(1)])
+        );
+    }
+
+    #[test]
+    fn decompose_rewrites_commuting_star() {
+        let ctx = ctx_updown();
+        let e = OpExpr::star_of_sum([0, 1]);
+        let (rewritten, log) = decompose_stars(&e, &ctx).unwrap();
+        assert_eq!(ctx.render(&rewritten), "B*C*");
+        assert_eq!(log.len(), 1);
+        assert!(log[0].contains("commutativity"));
+    }
+
+    #[test]
+    fn decompose_leaves_noncommuting_star_alone() {
+        let ctx = ExprContext::new(vec![
+            (
+                "B".into(),
+                parse_linear_rule("p(x,y) :- p(x,z), a(z,y).").unwrap(),
+            ),
+            (
+                "C".into(),
+                parse_linear_rule("p(x,y) :- p(x,z), b(z,y).").unwrap(),
+            ),
+        ])
+        .unwrap();
+        let e = OpExpr::star_of_sum([0, 1]);
+        let (rewritten, log) = decompose_stars(&e, &ctx).unwrap();
+        assert_eq!(rewritten, e);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn decompose_recurses_into_products() {
+        let ctx = ctx_updown();
+        // 1 · (B+C)* — the star is nested under a product.
+        let e = OpExpr::Product(vec![OpExpr::One, OpExpr::star_of_sum([0, 1])]);
+        let (rewritten, log) = decompose_stars(&e, &ctx).unwrap();
+        assert_eq!(ctx.render(&rewritten), "B*C*");
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn bases_are_collected_in_order() {
+        let e = OpExpr::Product(vec![
+            OpExpr::Star(Box::new(OpExpr::Base(2))),
+            OpExpr::Sum(vec![OpExpr::Base(0), OpExpr::Base(2)]),
+        ]);
+        assert_eq!(e.bases(), vec![2, 0]);
+    }
+
+    #[test]
+    fn display_without_context() {
+        let e = OpExpr::star_of_sum([0, 1]);
+        assert_eq!(e.to_string(), "(A0 + A1)*");
+    }
+}

@@ -1,0 +1,114 @@
+//! Commutativity at higher powers (paper §7, last future-work item:
+//! *"examine ways to take advantage of commutativity appearing in some
+//! higher power of an operator, as in the case of recursive redundancy"*).
+//!
+//! Two operators may fail to commute while some of their powers do —
+//! Example 6.2's `B` and `C` commute only as `B¹` and `C²` (via `A² = BC²`).
+//! If `BⁱCʲ = CʲBⁱ`, then `(Bⁱ + Cʲ)* = (Bⁱ)*(Cʲ)*` by the ordinary
+//! decomposition theorem applied to the composed operators, which yields a
+//! decomposition of mixed sums of high powers; combined with
+//! `A* = (Σ_{n<i} Aⁿ)(Aⁱ)*`, power-level commutativity still buys
+//! processing structure for `A = B + C` in special cases.
+//!
+//! This module provides the *search* for such witnesses.
+
+use crate::commutativity::commute_by_definition;
+use linrec_cq::power;
+use linrec_datalog::{LinearRule, RuleError};
+
+/// A witness that `r₁ⁱ` and `r₂ʲ` commute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerCommutation {
+    /// Exponent of the first rule.
+    pub i: usize,
+    /// Exponent of the second rule.
+    pub j: usize,
+}
+
+/// Find the smallest (by `i + j`, then `i`) pair of exponents
+/// `1 ≤ i, j ≤ max_exp` such that `r₁ⁱ` and `r₂ʲ` commute. `(1, 1)` is
+/// plain commutativity.
+pub fn powers_commute(
+    r1: &LinearRule,
+    r2: &LinearRule,
+    max_exp: usize,
+) -> Result<Option<PowerCommutation>, RuleError> {
+    let r2 = r2.align_consequent(r1.head())?;
+    let mut p1: Vec<LinearRule> = Vec::with_capacity(max_exp);
+    let mut p2: Vec<LinearRule> = Vec::with_capacity(max_exp);
+    for e in 1..=max_exp {
+        p1.push(power(r1, e)?);
+        p2.push(power(&r2, e)?);
+    }
+    let mut pairs: Vec<(usize, usize)> = (1..=max_exp)
+        .flat_map(|i| (1..=max_exp).map(move |j| (i, j)))
+        .collect();
+    pairs.sort_by_key(|&(i, j)| (i + j, i));
+    for (i, j) in pairs {
+        if commute_by_definition(&p1[i - 1], &p2[j - 1])? {
+            return Ok(Some(PowerCommutation { i, j }));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrec_datalog::parse_linear_rule;
+
+    fn lr(src: &str) -> LinearRule {
+        parse_linear_rule(src).unwrap()
+    }
+
+    #[test]
+    fn plain_commutativity_is_one_one() {
+        let up = lr("p(x,y) :- p(x,z), q(z,y).");
+        let down = lr("p(x,y) :- p(w,y), q(x,w).");
+        assert_eq!(
+            powers_commute(&up, &down, 3).unwrap(),
+            Some(PowerCommutation { i: 1, j: 1 })
+        );
+    }
+
+    #[test]
+    fn example_6_2_b_and_c_commute_at_power_two() {
+        // B and C from Example 6.2: BC ≠ CB but B¹ commutes with C².
+        let rule = lr("p(w,x,y,z) :- p(x,w,x,u), q(x,u), r(x,y), s(u,z).");
+        let dec = crate::redundancy::decomposition_for_pred(
+            &rule,
+            linrec_datalog::Symbol::new("r"),
+            8,
+        )
+        .unwrap()
+        .unwrap();
+        // dec.b is built on A² (so it pairs with C²); pit it against C.
+        let w = powers_commute(&dec.b, &dec.c, 3).unwrap().unwrap();
+        assert_eq!((w.i, w.j), (1, 2));
+        // Sanity: B and C¹ do not commute.
+        assert!(!commute_by_definition(&dec.b, &dec.c).unwrap());
+    }
+
+    #[test]
+    fn permutation_rules_commute_at_cycle_length() {
+        // r1 rotates a 3-cycle; r2 swaps two of its elements with an
+        // appendage... simpler: two rotations of coprime structure: a
+        // 2-swap and a 3-rotation on disjoint-but-interleaved columns
+        // commute only when the swap is squared away.
+        let r1 = lr("p(a,b,c) :- p(b,a,c), q(c).");
+        let r2 = lr("p(a,b,c) :- p(b,c,a).");
+        // r1 swaps (a b) keeping c linked; r2 rotates (a b c): these do not
+        // commute at (1,1); the rotation cubed is the identity, so (1,3)
+        // commutes.
+        assert!(!commute_by_definition(&r1, &r2).unwrap());
+        let w = powers_commute(&r1, &r2, 3).unwrap().unwrap();
+        assert_eq!((w.i, w.j), (1, 3));
+    }
+
+    #[test]
+    fn non_commuting_at_any_small_power() {
+        let r1 = lr("p(x,y) :- p(x,z), a(z,y).");
+        let r2 = lr("p(x,y) :- p(x,z), b(z,y).");
+        assert_eq!(powers_commute(&r1, &r2, 3).unwrap(), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! Human-readable analysis reports, used by the examples and the figure
+//! generator.
+
+use crate::commutativity::{commute_by_definition, composites};
+use crate::exact::{commutes_exact, is_restricted_pair, ExactOutcome};
+use crate::redundancy::analyze_redundancy;
+use crate::separability::separability_report;
+use crate::sufficient::{sufficiency_report, Sufficiency, VarCondition};
+use linrec_datalog::{LinearRule, RuleError};
+use std::fmt::Write as _;
+
+fn condition_name(c: VarCondition) -> &'static str {
+    match c {
+        VarCondition::FreeOnePersistent => "(a) free 1-persistent in one rule",
+        VarCondition::LinkOneBoth => "(b) link 1-persistent in both",
+        VarCondition::CommutingFreeCycles => "(c) commuting free cycles",
+        VarCondition::EquivalentBridges => "(d) equivalent augmented bridges",
+        VarCondition::Fails => "none (condition fails)",
+    }
+}
+
+/// A full commutativity report for a pair of rules: definition-based truth,
+/// the Theorem 5.1/5.2 verdicts, separability, and the composites.
+pub fn pair_report(r1: &LinearRule, r2: &LinearRule) -> Result<String, RuleError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "r1: {r1}");
+    let _ = writeln!(out, "r2: {r2}");
+
+    let truth = commute_by_definition(r1, r2)?;
+    let _ = writeln!(out, "commute (by definition): {truth}");
+
+    match sufficiency_report(r1, r2) {
+        Ok(rep) => {
+            let _ = writeln!(out, "Theorem 5.1 sufficient condition:");
+            for (v, c) in &rep.per_var {
+                let _ = writeln!(out, "  {v:<4} {}", condition_name(*c));
+            }
+            let verdict = match rep.verdict {
+                Sufficiency::Commute => "holds — commutativity guaranteed".to_owned(),
+                Sufficiency::Unknown(vars) => format!(
+                    "fails on {{{}}} — no conclusion",
+                    vars.iter()
+                        .map(|v| v.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            };
+            let _ = writeln!(out, "  => {verdict}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "Theorem 5.1 not applicable: {e}");
+        }
+    }
+
+    if is_restricted_pair(r1, r2) {
+        match commutes_exact(r1, r2)? {
+            ExactOutcome::Commute => {
+                let _ = writeln!(out, "Theorem 5.2 (exact, O(a log a)): commute");
+            }
+            ExactOutcome::DoNotCommute(vars) => {
+                let _ = writeln!(
+                    out,
+                    "Theorem 5.2 (exact, O(a log a)): do NOT commute (witness: {})",
+                    vars.iter()
+                        .map(|v| v.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
+        }
+    } else {
+        let _ = writeln!(
+            out,
+            "Theorem 5.2 not applicable (outside the restricted class)"
+        );
+    }
+
+    match separability_report(r1, r2) {
+        Ok(rep) => {
+            let _ = writeln!(
+                out,
+                "separable (Naughton): {} (disjoint variant: {})",
+                rep.is_separable_definition(),
+                rep.is_separable_disjoint()
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "separability not checkable: {e}");
+        }
+    }
+
+    let (c12, c21) = composites(r1, r2)?;
+    let _ = writeln!(out, "r1r2: {c12}");
+    let _ = writeln!(out, "r2r1: {c21}");
+    Ok(out)
+}
+
+/// A redundancy report for a single rule (Theorems 6.3/6.4).
+pub fn redundancy_report(rule: &LinearRule, max_power: usize) -> Result<String, RuleError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "rule: {rule}");
+    let analysis = analyze_redundancy(rule, max_power)?;
+    if analysis.bridges.is_empty() {
+        let _ = writeln!(out, "no nonrecursive bridges");
+        return Ok(out);
+    }
+    for b in &analysis.bridges {
+        let preds: Vec<&str> = b.preds.iter().map(|p| p.as_str()).collect();
+        let verdict = match b.bounded {
+            Some(w) => format!("uniformly bounded (C^{} <= C^{})", w.n, w.k),
+            None => format!("not bounded within max_power = {max_power}"),
+        };
+        let _ = writeln!(
+            out,
+            "bridge {}: preds {{{}}} wide rule {}\n  {verdict}",
+            b.bridge,
+            preds.join(", "),
+            b.wide
+        );
+    }
+    let redundant = analysis.redundant_preds();
+    let names: Vec<&str> = redundant.iter().map(|p| p.as_str()).collect();
+    let _ = writeln!(out, "recursively redundant predicates: {{{}}}", names.join(", "));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrec_datalog::parse_linear_rule;
+
+    #[test]
+    fn pair_report_mentions_everything() {
+        let up = parse_linear_rule("p(x,y) :- p(x,z), q(z,y).").unwrap();
+        let down = parse_linear_rule("p(x,y) :- p(w,y), q(x,w).").unwrap();
+        let rep = pair_report(&up, &down).unwrap();
+        assert!(rep.contains("commute (by definition): true"));
+        assert!(rep.contains("Theorem 5.1"));
+        assert!(rep.contains("Theorem 5.2 (exact, O(a log a)): commute"));
+        assert!(rep.contains("r1r2:"));
+    }
+
+    #[test]
+    fn redundancy_report_flags_cheap() {
+        let a =
+            parse_linear_rule("buys(x,y) :- knows(x,z), buys(z,y), cheap(y).").unwrap();
+        let rep = redundancy_report(&a, 8).unwrap();
+        assert!(rep.contains("cheap"));
+        assert!(rep.contains("uniformly bounded"));
+        assert!(rep.contains("recursively redundant predicates: {cheap}"));
+    }
+
+    #[test]
+    fn pair_report_handles_unknown_verdicts() {
+        let r1 = parse_linear_rule("p(x,y) :- p(y,w), q(x).").unwrap();
+        let r2 = parse_linear_rule("p(x,y) :- p(u,v), q(x), q(y).").unwrap();
+        let rep = pair_report(&r1, &r2).unwrap();
+        assert!(rep.contains("commute (by definition): true"));
+        assert!(rep.contains("no conclusion"));
+        assert!(rep.contains("Theorem 5.2 not applicable"));
+    }
+}

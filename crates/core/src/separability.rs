@@ -1,0 +1,252 @@
+//! Naughton's separable recursions (paper §4.1 and §6.1).
+//!
+//! Two rules `r₁`, `r₂` with the same consequent are *separable* \[15\] if:
+//!
+//! 1. for every distinguished `x`, `hᵢ(x) = x` or `hᵢ(x)` is
+//!    nondistinguished (`i = 1,2`);
+//! 2. for every distinguished `x`, `x` and `hᵢ(x)` appear under
+//!    nonrecursive predicates in `rᵢ` either both or neither;
+//! 3. the sets of distinguished variables under nonrecursive predicates in
+//!    `r₁` and `r₂` are equal or disjoint (the efficient separable
+//!    algorithm needs *disjoint*, which is what [`is_separable`] requires);
+//! 4. the subgraph of the α-graph of `rᵢ` induced by its static arcs is
+//!    connected.
+//!
+//! Theorem 6.2: separable ⇒ commutative (strictly), so the separable
+//! algorithm (Algorithm 4.1, implemented in `linrec-engine`) applies to the
+//! larger commutative class via Theorem 4.1.
+
+use linrec_alpha::AlphaGraph;
+use linrec_datalog::hash::FastSet;
+use linrec_datalog::{LinearRule, RuleError, Var};
+
+/// The outcome of checking Naughton's four separability conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeparabilityReport {
+    /// Condition 1 per rule.
+    pub persistence_ok: [bool; 2],
+    /// Condition 2 per rule.
+    pub nonrec_pairing_ok: [bool; 2],
+    /// Condition 3, disjoint variant (needed by the separable algorithm).
+    pub nonrec_vars_disjoint: bool,
+    /// Condition 3, equal variant (also allowed by the original
+    /// definition).
+    pub nonrec_vars_equal: bool,
+    /// Condition 4 per rule.
+    pub static_connected: [bool; 2],
+}
+
+impl SeparabilityReport {
+    /// Naughton's definition (condition 3 in either variant).
+    pub fn is_separable_definition(&self) -> bool {
+        self.persistence_ok.iter().all(|&b| b)
+            && self.nonrec_pairing_ok.iter().all(|&b| b)
+            && (self.nonrec_vars_disjoint || self.nonrec_vars_equal)
+            && self.static_connected.iter().all(|&b| b)
+    }
+
+    /// The variant the efficient separable algorithm needs (disjoint sets).
+    pub fn is_separable_disjoint(&self) -> bool {
+        self.persistence_ok.iter().all(|&b| b)
+            && self.nonrec_pairing_ok.iter().all(|&b| b)
+            && self.nonrec_vars_disjoint
+            && self.static_connected.iter().all(|&b| b)
+    }
+}
+
+fn nonrec_vars(rule: &LinearRule) -> FastSet<Var> {
+    rule.nonrec_atoms()
+        .iter()
+        .flat_map(|a| a.vars())
+        .collect()
+}
+
+fn condition1(rule: &LinearRule) -> bool {
+    let distinguished = rule.distinguished();
+    rule.head_vars().into_iter().all(|x| match rule.h_var(x) {
+        Some(h) => h == x || !distinguished.contains(&h),
+        None => true, // h(x) is a constant — excluded earlier
+    })
+}
+
+fn condition2(rule: &LinearRule) -> bool {
+    let under_nonrec = nonrec_vars(rule);
+    rule.head_vars().into_iter().all(|x| match rule.h_var(x) {
+        Some(h) => under_nonrec.contains(&x) == under_nonrec.contains(&h),
+        None => true,
+    })
+}
+
+fn condition4(graph: &AlphaGraph) -> bool {
+    // Connectivity of the subgraph induced by static arcs.
+    let arcs = graph.static_arcs();
+    if arcs.is_empty() {
+        return true; // vacuously connected
+    }
+    let mut nodes: Vec<Var> = Vec::new();
+    let mut index = linrec_datalog::hash::FastMap::default();
+    for a in arcs {
+        for v in [a.from, a.to] {
+            index.entry(v).or_insert_with(|| {
+                nodes.push(v);
+                nodes.len() - 1
+            });
+        }
+    }
+    let mut uf = linrec_alpha::UnionFind::new(nodes.len());
+    for a in arcs {
+        uf.union(index[&a.from], index[&a.to]);
+    }
+    uf.groups().len() == 1
+}
+
+/// Evaluate all four conditions for a pair of rules (aligned to the first
+/// rule's consequent).
+///
+/// Errors on rules that are not range-restricted: the separability results
+/// (Lemma 6.1, Theorem 6.2) are stated for range-restricted rules, and
+/// without that premise separable-looking rules need not commute.
+pub fn separability_report(
+    r1: &LinearRule,
+    r2: &LinearRule,
+) -> Result<SeparabilityReport, RuleError> {
+    for rule in [r1, r2] {
+        if !rule.is_range_restricted() {
+            let body_vars: FastSet<Var> = rule
+                .rec_atom()
+                .vars()
+                .chain(rule.nonrec_atoms().iter().flat_map(|a| a.vars()))
+                .collect();
+            let var = rule
+                .head_vars()
+                .into_iter()
+                .find(|v| !body_vars.contains(v))
+                .expect("violating variable exists");
+            return Err(RuleError::NotRangeRestricted { var: var.name() });
+        }
+    }
+    let r2 = r2.align_consequent(r1.head())?;
+    let g1 = AlphaGraph::new(r1)?;
+    let g2 = AlphaGraph::new(&r2)?;
+    let v1 = {
+        let d = r1.distinguished();
+        nonrec_vars(r1)
+            .into_iter()
+            .filter(|v| d.contains(v))
+            .collect::<FastSet<Var>>()
+    };
+    let v2 = {
+        let d = r2.distinguished();
+        nonrec_vars(&r2)
+            .into_iter()
+            .filter(|v| d.contains(v))
+            .collect::<FastSet<Var>>()
+    };
+    Ok(SeparabilityReport {
+        persistence_ok: [condition1(r1), condition1(&r2)],
+        nonrec_pairing_ok: [condition2(r1), condition2(&r2)],
+        nonrec_vars_disjoint: v1.is_disjoint(&v2),
+        nonrec_vars_equal: v1 == v2,
+        static_connected: [condition4(&g1), condition4(&g2)],
+    })
+}
+
+/// True iff the pair is separable in the (disjoint) sense required by the
+/// efficient separable algorithm.
+pub fn is_separable(r1: &LinearRule, r2: &LinearRule) -> Result<bool, RuleError> {
+    Ok(separability_report(r1, r2)?.is_separable_disjoint())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commutativity::commute_by_definition;
+    use linrec_datalog::parse_linear_rule;
+
+    fn lr(src: &str) -> LinearRule {
+        parse_linear_rule(src).unwrap()
+    }
+
+    #[test]
+    fn canonical_up_down_pair_is_separable() {
+        let up = lr("p(x,y) :- p(x,z), up(z,y).");
+        let down = lr("p(x,y) :- p(w,y), down(x,w).");
+        assert!(is_separable(&up, &down).unwrap());
+    }
+
+    #[test]
+    fn same_column_pair_is_not_separable() {
+        // Both rules touch the y column with nonrecursive predicates: the
+        // distinguished-variable sets are equal, not disjoint.
+        let a = lr("p(x,y) :- p(x,z), q(z,y).");
+        let b = lr("p(x,y) :- p(x,z), r(z,y).");
+        let rep = separability_report(&a, &b).unwrap();
+        assert!(!rep.nonrec_vars_disjoint);
+        assert!(rep.nonrec_vars_equal);
+        assert!(!is_separable(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn example_5_3_commutes_but_is_not_separable() {
+        // Theorem 6.2: commutativity is strictly more general. The paper
+        // cites Example 5.3 as commutative rules violating conditions 2,3.
+        let r1 = lr("p(x,y,z) :- p(u,y,z), q(x,y).");
+        let r2 = lr("p(x,y,z) :- p(x,y,v), r(z,y).");
+        let rep = separability_report(&r1, &r2).unwrap();
+        assert!(!rep.is_separable_definition());
+        assert!(commute_by_definition(&r1, &r2).unwrap());
+    }
+
+    #[test]
+    fn condition1_violated_by_permutation() {
+        // h(x) = y (a different distinguished variable).
+        let a = lr("p(x,y) :- p(y,x), q(x,w).");
+        let b = lr("p(x,y) :- p(w,y), q2(x,w).");
+        let rep = separability_report(&a, &b).unwrap();
+        assert!(!rep.persistence_ok[0]);
+    }
+
+    #[test]
+    fn condition2_violated_when_h_image_hidden() {
+        // x under q, but h(x) = z is not under any nonrecursive predicate.
+        let a = lr("p(x,y) :- p(z,y), q(x).");
+        let b = lr("p(x,y) :- p(x,w), r(y,w).");
+        let rep = separability_report(&a, &b).unwrap();
+        assert!(!rep.nonrec_pairing_ok[0]);
+    }
+
+    #[test]
+    fn condition4_disconnected_static_graph() {
+        // Two unrelated static components in one rule.
+        let a = lr("p(x,y,u) :- p(z,y,w), q(x,z), r(u,w).");
+        let b = lr("p(x,y,u) :- p(x,w,u), s(y,w).");
+        let rep = separability_report(&a, &b).unwrap();
+        assert!(!rep.static_connected[0]);
+        assert!(rep.static_connected[1]);
+    }
+
+    #[test]
+    fn separable_implies_commutative_on_samples() {
+        // Theorem 6.2 (checked exhaustively in the integration suite; spot
+        // check here).
+        let pairs = [
+            (
+                "p(x,y) :- p(x,z), up(z,y).",
+                "p(x,y) :- p(w,y), down(x,w).",
+            ),
+            (
+                "sg(x,y) :- sg(u,v), par(x,u), par2(y,v).",
+                "sg(x,y) :- sg(x,y), flat(x0,x0).",
+            ),
+        ];
+        for (s1, s2) in pairs {
+            let (a, b) = (lr(s1), lr(s2));
+            if is_separable(&a, &b).unwrap() {
+                assert!(
+                    commute_by_definition(&a, &b).unwrap(),
+                    "Theorem 6.2 violated on {s1} / {s2}"
+                );
+            }
+        }
+    }
+}

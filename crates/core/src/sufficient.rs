@@ -1,0 +1,345 @@
+//! The sufficient condition for commutativity (Theorem 5.1).
+//!
+//! Two rules `r₁`, `r₂` with the same consequent commute if every
+//! distinguished variable `x` satisfies one of:
+//!
+//! * **(a)** `x` is free 1-persistent in `r₁` or `r₂`;
+//! * **(b)** `x` is link 1-persistent in both;
+//! * **(c)** `x` is free `m₁`-persistent (`m₁>1`) in `r₁` and free
+//!   `m₂`-persistent (`m₂>1`) in `r₂`, and `h₁(h₂(x)) = h₂(h₁(x))`;
+//! * **(d)** `x` is link `m`-persistent (`m>1`) or general, and belongs to
+//!   *equivalent augmented bridges* in both rules.
+//!
+//! The test never composes the rules; its only potentially expensive step is
+//! the equivalence of augmented-bridge narrow rules in case (d), which the
+//! exact test of [`crate::exact`] replaces by the O(a log a) isomorphism of
+//! Lemma 5.4 for the restricted class.
+
+use linrec_alpha::{AlphaGraph, BridgeDecomposition, Classification, PersistenceClass};
+use linrec_cq::minimize_linear;
+use linrec_datalog::hash::FastMap;
+use linrec_datalog::{LinearRule, RuleError, Var};
+
+/// Which of Theorem 5.1's clauses a variable satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarCondition {
+    /// (a) free 1-persistent in at least one rule.
+    FreeOnePersistent,
+    /// (b) link 1-persistent in both rules.
+    LinkOneBoth,
+    /// (c) free multi-persistent in both with commuting `h` functions.
+    CommutingFreeCycles,
+    /// (d) equivalent augmented bridges in both rules.
+    EquivalentBridges,
+    /// No clause applies: the sufficient condition fails for this variable.
+    Fails,
+}
+
+/// Outcome of the sufficient test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sufficiency {
+    /// The condition holds: the rules are guaranteed to commute.
+    Commute,
+    /// The condition fails; the rules may or may not commute
+    /// (cf. Example 5.4). The offending variables are listed.
+    Unknown(Vec<Var>),
+}
+
+/// Per-variable detail plus the verdict.
+#[derive(Debug, Clone)]
+pub struct SufficiencyReport {
+    /// `(variable, satisfied clause)` in consequent order.
+    pub per_var: Vec<(Var, VarCondition)>,
+    /// Overall verdict.
+    pub verdict: Sufficiency,
+}
+
+/// Everything the α-graph layer knows about an aligned pair of rules.
+/// Shared between the sufficient and the exact tests.
+pub(crate) struct PairAnalysis {
+    pub r1: LinearRule,
+    pub r2: LinearRule,
+    pub g1: AlphaGraph,
+    pub g2: AlphaGraph,
+    pub c1: Classification,
+    pub c2: Classification,
+    pub d1: BridgeDecomposition,
+    pub d2: BridgeDecomposition,
+}
+
+impl PairAnalysis {
+    /// Align `r2` to `r1`'s consequent, optionally minimize both, and build
+    /// graphs, classifications and link-1 bridge decompositions.
+    pub(crate) fn build(
+        r1: &LinearRule,
+        r2: &LinearRule,
+        minimize: bool,
+    ) -> Result<PairAnalysis, RuleError> {
+        let r2 = r2.align_consequent(r1.head())?;
+        let (r1, r2) = if minimize {
+            (minimize_linear(r1), minimize_linear(&r2))
+        } else {
+            (r1.clone(), r2)
+        };
+        let g1 = AlphaGraph::new(&r1)?;
+        let g2 = AlphaGraph::new(&r2)?;
+        let c1 = Classification::classify(&r1)?;
+        let c2 = Classification::classify(&r2)?;
+        let d1 = BridgeDecomposition::wrt_link1(&g1, &c1);
+        let d2 = BridgeDecomposition::wrt_link1(&g2, &c2);
+        Ok(PairAnalysis {
+            r1,
+            r2,
+            g1,
+            g2,
+            c1,
+            c2,
+            d1,
+            d2,
+        })
+    }
+
+    /// Check Theorem 5.1's clauses for every distinguished variable, using
+    /// `bridge_eq` to decide equivalence of augmented-bridge narrow rules.
+    pub(crate) fn check_conditions(
+        &self,
+        bridge_eq: &mut dyn FnMut(&LinearRule, &LinearRule) -> bool,
+    ) -> Vec<(Var, VarCondition)> {
+        let mut bridge_cache: FastMap<(usize, usize), bool> = FastMap::default();
+        let mut out = Vec::new();
+        for &x in &self.r1.head_vars() {
+            let k1 = self.c1.class(x).expect("head var classified");
+            let k2 = self.c2.class(x).expect("same consequent");
+            let cond = self.var_condition(x, k1, k2, bridge_eq, &mut bridge_cache);
+            out.push((x, cond));
+        }
+        out
+    }
+
+    fn var_condition(
+        &self,
+        x: Var,
+        k1: PersistenceClass,
+        k2: PersistenceClass,
+        bridge_eq: &mut dyn FnMut(&LinearRule, &LinearRule) -> bool,
+        cache: &mut FastMap<(usize, usize), bool>,
+    ) -> VarCondition {
+        // (a) free 1-persistent somewhere.
+        if k1.is_free_one_persistent() || k2.is_free_one_persistent() {
+            return VarCondition::FreeOnePersistent;
+        }
+        // (b) link 1-persistent in both.
+        if k1.is_link_one_persistent() && k2.is_link_one_persistent() {
+            return VarCondition::LinkOneBoth;
+        }
+        // (c) free multi-persistent in both, h functions commute on x.
+        if let (PersistenceClass::FreePersistent(m1), PersistenceClass::FreePersistent(m2)) =
+            (k1, k2)
+        {
+            if m1 > 1 && m2 > 1 {
+                let h2x = self.r2.h_var(x);
+                let h1x = self.r1.h_var(x);
+                if let (Some(h2x), Some(h1x)) = (h2x, h1x) {
+                    if self.r1.h(h2x) == self.r2.h(h1x)
+                        && self.r1.h(h2x).is_some()
+                    {
+                        return VarCondition::CommutingFreeCycles;
+                    }
+                }
+                return VarCondition::Fails;
+            }
+        }
+        // (d) link m>1-persistent or general in both, equivalent augmented
+        // bridges.
+        let d_applicable = |k: PersistenceClass| match k {
+            PersistenceClass::LinkPersistent(m) => m > 1,
+            PersistenceClass::General { .. } => true,
+            PersistenceClass::FreePersistent(_) => false,
+        };
+        if d_applicable(k1) && d_applicable(k2) {
+            let b1 = self.d1.bridge_containing(x);
+            let b2 = self.d2.bridge_containing(x);
+            if let (Some(b1), Some(b2)) = (b1, b2) {
+                let equivalent = *cache.entry((b1, b2)).or_insert_with(|| {
+                    let a1 = self.d1.augmented(&self.g1, b1);
+                    let a2 = self.d2.augmented(&self.g2, b2);
+                    match (
+                        linrec_alpha::narrow_rule(&self.g1, &a1),
+                        linrec_alpha::narrow_rule(&self.g2, &a2),
+                    ) {
+                        (Ok(n1), Ok(n2)) => bridge_eq(&n1, &n2),
+                        _ => false,
+                    }
+                });
+                if equivalent {
+                    return VarCondition::EquivalentBridges;
+                }
+            }
+        }
+        VarCondition::Fails
+    }
+}
+
+/// Apply the Theorem 5.1 sufficient test to `r1`, `r2`.
+///
+/// Rules are aligned and minimized first (the theorem assumes rules in
+/// minimal form; commutativity is invariant under equivalence). Returns
+/// [`Sufficiency::Commute`] — a *guarantee* — or [`Sufficiency::Unknown`].
+pub fn commutes_sufficient(r1: &LinearRule, r2: &LinearRule) -> Result<Sufficiency, RuleError> {
+    Ok(sufficiency_report(r1, r2)?.verdict)
+}
+
+/// Like [`commutes_sufficient`] but with per-variable detail.
+pub fn sufficiency_report(
+    r1: &LinearRule,
+    r2: &LinearRule,
+) -> Result<SufficiencyReport, RuleError> {
+    let pa = PairAnalysis::build(r1, r2, true)?;
+    let per_var = pa.check_conditions(&mut |a, b| {
+        linrec_cq::equivalent(&a.underlying(), &b.underlying())
+    });
+    let failing: Vec<Var> = per_var
+        .iter()
+        .filter(|(_, c)| *c == VarCondition::Fails)
+        .map(|&(v, _)| v)
+        .collect();
+    let verdict = if failing.is_empty() {
+        Sufficiency::Commute
+    } else {
+        Sufficiency::Unknown(failing)
+    };
+    Ok(SufficiencyReport { per_var, verdict })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commutativity::commute_by_definition;
+    use linrec_datalog::parse_linear_rule;
+
+    fn lr(src: &str) -> LinearRule {
+        parse_linear_rule(src).unwrap()
+    }
+
+    #[test]
+    fn example_5_2_satisfies_condition_a() {
+        let up = lr("p(x,y) :- p(x,z), q(z,y).");
+        let down = lr("p(x,y) :- p(w,y), q(x,w).");
+        let rep = sufficiency_report(&up, &down).unwrap();
+        assert_eq!(rep.verdict, Sufficiency::Commute);
+        for (_, c) in rep.per_var {
+            assert_eq!(c, VarCondition::FreeOnePersistent);
+        }
+    }
+
+    #[test]
+    fn example_5_3_satisfies_condition() {
+        let r1 = lr("p(x,y,z) :- p(u,y,z), q(x,y).");
+        let r2 = lr("p(x,y,z) :- p(x,y,v), r(z,y).");
+        assert_eq!(
+            commutes_sufficient(&r1, &r2).unwrap(),
+            Sufficiency::Commute
+        );
+    }
+
+    #[test]
+    fn example_5_4_condition_fails_but_rules_commute() {
+        let r1 = lr("p(x,y) :- p(y,w), q(x).");
+        let r2 = lr("p(x,y) :- p(u,v), q(x), q(y).");
+        match commutes_sufficient(&r1, &r2).unwrap() {
+            Sufficiency::Unknown(vars) => assert!(!vars.is_empty()),
+            Sufficiency::Commute => panic!("Example 5.4 does not satisfy Theorem 5.1"),
+        }
+        // ... although they do commute (the condition is not necessary in
+        // general, only on the restricted class).
+        assert!(commute_by_definition(&r1, &r2).unwrap());
+    }
+
+    #[test]
+    fn condition_b_link_one_persistent_in_both() {
+        let r1 = lr("p(x,y) :- p(x,y), q(x,y).");
+        let r2 = lr("p(x,y) :- p(x,y), r(x,y).");
+        assert_eq!(
+            commutes_sufficient(&r1, &r2).unwrap(),
+            Sufficiency::Commute
+        );
+        assert!(commute_by_definition(&r1, &r2).unwrap());
+    }
+
+    #[test]
+    fn condition_c_commuting_free_cycles() {
+        // Both rules rotate disjoint free cycles... here the same 2-cycle
+        // swap in both rules: h1(h2(x)) = h2(h1(x)) = x.
+        let r1 = lr("p(x,y,u,v) :- p(y,x,u,w), q(v,w).");
+        let r2 = lr("p(x,y,u,v) :- p(y,x,w,v), r(u,w).");
+        let rep = sufficiency_report(&r1, &r2).unwrap();
+        assert_eq!(rep.verdict, Sufficiency::Commute);
+        assert!(rep
+            .per_var
+            .iter()
+            .any(|(_, c)| *c == VarCondition::CommutingFreeCycles));
+        assert!(commute_by_definition(&r1, &r2).unwrap());
+    }
+
+    #[test]
+    fn condition_c_detects_non_commuting_cycles() {
+        // r1 swaps (x y) and fixes (u v) as a pair swap; r2 rotates all four:
+        // the permutations do not commute.
+        let r1 = lr("p(x,y,u,v) :- p(y,x,v,u).");
+        let r2 = lr("p(x,y,u,v) :- p(y,u,v,x).");
+        match commutes_sufficient(&r1, &r2).unwrap() {
+            Sufficiency::Unknown(_) => {}
+            Sufficiency::Commute => panic!("cycles do not commute"),
+        }
+        assert!(!commute_by_definition(&r1, &r2).unwrap());
+    }
+
+    #[test]
+    fn condition_d_equivalent_bridges() {
+        // Same-generation-ish: both rules walk q on the x side; x's bridges
+        // are equivalent; y is free 1-persistent in both.
+        let r1 = lr("p(x,y) :- p(w,y), q(x,w).");
+        let r2 = lr("p(x,y) :- p(w,y), q(x,w).");
+        let rep = sufficiency_report(&r1, &r2).unwrap();
+        assert_eq!(rep.verdict, Sufficiency::Commute);
+        assert!(rep
+            .per_var
+            .iter()
+            .any(|(_, c)| *c == VarCondition::EquivalentBridges));
+    }
+
+    #[test]
+    fn condition_d_rejects_different_bridges() {
+        let r1 = lr("p(x,y) :- p(w,y), q(x,w).");
+        let r2 = lr("p(x,y) :- p(w,y), r(x,w).");
+        match commutes_sufficient(&r1, &r2).unwrap() {
+            Sufficiency::Unknown(vars) => {
+                assert_eq!(vars, vec![linrec_datalog::Var::new("x")]);
+            }
+            Sufficiency::Commute => panic!("different bridges must fail"),
+        }
+        assert!(!commute_by_definition(&r1, &r2).unwrap());
+    }
+
+    #[test]
+    fn sufficiency_implies_commutativity_on_samples() {
+        let pairs = [
+            ("p(x,y) :- p(x,z), q(z,y).", "p(x,y) :- p(w,y), q(x,w)."),
+            ("p(x,y) :- p(x,z), a(z,y).", "p(x,y) :- p(w,y), b(x,w)."),
+            (
+                "p(x,y,z) :- p(u,y,z), q(x,y).",
+                "p(x,y,z) :- p(x,y,v), r(z,y).",
+            ),
+            ("p(x,y) :- p(x,y), q(x).", "p(x,y) :- p(x,y), s(y)."),
+        ];
+        for (s1, s2) in pairs {
+            let (r1, r2) = (lr(s1), lr(s2));
+            if commutes_sufficient(&r1, &r2).unwrap() == Sufficiency::Commute {
+                assert!(
+                    commute_by_definition(&r1, &r2).unwrap(),
+                    "soundness violated on {s1} / {s2}"
+                );
+            }
+        }
+    }
+}

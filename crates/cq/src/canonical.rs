@@ -1,0 +1,160 @@
+//! Best-effort canonical labeling of conjunctive queries.
+//!
+//! Produces a deterministic variable renaming and body ordering so that
+//! α-renamed copies of a rule (and most atom permutations) compare equal
+//! with `==`. The output is always isomorphic to the input (soundness);
+//! completeness — identical output for *every* isomorphic pair — would
+//! require canonical graph labeling, so callers that need exact equivalence
+//! fall back to [`crate::containment::equivalent`]. Canonicalization is used
+//! to deduplicate rule sets cheaply (e.g. power sequences in the torsion
+//! search) and to print rules stably.
+
+use linrec_datalog::hash::FastMap;
+use linrec_datalog::{Atom, LinearRule, Rule, Term, Var};
+
+/// Sort key of a term given the current variable ranking.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+enum TermKey {
+    Const(linrec_datalog::Value),
+    Ranked(u32),
+    Unranked,
+}
+
+fn term_key(t: Term, ranks: &FastMap<Var, u32>) -> TermKey {
+    match t {
+        Term::Const(c) => TermKey::Const(c),
+        Term::Var(v) => match ranks.get(&v) {
+            Some(&r) => TermKey::Ranked(r),
+            None => TermKey::Unranked,
+        },
+    }
+}
+
+fn atom_key(a: &Atom, ranks: &FastMap<Var, u32>) -> (String, Vec<TermKey>) {
+    (
+        a.pred.as_str().to_owned(),
+        a.terms.iter().map(|&t| term_key(t, ranks)).collect(),
+    )
+}
+
+/// Canonicalize a rule: deterministic variable names (`v0`, `v1`, …) and a
+/// deterministic body order.
+pub fn canonicalize(rule: &Rule) -> Rule {
+    let mut ranks: FastMap<Var, u32> = FastMap::default();
+    let mut next = 0u32;
+    // Head variables first, in consequent order.
+    for v in rule.head.vars() {
+        ranks.entry(v).or_insert_with(|| {
+            let r = next;
+            next += 1;
+            r
+        });
+    }
+    // Iteratively rank body variables: repeatedly sort atoms under the
+    // current partial ranking and rank the unranked variables of the first
+    // atom that has any, in argument order.
+    loop {
+        let mut order: Vec<usize> = (0..rule.body.len()).collect();
+        order.sort_by_key(|&i| atom_key(&rule.body[i], &ranks));
+        let mut assigned = false;
+        for &i in &order {
+            let a = &rule.body[i];
+            let unranked: Vec<Var> = a
+                .vars()
+                .filter(|v| !ranks.contains_key(v))
+                .collect();
+            if !unranked.is_empty() {
+                for v in unranked {
+                    ranks.entry(v).or_insert_with(|| {
+                        let r = next;
+                        next += 1;
+                        r
+                    });
+                }
+                assigned = true;
+                break;
+            }
+        }
+        if !assigned {
+            break;
+        }
+    }
+    // Rename and sort.
+    let rename = |v: Var| -> Term { Term::Var(Var::new(&format!("v{}", ranks[&v]))) };
+    let head = rule.head.map_vars(rename);
+    let mut body: Vec<Atom> = rule.body.iter().map(|a| a.map_vars(rename)).collect();
+    body.sort_by_key(|a| atom_key(a, &FastMap::default()));
+    // After renaming every variable is "unranked" under the empty map, so
+    // sort on the rendered form for full determinism.
+    body.sort_by_key(|a| a.to_string());
+    Rule::new(head, body)
+}
+
+/// Canonicalize a linear rule (through its underlying rule, restoring the
+/// recursive atom afterwards).
+pub fn canonicalize_linear(rule: &LinearRule) -> LinearRule {
+    let u = canonicalize(&rule.underlying());
+    let in_pred = linrec_datalog::input_pred(rule.rec_pred());
+    let rec = u
+        .body
+        .iter()
+        .find(|a| a.pred == in_pred)
+        .expect("underlying rule keeps its recursive atom")
+        .clone();
+    let nonrec: Vec<Atom> = u.body.iter().filter(|a| a.pred != in_pred).cloned().collect();
+    LinearRule::from_parts(u.head, Atom::new(rule.rec_pred(), rec.terms), nonrec)
+        .expect("canonicalization preserves linearity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::equivalent;
+    use linrec_datalog::parse_rule;
+
+    fn r(src: &str) -> Rule {
+        parse_rule(src).unwrap()
+    }
+
+    #[test]
+    fn renaming_invariant() {
+        let a = r("p(x,y) :- e(x,w), f(w,y).");
+        let b = r("p(x,y) :- e(x,banana), f(banana,y).");
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+    }
+
+    #[test]
+    fn atom_order_invariant() {
+        let a = r("p(x,y) :- e(x,w), f(w,y).");
+        let b = r("p(x,y) :- f(w,y), e(x,w).");
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+    }
+
+    #[test]
+    fn output_is_isomorphic_to_input() {
+        let a = r("p(x,y) :- e(x,w), f(w,y), g(w,q), g(q,w).");
+        let c = canonicalize(&a);
+        assert!(equivalent(&a, &c));
+    }
+
+    #[test]
+    fn distinguishes_inequivalent_rules() {
+        let a = r("p(x,y) :- e(x,y).");
+        let b = r("p(x,y) :- e(y,x).");
+        assert_ne!(canonicalize(&a), canonicalize(&b));
+    }
+
+    #[test]
+    fn head_vars_get_stable_names() {
+        let a = canonicalize(&r("p(alpha,beta) :- e(alpha,beta)."));
+        assert_eq!(a.to_string(), "p(v0,v1) :- e(v0,v1).");
+    }
+
+    #[test]
+    fn linear_canonicalization_round_trips() {
+        let a = linrec_datalog::parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        let c = canonicalize_linear(&a);
+        assert_eq!(c.rec_pred(), a.rec_pred());
+        assert!(crate::containment::linear_equivalent(&a, &c));
+    }
+}

@@ -1,0 +1,220 @@
+//! Composition and powers of linear recursive rules.
+//!
+//! The composite `r₁r₂` (paper, Section 5) resolves the consequent of `r₂`
+//! with the recursive literal in the antecedent of `r₁`: operationally,
+//! `(r₁r₂)(P) = r₁(r₂(P))` — first expand by `r₂`, then by `r₁`. The paper's
+//! `g₁₂` function is realized by substituting `h₁(x)` for every distinguished
+//! variable `x` of `r₂` and keeping (fresh copies of) its nondistinguished
+//! variables.
+
+use crate::homomorphism::Subst;
+use crate::minimize::{dedup_atoms, minimize_linear};
+use linrec_datalog::hash::FastMap;
+use linrec_datalog::{Atom, LinearRule, RuleError, Term};
+
+/// Compose two linear rules with the same consequent: `r1 ∘ r2` (apply `r2`
+/// first). Duplicate body atoms created by the composition are removed.
+///
+/// Fails if the rules do not share their consequent (align with
+/// [`LinearRule::align_consequent`] first if needed).
+pub fn compose(r1: &LinearRule, r2: &LinearRule) -> Result<LinearRule, RuleError> {
+    if r1.head() != r2.head() {
+        return Err(RuleError::ConsequentMismatch);
+    }
+    if r1.head().terms.iter().any(|t| !t.is_var()) {
+        return Err(RuleError::ConstantInHead);
+    }
+    // The paper assumes distinct consequent variables (h must be a function).
+    {
+        let mut seen = linrec_datalog::hash::FastSet::default();
+        for v in r1.head().vars() {
+            if !seen.insert(v) {
+                return Err(RuleError::RepeatedHeadVars { var: v.name() });
+            }
+        }
+    }
+    // Fresh copies of r2's nondistinguished variables so the two rules share
+    // none (standing assumption of Section 5).
+    let r2 = r2.freshen_nondistinguished();
+
+    // g₁₂: distinguished x ↦ h₁(x); nondistinguished z ↦ z.
+    let mut g: Subst = FastMap::default();
+    for (pos, t) in r2.head().terms.iter().enumerate() {
+        let x = t.as_var().expect("head vars checked above");
+        g.insert(x, r1.rec_atom().terms[pos]);
+    }
+    let sub = |a: &Atom| -> Atom {
+        a.map_vars(|v| g.get(&v).copied().unwrap_or(Term::Var(v)))
+    };
+
+    let rec = sub(r2.rec_atom());
+    let mut nonrec: Vec<Atom> = r1.nonrec_atoms().to_vec();
+    nonrec.extend(r2.nonrec_atoms().iter().map(sub));
+
+    let composed = LinearRule::from_parts(r1.head().clone(), rec, nonrec)?;
+    // Conjunction is idempotent: drop duplicate atoms.
+    let deduped = dedup_atoms(&composed.to_rule());
+    LinearRule::from_rule(&deduped)
+}
+
+/// The `n`-th composition power of `r` (`n ≥ 1`). `r¹ = r`.
+pub fn power(r: &LinearRule, n: usize) -> Result<LinearRule, RuleError> {
+    assert!(n >= 1, "power requires n >= 1 (r⁰ is the identity operator)");
+    let mut acc = r.clone();
+    for _ in 1..n {
+        acc = compose(&acc, r)?;
+    }
+    Ok(acc)
+}
+
+/// The `n`-th power with minimization after every composition step. Keeps
+/// intermediate rules small; the result is equivalent to [`power`].
+pub fn power_minimized(r: &LinearRule, n: usize) -> Result<LinearRule, RuleError> {
+    assert!(n >= 1, "power requires n >= 1");
+    let mut acc = minimize_linear(r);
+    for _ in 1..n {
+        acc = minimize_linear(&compose(&acc, r)?);
+    }
+    Ok(acc)
+}
+
+/// Lazily yields `r¹, r², r³, …` with minimization at each step.
+pub struct PowerSequence {
+    base: LinearRule,
+    current: Option<LinearRule>,
+}
+
+impl PowerSequence {
+    /// Start the sequence for `r`.
+    pub fn new(r: &LinearRule) -> PowerSequence {
+        PowerSequence {
+            base: r.clone(),
+            current: None,
+        }
+    }
+}
+
+impl Iterator for PowerSequence {
+    type Item = LinearRule;
+
+    fn next(&mut self) -> Option<LinearRule> {
+        let next = match &self.current {
+            None => minimize_linear(&self.base),
+            Some(prev) => minimize_linear(&compose(prev, &self.base).ok()?),
+        };
+        self.current = Some(next.clone());
+        Some(next)
+    }
+}
+
+/// Substitute a rule's variables so its head equals `template`'s and compose;
+/// convenience for rules written with different head variable names.
+pub fn compose_aligned(r1: &LinearRule, r2: &LinearRule) -> Result<LinearRule, RuleError> {
+    let r2 = r2.align_consequent(r1.head())?;
+    compose(r1, &r2)
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::linear_equivalent;
+    use linrec_datalog::parse_linear_rule;
+
+    fn lr(src: &str) -> LinearRule {
+        parse_linear_rule(src).unwrap()
+    }
+
+    #[test]
+    fn tc_composition_matches_paper_example_5_2() {
+        // r1: P(x,y) :- P(x,z) ∧ Q(z,y);  r2: P(x,y) :- P(w,y) ∧ Q(x,w).
+        let r1 = lr("p(x,y) :- p(x,z), q(z,y).");
+        let r2 = lr("p(x,y) :- p(w,y), q(x,w).");
+        // Both composites equal P(x,y) :- P(w,z) ∧ Q(x,w) ∧ Q(z,y).
+        let c12 = compose(&r1, &r2).unwrap();
+        let c21 = compose(&r2, &r1).unwrap();
+        let expected = lr("p(x,y) :- p(w,z), q(x,w), q(z,y).");
+        assert!(linear_equivalent(&c12, &expected));
+        assert!(linear_equivalent(&c21, &expected));
+        assert!(linear_equivalent(&c12, &c21));
+    }
+
+    #[test]
+    fn composition_is_associative_up_to_equivalence() {
+        let a = lr("p(x,y) :- p(x,z), q(z,y).");
+        let b = lr("p(x,y) :- p(w,y), q(x,w).");
+        let c = lr("p(x,y) :- p(x,z), r(z,y).");
+        let left = compose(&compose(&a, &b).unwrap(), &c).unwrap();
+        let right = compose(&a, &compose(&b, &c).unwrap()).unwrap();
+        assert!(linear_equivalent(&left, &right));
+    }
+
+    #[test]
+    fn power_grows_walks() {
+        let r = lr("p(x,y) :- p(x,z), q(z,y).");
+        let r3 = power(&r, 3).unwrap();
+        // r³: P(x,y) :- P(x,z₃) ∧ Q(z₃,z₂) ∧ Q(z₂,z₁) ∧ Q(z₁,y)-ish: 3 q-atoms.
+        assert_eq!(r3.nonrec_atoms().len(), 3);
+        assert!(linear_equivalent(&power(&r, 1).unwrap(), &r));
+    }
+
+    #[test]
+    fn power_minimized_equivalent_to_power() {
+        let r = lr("p(x,y) :- p(x,z), q(z,y).");
+        for n in 1..5 {
+            let a = power(&r, n).unwrap();
+            let b = power_minimized(&r, n).unwrap();
+            assert!(linear_equivalent(&a, &b), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn persistent_rule_powers_collapse() {
+        // C from Example 6.1: buys(x,y) :- buys(x,y) ∧ cheap(y): C² = C.
+        let c = lr("buys(x,y) :- buys(x,y), cheap(y).");
+        let c2 = compose(&c, &c).unwrap();
+        assert!(linear_equivalent(&c, &c2));
+        // With dedup, even syntactically: one cheap atom remains.
+        assert_eq!(c2.nonrec_atoms().len(), 1);
+    }
+
+    #[test]
+    fn composes_only_same_consequent() {
+        let a = lr("p(x,y) :- p(x,z), q(z,y).");
+        let b = lr("p(u,v) :- p(u,w), q(w,v).");
+        assert!(compose(&a, &b).is_err());
+        assert!(compose_aligned(&a, &b).is_ok());
+    }
+
+    #[test]
+    fn power_sequence_yields_minimized_powers() {
+        let r = lr("p(x,y) :- p(x,z), q(z,y).");
+        let seq: Vec<LinearRule> = PowerSequence::new(&r).take(3).collect();
+        assert_eq!(seq[0].nonrec_atoms().len(), 1);
+        assert_eq!(seq[1].nonrec_atoms().len(), 2);
+        assert_eq!(seq[2].nonrec_atoms().len(), 3);
+    }
+
+    #[test]
+    fn example_5_4_composites_commute() {
+        // Rules commute although Theorem 5.1's condition fails.
+        let r1 = lr("p(x,y) :- p(y,w), q(x).");
+        let r2 = lr("p(x,y) :- p(u,v), q(x), q(y).");
+        let c12 = compose(&r1, &r2).unwrap();
+        let c21 = compose(&r2, &r1).unwrap();
+        assert!(linear_equivalent(&c12, &c21));
+    }
+
+    #[test]
+    fn nondistinguished_variables_do_not_leak_between_factors() {
+        // Both rules use the same nondistinguished name `z`; composition must
+        // keep the two z's distinct.
+        let r1 = lr("p(x,y) :- p(x,z), a(z,y).");
+        let r2 = lr("p(x,y) :- p(x,z), b(z,y).");
+        let c = compose(&r1, &r2).unwrap();
+        // Expected: p(x,y) :- p(x,z'), b(z',z), a(z,y): a chain, 2 distinct
+        // intermediate variables.
+        let expected = lr("p(x,y) :- p(x,u), b(u,z), a(z,y).");
+        assert!(linear_equivalent(&c, &expected));
+    }
+}

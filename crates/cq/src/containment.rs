@@ -1,0 +1,93 @@
+//! Containment and equivalence of conjunctive queries.
+//!
+//! `s ≤ r` (the answer of `s` is a subset of the answer of `r` on every
+//! database) holds iff there is a homomorphism from `r` to `s`
+//! (Chandra–Merlin; paper Section 5). Equivalence is containment both ways.
+
+use crate::homomorphism::find_homomorphism;
+use linrec_datalog::{LinearRule, Rule};
+
+/// True iff `sub ≤ sup` (every answer of `sub` is an answer of `sup`).
+pub fn contains(sup: &Rule, sub: &Rule) -> bool {
+    find_homomorphism(sup, sub).is_some()
+}
+
+/// True iff the two queries are equivalent (`a ≤ b` and `b ≤ a`).
+pub fn equivalent(a: &Rule, b: &Rule) -> bool {
+    contains(a, b) && contains(b, a)
+}
+
+/// Containment of linear rules, compared through their *underlying
+/// nonrecursive rules* (body `P` marked as `P·in`).
+pub fn linear_contains(sup: &LinearRule, sub: &LinearRule) -> bool {
+    contains(&sup.underlying(), &sub.underlying())
+}
+
+/// Equivalence of linear rules (see [`linear_contains`]).
+pub fn linear_equivalent(a: &LinearRule, b: &LinearRule) -> bool {
+    linear_contains(a, b) && linear_contains(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrec_datalog::{parse_linear_rule, parse_rule};
+
+    fn r(src: &str) -> Rule {
+        parse_rule(src).unwrap()
+    }
+
+    #[test]
+    fn shorter_walk_contains_longer() {
+        // Every 2-step pair is a 1-step pair superset?  No: the 1-atom query
+        // e(x,y) does NOT contain the 2-step query; but the 2-step query with
+        // an extra free endpoint contains the specialized one.
+        let general = r("p(x) :- e(x,u).");
+        let specific = r("p(x) :- e(x,u), f(u).");
+        assert!(contains(&general, &specific));
+        assert!(!contains(&specific, &general));
+    }
+
+    #[test]
+    fn equivalence_modulo_redundant_atom() {
+        let a = r("p(x,y) :- e(x,y).");
+        let b = r("p(x,y) :- e(x,y), e(x,w).");
+        // b's extra atom e(x,w) folds onto e(x,y): equivalent.
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn inequivalent_queries() {
+        let a = r("p(x,y) :- e(x,y).");
+        let b = r("p(x,y) :- e(y,x).");
+        assert!(!equivalent(&a, &b));
+    }
+
+    #[test]
+    fn containment_is_reflexive_and_transitive() {
+        let q1 = r("p(x) :- e(x,a), e(a,b).");
+        let q2 = r("p(x) :- e(x,a), e(a,b), f(b).");
+        let q3 = r("p(x) :- e(x,a), e(a,b), f(b), g(b).");
+        assert!(contains(&q1, &q1));
+        assert!(contains(&q1, &q2));
+        assert!(contains(&q2, &q3));
+        assert!(contains(&q1, &q3));
+    }
+
+    #[test]
+    fn linear_rules_compare_via_underlying() {
+        let a = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        let b = parse_linear_rule("p(x,y) :- p(x,w), e(w,y).").unwrap();
+        assert!(linear_equivalent(&a, &b));
+        let c = parse_linear_rule("p(x,y) :- p(z,x), e(z,y).").unwrap();
+        assert!(!linear_equivalent(&a, &c));
+    }
+
+    #[test]
+    fn recursive_atom_does_not_match_nonrecursive() {
+        // p·in in the body must map to p·in, not to e.
+        let a = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        let b = parse_linear_rule("p(x,y) :- p(z,y), e(x,z).").unwrap();
+        assert!(!linear_equivalent(&a, &b));
+    }
+}

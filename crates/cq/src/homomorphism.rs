@@ -1,0 +1,272 @@
+//! Homomorphisms between conjunctive queries.
+//!
+//! A homomorphism `f : r → s` (paper, Section 5) maps the variables of `r`
+//! into the terms of `s` such that (i) distinguished variables are fixed —
+//! generalized here to "the heads must match under `f`" — and (ii) every
+//! antecedent atom of `r` is carried to an antecedent atom of `s`.
+//!
+//! Finding a homomorphism is NP-complete in general; the backtracking search
+//! below uses most-constrained-first atom ordering, which is fast on the
+//! rule sizes arising from compositions and powers.
+
+use linrec_datalog::hash::FastMap;
+use linrec_datalog::{Atom, Rule, Term, Var};
+
+/// A variable substitution.
+pub type Subst = FastMap<Var, Term>;
+
+/// Apply a substitution to a term (unbound variables stay put).
+pub fn apply_term(t: Term, s: &Subst) -> Term {
+    match t {
+        Term::Var(v) => s.get(&v).copied().unwrap_or(t),
+        c => c,
+    }
+}
+
+/// Apply a substitution to an atom.
+pub fn apply_atom(a: &Atom, s: &Subst) -> Atom {
+    Atom::new(a.pred, a.terms.iter().map(|&t| apply_term(t, s)).collect())
+}
+
+/// Apply a substitution to a whole rule.
+pub fn apply_rule(r: &Rule, s: &Subst) -> Rule {
+    Rule::new(
+        apply_atom(&r.head, s),
+        r.body.iter().map(|a| apply_atom(a, s)).collect(),
+    )
+}
+
+/// Try to extend `subst` so that term `from` maps onto term `to`.
+/// Returns the bound variable when a fresh binding was added (for undo).
+fn unify_onto(from: Term, to: Term, subst: &mut Subst) -> Result<Option<Var>, ()> {
+    match from {
+        Term::Const(c) => match to {
+            Term::Const(d) if c == d => Ok(None),
+            _ => Err(()),
+        },
+        Term::Var(v) => match subst.get(&v) {
+            Some(&bound) => {
+                if bound == to {
+                    Ok(None)
+                } else {
+                    Err(())
+                }
+            }
+            None => {
+                subst.insert(v, to);
+                Ok(Some(v))
+            }
+        },
+    }
+}
+
+/// Try to map atom `from` onto atom `to` under `subst`, recording fresh
+/// bindings in `trail` for backtracking.
+fn match_atom(from: &Atom, to: &Atom, subst: &mut Subst, trail: &mut Vec<Var>) -> bool {
+    debug_assert_eq!(from.pred, to.pred);
+    if from.arity() != to.arity() {
+        return false;
+    }
+    let depth = trail.len();
+    for (&f, &t) in from.terms.iter().zip(to.terms.iter()) {
+        match unify_onto(f, t, subst) {
+            Ok(Some(v)) => trail.push(v),
+            Ok(None) => {}
+            Err(()) => {
+                for v in trail.drain(depth..) {
+                    subst.remove(&v);
+                }
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Search for a homomorphism from `from` into `to`, starting from the given
+/// initial bindings. Returns the completed substitution if one exists.
+pub fn find_homomorphism_with(from: &Rule, to: &Rule, init: Subst) -> Option<Subst> {
+    // Head compatibility: map head position-wise.
+    if from.head.pred != to.head.pred || from.head.arity() != to.head.arity() {
+        return None;
+    }
+    let mut subst = init;
+    for (&f, &t) in from.head.terms.iter().zip(to.head.terms.iter()) {
+        if unify_onto(f, t, &mut subst).is_err() {
+            return None;
+        }
+    }
+
+    // Candidate atoms in `to`, grouped by predicate.
+    let mut by_pred: FastMap<linrec_datalog::Symbol, Vec<&Atom>> = FastMap::default();
+    for a in &to.body {
+        by_pred.entry(a.pred).or_default().push(a);
+    }
+    // Fail fast if some predicate has no candidates at all.
+    for a in &from.body {
+        if !by_pred.contains_key(&a.pred) {
+            return None;
+        }
+    }
+
+    let atoms: Vec<&Atom> = from.body.iter().collect();
+    let mut used = vec![false; atoms.len()];
+
+    fn bound_count(a: &Atom, subst: &Subst) -> usize {
+        a.terms
+            .iter()
+            .filter(|t| match t {
+                Term::Var(v) => subst.contains_key(v),
+                Term::Const(_) => true,
+            })
+            .count()
+    }
+
+    fn solve(
+        atoms: &[&Atom],
+        used: &mut [bool],
+        by_pred: &FastMap<linrec_datalog::Symbol, Vec<&Atom>>,
+        subst: &mut Subst,
+    ) -> bool {
+        // Most-constrained-first: among unmatched atoms pick the one with the
+        // most already-bound argument positions; tie-break on fewer
+        // candidates.
+        let mut best: Option<(usize, usize, usize)> = None; // (idx, -bound, cands)
+        for (i, a) in atoms.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let bound = bound_count(a, subst);
+            let cands = by_pred.get(&a.pred).map_or(0, |v| v.len());
+            let better = match best {
+                None => true,
+                Some((_, b_bound, b_cands)) => {
+                    bound > b_bound || (bound == b_bound && cands < b_cands)
+                }
+            };
+            if better {
+                best = Some((i, bound, cands));
+            }
+        }
+        let (idx, _, _) = match best {
+            None => return true, // all matched
+            Some(b) => b,
+        };
+        used[idx] = true;
+        let from_atom = atoms[idx];
+        let mut trail: Vec<Var> = Vec::new();
+        for cand in by_pred.get(&from_atom.pred).into_iter().flatten() {
+            if match_atom(from_atom, cand, subst, &mut trail) {
+                if solve(atoms, used, by_pred, subst) {
+                    return true;
+                }
+                for v in trail.drain(..) {
+                    subst.remove(&v);
+                }
+            }
+        }
+        used[idx] = false;
+        false
+    }
+
+    if solve(&atoms, &mut used, &by_pred, &mut subst) {
+        Some(subst)
+    } else {
+        None
+    }
+}
+
+/// Search for a homomorphism from `from` into `to`.
+///
+/// Exists iff `to ≤ from` (the output of `to` is contained in the output of
+/// `from` for every database) — see Chandra–Merlin and the paper's
+/// Section 5.
+pub fn find_homomorphism(from: &Rule, to: &Rule) -> Option<Subst> {
+    find_homomorphism_with(from, to, Subst::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrec_datalog::parse_rule;
+
+    fn r(src: &str) -> Rule {
+        parse_rule(src).unwrap()
+    }
+
+    #[test]
+    fn identity_homomorphism_exists() {
+        let q = r("p(x,y) :- e(x,z), e(z,y).");
+        let h = find_homomorphism(&q, &q).unwrap();
+        assert_eq!(apply_rule(&q, &h), q);
+    }
+
+    #[test]
+    fn folding_homomorphism() {
+        // from: two-step walk; to: self-loop — hom exists (z ↦ x, y ↦ x won't
+        // work since head vars fixed; use matching heads).
+        let from = r("p(x) :- e(x,z), e(z,w).");
+        let to = r("p(x) :- e(x,x).");
+        let h = find_homomorphism(&from, &to).unwrap();
+        assert_eq!(apply_term(Term::Var(Var::new("z")), &h), Term::Var(Var::new("x")));
+    }
+
+    #[test]
+    fn no_homomorphism_when_head_vars_diverge() {
+        let from = r("p(x,y) :- e(x,y).");
+        let to = r("p(x,y) :- e(y,x).");
+        assert!(find_homomorphism(&from, &to).is_none());
+    }
+
+    #[test]
+    fn respects_predicates() {
+        let from = r("p(x) :- q(x).");
+        let to = r("p(x) :- r(x).");
+        assert!(find_homomorphism(&from, &to).is_none());
+    }
+
+    #[test]
+    fn respects_constants() {
+        let from = r("p(x) :- e(x, 1).");
+        let to_good = r("p(x) :- e(x, 1).");
+        let to_bad = r("p(x) :- e(x, 2).");
+        assert!(find_homomorphism(&from, &to_good).is_some());
+        assert!(find_homomorphism(&from, &to_bad).is_none());
+    }
+
+    #[test]
+    fn constant_can_absorb_variable() {
+        // from has a variable where to has a constant: allowed (var ↦ const).
+        let from = r("p(x) :- e(x, w).");
+        let to = r("p(x) :- e(x, 3).");
+        assert!(find_homomorphism(&from, &to).is_some());
+        // But not the reverse.
+        assert!(find_homomorphism(&to, &from).is_none());
+    }
+
+    #[test]
+    fn heads_of_different_shape_fail() {
+        let a = r("p(x) :- e(x,x).");
+        let b = r("q(x) :- e(x,x).");
+        assert!(find_homomorphism(&a, &b).is_none());
+        let c = r("p(x,y) :- e(x,y).");
+        assert!(find_homomorphism(&a, &c).is_none());
+    }
+
+    #[test]
+    fn multi_atom_backtracking() {
+        // `from` needs to pick the right e-atom for each conjunct.
+        let from = r("p(x,y) :- e(x,a), e(a,b), e(b,y).");
+        let to = r("p(x,y) :- e(x,u), e(u,v), e(v,y), e(y,x).");
+        assert!(find_homomorphism(&from, &to).is_some());
+    }
+
+    #[test]
+    fn repeated_variable_constraints_are_respected() {
+        let from = r("p(x) :- e(x,w), f(w,w).");
+        let to1 = r("p(x) :- e(x,u), f(u,u).");
+        let to2 = r("p(x) :- e(x,u), f(u,v).");
+        assert!(find_homomorphism(&from, &to1).is_some());
+        assert!(find_homomorphism(&from, &to2).is_none());
+    }
+}

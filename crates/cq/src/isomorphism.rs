@@ -1,0 +1,172 @@
+//! Fast isomorphism test for restricted rules (Lemma 5.4).
+//!
+//! For range-restricted rules with no repeated variables in the consequent
+//! and no repeated nonrecursive predicates in the antecedent, equivalence
+//! coincides with isomorphism, and because every predicate occurs at most
+//! once per antecedent the candidate mapping is forced: pair the atoms by
+//! predicate and read the variable map off the paired argument positions.
+//! The whole test is O(a·log a) in the number of argument positions.
+
+use linrec_datalog::hash::FastMap;
+use linrec_datalog::{LinearRule, Rule, Symbol, Term, Var};
+
+/// Check the preconditions of Lemma 5.4 for a (possibly underlying) rule:
+/// every body predicate symbol occurs at most once.
+pub fn has_unique_body_preds(rule: &Rule) -> bool {
+    let mut seen: Vec<Symbol> = Vec::with_capacity(rule.body.len());
+    for a in &rule.body {
+        if seen.contains(&a.pred) {
+            return false;
+        }
+        seen.push(a.pred);
+    }
+    true
+}
+
+/// Decide isomorphism of two rules in which every body predicate occurs at
+/// most once and the consequents are identical with distinct variables.
+/// Returns the witnessing variable bijection (identity on distinguished
+/// variables) if the rules are isomorphic.
+///
+/// Returns `None` both when the rules are not isomorphic and when the
+/// preconditions fail; use [`has_unique_body_preds`] to distinguish.
+pub fn restricted_isomorphism(r1: &Rule, r2: &Rule) -> Option<FastMap<Var, Var>> {
+    if r1.head != r2.head {
+        return None;
+    }
+    if !has_unique_body_preds(r1) || !has_unique_body_preds(r2) {
+        return None;
+    }
+    if r1.body.len() != r2.body.len() {
+        return None;
+    }
+
+    // Step 1 (Lemma 5.4): same predicate sets, paired by sorting.
+    let mut a1: Vec<&linrec_datalog::Atom> = r1.body.iter().collect();
+    let mut a2: Vec<&linrec_datalog::Atom> = r2.body.iter().collect();
+    a1.sort_by_key(|a| a.pred.as_str());
+    a2.sort_by_key(|a| a.pred.as_str());
+
+    // Step 2: read f off the paired argument positions; check it is a
+    // well-defined injection fixing the distinguished variables.
+    let distinguished: linrec_datalog::hash::FastSet<Var> = r1.head.vars().collect();
+    let mut f: FastMap<Var, Var> = FastMap::default();
+    let mut image: FastMap<Var, Var> = FastMap::default();
+    for (x, y) in a1.iter().zip(a2.iter()) {
+        if x.pred != y.pred || x.arity() != y.arity() {
+            return None;
+        }
+        for (&tx, &ty) in x.terms.iter().zip(y.terms.iter()) {
+            match (tx, ty) {
+                (Term::Const(cx), Term::Const(cy)) if cx == cy => {}
+                (Term::Var(vx), Term::Var(vy)) => {
+                    if distinguished.contains(&vx) && vx != vy {
+                        return None;
+                    }
+                    if let Some(&prev) = f.get(&vx) {
+                        if prev != vy {
+                            return None;
+                        }
+                    } else {
+                        f.insert(vx, vy);
+                    }
+                    if let Some(&pre) = image.get(&vy) {
+                        if pre != vx {
+                            return None; // not injective
+                        }
+                    } else {
+                        image.insert(vy, vx);
+                    }
+                }
+                _ => return None,
+            }
+        }
+    }
+    Some(f)
+}
+
+/// [`restricted_isomorphism`] lifted to linear rules via their underlying
+/// nonrecursive rules.
+pub fn linear_restricted_isomorphic(r1: &LinearRule, r2: &LinearRule) -> bool {
+    restricted_isomorphism(&r1.underlying(), &r2.underlying()).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::equivalent;
+    use linrec_datalog::{parse_linear_rule, parse_rule};
+
+    fn r(src: &str) -> Rule {
+        parse_rule(src).unwrap()
+    }
+
+    #[test]
+    fn detects_renamed_copy() {
+        let a = r("p(x,y) :- e(x,w), f(w,y).");
+        let b = r("p(x,y) :- e(x,u), f(u,y).");
+        let f = restricted_isomorphism(&a, &b).unwrap();
+        assert_eq!(f[&Var::new("w")], Var::new("u"));
+        assert_eq!(f[&Var::new("x")], Var::new("x"));
+    }
+
+    #[test]
+    fn distinguishes_structure() {
+        let a = r("p(x,y) :- e(x,w), f(w,y).");
+        let b = r("p(x,y) :- e(x,w), f(y,w).");
+        assert!(restricted_isomorphism(&a, &b).is_none());
+        assert!(!equivalent(&a, &b));
+    }
+
+    #[test]
+    fn rejects_noninjective_pairings() {
+        let a = r("p(x) :- e(x,u), f(x,v).");
+        let b = r("p(x) :- e(x,w), f(x,w).");
+        // u and v would both map to w: not an isomorphism; and indeed the
+        // rules are inequivalent in this direction-free sense? b ≤ a holds
+        // but a ≤ b does not.
+        assert!(restricted_isomorphism(&a, &b).is_none());
+        assert!(!equivalent(&a, &b));
+    }
+
+    #[test]
+    fn agrees_with_equivalence_on_restricted_rules() {
+        let cases = [
+            ("p(x,y) :- e(x,w), f(w,y).", "p(x,y) :- f(v,y), e(x,v)."),
+            ("p(x,y) :- e(x,y).", "p(x,y) :- e(x,y)."),
+            ("p(x,y) :- e(x,w).", "p(x,y) :- e(w,x)."),
+            ("p(x,y) :- e(x,x).", "p(x,y) :- e(x,y)."),
+        ];
+        for (s1, s2) in cases {
+            let (a, b) = (r(s1), r(s2));
+            assert_eq!(
+                restricted_isomorphism(&a, &b).is_some(),
+                equivalent(&a, &b),
+                "{s1} vs {s2}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_predicates_are_rejected() {
+        let a = r("p(x) :- e(x,u), e(u,x).");
+        assert!(!has_unique_body_preds(&a));
+        assert!(restricted_isomorphism(&a, &a.clone()).is_none());
+    }
+
+    #[test]
+    fn linear_rules_compare_through_underlying() {
+        let a = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        let b = parse_linear_rule("p(x,y) :- p(x,w), e(w,y).").unwrap();
+        assert!(linear_restricted_isomorphic(&a, &b));
+        let c = parse_linear_rule("p(x,y) :- p(z,y), e(x,z).").unwrap();
+        assert!(!linear_restricted_isomorphic(&a, &c));
+    }
+
+    #[test]
+    fn different_heads_never_isomorphic() {
+        let a = r("p(x,y) :- e(x,y).");
+        let b = r("p(y,x) :- e(x,y).");
+        assert!(restricted_isomorphism(&a, &b).is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! Conjunctive-query theory for the `linrec` workspace.
+//!
+//! Linear recursive rules are compared through their *underlying
+//! nonrecursive rules* — ordinary conjunctive queries. This crate provides
+//! the classical machinery the paper builds on:
+//!
+//! * **homomorphisms** between rules ([`find_homomorphism`]),
+//! * **containment** and **equivalence** (Chandra–Merlin; [`contains`],
+//!   [`equivalent`]) — the paper's partial order `≤` on operators,
+//! * **minimization** to the unique core ([`minimize()`](minimize::minimize)),
+//! * **composition** `r₁r₂` and powers `rⁿ` of linear rules ([`compose()`](compose::compose),
+//!   [`power`]) — the operator product of the paper's closed semi-ring,
+//! * the **O(a log a) isomorphism test** of Lemma 5.4 for restricted rules
+//!   ([`restricted_isomorphism`]),
+//! * best-effort **canonical labeling** for cheap deduplication
+//!   ([`canonicalize`]).
+//!
+//! # Example: commutativity by definition
+//!
+//! ```
+//! use linrec_datalog::parse_linear_rule;
+//! use linrec_cq::{compose, linear_equivalent};
+//!
+//! // The two linear forms of transitive closure (paper, Example 5.2).
+//! let up = parse_linear_rule("p(x,y) :- p(x,z), q(z,y).").unwrap();
+//! let dn = parse_linear_rule("p(x,y) :- p(w,y), q(x,w).").unwrap();
+//! let a = compose(&up, &dn).unwrap();
+//! let b = compose(&dn, &up).unwrap();
+//! assert!(linear_equivalent(&a, &b)); // they commute
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod canonical;
+pub mod compose;
+pub mod containment;
+pub mod homomorphism;
+pub mod isomorphism;
+pub mod minimize;
+
+pub use canonical::{canonicalize, canonicalize_linear};
+pub use compose::{compose, compose_aligned, power, power_minimized, PowerSequence};
+pub use containment::{contains, equivalent, linear_contains, linear_equivalent};
+pub use homomorphism::{apply_atom, apply_rule, apply_term, find_homomorphism, Subst};
+pub use isomorphism::{
+    has_unique_body_preds, linear_restricted_isomorphic, restricted_isomorphism,
+};
+pub use minimize::{dedup_atoms, minimize, minimize_linear};

@@ -1,0 +1,133 @@
+//! Minimization (core computation) of conjunctive queries.
+//!
+//! Every conjunctive query has a unique minimal equivalent form up to
+//! isomorphism (Chandra–Merlin \[8\]; the paper relies on rules being "in
+//! their unique minimal form" in the proof of Theorem 5.1). The core is
+//! obtained by repeatedly dropping body atoms whose removal preserves
+//! equivalence — an atom can be dropped iff there is a homomorphism from
+//! the rule into the rule-without-the-atom.
+
+use crate::homomorphism::find_homomorphism;
+use linrec_datalog::{LinearRule, Rule};
+
+/// Remove duplicate body atoms (conjunction is idempotent).
+pub fn dedup_atoms(rule: &Rule) -> Rule {
+    let mut seen: Vec<&linrec_datalog::Atom> = Vec::new();
+    let mut body = Vec::with_capacity(rule.body.len());
+    for a in &rule.body {
+        if !seen.contains(&a) {
+            seen.push(a);
+            body.push(a.clone());
+        }
+    }
+    Rule::new(rule.head.clone(), body)
+}
+
+/// Compute the core of `rule`: a minimal equivalent subquery.
+pub fn minimize(rule: &Rule) -> Rule {
+    let mut current = dedup_atoms(rule);
+    loop {
+        let mut shrunk = false;
+        for i in 0..current.body.len() {
+            let mut candidate_body = current.body.clone();
+            candidate_body.remove(i);
+            let candidate = Rule::new(current.head.clone(), candidate_body);
+            // Removing an atom relaxes the query (current ≤ candidate
+            // always); they are equivalent iff candidate ≤ current, i.e. a
+            // homomorphism current → candidate exists.
+            if find_homomorphism(&current, &candidate).is_some() {
+                current = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+/// Minimize a linear rule.
+///
+/// The recursive atom is never dropped (a homomorphism must map the `P·in`
+/// atom of the underlying rule to a `P·in` atom, and the underlying rule has
+/// exactly one), so the core of the underlying rule is again linear.
+pub fn minimize_linear(rule: &LinearRule) -> LinearRule {
+    let u = minimize(&rule.underlying());
+    // Reconstruct: find the single P·in atom, restore the predicate name.
+    let in_pred = linrec_datalog::input_pred(rule.rec_pred());
+    let rec = u
+        .body
+        .iter()
+        .find(|a| a.pred == in_pred)
+        .expect("core of a linear rule keeps its recursive atom")
+        .clone();
+    let nonrec: Vec<linrec_datalog::Atom> = u
+        .body
+        .iter()
+        .filter(|a| a.pred != in_pred)
+        .cloned()
+        .collect();
+    let rec = linrec_datalog::Atom::new(rule.rec_pred(), rec.terms);
+    LinearRule::from_parts(u.head, rec, nonrec).expect("core of a linear rule is linear")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::{equivalent, linear_equivalent};
+    use linrec_datalog::{parse_linear_rule, parse_rule};
+
+    fn r(src: &str) -> Rule {
+        parse_rule(src).unwrap()
+    }
+
+    #[test]
+    fn dedup_removes_copies() {
+        let q = r("p(x) :- e(x,y), e(x,y), f(y).");
+        assert_eq!(dedup_atoms(&q).body.len(), 2);
+    }
+
+    #[test]
+    fn core_drops_foldable_atom() {
+        let q = r("p(x,y) :- e(x,y), e(x,w).");
+        let m = minimize(&q);
+        assert_eq!(m.body.len(), 1);
+        assert!(equivalent(&q, &m));
+    }
+
+    #[test]
+    fn core_of_minimal_query_is_itself() {
+        let q = r("p(x,y) :- e(x,z), e(z,y).");
+        let m = minimize(&q);
+        assert_eq!(m.body.len(), 2);
+    }
+
+    #[test]
+    fn core_handles_chains_onto_cycles() {
+        // A 3-walk from x folds into a self-loop at x? No head constraint on
+        // the walk's end, and e(x,x) present: everything folds onto the loop.
+        let q = r("p(x) :- e(x,x), e(x,a), e(a,b), e(b,c).");
+        let m = minimize(&q);
+        assert_eq!(m.body.len(), 1);
+        assert!(equivalent(&q, &m));
+    }
+
+    #[test]
+    fn minimize_linear_keeps_recursive_atom() {
+        let q = parse_linear_rule("p(x,y) :- p(x,z), e(z,y), e(z,w).").unwrap();
+        let m = minimize_linear(&q);
+        assert_eq!(m.rec_pred(), q.rec_pred());
+        assert_eq!(m.nonrec_atoms().len(), 1);
+        assert!(linear_equivalent(&q, &m));
+    }
+
+    #[test]
+    fn minimize_is_idempotent() {
+        let q = r("p(x) :- e(x,a), e(a,b), e(x,b), e(b,b).");
+        let m1 = minimize(&q);
+        let m2 = minimize(&m1);
+        assert_eq!(m1.body.len(), m2.body.len());
+        assert!(equivalent(&m1, &m2));
+    }
+}

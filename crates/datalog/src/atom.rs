@@ -1,0 +1,145 @@
+//! Atoms (positive literals) over interned predicates.
+
+use crate::symbol::Symbol;
+use crate::term::{Term, Var};
+use std::fmt;
+
+/// The distinguished predicate name used for equality atoms introduced when
+/// normalizing repeated consequent variables (paper, Section 5).
+pub const EQ_PRED: &str = "=";
+
+/// A positive literal `q(t1, …, tn)`.
+///
+/// The schema of a predicate is just its arity (the paper assumes a typeless
+/// system); arity consistency is enforced where atoms meet relations.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Predicate symbol.
+    pub pred: Symbol,
+    /// Argument terms, in order.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom from a predicate name and terms.
+    pub fn new(pred: impl Into<Symbol>, terms: Vec<Term>) -> Atom {
+        Atom {
+            pred: pred.into(),
+            terms,
+        }
+    }
+
+    /// Build an atom whose arguments are all variables.
+    pub fn from_vars(pred: impl Into<Symbol>, vars: &[Var]) -> Atom {
+        Atom {
+            pred: pred.into(),
+            terms: vars.iter().map(|&v| Term::Var(v)).collect(),
+        }
+    }
+
+    /// Number of argument positions.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterate over the variables occurring in this atom (with repetitions).
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.iter().filter_map(|t| t.as_var())
+    }
+
+    /// True iff no argument is a constant.
+    pub fn is_constant_free(&self) -> bool {
+        self.terms.iter().all(|t| t.is_var())
+    }
+
+    /// True iff this is an equality atom introduced by normalization.
+    pub fn is_eq(&self) -> bool {
+        self.pred == Symbol::new(EQ_PRED)
+    }
+
+    /// Apply `f` to every variable, producing a new atom.
+    pub fn map_vars(&self, mut f: impl FnMut(Var) -> Term) -> Atom {
+        Atom {
+            pred: self.pred,
+            terms: self
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => f(*v),
+                    Term::Const(c) => Term::Const(*c),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Value;
+
+    fn v(s: &str) -> Var {
+        Var::new(s)
+    }
+
+    #[test]
+    fn arity_and_vars() {
+        let a = Atom::from_vars("q", &[v("x"), v("y"), v("x")]);
+        assert_eq!(a.arity(), 3);
+        let vars: Vec<Var> = a.vars().collect();
+        assert_eq!(vars, vec![v("x"), v("y"), v("x")]);
+    }
+
+    #[test]
+    fn constant_freeness() {
+        let a = Atom::from_vars("q", &[v("x")]);
+        assert!(a.is_constant_free());
+        let b = Atom::new("q", vec![Term::Const(Value::int(1))]);
+        assert!(!b.is_constant_free());
+    }
+
+    #[test]
+    fn map_vars_substitutes() {
+        let a = Atom::from_vars("q", &[v("x"), v("y")]);
+        let b = a.map_vars(|var| {
+            if var == v("x") {
+                Term::Var(v("z"))
+            } else {
+                Term::Var(var)
+            }
+        });
+        assert_eq!(b, Atom::from_vars("q", &[v("z"), v("y")]));
+    }
+
+    #[test]
+    fn display_format() {
+        let a = Atom::from_vars("edge", &[v("x"), v("y")]);
+        assert_eq!(a.to_string(), "edge(x,y)");
+    }
+
+    #[test]
+    fn eq_atom_detection() {
+        let a = Atom::from_vars(EQ_PRED, &[v("x"), v("y")]);
+        assert!(a.is_eq());
+        assert!(!Atom::from_vars("q", &[v("x")]).is_eq());
+    }
+}

@@ -1,0 +1,169 @@
+//! A database: a mapping from predicate symbols to relations.
+
+use crate::atom::Atom;
+use crate::error::RuleError;
+use crate::hash::FastMap;
+use crate::parser::{parse_program, Clause};
+use crate::relation::{Relation, Tuple};
+use crate::symbol::Symbol;
+use crate::term::Term;
+use std::fmt;
+
+/// A collection of named relations (the EDB plus any materialized IDB).
+#[derive(Clone, Default)]
+pub struct Database {
+    relations: FastMap<Symbol, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Load ground facts from program text; rules in the text are rejected.
+    pub fn from_facts(src: &str) -> Result<Database, RuleError> {
+        let mut db = Database::new();
+        for clause in parse_program(src)? {
+            match clause {
+                Clause::Fact(atom) => db.insert_fact(&atom)?,
+                Clause::Rule(r) => {
+                    return Err(RuleError::Parse(format!(
+                        "expected facts only, found rule {r}"
+                    )))
+                }
+            }
+        }
+        Ok(db)
+    }
+
+    /// Insert a ground atom as a fact.
+    pub fn insert_fact(&mut self, atom: &Atom) -> Result<(), RuleError> {
+        let mut tuple = Tuple::with_capacity(atom.arity());
+        for t in &atom.terms {
+            match t {
+                Term::Const(v) => tuple.push(*v),
+                Term::Var(v) => {
+                    return Err(RuleError::Parse(format!(
+                        "fact {atom} contains variable {v}"
+                    )))
+                }
+            }
+        }
+        self.insert_tuple(atom.pred, tuple);
+        Ok(())
+    }
+
+    /// Insert a raw tuple for `pred`, creating the relation on first use.
+    ///
+    /// # Panics
+    /// If `pred` already exists with a different arity.
+    pub fn insert_tuple(&mut self, pred: Symbol, tuple: Tuple) {
+        let arity = tuple.len();
+        self.relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(arity))
+            .insert(tuple);
+    }
+
+    /// Install (or replace) a whole relation.
+    pub fn set_relation(&mut self, pred: impl Into<Symbol>, rel: Relation) {
+        self.relations.insert(pred.into(), rel);
+    }
+
+    /// Look up a relation.
+    pub fn relation(&self, pred: Symbol) -> Option<&Relation> {
+        self.relations.get(&pred)
+    }
+
+    /// Look up a relation by name.
+    pub fn relation_named(&self, pred: &str) -> Option<&Relation> {
+        self.relations.get(&Symbol::new(pred))
+    }
+
+    /// The relation for `pred`, or an empty relation of the given arity.
+    pub fn relation_or_empty(&self, pred: Symbol, arity: usize) -> Relation {
+        self.relations
+            .get(&pred)
+            .cloned()
+            .unwrap_or_else(|| Relation::new(arity))
+    }
+
+    /// Iterate over `(predicate, relation)` pairs (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Relation)> + '_ {
+        self.relations.iter().map(|(&s, r)| (s, r))
+    }
+
+    /// Number of distinct predicates.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn num_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<Symbol> = self.relations.keys().copied().collect();
+        names.sort_by_key(|s| s.as_str());
+        for n in names {
+            writeln!(f, "{n}: {:?}", self.relations[&n])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Value;
+
+    #[test]
+    fn loads_facts() {
+        let db = Database::from_facts("e(1,2). e(2,3). v(7).").unwrap();
+        assert_eq!(db.relation_named("e").unwrap().len(), 2);
+        assert_eq!(db.relation_named("v").unwrap().len(), 1);
+        assert_eq!(db.num_relations(), 2);
+        assert_eq!(db.num_tuples(), 3);
+    }
+
+    #[test]
+    fn rejects_rules_in_fact_text() {
+        assert!(Database::from_facts("p(x,y) :- e(x,y).").is_err());
+    }
+
+    #[test]
+    fn rejects_nonground_facts() {
+        assert!(Database::from_facts("e(x,2).").is_err());
+    }
+
+    #[test]
+    fn relation_or_empty_defaults() {
+        let db = Database::new();
+        let r = db.relation_or_empty(Symbol::new("missing"), 3);
+        assert_eq!(r.arity(), 3);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn set_relation_replaces() {
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2)]));
+        db.set_relation("e", Relation::from_pairs([(3, 4), (4, 5)]));
+        assert_eq!(db.relation_named("e").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn debug_lists_relations_sorted() {
+        let mut db = Database::new();
+        db.insert_tuple(Symbol::new("b"), vec![Value::Int(1)]);
+        db.insert_tuple(Symbol::new("a"), vec![Value::Int(2)]);
+        let s = format!("{db:?}");
+        let a_pos = s.find("a:").unwrap();
+        let b_pos = s.find("b:").unwrap();
+        assert!(a_pos < b_pos);
+    }
+}

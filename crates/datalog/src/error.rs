@@ -1,0 +1,98 @@
+//! Error types shared across the workspace's analysis layers.
+
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// Errors raised when constructing or transforming rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleError {
+    /// The head predicate occurs `found` times in the body; a linear rule
+    /// needs exactly one occurrence.
+    NotLinear {
+        /// Recursive predicate.
+        pred: Symbol,
+        /// Number of body occurrences found.
+        found: usize,
+    },
+    /// The body's recursive atom arity differs from the head's.
+    ArityMismatch {
+        /// Recursive predicate.
+        pred: Symbol,
+        /// Head arity.
+        head: usize,
+        /// Body occurrence arity.
+        body: usize,
+    },
+    /// An operation required a constant-free rule.
+    HasConstants,
+    /// An operation required distinct variables in the consequent.
+    RepeatedHeadVars {
+        /// The repeated variable name.
+        var: &'static str,
+    },
+    /// An operation required a range-restricted rule (every consequent
+    /// variable appears in the antecedent).
+    NotRangeRestricted {
+        /// The offending head variable.
+        var: &'static str,
+    },
+    /// An operation required a constant in the head (it found a constant).
+    ConstantInHead,
+    /// Equality elimination found `c1 = c2` for distinct constants, so the
+    /// rule is unsatisfiable.
+    EqualityConflict,
+    /// Two rules were expected to define the same consequent.
+    ConsequentMismatch,
+    /// Parse error with a human-readable message.
+    Parse(String),
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::NotLinear { pred, found } => write!(
+                f,
+                "rule for {pred} is not linear: {found} body occurrences of the recursive predicate (need exactly 1)"
+            ),
+            RuleError::ArityMismatch { pred, head, body } => write!(
+                f,
+                "recursive predicate {pred} used with arity {body} in body but {head} in head"
+            ),
+            RuleError::HasConstants => {
+                write!(f, "operation requires a constant-free rule")
+            }
+            RuleError::RepeatedHeadVars { var } => {
+                write!(f, "consequent repeats variable {var}; normalize first")
+            }
+            RuleError::NotRangeRestricted { var } => {
+                write!(f, "head variable {var} does not appear in the antecedent")
+            }
+            RuleError::ConstantInHead => write!(f, "constants are not allowed in rule heads"),
+            RuleError::EqualityConflict => {
+                write!(f, "equality elimination derived a contradiction between constants")
+            }
+            RuleError::ConsequentMismatch => {
+                write!(f, "the two rules do not share the same consequent")
+            }
+            RuleError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_messages() {
+        let e = RuleError::NotLinear {
+            pred: Symbol::new("p"),
+            found: 2,
+        };
+        assert!(e.to_string().contains("not linear"));
+        assert!(RuleError::HasConstants.to_string().contains("constant-free"));
+        assert!(RuleError::Parse("oops".into()).to_string().contains("oops"));
+    }
+}

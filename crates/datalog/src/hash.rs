@@ -1,0 +1,145 @@
+//! Fast, non-cryptographic hashing for interned ids and small tuples.
+//!
+//! The default `SipHash` hasher is needlessly slow for the integer-keyed maps
+//! that dominate this workspace (symbol ids, variable ids, tuple values).
+//! This module provides an `FxHash`-style multiply-rotate hasher (the
+//! algorithm popularized by the Rust compiler) together with map/set type
+//! aliases used throughout the workspace, avoiding an extra dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fibonacci-style multiplier (same constant family as rustc's FxHash).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast multiply-rotate hasher for hot, HashDoS-insensitive maps.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+            self.add_to_hash(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast hasher.
+pub type FastMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast hasher.
+pub type FastSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Construct an empty [`FastMap`].
+pub fn fast_map<K, V>() -> FastMap<K, V> {
+    FastMap::default()
+}
+
+/// Construct an empty [`FastSet`].
+pub fn fast_set<T>() -> FastSet<T> {
+    FastSet::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(42);
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn different_inputs_hash_differently() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(1);
+        b.write_u64(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn byte_stream_tail_is_length_sensitive() {
+        // "ab" vs "ab\0" would collide without the trailing-length mix.
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"ab");
+        b.write(b"ab\0");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FastMap<u32, &str> = fast_map();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FastSet<(u32, u32)> = fast_set();
+        s.insert((1, 2));
+        assert!(s.contains(&(1, 2)));
+        assert!(!s.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn long_byte_streams_use_word_chunks() {
+        let mut a = FxHasher::default();
+        a.write(b"0123456789abcdef!");
+        let mut b = FxHasher::default();
+        b.write(b"0123456789abcdef?");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

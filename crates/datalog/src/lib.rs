@@ -1,0 +1,46 @@
+//! Datalog substrate for the `linrec` workspace.
+//!
+//! This crate provides the object language of Ioannidis's *"Commutativity and
+//! its Role in the Processing of Linear Recursion"* (VLDB 1989): linear,
+//! function-free recursive rules, the databases they are evaluated over, and
+//! a parser for the paper's notation. Higher layers build on it:
+//!
+//! * [`linrec-cq`](../linrec_cq) — conjunctive-query theory (homomorphisms,
+//!   containment, composition),
+//! * [`linrec-alpha`](../linrec_alpha) — α-graphs and variable classification,
+//! * [`linrec-core`](../linrec_core) — the commutativity theory itself,
+//! * [`linrec-engine`](../linrec_engine) — fixpoint evaluation strategies.
+//!
+//! # Example
+//!
+//! ```
+//! use linrec_datalog::{parse_linear_rule, Database};
+//!
+//! let rule = parse_linear_rule("p(x,y) :- p(x,z), down(z,y).").unwrap();
+//! assert!(rule.is_restricted_class());
+//! assert_eq!(rule.nonrec_atoms().len(), 1);
+//!
+//! let db = Database::from_facts("down(1,2). down(2,3).").unwrap();
+//! assert_eq!(db.relation_named("down").unwrap().len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod database;
+pub mod error;
+pub mod hash;
+pub mod parser;
+pub mod relation;
+pub mod rule;
+pub mod symbol;
+pub mod term;
+
+pub use atom::{Atom, EQ_PRED};
+pub use database::Database;
+pub use error::RuleError;
+pub use parser::{parse_linear_rule, parse_program, parse_rule, Clause};
+pub use relation::{Relation, Tuple};
+pub use rule::{input_pred, LinearRule, Rule};
+pub use symbol::Symbol;
+pub use term::{Term, Value, Var};

@@ -1,0 +1,393 @@
+//! A small parser for rules and facts in the paper's notation.
+//!
+//! Grammar (whitespace-insensitive, `%` starts a line comment):
+//!
+//! ```text
+//! program := clause*
+//! clause  := atom ( ":-" atoms )? "."
+//! atoms   := atom ("," atom)*
+//! atom    := ident "(" terms ")"
+//!          | term "=" term            % sugar for =(t1,t2)
+//! term    := ident                    % a variable (paper: lowercase x,y,z)
+//!          | integer                  % constant
+//!          | "'" ident "'"            % symbolic constant
+//! ```
+//!
+//! Following the paper, bare identifiers in argument positions are
+//! *variables*; constants are integers or quoted symbols. Names starting
+//! with `#` are reserved for internally generated fresh variables.
+
+use crate::atom::{Atom, EQ_PRED};
+use crate::error::RuleError;
+use crate::rule::{LinearRule, Rule};
+use crate::term::{Term, Value, Var};
+
+/// A parsed clause: a rule with a (possibly empty) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Clause {
+    /// A rule with a nonempty body.
+    Rule(Rule),
+    /// A ground or non-ground fact (empty body).
+    Fact(Atom),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Quoted(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Implies,
+    Equals,
+    Eof,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            let r = self.rest();
+            let trimmed = r.trim_start();
+            self.pos += r.len() - trimmed.len();
+            if self.rest().starts_with('%') {
+                match self.rest().find('\n') {
+                    Some(i) => self.pos += i + 1,
+                    None => self.pos = self.src.len(),
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok, RuleError> {
+        self.skip_trivia();
+        let r = self.rest();
+        let mut chars = r.chars();
+        let c = match chars.next() {
+            None => return Ok(Tok::Eof),
+            Some(c) => c,
+        };
+        match c {
+            '(' => {
+                self.pos += 1;
+                Ok(Tok::LParen)
+            }
+            ')' => {
+                self.pos += 1;
+                Ok(Tok::RParen)
+            }
+            ',' => {
+                self.pos += 1;
+                Ok(Tok::Comma)
+            }
+            '.' => {
+                self.pos += 1;
+                Ok(Tok::Dot)
+            }
+            '=' => {
+                self.pos += 1;
+                Ok(Tok::Equals)
+            }
+            ':' => {
+                if r.starts_with(":-") {
+                    self.pos += 2;
+                    Ok(Tok::Implies)
+                } else {
+                    Err(RuleError::Parse(format!("stray ':' at byte {}", self.pos)))
+                }
+            }
+            '\'' => {
+                let inner = &r[1..];
+                match inner.find('\'') {
+                    Some(end) => {
+                        let s = inner[..end].to_owned();
+                        self.pos += end + 2;
+                        Ok(Tok::Quoted(s))
+                    }
+                    None => Err(RuleError::Parse("unterminated quoted constant".into())),
+                }
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let len = r
+                    .char_indices()
+                    .skip(1)
+                    .find(|&(_, ch)| !ch.is_ascii_digit())
+                    .map(|(i, _)| i)
+                    .unwrap_or(r.len());
+                let text = &r[..len];
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| RuleError::Parse(format!("bad integer {text:?}")))?;
+                self.pos += len;
+                Ok(Tok::Int(v))
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let len = r
+                    .char_indices()
+                    .find(|&(_, ch)| !(ch.is_alphanumeric() || ch == '_'))
+                    .map(|(i, _)| i)
+                    .unwrap_or(r.len());
+                let text = r[..len].to_owned();
+                self.pos += len;
+                Ok(Tok::Ident(text))
+            }
+            other => Err(RuleError::Parse(format!(
+                "unexpected character {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn peek(&mut self) -> Result<Tok, RuleError> {
+        let save = self.pos;
+        let t = self.next()?;
+        self.pos = save;
+        Ok(t)
+    }
+}
+
+struct Parser<'a> {
+    lex: Lexer<'a>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Parser<'a> {
+        Parser {
+            lex: Lexer::new(src),
+        }
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), RuleError> {
+        let got = self.lex.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(RuleError::Parse(format!("expected {want:?}, got {got:?}")))
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, RuleError> {
+        match self.lex.next()? {
+            Tok::Ident(name) => {
+                if name.starts_with('#') {
+                    return Err(RuleError::Parse(
+                        "names starting with '#' are reserved for fresh variables".into(),
+                    ));
+                }
+                Ok(Term::Var(Var::new(&name)))
+            }
+            Tok::Int(v) => Ok(Term::Const(Value::Int(v))),
+            Tok::Quoted(s) => Ok(Term::Const(Value::sym(&s))),
+            other => Err(RuleError::Parse(format!("expected term, got {other:?}"))),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, RuleError> {
+        // Either `ident(...)`, `=(t1,t2)`, or `term = term`.
+        match self.lex.peek()? {
+            Tok::Equals => {
+                self.lex.next()?; // '='
+                self.expect(Tok::LParen)?;
+                let a = self.term()?;
+                self.expect(Tok::Comma)?;
+                let b = self.term()?;
+                self.expect(Tok::RParen)?;
+                return Ok(Atom::new(EQ_PRED, vec![a, b]));
+            }
+            Tok::Ident(_) => {}
+            other => {
+                return Err(RuleError::Parse(format!("expected atom, got {other:?}")));
+            }
+        }
+        let name = match self.lex.next()? {
+            Tok::Ident(n) => n,
+            _ => unreachable!("peeked"),
+        };
+        match self.lex.peek()? {
+            Tok::LParen => {
+                self.lex.next()?;
+                let mut terms = Vec::new();
+                if self.lex.peek()? != Tok::RParen {
+                    loop {
+                        terms.push(self.term()?);
+                        match self.lex.next()? {
+                            Tok::Comma => continue,
+                            Tok::RParen => break,
+                            other => {
+                                return Err(RuleError::Parse(format!(
+                                    "expected ',' or ')', got {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                } else {
+                    self.lex.next()?;
+                }
+                Ok(Atom::new(name.as_str(), terms))
+            }
+            Tok::Equals => {
+                // infix equality: x = t
+                self.lex.next()?;
+                let rhs = self.term()?;
+                Ok(Atom::new(EQ_PRED, vec![Term::Var(Var::new(&name)), rhs]))
+            }
+            other => Err(RuleError::Parse(format!(
+                "expected '(' after predicate {name}, got {other:?}"
+            ))),
+        }
+    }
+
+    fn clause(&mut self) -> Result<Option<Clause>, RuleError> {
+        if self.lex.peek()? == Tok::Eof {
+            return Ok(None);
+        }
+        let head = self.atom()?;
+        match self.lex.next()? {
+            Tok::Dot => Ok(Some(Clause::Fact(head))),
+            Tok::Implies => {
+                let mut body = vec![self.atom()?];
+                loop {
+                    match self.lex.next()? {
+                        Tok::Comma => body.push(self.atom()?),
+                        Tok::Dot => break,
+                        other => {
+                            return Err(RuleError::Parse(format!(
+                                "expected ',' or '.', got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(Some(Clause::Rule(Rule::new(head, body))))
+            }
+            other => Err(RuleError::Parse(format!(
+                "expected ':-' or '.', got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Parse a whole program (sequence of clauses).
+pub fn parse_program(src: &str) -> Result<Vec<Clause>, RuleError> {
+    let mut p = Parser::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = p.clause()? {
+        out.push(c);
+    }
+    Ok(out)
+}
+
+/// Parse exactly one rule (with a nonempty body).
+pub fn parse_rule(src: &str) -> Result<Rule, RuleError> {
+    let clauses = parse_program(src)?;
+    match clauses.as_slice() {
+        [Clause::Rule(r)] => Ok(r.clone()),
+        [Clause::Fact(_)] => Err(RuleError::Parse("expected a rule, found a fact".into())),
+        _ => Err(RuleError::Parse(format!(
+            "expected exactly one rule, found {} clauses",
+            clauses.len()
+        ))),
+    }
+}
+
+/// Parse exactly one rule and validate it as a linear recursive rule.
+pub fn parse_linear_rule(src: &str) -> Result<LinearRule, RuleError> {
+    LinearRule::from_rule(&parse_rule(src)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+
+    #[test]
+    fn parses_transitive_closure() {
+        let r = parse_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        assert_eq!(r.head.pred, Symbol::new("p"));
+        assert_eq!(r.body.len(), 2);
+        assert_eq!(r.to_string(), "p(x,y) :- p(x,z), e(z,y).");
+    }
+
+    #[test]
+    fn parses_facts_and_constants() {
+        let prog = parse_program("e(1,2). e(2,3). name('alice', 1).").unwrap();
+        assert_eq!(prog.len(), 3);
+        match &prog[2] {
+            Clause::Fact(a) => {
+                assert_eq!(a.terms[0], Term::Const(Value::sym("alice")));
+                assert_eq!(a.terms[1], Term::Const(Value::Int(1)));
+            }
+            _ => panic!("expected fact"),
+        }
+    }
+
+    #[test]
+    fn parses_negative_integers() {
+        let prog = parse_program("v(-5).").unwrap();
+        match &prog[0] {
+            Clause::Fact(a) => assert_eq!(a.terms[0], Term::Const(Value::Int(-5))),
+            _ => panic!("expected fact"),
+        }
+    }
+
+    #[test]
+    fn parses_equality_sugar() {
+        let r = parse_rule("p(x,y) :- p(x,z), z = y.").unwrap();
+        assert!(r.body[1].is_eq());
+        let r2 = parse_rule("p(x,y) :- p(x,z), =(z,y).").unwrap();
+        assert_eq!(r.body[1], r2.body[1]);
+    }
+
+    #[test]
+    fn comments_and_whitespace_ignored() {
+        let prog = parse_program(
+            "% transitive closure\n  p(x,y) :- \n  e(x,y). % base case missing on purpose\n",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_program("p(x,y) :-").is_err());
+        assert!(parse_program("p(x y).").is_err());
+        assert!(parse_program("p(#x).").is_err());
+        assert!(parse_program("p(x))").is_err());
+        assert!(parse_program("&").is_err());
+    }
+
+    #[test]
+    fn empty_arg_list_allowed() {
+        let prog = parse_program("go().").unwrap();
+        match &prog[0] {
+            Clause::Fact(a) => assert_eq!(a.arity(), 0),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rejects_unterminated_quote() {
+        assert!(parse_program("p('abc).").is_err());
+    }
+
+    #[test]
+    fn parse_linear_rule_validates() {
+        assert!(parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").is_ok());
+        assert!(parse_linear_rule("p(x,y) :- e(x,y).").is_err());
+    }
+}

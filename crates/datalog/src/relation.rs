@@ -1,0 +1,218 @@
+//! In-memory relations: sets of fixed-arity tuples.
+
+use crate::hash::FastSet;
+use crate::term::Value;
+use std::fmt;
+
+/// A database tuple.
+pub type Tuple = Vec<Value>;
+
+/// A relation: a set of tuples of a fixed arity.
+///
+/// The schema of a relation is its arity alone (the paper's typeless
+/// system). Insertions of tuples of the wrong arity panic — arity mismatch
+/// is a programming error, not a data error.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: FastSet<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            tuples: FastSet::default(),
+        }
+    }
+
+    /// Build from an iterator of tuples (arity taken from the argument).
+    pub fn from_tuples(arity: usize, tuples: impl IntoIterator<Item = Tuple>) -> Relation {
+        let mut r = Relation::new(arity);
+        for t in tuples {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// Build a binary relation from integer pairs (the common case for graph
+    /// workloads).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (i64, i64)>) -> Relation {
+        Relation::from_tuples(
+            2,
+            pairs
+                .into_iter()
+                .map(|(a, b)| vec![Value::Int(a), Value::Int(b)]),
+        )
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Insert a tuple; returns `true` iff it was not already present.
+    ///
+    /// # Panics
+    /// If the tuple's arity differs from the relation's.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(
+            t.len(),
+            self.arity,
+            "tuple arity {} does not match relation arity {}",
+            t.len(),
+            self.arity
+        );
+        self.tuples.insert(t)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &[Value]) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Iterate over tuples (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// Add every tuple of `other`; returns the number of new tuples.
+    pub fn union_in_place(&mut self, other: &Relation) -> usize {
+        assert_eq!(self.arity, other.arity, "arity mismatch in union");
+        let mut added = 0;
+        for t in other.iter() {
+            if self.tuples.insert(t.clone()) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Set-difference: tuples of `self` not in `other`.
+    pub fn difference(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity, other.arity, "arity mismatch in difference");
+        Relation {
+            arity: self.arity,
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| !other.tuples.contains(*t))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// True iff every tuple of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &Relation) -> bool {
+        self.arity == other.arity && self.iter().all(|t| other.contains(t))
+    }
+
+    /// Tuples sorted lexicographically — deterministic display/compare order.
+    pub fn sorted(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Remove all tuples.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.sorted().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "(")?;
+            for (j, v) in t.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(i64, i64)> for Relation {
+    fn from_iter<I: IntoIterator<Item = (i64, i64)>>(iter: I) -> Relation {
+        Relation::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(vec![Value::Int(1), Value::Int(2)]));
+        assert!(!r.insert(vec![Value::Int(1), Value::Int(2)]));
+        assert!(r.contains(&[Value::Int(1), Value::Int(2)]));
+        assert!(!r.contains(&[Value::Int(2), Value::Int(1)]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_is_enforced() {
+        let mut r = Relation::new(2);
+        r.insert(vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn union_counts_new_tuples() {
+        let mut a = Relation::from_pairs([(1, 2), (2, 3)]);
+        let b = Relation::from_pairs([(2, 3), (3, 4)]);
+        assert_eq!(a.union_in_place(&b), 1);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn difference_and_subset() {
+        let a = Relation::from_pairs([(1, 2), (2, 3)]);
+        let b = Relation::from_pairs([(2, 3)]);
+        assert!(b.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        let d = a.difference(&b);
+        assert_eq!(d.sorted(), vec![vec![Value::Int(1), Value::Int(2)]]);
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let r = Relation::from_pairs([(3, 1), (1, 2), (2, 0)]);
+        let s = r.sorted();
+        assert_eq!(
+            s,
+            vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(2), Value::Int(0)],
+                vec![Value::Int(3), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn debug_output_is_stable() {
+        let r = Relation::from_pairs([(2, 3), (1, 2)]);
+        assert_eq!(format!("{r:?}"), "{(1,2), (2,3)}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Global string interner for predicate and constant symbols.
+//!
+//! Rules and relations refer to names through compact [`Symbol`] ids so that
+//! equality checks, hashing and tuple storage never touch string data. The
+//! interner is global (process-wide) and thread-safe: symbols interned by any
+//! thread compare equal everywhere, which keeps rules, databases and analysis
+//! results freely shareable across crates and test threads.
+
+use crate::hash::FastMap;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string (predicate name or symbolic constant).
+///
+/// `Symbol`s are cheap to copy and compare; resolve them back to text with
+/// [`Symbol::as_str`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: FastMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner {
+            map: FastMap::default(),
+            strings: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        // Interned strings live for the lifetime of the process. The leak is
+        // bounded by the number of distinct names ever used, which is small.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = self.strings.len() as u32;
+        self.strings.push(leaked);
+        self.map.insert(leaked, id);
+        id
+    }
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(Interner::new()))
+}
+
+impl Symbol {
+    /// Intern `s`, returning its (process-wide) unique id.
+    pub fn new(s: &str) -> Symbol {
+        // Fast path: read lock only.
+        if let Some(&id) = interner().read().map.get(s) {
+            return Symbol(id);
+        }
+        Symbol(interner().write().intern(s))
+    }
+
+    /// The interned text.
+    pub fn as_str(self) -> &'static str {
+        interner().read().strings[self.0 as usize]
+    }
+
+    /// The raw id. Stable within a process run only.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("edge");
+        let b = Symbol::new("edge");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "edge");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        assert_ne!(Symbol::new("p"), Symbol::new("q"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = Symbol::new("ancestor");
+        assert_eq!(s.to_string(), "ancestor");
+        assert_eq!(format!("{s:?}"), "Symbol(\"ancestor\")");
+    }
+
+    #[test]
+    fn symbols_are_usable_across_threads() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| std::thread::spawn(move || Symbol::new(if i % 2 == 0 { "even" } else { "odd" })))
+            .collect();
+        let syms: Vec<Symbol> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for s in &syms {
+            assert!(s.as_str() == "even" || s.as_str() == "odd");
+        }
+    }
+}

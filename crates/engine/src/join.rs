@@ -1,0 +1,318 @@
+//! Conjunctive joins: applying one rule body to concrete relations.
+//!
+//! A linear operator application `A(P)` evaluates the rule body as a
+//! backtracking join. The recursive atom is matched first (its relation is
+//! the small delta in semi-naive evaluation); nonrecursive atoms are matched
+//! through per-column hash indexes that are built once per `(predicate,
+//! column)` and cached across iterations (the EDB never changes during a
+//! fixpoint).
+
+use linrec_datalog::hash::FastMap;
+use linrec_datalog::{Atom, Database, LinearRule, Relation, Symbol, Term, Tuple, Value, Var};
+
+/// Hash indexes `(predicate, column) → value → tuples`, built lazily and
+/// cached for the lifetime of a fixpoint computation.
+#[derive(Default)]
+pub struct Indexes {
+    by_col: FastMap<(Symbol, usize), FastMap<Value, Vec<Tuple>>>,
+}
+
+impl Indexes {
+    /// Fresh empty index cache.
+    pub fn new() -> Indexes {
+        Indexes::default()
+    }
+
+    /// Ensure an index exists for every column of `atom`'s relation.
+    fn ensure(&mut self, atom: &Atom, rel: &Relation) {
+        for col in 0..atom.arity() {
+            self.by_col.entry((atom.pred, col)).or_insert_with(|| {
+                let mut idx: FastMap<Value, Vec<Tuple>> = FastMap::default();
+                for t in rel.iter() {
+                    idx.entry(t[col]).or_default().push(t.clone());
+                }
+                idx
+            });
+        }
+    }
+
+    fn lookup(&self, pred: Symbol, col: usize, val: Value) -> Option<&[Tuple]> {
+        self.by_col
+            .get(&(pred, col))
+            .and_then(|idx| idx.get(&val))
+            .map(|v| v.as_slice())
+    }
+}
+
+/// Bindings from variables to values during a join.
+type Bindings = FastMap<Var, Value>;
+
+fn match_tuple(atom: &Atom, tuple: &[Value], bind: &mut Bindings, trail: &mut Vec<Var>) -> bool {
+    let depth = trail.len();
+    for (term, &val) in atom.terms.iter().zip(tuple.iter()) {
+        let ok = match term {
+            Term::Const(c) => *c == val,
+            Term::Var(v) => match bind.get(v) {
+                Some(&b) => b == val,
+                None => {
+                    bind.insert(*v, val);
+                    trail.push(*v);
+                    true
+                }
+            },
+        };
+        if !ok {
+            for v in trail.drain(depth..) {
+                bind.remove(&v);
+            }
+            return false;
+        }
+    }
+    true
+}
+
+fn first_bound_col(atom: &Atom, bind: &Bindings) -> Option<(usize, Value)> {
+    atom.terms.iter().enumerate().find_map(|(i, t)| match t {
+        Term::Const(c) => Some((i, *c)),
+        Term::Var(v) => bind.get(v).map(|&val| (i, val)),
+    })
+}
+
+struct JoinRun<'a> {
+    head: &'a Atom,
+    atoms: &'a [Atom],
+    first_rel: &'a Relation,
+    full_scans: &'a [Vec<Tuple>], // per trailing atom, for unbound fallback
+    indexes: &'a Indexes,
+    out: Relation,
+    derivations: u64,
+}
+
+impl<'a> JoinRun<'a> {
+    fn emit(&mut self, bind: &Bindings) {
+        let tuple: Tuple = self
+            .head
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => *c,
+                Term::Var(v) => *bind.get(v).unwrap_or_else(|| {
+                    panic!("head variable {v} unbound: rule not range-restricted over its body")
+                }),
+            })
+            .collect();
+        self.derivations += 1;
+        self.out.insert(tuple);
+    }
+
+    fn descend(&mut self, depth: usize, bind: &mut Bindings, trail: &mut Vec<Var>) {
+        if depth == self.atoms.len() {
+            self.emit(bind);
+            return;
+        }
+        let atom: &'a Atom = &self.atoms[depth];
+        let marker = trail.len();
+        // Candidate tuples for this atom; all three sources borrow data that
+        // outlives `self`, so the loop can call `descend` freely.
+        let candidates: CandidateIter<'a> = if depth == 0 {
+            CandidateIter::Rel(self.first_rel)
+        } else {
+            match first_bound_col(atom, bind) {
+                Some((col, val)) => {
+                    CandidateIter::Slice(self.indexes.lookup(atom.pred, col, val).unwrap_or(&[]))
+                }
+                None => CandidateIter::Slice(&self.full_scans[depth - 1]),
+            }
+        };
+        match candidates {
+            CandidateIter::Rel(rel) => {
+                for t in rel.iter() {
+                    if match_tuple(atom, t, bind, trail) {
+                        self.descend(depth + 1, bind, trail);
+                        for v in trail.drain(marker..) {
+                            bind.remove(&v);
+                        }
+                    }
+                }
+            }
+            CandidateIter::Slice(tuples) => {
+                for t in tuples {
+                    if match_tuple(atom, t, bind, trail) {
+                        self.descend(depth + 1, bind, trail);
+                        for v in trail.drain(marker..) {
+                            bind.remove(&v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum CandidateIter<'a> {
+    Rel(&'a Relation),
+    Slice(&'a [Tuple]),
+}
+
+/// Apply the body `atoms` (with `atoms[0]`'s relation given explicitly as
+/// `first_rel` and the rest resolved in `db`), emitting one head tuple per
+/// complete match. Returns the produced relation and the number of
+/// derivations (successful matches, including duplicates).
+fn join_emit(
+    head: &Atom,
+    atoms: &[Atom],
+    first_rel: &Relation,
+    db: &Database,
+    indexes: &mut Indexes,
+) -> (Relation, u64) {
+    // An atom whose arity disagrees with the stored relation's schema can
+    // match nothing (the typeless system identifies a predicate with one
+    // arity); treat it as empty rather than indexing out of bounds.
+    if first_rel.arity() != atoms[0].arity() {
+        return (Relation::new(head.arity()), 0);
+    }
+    let mut full_scans: Vec<Vec<Tuple>> = Vec::with_capacity(atoms.len().saturating_sub(1));
+    for a in &atoms[1..] {
+        let rel = db.relation_or_empty(a.pred, a.arity());
+        if rel.arity() != a.arity() {
+            return (Relation::new(head.arity()), 0);
+        }
+        indexes.ensure(a, &rel);
+        full_scans.push(rel.iter().cloned().collect());
+    }
+    let mut run = JoinRun {
+        head,
+        atoms,
+        first_rel,
+        full_scans: &full_scans,
+        indexes,
+        out: Relation::new(head.arity()),
+        derivations: 0,
+    };
+    let mut bind: Bindings = FastMap::default();
+    let mut trail: Vec<Var> = Vec::new();
+    run.descend(0, &mut bind, &mut trail);
+    (run.out, run.derivations)
+}
+
+/// Apply a linear operator once: `A(p_rel)` with nonrecursive parameters
+/// taken from `db`. Returns the derived relation and the derivation count.
+pub fn apply_linear(
+    rule: &LinearRule,
+    db: &Database,
+    p_rel: &Relation,
+    indexes: &mut Indexes,
+) -> (Relation, u64) {
+    let mut atoms = Vec::with_capacity(1 + rule.nonrec_atoms().len());
+    atoms.push(rule.rec_atom().clone());
+    atoms.extend(rule.nonrec_atoms().iter().cloned());
+    join_emit(rule.head(), &atoms, p_rel, db, indexes)
+}
+
+/// Evaluate a plain nonrecursive rule over `db` (used by the magic phase).
+/// The first body atom's relation is resolved in `db` as well.
+pub fn apply_flat(
+    rule: &linrec_datalog::Rule,
+    db: &Database,
+    indexes: &mut Indexes,
+) -> (Relation, u64) {
+    assert!(!rule.body.is_empty(), "flat rule needs a body");
+    let first_rel = db.relation_or_empty(rule.body[0].pred, rule.body[0].arity());
+    join_emit(&rule.head, &rule.body, &first_rel, db, indexes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrec_datalog::parse_linear_rule;
+
+    #[test]
+    fn single_step_application() {
+        let r = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2), (2, 3)]));
+        let p = Relation::from_pairs([(0, 1)]);
+        let mut idx = Indexes::new();
+        let (out, derivs) = apply_linear(&r, &db, &p, &mut idx);
+        assert_eq!(out.sorted(), Relation::from_pairs([(0, 2)]).sorted());
+        assert_eq!(derivs, 1);
+    }
+
+    #[test]
+    fn derivations_count_duplicates() {
+        // Two z-paths produce the same head tuple: 2 derivations, 1 tuple.
+        let r = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 9), (2, 9)]));
+        let p = Relation::from_pairs([(0, 1), (0, 2)]);
+        let (out, derivs) = apply_linear(&r, &db, &p, &mut Indexes::new());
+        assert_eq!(out.len(), 1);
+        assert_eq!(derivs, 2);
+    }
+
+    #[test]
+    fn filters_with_unary_atoms() {
+        let r = parse_linear_rule("p(x,y) :- p(x,y), good(y).").unwrap();
+        let mut db = Database::new();
+        db.set_relation("good", Relation::from_tuples(1, [vec![Value::Int(2)]]));
+        let p = Relation::from_pairs([(1, 2), (1, 3)]);
+        let (out, _) = apply_linear(&r, &db, &p, &mut Indexes::new());
+        assert_eq!(out.sorted(), Relation::from_pairs([(1, 2)]).sorted());
+    }
+
+    #[test]
+    fn constants_in_body_restrict() {
+        let r = parse_linear_rule("p(x,y) :- p(x,z), e(z,y), anchor(x, 7).").unwrap();
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2)]));
+        db.set_relation("anchor", Relation::from_pairs([(0, 7), (5, 8)]));
+        let p = Relation::from_pairs([(0, 1), (5, 1)]);
+        let (out, _) = apply_linear(&r, &db, &p, &mut Indexes::new());
+        assert_eq!(out.sorted(), Relation::from_pairs([(0, 2)]).sorted());
+    }
+
+    #[test]
+    fn missing_edb_relation_is_empty() {
+        let r = parse_linear_rule("p(x,y) :- p(x,z), nothere(z,y).").unwrap();
+        let db = Database::new();
+        let p = Relation::from_pairs([(0, 1)]);
+        let (out, derivs) = apply_linear(&r, &db, &p, &mut Indexes::new());
+        assert!(out.is_empty());
+        assert_eq!(derivs, 0);
+    }
+
+    #[test]
+    fn repeated_variables_in_atoms() {
+        let r = parse_linear_rule("p(x,y) :- p(x,y), loop(y,y).").unwrap();
+        let mut db = Database::new();
+        db.set_relation("loop", Relation::from_pairs([(2, 2), (3, 4)]));
+        let p = Relation::from_pairs([(1, 2), (1, 3)]);
+        let (out, _) = apply_linear(&r, &db, &p, &mut Indexes::new());
+        assert_eq!(out.sorted(), Relation::from_pairs([(1, 2)]).sorted());
+    }
+
+    #[test]
+    fn flat_rule_evaluation() {
+        let rule = linrec_datalog::parse_rule("m(z) :- m0(x), e(x,z).").unwrap();
+        let mut db = Database::new();
+        db.set_relation("m0", Relation::from_tuples(1, [vec![Value::Int(1)]]));
+        db.set_relation("e", Relation::from_pairs([(1, 2), (1, 3), (9, 9)]));
+        let (out, derivs) = apply_flat(&rule, &db, &mut Indexes::new());
+        assert_eq!(out.len(), 2);
+        assert_eq!(derivs, 2);
+    }
+
+    #[test]
+    fn cartesian_product_when_unconnected() {
+        let r = parse_linear_rule("p(x,y) :- p(x,w), a(y).").unwrap();
+        let mut db = Database::new();
+        db.set_relation(
+            "a",
+            Relation::from_tuples(1, [vec![Value::Int(7)], vec![Value::Int(8)]]),
+        );
+        let p = Relation::from_pairs([(1, 1), (2, 2)]);
+        let (out, derivs) = apply_linear(&r, &db, &p, &mut Indexes::new());
+        assert_eq!(out.len(), 4);
+        assert_eq!(derivs, 4);
+    }
+}

@@ -1,0 +1,58 @@
+//! Evaluation engine for linear recursion.
+//!
+//! Implements every processing strategy the paper discusses, instrumented
+//! with the duplicate/derivation counters its Section 3.1 argues are the
+//! tractable cost measure:
+//!
+//! * semi-naive and naive fixpoints ([`seminaive_star`], [`naive_star`]),
+//! * **decomposed** evaluation `(B+C)* = B*C*` for commuting operators
+//!   ([`eval_decomposed`], Theorem 3.1),
+//! * the **separable algorithm** for selections (Algorithm 4.1 /
+//!   Theorems 4.1, 6.1) with magic-style selection push-down
+//!   ([`eval_separable`], [`magic`]),
+//! * **redundancy-bounded** evaluation (Theorems 4.2/6.4)
+//!   ([`eval_redundancy_bounded`]),
+//! * deterministic workload generators ([`workload`]) and the paper's
+//!   example rules ([`rules`]).
+//!
+//! # Example: decomposing a commuting recursion
+//!
+//! ```
+//! use linrec_engine::{rules, workload, eval_direct, eval_decomposed};
+//!
+//! let (db, init) = workload::up_down(5, 42);
+//! let (up, down) = (rules::up_rule(), rules::down_rule());
+//! let (direct, sd) = eval_direct(&[up.clone(), down.clone()], &db, &init);
+//! let (decomposed, sc) = eval_decomposed(&[vec![up], vec![down]], &db, &init);
+//! assert_eq!(direct.sorted(), decomposed.sorted());
+//! assert!(sc.duplicates <= sd.duplicates); // Theorem 3.1
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod join;
+pub mod derivation;
+pub mod expr_eval;
+pub mod magic;
+pub mod program;
+pub mod provenance;
+pub mod rules;
+pub mod selection;
+pub mod seminaive;
+pub mod stats;
+pub mod strategies;
+pub mod workload;
+
+pub use join::{apply_flat, apply_linear, Indexes};
+pub use derivation::{trace_decomposed, trace_star, DerivationGraph};
+pub use expr_eval::eval_expr;
+pub use magic::{eval_selected_star, magic_applicable};
+pub use program::{execute_plan, plan_query, PlanKind, Program, QueryPlan};
+pub use provenance::{eval_with_provenance, Provenance, Step};
+pub use selection::Selection;
+pub use seminaive::{bounded_prefix, exact_power, naive_star, seminaive_star};
+pub use stats::EvalStats;
+pub use strategies::{
+    eval_decomposed, eval_direct, eval_naive, eval_redundancy_bounded, eval_select_after,
+    eval_separable, StrategyError,
+};

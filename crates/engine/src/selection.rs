@@ -1,0 +1,118 @@
+//! Selections `σ` on the recursive relation and their commutation with
+//! operators (paper §4.1).
+//!
+//! A selection binds argument positions of the recursive predicate to
+//! constants. `σ` commutes with an operator `A` (`σA = Aσ`) whenever every
+//! selected position is 1-persistent in `A`'s rule — the column's value
+//! passes through each application unchanged, so selecting before or after
+//! is indifferent. This is the (syntactic, sufficient) "full selection"
+//! check used by Theorem 4.1 / Theorem 6.1.
+
+use linrec_datalog::{LinearRule, Relation, Tuple, Value};
+
+/// A conjunction of position/value equality predicates on the recursive
+/// relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    bindings: Vec<(usize, Value)>,
+}
+
+impl Selection {
+    /// Select `position = value`.
+    pub fn eq(position: usize, value: impl Into<Value>) -> Selection {
+        Selection {
+            bindings: vec![(position, value.into())],
+        }
+    }
+
+    /// Conjoin another equality.
+    pub fn and(mut self, position: usize, value: impl Into<Value>) -> Selection {
+        self.bindings.push((position, value.into()));
+        self
+    }
+
+    /// The position/value pairs.
+    pub fn bindings(&self) -> &[(usize, Value)] {
+        &self.bindings
+    }
+
+    /// The selected positions.
+    pub fn positions(&self) -> Vec<usize> {
+        self.bindings.iter().map(|&(p, _)| p).collect()
+    }
+
+    /// Does a tuple satisfy the selection?
+    pub fn matches(&self, t: &[Value]) -> bool {
+        self.bindings.iter().all(|&(p, v)| t[p] == v)
+    }
+
+    /// Apply to a whole relation.
+    pub fn apply(&self, rel: &Relation) -> Relation {
+        let mut out = Relation::new(rel.arity());
+        for t in rel.iter() {
+            if self.matches(t) {
+                out.insert(t.clone());
+            }
+        }
+        out
+    }
+
+    /// The seed tuple over the selected positions, in `positions()` order.
+    pub fn seed(&self) -> Tuple {
+        self.bindings.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Syntactic commutation check: `σA = Aσ` holds if every selected
+    /// position is 1-persistent in `rule` (the head variable at that
+    /// position reappears at the same position of the recursive body atom).
+    pub fn commutes_with(&self, rule: &LinearRule) -> bool {
+        self.bindings.iter().all(|&(p, _)| {
+            p < rule.arity()
+                && rule.head().terms[p]
+                    .as_var()
+                    .is_some_and(|v| rule.h_var(v) == Some(v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrec_datalog::parse_linear_rule;
+
+    #[test]
+    fn apply_filters_tuples() {
+        let rel = Relation::from_pairs([(1, 2), (1, 3), (2, 3)]);
+        let sel = Selection::eq(0, 1);
+        assert_eq!(sel.apply(&rel).len(), 2);
+        let both = Selection::eq(0, 1).and(1, 3);
+        assert_eq!(both.apply(&rel).len(), 1);
+    }
+
+    #[test]
+    fn commutes_with_persistent_column() {
+        // x is 1-persistent in the right-expanding rule.
+        let right = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        assert!(Selection::eq(0, 5).commutes_with(&right));
+        assert!(!Selection::eq(1, 5).commutes_with(&right));
+    }
+
+    #[test]
+    fn commutes_with_link_persistent_column_too() {
+        let r = parse_linear_rule("p(x,y) :- p(x,z), e(z,y), mark(x).").unwrap();
+        assert!(Selection::eq(0, 5).commutes_with(&r));
+    }
+
+    #[test]
+    fn out_of_range_position_never_commutes() {
+        let r = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        assert!(!Selection::eq(7, 5).commutes_with(&r));
+    }
+
+    #[test]
+    fn multi_position_selection_requires_all_persistent() {
+        let r = parse_linear_rule("p(x,y,z) :- p(x,y,w), e(w,z).").unwrap();
+        assert!(Selection::eq(0, 1).and(1, 2).commutes_with(&r));
+        assert!(!Selection::eq(0, 1).and(2, 3).commutes_with(&r));
+    }
+}

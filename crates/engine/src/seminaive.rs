@@ -1,0 +1,217 @@
+//! Naive and semi-naive fixpoint evaluation (Bancilhon \[5\]).
+//!
+//! `star(rules, db, init)` computes `(Σᵢ Aᵢ)* init` — the minimal solution
+//! of `P = Σᵢ Aᵢ(P) ∪ init` (paper, eq. 2.3). Semi-naive applies each
+//! operator only to the tuples new in the previous round, which realizes
+//! the derivation-graph model of Theorem 3.1 ("the same tuple is not
+//! derived through the same arc more than once"); naive evaluation re-joins
+//! the whole accumulated relation each round and serves as the substrate
+//! baseline (experiment E6).
+
+use crate::join::{apply_linear, Indexes};
+use crate::stats::EvalStats;
+use linrec_datalog::{Database, LinearRule, Relation};
+
+/// Semi-naive least fixpoint of `init ∪ Σᵢ Aᵢ(P)`.
+pub fn seminaive_star(
+    rules: &[LinearRule],
+    db: &Database,
+    init: &Relation,
+) -> (Relation, EvalStats) {
+    let mut stats = EvalStats::default();
+    let mut indexes = Indexes::new();
+    let mut total = init.clone();
+    let mut delta = init.clone();
+    while !delta.is_empty() {
+        stats.iterations += 1;
+        let mut next_delta = Relation::new(total.arity());
+        for rule in rules {
+            let (derived, count) = apply_linear(rule, db, &delta, &mut indexes);
+            let mut new = 0u64;
+            for t in derived.iter() {
+                if !total.contains(t) && next_delta.insert(t.clone()) {
+                    new += 1;
+                }
+            }
+            // `new` counts tuples unseen in `total`; duplicates within
+            // `derived` itself were already collapsed by the relation, so
+            // recover them from the derivation count.
+            stats.record(count, new);
+        }
+        total.union_in_place(&next_delta);
+        delta = next_delta;
+    }
+    stats.tuples = total.len();
+    (total, stats)
+}
+
+/// Naive least fixpoint: re-applies every operator to the whole accumulated
+/// relation until nothing changes.
+pub fn naive_star(rules: &[LinearRule], db: &Database, init: &Relation) -> (Relation, EvalStats) {
+    let mut stats = EvalStats::default();
+    let mut indexes = Indexes::new();
+    let mut total = init.clone();
+    loop {
+        stats.iterations += 1;
+        let mut round = Relation::new(total.arity());
+        for rule in rules {
+            let (derived, count) = apply_linear(rule, db, &total, &mut indexes);
+            let mut new = 0u64;
+            for t in derived.iter() {
+                if !total.contains(t) && round.insert(t.clone()) {
+                    new += 1;
+                }
+            }
+            stats.record(count, new);
+        }
+        if round.is_empty() {
+            break;
+        }
+        total.union_in_place(&round);
+    }
+    stats.tuples = total.len();
+    (total, stats)
+}
+
+/// The bounded prefix `Σ_{m=0}^{count} Aᵐ init` for a single operator,
+/// evaluated semi-naively (used by the redundancy-bounded strategy,
+/// Theorem 4.2).
+pub fn bounded_prefix(
+    rule: &LinearRule,
+    db: &Database,
+    init: &Relation,
+    count: usize,
+) -> (Relation, EvalStats) {
+    let mut stats = EvalStats::default();
+    let mut indexes = Indexes::new();
+    let mut total = init.clone();
+    let mut delta = init.clone();
+    for _ in 0..count {
+        if delta.is_empty() {
+            break;
+        }
+        stats.iterations += 1;
+        let (derived, count) = apply_linear(rule, db, &delta, &mut indexes);
+        let mut next_delta = Relation::new(total.arity());
+        let mut new = 0u64;
+        for t in derived.iter() {
+            if !total.contains(t) && next_delta.insert(t.clone()) {
+                new += 1;
+            }
+        }
+        stats.record(count, new);
+        total.union_in_place(&next_delta);
+        delta = next_delta;
+    }
+    stats.tuples = total.len();
+    (total, stats)
+}
+
+/// The exact power image `Aᶜᵒᵘⁿᵗ(init)` (not accumulated).
+pub fn exact_power(
+    rule: &LinearRule,
+    db: &Database,
+    init: &Relation,
+    count: usize,
+    stats: &mut EvalStats,
+) -> Relation {
+    let mut indexes = Indexes::new();
+    let mut current = init.clone();
+    for _ in 0..count {
+        let (next, derivs) = apply_linear(rule, db, &current, &mut indexes);
+        stats.record(derivs, next.len() as u64);
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrec_datalog::parse_linear_rule;
+
+    fn tc_rule() -> LinearRule {
+        parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap()
+    }
+
+    fn chain_db(n: i64) -> Database {
+        let mut db = Database::new();
+        db.set_relation("e", (0..n).map(|i| (i, i + 1)).collect::<Relation>());
+        db
+    }
+
+    #[test]
+    fn transitive_closure_of_a_chain() {
+        let db = chain_db(4); // 0→1→2→3→4
+        let init = db.relation_named("e").unwrap().clone();
+        let (result, stats) = seminaive_star(&[tc_rule()], &db, &init);
+        // All pairs i<j: C(5,2) = 10.
+        assert_eq!(result.len(), 10);
+        assert_eq!(stats.tuples, 10);
+        // A chain admits exactly one derivation per pair: no duplicates.
+        assert_eq!(stats.duplicates, 0);
+    }
+
+    #[test]
+    fn naive_equals_seminaive() {
+        let db = chain_db(6);
+        let init = db.relation_named("e").unwrap().clone();
+        let (a, sa) = seminaive_star(&[tc_rule()], &db, &init);
+        let (b, sb) = naive_star(&[tc_rule()], &db, &init);
+        assert_eq!(a.sorted(), b.sorted());
+        // Naive re-derives everything each round: strictly more duplicates.
+        assert!(sb.duplicates > sa.duplicates);
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(0, 1), (1, 2), (2, 0)]));
+        let init = db.relation_named("e").unwrap().clone();
+        let (result, _) = seminaive_star(&[tc_rule()], &db, &init);
+        assert_eq!(result.len(), 9); // complete digraph on 3 nodes
+    }
+
+    #[test]
+    fn two_rule_sum() {
+        let up = parse_linear_rule("p(x,y) :- p(x,z), up(z,y).").unwrap();
+        let down = parse_linear_rule("p(x,y) :- p(w,y), down(x,w).").unwrap();
+        let mut db = Database::new();
+        db.set_relation("up", Relation::from_pairs([(1, 2)]));
+        db.set_relation("down", Relation::from_pairs([(0, 1)]));
+        let init = Relation::from_pairs([(1, 1)]);
+        let (result, _) = seminaive_star(&[up, down], &db, &init);
+        // {(1,1), (1,2), (0,1), (0,2)}.
+        assert_eq!(result.len(), 4);
+        assert!(result.contains(&[linrec_datalog::Value::Int(0), linrec_datalog::Value::Int(2)]));
+    }
+
+    #[test]
+    fn bounded_prefix_stops_early() {
+        let db = chain_db(10);
+        let init = Relation::from_pairs([(0, 1)]);
+        let (r2, _) = bounded_prefix(&tc_rule(), &db, &init, 2);
+        // init ∪ A init ∪ A² init = {(0,1),(0,2),(0,3)}.
+        assert_eq!(r2.len(), 3);
+        let (rbig, _) = bounded_prefix(&tc_rule(), &db, &init, 100);
+        assert_eq!(rbig.len(), 10);
+    }
+
+    #[test]
+    fn exact_power_is_an_image() {
+        let db = chain_db(10);
+        let init = Relation::from_pairs([(0, 1)]);
+        let mut stats = EvalStats::default();
+        let p3 = exact_power(&tc_rule(), &db, &init, 3, &mut stats);
+        assert_eq!(p3.sorted(), Relation::from_pairs([(0, 4)]).sorted());
+    }
+
+    #[test]
+    fn empty_init_is_empty_star() {
+        let db = chain_db(3);
+        let init = Relation::new(2);
+        let (result, stats) = seminaive_star(&[tc_rule()], &db, &init);
+        assert!(result.is_empty());
+        assert_eq!(stats.iterations, 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Evaluation strategies for linear recursion.
+//!
+//! | Strategy | Paper | Use |
+//! |---|---|---|
+//! | [`eval_direct`] | semi-naive `(ΣAᵢ)*` \[5\] | baseline |
+//! | [`eval_naive`] | naive fixpoint | substrate baseline (E6) |
+//! | [`eval_decomposed`] | `(B+C)* = B*C*` (§3, Thm 3.1) | commuting operators |
+//! | [`eval_separable`] | Algorithm 4.1, Theorems 4.1/6.1 | selections |
+//! | [`eval_select_after`] | `σ((ΣAᵢ)* q)` | selection baseline |
+//! | [`eval_redundancy_bounded`] | Theorem 4.2/6.4 | redundant predicates |
+
+use crate::magic::{eval_selected_star, magic_applicable};
+use crate::selection::Selection;
+use crate::seminaive::{bounded_prefix, exact_power, naive_star, seminaive_star};
+use crate::stats::EvalStats;
+use linrec_core::Decomposition;
+use linrec_datalog::{Database, LinearRule, Relation, RuleError};
+
+/// Errors from strategy preconditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyError {
+    /// The selection does not commute with the operator that must absorb it
+    /// (Theorem 4.1's premise).
+    SelectionDoesNotCommute,
+    /// Underlying rule manipulation failed.
+    Rule(RuleError),
+}
+
+impl std::fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyError::SelectionDoesNotCommute => {
+                write!(f, "selection does not commute with the outer operator")
+            }
+            StrategyError::Rule(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
+impl From<RuleError> for StrategyError {
+    fn from(e: RuleError) -> StrategyError {
+        StrategyError::Rule(e)
+    }
+}
+
+/// Semi-naive evaluation of `(Σ rules)* init` — the paper's general
+/// baseline.
+pub fn eval_direct(rules: &[LinearRule], db: &Database, init: &Relation) -> (Relation, EvalStats) {
+    seminaive_star(rules, db, init)
+}
+
+/// Naive evaluation (every operator re-applied to the whole relation each
+/// round).
+pub fn eval_naive(rules: &[LinearRule], db: &Database, init: &Relation) -> (Relation, EvalStats) {
+    naive_star(rules, db, init)
+}
+
+/// Decomposed evaluation `(Σ all)* = Π_g (Σ g)*`, with groups applied
+/// right-to-left: `groups[k-1]` is applied to `init` first, matching the
+/// paper's reading of `A* = B*C*` (compute `C* q`, then run `B` over the
+/// result — Section 2's closing remark).
+pub fn eval_decomposed(
+    groups: &[Vec<LinearRule>],
+    db: &Database,
+    init: &Relation,
+) -> (Relation, EvalStats) {
+    let mut stats = EvalStats::default();
+    let mut current = init.clone();
+    for group in groups.iter().rev() {
+        let (next, s) = seminaive_star(group, db, &current);
+        stats += s;
+        current = next;
+    }
+    stats.tuples = current.len();
+    (current, stats)
+}
+
+/// Baseline for selection queries: full star, then select.
+pub fn eval_select_after(
+    rules: &[LinearRule],
+    db: &Database,
+    init: &Relation,
+    sel: &Selection,
+) -> (Relation, EvalStats) {
+    let (full, mut stats) = seminaive_star(rules, db, init);
+    let out = sel.apply(&full);
+    stats.tuples = out.len();
+    (out, stats)
+}
+
+/// The separable algorithm (Algorithm 4.1) for `σ(A₁+A₂)*` under
+/// Theorem 4.1's premises: `A₁`, `A₂` commute and `σ` commutes with `A₁`.
+/// Computes `A₁*(σ A₂* q)`, pushing the selection into `A₂`'s parameter
+/// relations when possible (falling back to select-after-star for the
+/// inner part otherwise).
+///
+/// The commutativity of the pair is the *caller's* certificate (checked by
+/// `linrec-core`); this function verifies the selection premise.
+pub fn eval_separable(
+    a1: &LinearRule,
+    a2: &LinearRule,
+    db: &Database,
+    init: &Relation,
+    sel: &Selection,
+) -> Result<(Relation, EvalStats), StrategyError> {
+    if !sel.commutes_with(a1) {
+        return Err(StrategyError::SelectionDoesNotCommute);
+    }
+    let (selected, mut stats) = if magic_applicable(a2, sel) {
+        eval_selected_star(a2, db, init, sel)
+    } else {
+        eval_select_after(std::slice::from_ref(a2), db, init, sel)
+    };
+    let (result, s2) = seminaive_star(std::slice::from_ref(a1), db, &selected);
+    stats += s2;
+    // σ commutes with A₁, so the final result is already σ-selected; apply
+    // once more for belt and braces (cheap, and keeps the contract obvious).
+    let out = sel.apply(&result);
+    stats.tuples = out.len();
+    Ok((out, stats))
+}
+
+/// Redundancy-bounded evaluation (Theorem 4.2 via the Theorem 6.4
+/// witnesses): with `Aᴸ = BCᴸ`, `Cᴺ = Cᴷ`, and period `P = N−K`,
+///
+/// ```text
+/// A*q = Σ_{m<KL} Aᵐq  ∪  Σ_{n<L} Aⁿ ( Σ_{r<P} B( C^{(K+r)L} ( (Bᴾ)* ( B^{K−1+r} q ))))
+/// ```
+///
+/// an identity obtained from `A^{mL} = B·C^{mL}·B^{m−1}` (first equality of
+/// Theorem 6.4 plus the `Cᴸ`-commutation) and the torsion collapse
+/// `C^{mL} = C^{g(m)L}`. `C` is applied at most `(N−1)·L` times per branch —
+/// the paper's "C is processed only a fixed finite number of times, beyond
+/// which only B is processed".
+pub fn eval_redundancy_bounded(
+    rule: &LinearRule,
+    dec: &Decomposition,
+    db: &Database,
+    init: &Relation,
+) -> Result<(Relation, EvalStats), StrategyError> {
+    let (k, n, l) = (dec.torsion.k, dec.torsion.n, dec.l);
+    let period = n - k;
+    let mut stats = EvalStats::default();
+
+    // Part 1: Σ_{m=0}^{KL-1} Aᵐ q.
+    let (mut result, s1) = bounded_prefix(rule, db, init, k * l - 1);
+    stats += s1;
+
+    // (Bᴾ)* is evaluated with the composed rule Bᴾ.
+    let b_period = linrec_cq::power(&dec.b, period)?;
+
+    // Part 2 inner sums.
+    let mut acc = Relation::new(rule.arity());
+    let mut img = exact_power(&dec.b, db, init, k - 1, &mut stats); // B^{K-1} q
+    for r in 0..period {
+        if r > 0 {
+            img = exact_power(&dec.b, db, &img, 1, &mut stats); // B^{K-1+r} q
+        }
+        let (bstar, s) = seminaive_star(std::slice::from_ref(&b_period), db, &img);
+        stats += s;
+        let after_c = exact_power(&dec.c, db, &bstar, (k + r) * l, &mut stats);
+        let with_b = exact_power(&dec.b, db, &after_c, 1, &mut stats);
+        acc.union_in_place(&with_b);
+    }
+
+    // Σ_{n<L} Aⁿ (acc).
+    let mut cur = acc.clone();
+    result.union_in_place(&acc);
+    for _ in 1..l {
+        cur = exact_power(rule, db, &cur, 1, &mut stats);
+        result.union_in_place(&cur);
+    }
+
+    stats.tuples = result.len();
+    Ok((result, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrec_datalog::parse_linear_rule;
+
+    fn updown() -> (LinearRule, LinearRule) {
+        (
+            parse_linear_rule("p(x,y) :- p(x,z), down(z,y).").unwrap(),
+            parse_linear_rule("p(x,y) :- p(w,y), up(x,w).").unwrap(),
+        )
+    }
+
+    fn updown_db() -> (Database, Relation) {
+        let mut db = Database::new();
+        db.set_relation("up", Relation::from_pairs([(0, 1), (1, 2), (10, 11)]));
+        db.set_relation("down", Relation::from_pairs([(2, 3), (3, 4), (11, 12)]));
+        let init = Relation::from_pairs([(2, 2), (11, 11)]);
+        (db, init)
+    }
+
+    #[test]
+    fn decomposed_equals_direct_for_commuting_rules() {
+        let (down_rule, up_rule) = updown();
+        let (db, init) = updown_db();
+        let (direct, sd) =
+            eval_direct(&[down_rule.clone(), up_rule.clone()], &db, &init);
+        let (dec, sc) = eval_decomposed(
+            &[vec![up_rule.clone()], vec![down_rule.clone()]],
+            &db,
+            &init,
+        );
+        assert_eq!(direct.sorted(), dec.sorted());
+        // Theorem 3.1: the decomposed computation produces no more
+        // duplicates.
+        assert!(sc.duplicates <= sd.duplicates);
+    }
+
+    #[test]
+    fn decomposed_order_does_not_matter_for_commuting_rules() {
+        let (down_rule, up_rule) = updown();
+        let (db, init) = updown_db();
+        let (a, _) = eval_decomposed(
+            &[vec![up_rule.clone()], vec![down_rule.clone()]],
+            &db,
+            &init,
+        );
+        let (b, _) = eval_decomposed(&[vec![down_rule], vec![up_rule]], &db, &init);
+        assert_eq!(a.sorted(), b.sorted());
+    }
+
+    #[test]
+    fn separable_matches_select_after() {
+        let (down_rule, up_rule) = updown();
+        let (db, init) = updown_db();
+        // σ on column 1 (the `down`-moving column) commutes with the
+        // up-rule (its position-1 variable is persistent).
+        let sel = Selection::eq(1, 4);
+        let rules = [down_rule.clone(), up_rule.clone()];
+        let (baseline, _) = eval_select_after(&rules, &db, &init, &sel);
+        let (fast, _) = eval_separable(&up_rule, &down_rule, &db, &init, &sel).unwrap();
+        assert_eq!(fast.sorted(), baseline.sorted());
+        assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn separable_rejects_noncommuting_selection() {
+        let (down_rule, up_rule) = updown();
+        let (db, init) = updown_db();
+        // σ on column 1 does NOT commute with the down-rule.
+        let sel = Selection::eq(1, 4);
+        assert_eq!(
+            eval_separable(&down_rule, &up_rule, &db, &init, &sel).unwrap_err(),
+            StrategyError::SelectionDoesNotCommute
+        );
+    }
+
+    #[test]
+    fn redundancy_bounded_equals_direct_example_6_1() {
+        let a = parse_linear_rule("buys(x,y) :- knows(x,z), buys(z,y), cheap(y).")
+            .unwrap();
+        let dec = linrec_core::decomposition_for_pred(
+            &a,
+            linrec_datalog::Symbol::new("cheap"),
+            8,
+        )
+        .unwrap()
+        .expect("cheap is redundant");
+        let mut db = Database::new();
+        db.set_relation(
+            "knows",
+            Relation::from_pairs([(1, 2), (2, 3), (3, 4), (2, 5), (5, 1)]),
+        );
+        db.set_relation(
+            "cheap",
+            Relation::from_tuples(
+                1,
+                [vec![linrec_datalog::Value::Int(100)], vec![linrec_datalog::Value::Int(200)]],
+            ),
+        );
+        let init = Relation::from_pairs([(4, 100), (4, 200), (4, 300), (1, 100)]);
+        let (direct, _) = eval_direct(std::slice::from_ref(&a), &db, &init);
+        let (bounded, _) = eval_redundancy_bounded(&a, &dec, &db, &init).unwrap();
+        assert_eq!(bounded.sorted(), direct.sorted());
+    }
+
+    #[test]
+    fn redundancy_bounded_equals_direct_example_6_2() {
+        let a = parse_linear_rule("p(w,x,y,z) :- p(x,w,x,u), q(x,u), r(x,y), s(u,z).")
+            .unwrap();
+        let dec = linrec_core::decomposition_for_pred(&a, linrec_datalog::Symbol::new("r"), 8)
+            .unwrap()
+            .expect("r is redundant");
+        let mut db = Database::new();
+        db.set_relation("q", Relation::from_pairs([(1, 2), (2, 3), (3, 1), (2, 2)]));
+        db.set_relation("r", Relation::from_pairs([(1, 2), (2, 1), (3, 3), (1, 1)]));
+        db.set_relation("s", Relation::from_pairs([(2, 1), (3, 2), (1, 3), (2, 2)]));
+        let mut init = Relation::new(4);
+        for a0 in 1..=3i64 {
+            for b in 1..=3i64 {
+                for c in 1..=3i64 {
+                    for d in 1..=3i64 {
+                        if (a0 + b + c + d) % 3 == 0 {
+                            init.insert(vec![
+                                linrec_datalog::Value::Int(a0),
+                                linrec_datalog::Value::Int(b),
+                                linrec_datalog::Value::Int(c),
+                                linrec_datalog::Value::Int(d),
+                            ]);
+                        }
+                    }
+                }
+            }
+        }
+        let (direct, _) = eval_direct(std::slice::from_ref(&a), &db, &init);
+        let (bounded, _) = eval_redundancy_bounded(&a, &dec, &db, &init).unwrap();
+        assert_eq!(bounded.sorted(), direct.sorted());
+    }
+
+    #[test]
+    fn naive_and_direct_agree() {
+        let (down_rule, up_rule) = updown();
+        let (db, init) = updown_db();
+        let rules = [down_rule, up_rule];
+        let (a, _) = eval_direct(&rules, &db, &init);
+        let (b, _) = eval_naive(&rules, &db, &init);
+        assert_eq!(a.sorted(), b.sorted());
+    }
+}

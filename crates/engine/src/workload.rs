@@ -1,0 +1,223 @@
+//! Synthetic workload generators.
+//!
+//! The paper reports no machine experiments; these are the classic graph
+//! shapes of the transitive-closure literature it cites (\[1\], \[11\]) plus
+//! the workloads its own examples motivate (up/down hierarchies for
+//! separable queries, a knows/buys/cheap shopping network for Example 6.1).
+//! All generators are deterministic given a seed.
+
+use linrec_datalog::{Database, Relation, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A simple path `0 → 1 → … → n`.
+pub fn chain(n: i64) -> Relation {
+    (0..n).map(|i| (i, i + 1)).collect()
+}
+
+/// A directed cycle on `n` nodes.
+pub fn cycle(n: i64) -> Relation {
+    (0..n).map(|i| (i, (i + 1) % n)).collect()
+}
+
+/// A complete binary tree with `depth` levels, edges parent → child.
+pub fn binary_tree(depth: u32) -> Relation {
+    let mut edges = Vec::new();
+    let nodes = (1i64 << depth) - 1;
+    for v in 1..=nodes {
+        for c in [2 * v, 2 * v + 1] {
+            if c <= nodes {
+                edges.push((v, c));
+            }
+        }
+    }
+    Relation::from_pairs(edges)
+}
+
+/// `G(n, m)`: a random digraph with `n` nodes and `m` distinct edges
+/// (no self-loops).
+pub fn random_graph(n: i64, m: usize, seed: u64) -> Relation {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::new(2);
+    let mut attempts = 0usize;
+    while rel.len() < m && attempts < m * 64 {
+        attempts += 1;
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if a != b {
+            rel.insert(vec![Value::Int(a), Value::Int(b)]);
+        }
+    }
+    rel
+}
+
+/// A layered DAG: `layers` layers of `width` nodes; each node gets
+/// `fanout` random edges into the next layer. Node ids are
+/// `layer * width + index`.
+pub fn layered(layers: i64, width: i64, fanout: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::new(2);
+    for l in 0..layers - 1 {
+        for i in 0..width {
+            let from = l * width + i;
+            for _ in 0..fanout {
+                let to = (l + 1) * width + rng.random_range(0..width);
+                rel.insert(vec![Value::Int(from), Value::Int(to)]);
+            }
+        }
+    }
+    rel
+}
+
+/// A `w × h` grid with right and down edges. Node id = `row * w + col`.
+pub fn grid(w: i64, h: i64) -> Relation {
+    let mut rel = Relation::new(2);
+    for r in 0..h {
+        for c in 0..w {
+            let v = r * w + c;
+            if c + 1 < w {
+                rel.insert(vec![Value::Int(v), Value::Int(v + 1)]);
+            }
+            if r + 1 < h {
+                rel.insert(vec![Value::Int(v), Value::Int(v + w)]);
+            }
+        }
+    }
+    rel
+}
+
+/// An up/down workload for the separable/commuting experiments: a database
+/// with an `up` tree (child → parent, fanning in) and a structurally
+/// similar `down` tree, plus a seed relation `p0` linking the two sides.
+///
+/// Returns `(db, init)` where `init` pairs each `up`-leaf with a
+/// `down`-root region.
+pub fn up_down(depth: u32, seed: u64) -> (Database, Relation) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let up: Relation = binary_tree(depth)
+        .iter()
+        .map(|t| match (t[0], t[1]) {
+            (Value::Int(a), Value::Int(b)) => (b, a), // child → parent
+            _ => unreachable!(),
+        })
+        .collect();
+    let offset = 1i64 << (depth + 1);
+    let down: Relation = binary_tree(depth)
+        .iter()
+        .map(|t| match (t[0], t[1]) {
+            (Value::Int(a), Value::Int(b)) => (a + offset, b + offset),
+            _ => unreachable!(),
+        })
+        .collect();
+    let mut db = Database::new();
+    db.set_relation("up", up);
+    db.set_relation("down", down);
+    // Seed: random cross links between node spaces.
+    let nodes = (1i64 << depth) - 1;
+    let mut init = Relation::new(2);
+    for _ in 0..nodes.max(1) {
+        let a = rng.random_range(1..=nodes);
+        let b = rng.random_range(1..=nodes) + offset;
+        init.insert(vec![Value::Int(a), Value::Int(b)]);
+    }
+    (db, init)
+}
+
+/// The Example 6.1 shopping workload: `knows` is a random digraph over
+/// `people`, `cheap` marks a fraction of `items`, and the initial `buys`
+/// relation links random people to random items.
+pub fn shopping(people: i64, items: i64, knows_per_person: usize, seed: u64) -> (Database, Relation) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut knows = Relation::new(2);
+    for p in 0..people {
+        for _ in 0..knows_per_person {
+            let q = rng.random_range(0..people);
+            if p != q {
+                knows.insert(vec![Value::Int(p), Value::Int(q)]);
+            }
+        }
+    }
+    let mut cheap = Relation::new(1);
+    for i in 0..items {
+        if i % 3 != 0 {
+            cheap.insert(vec![Value::Int(1000 + i)]);
+        }
+    }
+    let mut init = Relation::new(2);
+    for _ in 0..people {
+        let p = rng.random_range(0..people);
+        let i = rng.random_range(0..items);
+        init.insert(vec![Value::Int(p), Value::Int(1000 + i)]);
+    }
+    let mut db = Database::new();
+    db.set_relation("knows", knows);
+    db.set_relation("cheap", cheap);
+    (db, init)
+}
+
+/// A database exposing one binary relation under the given name.
+pub fn graph_db(name: &str, rel: Relation) -> Database {
+    let mut db = Database::new();
+    db.set_relation(name, rel);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_and_cycle_sizes() {
+        assert_eq!(chain(5).len(), 5);
+        assert_eq!(cycle(5).len(), 5);
+    }
+
+    #[test]
+    fn binary_tree_edge_count() {
+        // 2^d - 2 edges for a complete binary tree with 2^d - 1 nodes.
+        assert_eq!(binary_tree(4).len(), 14);
+    }
+
+    #[test]
+    fn random_graph_is_deterministic() {
+        let a = random_graph(50, 100, 7);
+        let b = random_graph(50, 100, 7);
+        assert_eq!(a.sorted(), b.sorted());
+        assert_eq!(a.len(), 100);
+        let c = random_graph(50, 100, 8);
+        assert_ne!(a.sorted(), c.sorted());
+    }
+
+    #[test]
+    fn layered_has_no_cycles() {
+        let rel = layered(4, 3, 2, 1);
+        for t in rel.iter() {
+            match (t[0], t[1]) {
+                (Value::Int(a), Value::Int(b)) => assert!(b / 3 == a / 3 + 1),
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        // w*h nodes; (w-1)*h right + w*(h-1) down edges.
+        assert_eq!(grid(3, 4).len(), 2 * 4 + 3 * 3);
+    }
+
+    #[test]
+    fn up_down_is_consistent() {
+        let (db, init) = up_down(4, 3);
+        assert!(!db.relation_named("up").unwrap().is_empty());
+        assert!(!db.relation_named("down").unwrap().is_empty());
+        assert!(!init.is_empty());
+    }
+
+    #[test]
+    fn shopping_has_cheap_items() {
+        let (db, init) = shopping(20, 9, 3, 5);
+        assert_eq!(db.relation_named("cheap").unwrap().len(), 6);
+        assert!(!init.is_empty());
+    }
+}

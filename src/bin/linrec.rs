@@ -1,0 +1,167 @@
+//! `linrec` — command-line front end.
+//!
+//! ```text
+//! linrec analyze <file>                 commutativity / separability /
+//!                                       redundancy report for the program's rules
+//! linrec run <file> [pos=value ...]     plan and evaluate (optional selection)
+//! linrec figures [--dot]                regenerate the paper's figures
+//! ```
+//!
+//! Program files use the paper's notation, e.g.
+//!
+//! ```text
+//! p(x,y) :- p(x,z), down(z,y).
+//! p(x,y) :- p(w,y), up(x,w).
+//! up(1,2). down(2,3). p(2,2).
+//! ```
+
+use linrec::core::{pair_report, redundancy_report};
+use linrec::engine::{Program, Selection};
+use linrec::prelude::*;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: linrec analyze <file>");
+    eprintln!("       linrec run <file> [pos=value ...]");
+    eprintln!("       linrec explain <file> <v1,v2,...>");
+    eprintln!("       linrec figures [--dot]");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Program::parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn analyze(path: &str) -> Result<(), String> {
+    let prog = load(path)?;
+    let rules = prog.rules();
+    println!("recursive predicate: {} ({} rules)\n", prog.rec_pred(), rules.len());
+    for (i, r) in rules.iter().enumerate() {
+        println!("rule {i}: {r}");
+    }
+    println!();
+    for i in 0..rules.len() {
+        for j in (i + 1)..rules.len() {
+            println!("---- pair ({i}, {j}) ----");
+            match pair_report(&rules[i], &rules[j]) {
+                Ok(rep) => println!("{rep}"),
+                Err(e) => println!("not analyzable: {e}\n"),
+            }
+        }
+    }
+    for (i, r) in rules.iter().enumerate() {
+        println!("---- redundancy, rule {i} ----");
+        match redundancy_report(r, 8) {
+            Ok(rep) => println!("{rep}"),
+            Err(e) => println!("not analyzable: {e}\n"),
+        }
+    }
+    let plan = prog.plan(None);
+    println!("plan (no selection): {:?}\n  rationale: {}", plan.kind, plan.rationale);
+    Ok(())
+}
+
+fn parse_selection(args: &[String]) -> Result<Option<Selection>, String> {
+    let mut sel: Option<Selection> = None;
+    for a in args {
+        let (pos, value) = a
+            .split_once('=')
+            .ok_or_else(|| format!("bad selection {a:?}; expected pos=value"))?;
+        let pos: usize = pos
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad position in {a:?}"))?;
+        let value: Value = match value.trim().parse::<i64>() {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::sym(value.trim()),
+        };
+        sel = Some(match sel {
+            None => Selection::eq(pos, value),
+            Some(s) => s.and(pos, value),
+        });
+    }
+    Ok(sel)
+}
+
+fn run(path: &str, sel_args: &[String]) -> Result<(), String> {
+    let prog = load(path)?;
+    let sel = parse_selection(sel_args)?;
+    let plan = prog.plan(sel.as_ref());
+    println!("plan: {:?}", plan.kind);
+    println!("rationale: {}\n", plan.rationale);
+    let t = std::time::Instant::now();
+    let (result, stats, _) = prog.run(sel.as_ref()).map_err(|e| e.to_string())?;
+    let elapsed = t.elapsed();
+    println!("{} tuples in {:.2} ms ({stats})", result.len(), elapsed.as_secs_f64() * 1e3);
+    let rows = result.sorted();
+    for row in rows.iter().take(20) {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("  {}({})", prog.rec_pred(), cells.join(","));
+    }
+    if rows.len() > 20 {
+        println!("  … {} more", rows.len() - 20);
+    }
+    Ok(())
+}
+
+fn explain(path: &str, tuple: &str) -> Result<(), String> {
+    let prog = load(path)?;
+    let values: Vec<Value> = tuple
+        .split(',')
+        .map(|s| match s.trim().parse::<i64>() {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::sym(s.trim()),
+        })
+        .collect();
+    let (total, prov) = linrec::engine::eval_with_provenance(
+        prog.rules(),
+        prog.database(),
+        prog.init(),
+    );
+    if !total.contains(&values) {
+        println!("{}({tuple}) is NOT in the answer", prog.rec_pred());
+        return Ok(());
+    }
+    match prov.explain(&values, prog.init(), prog.rules()) {
+        Some(text) => print!("{text}"),
+        None => println!("{}({tuple}) is a seed tuple", prog.rec_pred()),
+    }
+    Ok(())
+}
+
+fn figures(dot: bool) {
+    use linrec::alpha::{summary, to_dot, AlphaGraph, BridgeDecomposition, Classification};
+    for (name, rule) in linrec::engine::rules::paper_rules() {
+        println!("==== {name} ====");
+        let graph = AlphaGraph::new(&rule).expect("paper rules are analyzable");
+        let classes = Classification::classify(&rule).expect("classifiable");
+        if dot {
+            println!("{}", to_dot(&graph, &classes));
+        } else {
+            let bridges = BridgeDecomposition::wrt_link1(&graph, &classes);
+            println!("{}", summary(&graph, &classes, Some(&bridges)));
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("analyze") if args.len() == 2 => analyze(&args[1]),
+        Some("run") if args.len() >= 2 => run(&args[1], &args[2..]),
+        Some("explain") if args.len() == 3 => explain(&args[1], &args[2]),
+        Some("figures") => {
+            figures(args.iter().any(|a| a == "--dot"));
+            Ok(())
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

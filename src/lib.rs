@@ -1,0 +1,74 @@
+//! # linrec — Commutativity and the Processing of Linear Recursion
+//!
+//! A complete Rust implementation of Yannis E. Ioannidis,
+//! *"Commutativity and its Role in the Processing of Linear Recursion"*
+//! (15th VLDB, 1989; extended in J. Logic Programming 14:223–252, 1992).
+//!
+//! The workspace is layered; this umbrella crate re-exports every layer:
+//!
+//! * [`datalog`] — linear rules, parser, relations, databases;
+//! * [`cq`] — conjunctive-query theory (homomorphisms, containment,
+//!   minimization, composition — the operator product);
+//! * [`alpha`] — α-graphs: persistence classes, bridges, narrow/wide rules;
+//! * [`core`] — the paper's results: the Theorem 5.1 sufficient and
+//!   Theorem 5.2/5.3 exact commutativity tests, separability (§4.1/§6.1),
+//!   uniform boundedness/torsion, recursive redundancy (§4.2/§6.2), and
+//!   star-decomposition planning;
+//! * [`engine`] — instrumented evaluation: semi-naive, decomposed
+//!   `(B+C)* = B*C*`, the separable algorithm with selection push-down,
+//!   and redundancy-bounded evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use linrec::prelude::*;
+//!
+//! // The two linear forms of transitive closure commute (Example 5.2)...
+//! let up = parse_linear_rule("p(x,y) :- p(x,z), q(z,y).").unwrap();
+//! let dn = parse_linear_rule("p(x,y) :- p(w,y), q(x,w).").unwrap();
+//! assert_eq!(commutes_exact(&up, &dn).unwrap(), ExactOutcome::Commute);
+//!
+//! // ...so (up + dn)* decomposes into up* dn*, which provably produces no
+//! // more duplicates (Theorem 3.1):
+//! let db = linrec::engine::workload::graph_db("q", linrec::engine::workload::chain(64));
+//! let init = linrec::engine::workload::chain(64);
+//! let (direct, sd) = eval_direct(&[up.clone(), dn.clone()], &db, &init);
+//! let (decomposed, sc) = eval_decomposed(&[vec![up], vec![dn]], &db, &init);
+//! assert_eq!(direct.sorted(), decomposed.sorted());
+//! assert!(sc.duplicates <= sd.duplicates);
+//! ```
+
+pub use linrec_alpha as alpha;
+pub use linrec_core as core;
+pub use linrec_cq as cq;
+pub use linrec_datalog as datalog;
+pub use linrec_engine as engine;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use linrec_alpha::{AlphaGraph, BridgeDecomposition, Classification, PersistenceClass};
+    pub use linrec_core::{
+        analyze_redundancy, commute_by_definition, commutes_exact, commutes_sufficient,
+        decomposition_for_pred, is_separable, plan_decomposition, ExactOutcome, Sufficiency,
+    };
+    pub use linrec_cq::{compose, linear_equivalent, minimize_linear, power};
+    pub use linrec_datalog::{
+        parse_linear_rule, parse_program, parse_rule, Atom, Database, LinearRule, Relation, Rule,
+        Symbol, Term, Value, Var,
+    };
+    pub use linrec_engine::{
+        eval_decomposed, eval_direct, eval_redundancy_bounded, eval_select_after, eval_separable,
+        EvalStats, Selection,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_is_usable() {
+        let r = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        assert!(commute_by_definition(&r, &r).unwrap());
+    }
+}

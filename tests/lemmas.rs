@@ -1,0 +1,225 @@
+//! Direct checks of the paper's supporting lemmas (Section 6).
+//!
+//! * **Lemma 6.3(a)**: the link-persistent and ray variable sets of `Aᴸ`
+//!   equal those of `A`.
+//! * **Lemma 6.3(b)**: at the exponent `L` chosen by
+//!   [`linrec_core::lemma_6_3_exponent`], every link-persistent variable of
+//!   `Aᴸ` is link 1-persistent and every ray is 1-ray.
+//! * **Lemma 6.5**: for any augmented bridge with wide rule `C`, there is a
+//!   `B` with `A = BC` (constructed by dropping the bridge and making its
+//!   distinguished variables 1-persistent).
+//! * **Lemma 6.2**: uniformly bounded restricted rules are torsion.
+
+use linrec::alpha::{
+    wide_rule, AlphaGraph, BridgeDecomposition, Classification, PersistenceClass,
+};
+use linrec::core::{lemma_6_3_exponent, torsion_index, uniformly_bounded};
+use linrec::cq::{compose, linear_equivalent, power};
+use linrec::engine::rules;
+use linrec::prelude::*;
+
+fn classes_of(rule: &LinearRule) -> Classification {
+    Classification::classify(rule).unwrap()
+}
+
+fn i_sets_match(a: &Classification, b: &Classification) -> bool {
+    let (ia, ib) = (a.i_set(), b.i_set());
+    ia.len() == ib.len() && ia.iter().all(|v| ib.contains(v))
+}
+
+#[test]
+fn lemma_6_3_a_persistence_sets_are_power_invariant() {
+    for rule in [
+        rules::example_6_2(),
+        rules::example_6_3(),
+        rules::shopping_rule(),
+        rules::figure_2(),
+    ] {
+        let base = classes_of(&rule);
+        for l in 2..=4usize {
+            let powered = power(&rule, l).unwrap();
+            let pc = classes_of(&powered);
+            assert!(
+                i_sets_match(&base, &pc),
+                "I-set changed at power {l} for {rule}"
+            );
+            // Link-persistent variables stay link-persistent (with divided
+            // cardinality when the cycle length divides l).
+            for (v, c) in base.iter() {
+                if matches!(c, PersistenceClass::LinkPersistent(_)) {
+                    assert!(
+                        matches!(
+                            pc.class(v),
+                            Some(PersistenceClass::LinkPersistent(_))
+                        ),
+                        "{v} lost link-persistence at power {l} of {rule}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma_6_3_b_exponent_normalizes_persistence() {
+    for rule in [
+        rules::example_6_2(),
+        rules::example_6_3(),
+        rules::shopping_rule(),
+    ] {
+        let base = classes_of(&rule);
+        let l = lemma_6_3_exponent(&base);
+        let powered = power(&rule, l).unwrap();
+        let pc = classes_of(&powered);
+        for (v, c) in pc.iter() {
+            match c {
+                PersistenceClass::LinkPersistent(n) => {
+                    assert_eq!(n, 1, "{v} is link {n}-persistent in A^{l} of {rule}")
+                }
+                PersistenceClass::General { ray: Some(n) } => {
+                    assert_eq!(n, 1, "{v} is a {n}-ray in A^{l} of {rule}")
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma_6_5_every_augmented_bridge_factors_the_operator() {
+    // For every G_I augmented bridge of every paper rule: A = B·C with C
+    // the bridge's wide rule and B the complement construction.
+    for rule in [
+        rules::example_6_2(),
+        rules::example_6_3(),
+        rules::shopping_rule(),
+        rules::figure_2(),
+    ] {
+        let g = AlphaGraph::new(&rule).unwrap();
+        let c = Classification::classify(&rule).unwrap();
+        let d = BridgeDecomposition::wrt_i(&g, &c);
+        for i in 0..d.bridges().len() {
+            let aug = d.augmented(&g, i);
+            let atoms = linrec::alpha::atoms_in_bridge(&g, &aug).unwrap();
+            if atoms.is_empty() {
+                continue;
+            }
+            let wide = wide_rule(&g, &aug).unwrap();
+            // B: drop the bridge atoms; make the bridge's distinguished
+            // variables 1-persistent.
+            let bridge_preds: Vec<Symbol> = atoms
+                .iter()
+                .map(|&ai| rule.nonrec_atoms()[ai].pred)
+                .collect();
+            let distinguished = rule.distinguished();
+            let rec_terms: Vec<Term> = rule
+                .head()
+                .terms
+                .iter()
+                .enumerate()
+                .map(|(p, t)| {
+                    let v = t.as_var().unwrap();
+                    if aug.nodes.contains(&v) && distinguished.contains(&v) {
+                        Term::Var(v)
+                    } else {
+                        rule.rec_atom().terms[p]
+                    }
+                })
+                .collect();
+            let nonrec: Vec<Atom> = rule
+                .nonrec_atoms()
+                .iter()
+                .filter(|a| !bridge_preds.contains(&a.pred))
+                .cloned()
+                .collect();
+            let b = LinearRule::from_parts(
+                rule.head().clone(),
+                Atom::new(rule.rec_pred(), rec_terms),
+                nonrec,
+            )
+            .unwrap();
+            let product = compose(&b, &wide).unwrap();
+            assert!(
+                linear_equivalent(&product, &rule),
+                "Lemma 6.5 failed for bridge {i} of {rule}: B = {b}, C = {wide}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma_6_2_uniformly_bounded_restricted_rules_are_torsion() {
+    // For restricted-class rules (no repeated head vars / nonrec preds),
+    // every uniform-boundedness witness is eventually matched by a torsion
+    // witness.
+    let candidates = [
+        "buys(x,y) :- buys(x,y), cheap(y).",
+        "p(w,x,y,z) :- p(x,w,x,z), r(x,y).",
+        "p(a,b,c) :- p(b,c,a).",
+        "p(x,y) :- p(x,y), s(x), t(y).",
+        "p(x,y) :- p(y,x), q(x,y).",
+    ];
+    for src in candidates {
+        let r = parse_linear_rule(src).unwrap();
+        assert!(r.is_restricted_class(), "{src}");
+        if uniformly_bounded(&r, 8).unwrap().is_some() {
+            assert!(
+                torsion_index(&r, 12).unwrap().is_some(),
+                "Lemma 6.2 violated for {src}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma_6_4_bridge_predicates_stay_separated_in_powers() {
+    // The atoms generated by one bridge's predicates never share a bridge
+    // with another's in Aᴸ (checked through the predicate partition of the
+    // G_I bridges of A² and A³ for Example 6.2).
+    let rule = rules::example_6_2();
+    let base_partition: Vec<Vec<Symbol>> = {
+        let g = AlphaGraph::new(&rule).unwrap();
+        let c = Classification::classify(&rule).unwrap();
+        let d = BridgeDecomposition::wrt_i(&g, &c);
+        (0..d.bridges().len())
+            .map(|i| {
+                let aug = d.augmented(&g, i);
+                linrec::alpha::atoms_in_bridge(&g, &aug)
+                    .unwrap()
+                    .into_iter()
+                    .map(|ai| rule.nonrec_atoms()[ai].pred)
+                    .collect()
+            })
+            .collect()
+    };
+    for l in 2..=3usize {
+        let powered = power(&rule, l).unwrap();
+        let g = AlphaGraph::new(&powered).unwrap();
+        let c = Classification::classify(&powered).unwrap();
+        let d = BridgeDecomposition::wrt_i(&g, &c);
+        for i in 0..d.bridges().len() {
+            let aug = d.augmented(&g, i);
+            let preds: Vec<Symbol> = linrec::alpha::atoms_in_bridge(&g, &aug)
+                .unwrap()
+                .into_iter()
+                .map(|ai| powered.nonrec_atoms()[ai].pred)
+                .collect();
+            if preds.is_empty() {
+                continue;
+            }
+            // All predicates of this power-bridge come from a single base
+            // bridge.
+            let owners: Vec<usize> = base_partition
+                .iter()
+                .enumerate()
+                .filter(|(_, ps)| preds.iter().any(|p| ps.contains(p)))
+                .map(|(k, _)| k)
+                .collect();
+            assert_eq!(
+                owners.len(),
+                1,
+                "bridge {i} of A^{l} mixes base bridges {owners:?} (preds {preds:?})"
+            );
+        }
+    }
+}

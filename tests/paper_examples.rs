@@ -1,0 +1,234 @@
+//! End-to-end checks of every worked example and figure in the paper.
+//!
+//! Each test regenerates a figure or example from the rule text and asserts
+//! the paper's stated facts about it (variable classes, bridge structure,
+//! commutativity verdicts, redundancy witnesses).
+
+use linrec::alpha::{AlphaGraph, BridgeDecomposition, Classification, PersistenceClass};
+use linrec::core::{
+    analyze_redundancy, commute_by_definition, commutes_exact, commutes_sufficient,
+    decomposition_for_pred, is_restricted_pair, is_separable, redundancy_decomposition,
+    separability_report, ExactOutcome, Sufficiency,
+};
+use linrec::cq::{compose, linear_equivalent};
+use linrec::engine::rules;
+use linrec::prelude::*;
+
+fn v(s: &str) -> Var {
+    Var::new(s)
+}
+
+#[test]
+fn figure_1_classification_matches_paper() {
+    // Example 5.1: "Variable z is free 1-persistent, variables w and y are
+    // link 1-persistent, variables u and v are free 2-persistent, and
+    // variable x is general."
+    let c = Classification::classify(&rules::figure_1()).unwrap();
+    assert_eq!(c.class(v("z")), Some(PersistenceClass::FreePersistent(1)));
+    assert_eq!(c.class(v("w")), Some(PersistenceClass::LinkPersistent(1)));
+    assert_eq!(c.class(v("y")), Some(PersistenceClass::LinkPersistent(1)));
+    assert_eq!(c.class(v("u")), Some(PersistenceClass::FreePersistent(2)));
+    assert_eq!(c.class(v("v")), Some(PersistenceClass::FreePersistent(2)));
+    assert_eq!(c.class(v("x")), Some(PersistenceClass::General { ray: None }));
+}
+
+#[test]
+fn figure_2_narrow_and_wide_rules_match_paper() {
+    // Example 5.1 continued: narrow rules P(u,w):-P(u,u),R(w) and
+    // P(y,z):-P(y,y),T(z); wide rules P(u,w,x,y,z):-P(u,u,x,y,z),R(w) and
+    // P(u,w,x,y,z):-P(u,w,x,y,y),T(z).
+    let rule = rules::figure_2();
+    let g = AlphaGraph::new(&rule).unwrap();
+    let c = Classification::classify(&rule).unwrap();
+    let d = BridgeDecomposition::wrt_link1(&g, &c);
+    assert_eq!(c.link_one_persistent_vars(), vec![v("u"), v("y")]);
+
+    let bw = d.bridge_containing(v("w")).unwrap();
+    let narrow = linrec::alpha::narrow_rule(&g, &d.augmented(&g, bw)).unwrap();
+    assert_eq!(narrow, parse_linear_rule("p(u,w) :- p(u,u), r(w).").unwrap());
+    let wide = linrec::alpha::wide_rule(&g, &d.augmented(&g, bw)).unwrap();
+    assert_eq!(
+        wide,
+        parse_linear_rule("p(u,w,x,y,z) :- p(u,u,x,y,z), r(w).").unwrap()
+    );
+
+    let bz = d.bridge_containing(v("z")).unwrap();
+    let wide_t = linrec::alpha::wide_rule(&g, &d.augmented(&g, bz)).unwrap();
+    assert_eq!(
+        wide_t,
+        parse_linear_rule("p(u,w,x,y,z) :- p(u,w,x,y,y), t(z).").unwrap()
+    );
+
+    // The wide rules of all bridges multiply back to the original rule
+    // (the decomposition is lossless).
+    let mut product: Option<LinearRule> = None;
+    for i in 0..d.bridges().len() {
+        let w = linrec::alpha::wide_rule(&g, &d.augmented(&g, i)).unwrap();
+        product = Some(match product {
+            None => w,
+            Some(p) => compose(&p, &w).unwrap(),
+        });
+    }
+    assert!(linear_equivalent(&product.unwrap(), &rule));
+}
+
+#[test]
+fn example_5_2_transitive_closure() {
+    // Figure 3: both TC forms; every variable satisfies condition (a); the
+    // composite is the same-generation rule shape.
+    let (r1, r2) = (rules::tc_right(), rules::tc_left());
+    assert!(commute_by_definition(&r1, &r2).unwrap());
+    assert_eq!(commutes_exact(&r1, &r2).unwrap(), ExactOutcome::Commute);
+    assert_eq!(commutes_sufficient(&r1, &r2).unwrap(), Sufficiency::Commute);
+    // Both composites equal P(x,y) :- P(w,z), Q(x,w), Q(z,y) — the
+    // same-generation recursive rule over Q (paper, Example 5.2 remark).
+    let (c12, c21) = linrec::core::composites(&r1, &r2).unwrap();
+    let expected = parse_linear_rule("p(x,y) :- p(w,z), q(x,w), q(z,y).").unwrap();
+    assert!(linear_equivalent(&c12, &expected));
+    assert!(linear_equivalent(&c21, &expected));
+}
+
+#[test]
+fn example_5_3_commuting_pair() {
+    // Figure 4: both composites equal P(x,y,z) :- P(u,y,v), Q(x,y), R(z,y).
+    let (r1, r2) = (rules::example_5_3_r1(), rules::example_5_3_r2());
+    assert!(commute_by_definition(&r1, &r2).unwrap());
+    assert_eq!(commutes_sufficient(&r1, &r2).unwrap(), Sufficiency::Commute);
+    let (c12, _) = linrec::core::composites(&r1, &r2).unwrap();
+    let expected = parse_linear_rule("p(x,y,z) :- p(u,y,v), q(x,y), r(z,y).").unwrap();
+    assert!(linear_equivalent(&c12, &expected));
+    // Theorem 6.2 direction: these rules commute but are NOT separable
+    // (they violate conditions (2) and (3) of the separable definition).
+    let rep = separability_report(&r1, &r2).unwrap();
+    assert!(!rep.is_separable_definition());
+}
+
+#[test]
+fn example_5_4_condition_is_not_necessary_in_general() {
+    // Figure 5: the rules commute, the Theorem 5.1 condition fails, and the
+    // pair is outside the restricted class (repeated predicate Q).
+    let (r1, r2) = (rules::example_5_4_r1(), rules::example_5_4_r2());
+    assert!(commute_by_definition(&r1, &r2).unwrap());
+    match commutes_sufficient(&r1, &r2).unwrap() {
+        Sufficiency::Unknown(_) => {}
+        Sufficiency::Commute => panic!("Example 5.4 must not satisfy Theorem 5.1"),
+    }
+    assert!(!is_restricted_pair(&r1, &r2));
+    // Both composites are isomorphic to
+    // P(x,y) :- P(u,w), Q(y), Q(w'), Q(x) — check equivalence explicitly.
+    let (c12, c21) = linrec::core::composites(&r1, &r2).unwrap();
+    assert!(linear_equivalent(&c12, &c21));
+}
+
+#[test]
+fn example_6_1_redundant_cheap() {
+    // Figure 6: cheap is recursively redundant; knows is not.
+    let rule = rules::shopping_rule();
+    let analysis = analyze_redundancy(&rule, 8).unwrap();
+    assert_eq!(analysis.redundant_preds(), vec![Symbol::new("cheap")]);
+    // Theorem 6.4 witnesses with L = 1.
+    let dec = decomposition_for_pred(&rule, Symbol::new("cheap"), 8)
+        .unwrap()
+        .unwrap();
+    assert_eq!(dec.l, 1);
+    assert!(linear_equivalent(
+        &dec.c,
+        &parse_linear_rule("buys(x,y) :- buys(x,y), cheap(y).").unwrap()
+    ));
+}
+
+#[test]
+fn example_6_2_decomposition_matches_paper() {
+    // Figures 7–8: A² = BC² with the paper's B and C²; B and C² commute.
+    let rule = rules::example_6_2();
+    let dec = decomposition_for_pred(&rule, Symbol::new("r"), 8)
+        .unwrap()
+        .unwrap();
+    assert_eq!(dec.l, 2);
+    let paper_c2 = parse_linear_rule("p(w,x,y,z) :- p(w,x,w,z), r(w,x), r(x,y).").unwrap();
+    assert!(linear_equivalent(&dec.c_pow_l, &paper_c2));
+    let paper_b = parse_linear_rule(
+        "p(w,x,y,z) :- p(w,x,y,u1), q(w,u1), s(u1,u2), q(x,u2), s(u2,z).",
+    )
+    .unwrap();
+    assert!(linear_equivalent(&dec.b, &paper_b));
+    // Paper: "By Theorem 5.1, C² and B commute".
+    assert!(commute_by_definition(&dec.b, &dec.c_pow_l).unwrap());
+    // Hence trivially C²(BC²) = C²(C²B) — Theorem 6.4 is satisfied.
+}
+
+#[test]
+fn example_6_3_noncommuting_but_theorem_6_4_holds() {
+    // Figure 9: BC² ≠ C²B, yet C²(BC²) = C²(C²B).
+    let rule = rules::example_6_3();
+    let dec = decomposition_for_pred(&rule, Symbol::new("r"), 8)
+        .unwrap()
+        .expect("Theorem 6.4 decomposition exists");
+    let bc = compose(&dec.b, &dec.c_pow_l).unwrap();
+    let cb = compose(&dec.c_pow_l, &dec.b).unwrap();
+    assert!(!linear_equivalent(&bc, &cb), "paper: BC² ≠ C²B");
+    let lhs = compose(&dec.c_pow_l, &bc).unwrap();
+    let rhs = compose(&dec.c_pow_l, &cb).unwrap();
+    assert!(linear_equivalent(&lhs, &rhs), "paper: C²(BC²) = C²(C²B)");
+    // The equalized rule: P(w,x,y,z) :- P(w,x,w,u'), R(w,x), R(x,y),
+    // R(x,w), Q(x,u'), S(u',u), Q(w,u), S(u,z) — the R(x,w) atom (the image
+    // of R(x,y) under y↦w) is garbled in the available scan of the paper
+    // but is forced by the composition and present in both composites.
+    let expected = parse_linear_rule(
+        "p(w,x,y,z) :- p(w,x,w,u1), r(w,x), r(x,y), r(x,w), q(x,u1), s(u1,u2), q(w,u2), s(u2,z).",
+    )
+    .unwrap();
+    assert!(linear_equivalent(&linrec::cq::minimize_linear(&lhs), &expected));
+}
+
+#[test]
+fn example_6_2_bridge_redundancy_theorem_6_3() {
+    // R appears in a uniformly bounded augmented bridge w.r.t. G_I; Q and S
+    // do not.
+    let analysis = analyze_redundancy(&rules::example_6_2(), 8).unwrap();
+    let redundant = analysis.redundant_preds();
+    assert!(redundant.contains(&Symbol::new("r")));
+    assert!(!redundant.contains(&Symbol::new("q")));
+    assert!(!redundant.contains(&Symbol::new("s")));
+    // Redundancy decomposition exists for the R bridge.
+    let b = analysis.redundant_bridges().next().unwrap().bridge;
+    assert!(redundancy_decomposition(&rules::example_6_2(), b, 8)
+        .unwrap()
+        .is_some());
+}
+
+#[test]
+fn separable_up_down_pair_theorem_6_1() {
+    // The canonical separable pair: separable ⇒ commutative (Theorem 6.2),
+    // and the separable algorithm applies.
+    let (up, down) = (rules::up_rule(), rules::down_rule());
+    assert!(is_separable(&up, &down).unwrap());
+    assert!(commute_by_definition(&up, &down).unwrap());
+}
+
+#[test]
+fn same_generation_is_the_product_of_the_tc_forms() {
+    // Section 3's closing remark on Example 5.2, adapted: composing the two
+    // TC forms (over up/down) gives the same-generation rule.
+    let up_step = parse_linear_rule("sg(x,y) :- sg(u,y), up(x,u).").unwrap();
+    let down_step = parse_linear_rule("sg(x,y) :- sg(x,v), down(v,y).").unwrap();
+    let product = compose(&up_step, &down_step).unwrap();
+    assert!(linear_equivalent(&product, &rules::same_generation()));
+}
+
+#[test]
+fn figure_regeneration_is_total() {
+    // Every paper rule builds an α-graph, classifies, and decomposes.
+    for (name, rule) in rules::paper_rules() {
+        let g = AlphaGraph::new(&rule).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let c = Classification::classify(&rule).unwrap();
+        let d = BridgeDecomposition::wrt_link1(&g, &c);
+        for i in 0..d.bridges().len() {
+            let aug = d.augmented(&g, i);
+            linrec::alpha::narrow_rule(&g, &aug).unwrap();
+            linrec::alpha::wide_rule(&g, &aug).unwrap();
+        }
+        let dot = linrec::alpha::to_dot(&g, &c);
+        assert!(dot.contains("digraph"), "{name}");
+    }
+}

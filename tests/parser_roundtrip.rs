@@ -1,0 +1,112 @@
+//! Parser round-trip properties: `parse(display(r)) == r` for structured
+//! random rules, facts and programs.
+
+use linrec::prelude::*;
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("no reserved names", |s| !s.starts_with('#'))
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_ident().prop_map(|s| Term::Var(Var::new(&s))),
+        any::<i32>().prop_map(|v| Term::Const(Value::Int(v as i64))),
+        arb_ident().prop_map(|s| Term::Const(Value::sym(&s))),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (arb_ident(), proptest::collection::vec(arb_term(), 0..4))
+        .prop_map(|(p, terms)| Atom::new(p.as_str(), terms))
+}
+
+fn arb_parsed_rule() -> impl Strategy<Value = Rule> {
+    (arb_atom(), proptest::collection::vec(arb_atom(), 1..4))
+        .prop_map(|(head, body)| Rule::new(head, body))
+}
+
+fn render_atom(a: &Atom) -> String {
+    // The Display form of symbolic constants lacks quotes; re-quote for the
+    // parser.
+    let terms: Vec<String> = a
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => v.name().to_owned(),
+            Term::Const(Value::Int(i)) => i.to_string(),
+            Term::Const(Value::Sym(s)) => format!("'{s}'"),
+        })
+        .collect();
+    format!("{}({})", a.pred, terms.join(","))
+}
+
+fn render_rule(r: &Rule) -> String {
+    let body: Vec<String> = r.body.iter().map(render_atom).collect();
+    format!("{} :- {}.", render_atom(&r.head), body.join(", "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rule_round_trips(r in arb_parsed_rule()) {
+        let text = render_rule(&r);
+        let parsed = parse_rule(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        prop_assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn fact_round_trips(a in arb_atom()) {
+        // Only ground atoms are facts; replace variables with constants.
+        let ground = a.map_vars(|v| Term::Const(Value::sym(v.name())));
+        let text = format!("{}.", render_atom(&ground));
+        match parse_program(&text).unwrap().as_slice() {
+            [linrec::datalog::Clause::Fact(f)] => prop_assert_eq!(f, &ground),
+            other => prop_assert!(false, "unexpected parse {other:?}"),
+        }
+    }
+
+    #[test]
+    fn program_round_trips(rules in proptest::collection::vec(arb_parsed_rule(), 1..6)) {
+        let text: String = rules
+            .iter()
+            .map(|r| format!("{}\n", render_rule(r)))
+            .collect();
+        let parsed = parse_program(&text).unwrap();
+        prop_assert_eq!(parsed.len(), rules.len());
+        for (clause, original) in parsed.iter().zip(rules.iter()) {
+            match clause {
+                linrec::datalog::Clause::Rule(r) => prop_assert_eq!(r, original),
+                other => prop_assert!(false, "expected rule, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn whitespace_and_comments_are_insignificant(r in arb_parsed_rule()) {
+        let text = render_rule(&r);
+        let noisy = text
+            .replace(":-", "\n:- % comment\n")
+            .replace(", ", " ,\n  ");
+        let parsed = parse_rule(&noisy).unwrap();
+        prop_assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn display_of_parsed_rule_reparses(r in arb_parsed_rule()) {
+        // Round-trip through the Display implementation too, when the rule
+        // has no symbolic constants (Display omits quotes by design — the
+        // paper's notation).
+        let no_syms = r
+            .body
+            .iter()
+            .chain(std::iter::once(&r.head))
+            .flat_map(|a| a.terms.iter())
+            .all(|t| !matches!(t, Term::Const(Value::Sym(_))));
+        prop_assume!(no_syms);
+        let text = r.to_string();
+        let parsed = parse_rule(&text).unwrap();
+        prop_assert_eq!(parsed, r);
+    }
+}

@@ -1,0 +1,216 @@
+//! Cross-strategy agreement on concrete data: every evaluation strategy
+//! computes the same relation, and the paper's inequalities hold.
+
+use linrec::core::{decomposition_for_pred, semi_commute};
+use linrec::engine::{
+    eval_decomposed, eval_direct, eval_naive, eval_redundancy_bounded, eval_select_after,
+    eval_separable, rules, workload, Selection,
+};
+use linrec::prelude::*;
+
+#[test]
+fn all_graph_shapes_direct_vs_naive() {
+    let tc = rules::tc_right();
+    for (name, edges) in [
+        ("chain", workload::chain(30)),
+        ("cycle", workload::cycle(12)),
+        ("tree", workload::binary_tree(5)),
+        ("random", workload::random_graph(40, 80, 3)),
+        ("grid", workload::grid(5, 5)),
+        ("layered", workload::layered(4, 5, 2, 9)),
+    ] {
+        let db = workload::graph_db("q", edges.clone());
+        let (a, _) = eval_direct(std::slice::from_ref(&tc), &db, &edges);
+        let (b, _) = eval_naive(std::slice::from_ref(&tc), &db, &edges);
+        assert_eq!(a.sorted(), b.sorted(), "{name}");
+    }
+}
+
+#[test]
+fn decomposed_equals_direct_and_never_more_duplicates() {
+    // Theorem 3.1 across workloads and seeds.
+    let (up, down) = (rules::up_rule(), rules::down_rule());
+    for seed in 0..6u64 {
+        let (db, init) = workload::up_down(6, seed);
+        let (direct, sd) = eval_direct(&[up.clone(), down.clone()], &db, &init);
+        let (dec, sc) = eval_decomposed(&[vec![up.clone()], vec![down.clone()]], &db, &init);
+        assert_eq!(direct.sorted(), dec.sorted(), "seed {seed}");
+        assert!(
+            sc.duplicates <= sd.duplicates,
+            "Theorem 3.1 violated at seed {seed}: {} > {}",
+            sc.duplicates,
+            sd.duplicates
+        );
+    }
+}
+
+#[test]
+fn decomposition_order_is_irrelevant_for_commuting_pairs() {
+    let (up, down) = (rules::up_rule(), rules::down_rule());
+    let (db, init) = workload::up_down(5, 17);
+    let (a, _) = eval_decomposed(&[vec![up.clone()], vec![down.clone()]], &db, &init);
+    let (b, _) = eval_decomposed(&[vec![down], vec![up]], &db, &init);
+    assert_eq!(a.sorted(), b.sorted());
+}
+
+#[test]
+fn semi_commutation_certificate_validates_on_data() {
+    // CB ≤ C² (witness (0,2)) ⇒ (B+C)* = B*C* — check on data.
+    let b = parse_linear_rule("p(x,y) :- p(x,z), q(z,y), t(y).").unwrap();
+    let c = parse_linear_rule("p(x,y) :- p(x,z), q(z,y).").unwrap();
+    assert_eq!(semi_commute(&b, &c, 2).unwrap(), Some((0, 2)));
+    let mut db = Database::new();
+    db.set_relation("q", workload::random_graph(25, 60, 5));
+    let marks: Relation = Relation::from_tuples(
+        1,
+        (0..25).filter(|i| i % 2 == 0).map(|i| vec![Value::Int(i)]),
+    );
+    db.set_relation("t", marks);
+    let init = workload::random_graph(25, 10, 6);
+    let (direct, _) = eval_direct(&[b.clone(), c.clone()], &db, &init);
+    // B*C*: C applied first.
+    let (dec, _) = eval_decomposed(&[vec![b], vec![c]], &db, &init);
+    assert_eq!(direct.sorted(), dec.sorted());
+}
+
+#[test]
+fn lassez_maher_sum_star_identity_on_data() {
+    // §3.2, Lassez–Maher: BC = CB = B + C ⇒ (B+C)* = B* + C*.
+    // Witness pair: B idempotent filter, C = B with an extra folding atom
+    // (so BC = CB = B + C as operators).
+    let b = parse_linear_rule("p(x,y) :- p(x,y), s(x).").unwrap();
+    let c = parse_linear_rule("p(x,y) :- p(x,y), s(x), s(w).").unwrap();
+    assert!(linrec::core::lassez_maher_sum_condition(&b, &c).unwrap());
+    let mut db = Database::new();
+    db.set_relation(
+        "s",
+        Relation::from_tuples(1, (0..10).filter(|i| i % 2 == 0).map(|i| vec![Value::Int(i)])),
+    );
+    let init = workload::random_graph(10, 20, 77);
+    let (sum_star, _) = eval_direct(&[b.clone(), c.clone()], &db, &init);
+    // B* + C* applied to init: union of the two separate stars.
+    let (b_star, _) = eval_direct(std::slice::from_ref(&b), &db, &init);
+    let (c_star, _) = eval_direct(std::slice::from_ref(&c), &db, &init);
+    let mut star_sum = b_star;
+    star_sum.union_in_place(&c_star);
+    assert_eq!(sum_star.sorted(), star_sum.sorted());
+}
+
+#[test]
+fn lassez_maher_star_sum_identity_on_data() {
+    // B*C* = C*B* ⇒ (B+C)* = B*C* (Dong §3.2); and commuting pairs satisfy
+    // it. Validate the star-level identity on data for the up/down pair.
+    let (up, down) = (rules::up_rule(), rules::down_rule());
+    let (db, init) = workload::up_down(5, 23);
+    let (bstar_cstar, _) =
+        eval_decomposed(&[vec![up.clone()], vec![down.clone()]], &db, &init);
+    let (cstar_bstar, _) = eval_decomposed(&[vec![down], vec![up]], &db, &init);
+    assert_eq!(bstar_cstar.sorted(), cstar_bstar.sorted());
+}
+
+#[test]
+fn separable_algorithm_agrees_across_selections() {
+    let (up, down) = (rules::up_rule(), rules::down_rule());
+    let (db, init) = workload::up_down(6, 31);
+    let offset = 1i64 << 7;
+    for target in [offset + 1, offset + 2, offset + 5, 999_999] {
+        let sel = Selection::eq(1, target);
+        let rules_all = [down.clone(), up.clone()];
+        let (slow, _) = eval_select_after(&rules_all, &db, &init, &sel);
+        let (fast, _) = eval_separable(&up, &down, &db, &init, &sel).unwrap();
+        assert_eq!(slow.sorted(), fast.sorted(), "target {target}");
+    }
+}
+
+#[test]
+fn redundancy_bounded_agrees_on_random_shopping_workloads() {
+    let rule = rules::shopping_rule();
+    let dec = decomposition_for_pred(&rule, Symbol::new("cheap"), 8)
+        .unwrap()
+        .unwrap();
+    for seed in 0..5u64 {
+        let (db, init) = workload::shopping(60, 12, 3, seed);
+        let (direct, _) = eval_direct(std::slice::from_ref(&rule), &db, &init);
+        let (bounded, _) = eval_redundancy_bounded(&rule, &dec, &db, &init).unwrap();
+        assert_eq!(direct.sorted(), bounded.sorted(), "seed {seed}");
+    }
+}
+
+#[test]
+fn redundancy_bounded_agrees_on_example_6_3() {
+    // The non-commuting case: only the C²-prefixed equality holds, and the
+    // bounded evaluation must still be exact.
+    let rule = rules::example_6_3();
+    let dec = decomposition_for_pred(&rule, Symbol::new("r"), 8)
+        .unwrap()
+        .unwrap();
+    for seed in 0..4u64 {
+        let mut db = Database::new();
+        db.set_relation("q", workload::random_graph(6, 14, seed));
+        db.set_relation("r", workload::random_graph(6, 14, seed + 100));
+        db.set_relation("s", workload::random_graph(6, 14, seed + 200));
+        let mut init = Relation::new(4);
+        let pairs = workload::random_graph(6, 10, seed + 300);
+        for t in pairs.iter() {
+            let (a, b) = (t[0], t[1]);
+            init.insert(vec![a, b, a, b]);
+            init.insert(vec![b, a, b, a]);
+        }
+        let (direct, _) = eval_direct(std::slice::from_ref(&rule), &db, &init);
+        let (bounded, _) = eval_redundancy_bounded(&rule, &dec, &db, &init).unwrap();
+        assert_eq!(direct.sorted(), bounded.sorted(), "seed {seed}");
+    }
+}
+
+#[test]
+fn three_way_decomposition_with_planner() {
+    // Three mutually commuting operators: planner fully decomposes; the
+    // product of stars equals the direct star in any cluster order.
+    let r1 = parse_linear_rule("p(x,y,z) :- p(x,y,w), a(w,z).").unwrap();
+    let r2 = parse_linear_rule("p(x,y,z) :- p(w,y,z), b(x,w).").unwrap();
+    let r3 = parse_linear_rule("p(x,y,z) :- p(x,y,z), c(y).").unwrap();
+    let plan = linrec::core::plan_decomposition(
+        &[r1.clone(), r2.clone(), r3.clone()],
+        0,
+    )
+    .unwrap();
+    assert!(plan.is_fully_decomposed());
+
+    let mut db = Database::new();
+    db.set_relation("a", workload::random_graph(10, 25, 1));
+    db.set_relation("b", workload::random_graph(10, 25, 2));
+    db.set_relation(
+        "c",
+        Relation::from_tuples(1, (0..10).map(|i| vec![Value::Int(i)])),
+    );
+    let mut init = Relation::new(3);
+    for t in workload::random_graph(10, 12, 3).iter() {
+        init.insert(vec![t[0], t[1], t[0]]);
+    }
+    let all = [r1.clone(), r2.clone(), r3.clone()];
+    let (direct, _) = eval_direct(&all, &db, &init);
+    let (dec, _) = eval_decomposed(&[vec![r1], vec![r2], vec![r3]], &db, &init);
+    assert_eq!(direct.sorted(), dec.sorted());
+}
+
+#[test]
+fn selection_after_decomposition_for_multiple_selections() {
+    // §4.1 generalization: σ₁σ₂(A₁+A₂)* = (σ₁A₁*)(σ₂A₂*) when σᵢ commutes
+    // with the other operator. Validate on data.
+    let (up, down) = (rules::up_rule(), rules::down_rule());
+    let (db, init) = workload::up_down(5, 41);
+    let offset = 1i64 << 6;
+    // σ1 on position 0 (up-moving) commutes with down; σ2 on position 1
+    // commutes with up.
+    let s0 = Selection::eq(0, 3);
+    let s1 = Selection::eq(1, offset + 3);
+    let rules_all = [down.clone(), up.clone()];
+    let (full, _) = eval_direct(&rules_all, &db, &init);
+    let expected = s0.apply(&s1.apply(&full));
+
+    // (σ0 up*)(σ1 down*) q: evaluate down side with σ1 pushed, then up side
+    // with σ0 pushed.
+    let (inner, _) = linrec::engine::eval_selected_star(&down, &db, &init, &s1);
+    let (outer, _) = linrec::engine::eval_selected_star(&up, &db, &inner, &s0);
+    assert_eq!(outer.sorted(), expected.sorted());
+}

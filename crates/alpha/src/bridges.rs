@@ -300,11 +300,7 @@ mod tests {
         assert_eq!(d.separator_edges().len(), 3);
         // Bridges: {Q,S,dyn(u→z)} through u/z, and the chord {R(x→y)}.
         assert_eq!(d.bridges().len(), 2);
-        let r_bridge = d
-            .bridges()
-            .iter()
-            .position(|b| b.edges.len() == 1)
-            .unwrap();
+        let r_bridge = d.bridges().iter().position(|b| b.edges.len() == 1).unwrap();
         let big = 1 - r_bridge;
         assert_eq!(d.bridges()[big].edges.len(), 3);
         // Augmenting the R-chord picks up the whole of G_I.
@@ -347,11 +343,7 @@ mod tests {
             .unwrap();
         assert_eq!(cheap_bridge.edges.len(), 1);
         // Its augmentation attaches y's self-loop.
-        let idx = d
-            .bridges()
-            .iter()
-            .position(|b| b.edges.len() == 1)
-            .unwrap();
+        let idx = d.bridges().iter().position(|b| b.edges.len() == 1).unwrap();
         let aug = d.augmented(&g, idx);
         assert_eq!(aug.edges.len(), 2);
     }

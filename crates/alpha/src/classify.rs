@@ -240,7 +240,10 @@ mod tests {
         assert_eq!(c.class(v("y")), Some(PersistenceClass::LinkPersistent(1)));
         assert_eq!(c.class(v("u")), Some(PersistenceClass::FreePersistent(2)));
         assert_eq!(c.class(v("v")), Some(PersistenceClass::FreePersistent(2)));
-        assert_eq!(c.class(v("x")), Some(PersistenceClass::General { ray: None }));
+        assert_eq!(
+            c.class(v("x")),
+            Some(PersistenceClass::General { ray: None })
+        );
     }
 
     #[test]
@@ -264,7 +267,10 @@ mod tests {
         // r1: p(x,y) :- p(x,z), q(z,y): x is free 1-persistent, y general.
         let c = classify("p(x,y) :- p(x,z), q(z,y).");
         assert!(c.class(v("x")).unwrap().is_free_one_persistent());
-        assert_eq!(c.class(v("y")), Some(PersistenceClass::General { ray: None }));
+        assert_eq!(
+            c.class(v("y")),
+            Some(PersistenceClass::General { ray: None })
+        );
     }
 
     #[test]
@@ -272,7 +278,10 @@ mod tests {
         // buys(x,y) :- knows(x,z), buys(z,y), cheap(y): y link 1-persistent.
         let c = classify("buys(x,y) :- knows(x,z), buys(z,y), cheap(y).");
         assert!(c.class(v("y")).unwrap().is_link_one_persistent());
-        assert_eq!(c.class(v("x")), Some(PersistenceClass::General { ray: None }));
+        assert_eq!(
+            c.class(v("x")),
+            Some(PersistenceClass::General { ray: None })
+        );
     }
 
     #[test]
@@ -286,7 +295,10 @@ mod tests {
             c.class(v("y")),
             Some(PersistenceClass::General { ray: Some(1) })
         );
-        assert_eq!(c.class(v("z")), Some(PersistenceClass::General { ray: None }));
+        assert_eq!(
+            c.class(v("z")),
+            Some(PersistenceClass::General { ray: None })
+        );
         assert_eq!(c.ray_vars(), vec![(v("y"), 1)]);
         let i = c.i_set();
         assert_eq!(i.len(), 3);

@@ -133,14 +133,12 @@ mod tests {
         // w's wide rule (paper): P(u,w,x,y,z) :- P(u,u,x,y,z), R(w).
         let bw = d.bridge_containing(v("w")).unwrap();
         let w = wide_rule(&g, &d.augmented(&g, bw)).unwrap();
-        let expected =
-            parse_linear_rule("p(u,w,x,y,z) :- p(u,u,x,y,z), r(w).").unwrap();
+        let expected = parse_linear_rule("p(u,w,x,y,z) :- p(u,u,x,y,z), r(w).").unwrap();
         assert_eq!(w, expected);
         // z's wide rule (paper): P(u,w,x,y,z) :- P(u,w,x,y,y), T(z).
         let bz = d.bridge_containing(v("z")).unwrap();
         let w = wide_rule(&g, &d.augmented(&g, bz)).unwrap();
-        let expected =
-            parse_linear_rule("p(u,w,x,y,z) :- p(u,w,x,y,y), t(z).").unwrap();
+        let expected = parse_linear_rule("p(u,w,x,y,z) :- p(u,w,x,y,y), t(z).").unwrap();
         assert_eq!(w, expected);
     }
 

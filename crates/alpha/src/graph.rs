@@ -214,7 +214,11 @@ mod tests {
         assert_eq!(g.dynamic_arcs().len(), 6);
         // q contributes 1 arc, q2 1 arc, r a self-loop.
         assert_eq!(g.static_arcs().len(), 3);
-        let r_arc = g.static_arcs().iter().find(|a| a.pred == Symbol::new("r")).unwrap();
+        let r_arc = g
+            .static_arcs()
+            .iter()
+            .find(|a| a.pred == Symbol::new("r"))
+            .unwrap();
         assert_eq!(r_arc.from, r_arc.to);
     }
 
@@ -222,8 +226,22 @@ mod tests {
     fn dynamic_arcs_follow_h() {
         let g = graph("p(x,y) :- p(y,z), e(z,y).");
         // position 0: body y -> head x; position 1: body z -> head y.
-        assert_eq!(g.dynamic_arcs()[0], DynamicArc { from: Var::new("y"), to: Var::new("x"), position: 0 });
-        assert_eq!(g.dynamic_arcs()[1], DynamicArc { from: Var::new("z"), to: Var::new("y"), position: 1 });
+        assert_eq!(
+            g.dynamic_arcs()[0],
+            DynamicArc {
+                from: Var::new("y"),
+                to: Var::new("x"),
+                position: 0
+            }
+        );
+        assert_eq!(
+            g.dynamic_arcs()[1],
+            DynamicArc {
+                from: Var::new("z"),
+                to: Var::new("y"),
+                position: 1
+            }
+        );
     }
 
     #[test]

@@ -39,9 +39,7 @@ pub mod graph;
 pub mod render;
 pub mod unionfind;
 
-pub use bridges::{
-    i_separator, link1_separator, AugmentedBridge, Bridge, BridgeDecomposition,
-};
+pub use bridges::{i_separator, link1_separator, AugmentedBridge, Bridge, BridgeDecomposition};
 pub use classify::{Classification, PersistenceClass};
 pub use extract::{atoms_in_bridge, narrow_rule, wide_rule};
 pub use graph::{AlphaGraph, DynamicArc, EdgeRef, StaticArc};

@@ -70,7 +70,11 @@ pub fn summary(
         let _ = writeln!(out, "  {} ==> {}  (position {})", a.from, a.to, a.position);
     }
     if let Some(d) = bridges {
-        let _ = writeln!(out, "bridges (separator: {} arcs):", d.separator_edges().len());
+        let _ = writeln!(
+            out,
+            "bridges (separator: {} arcs):",
+            d.separator_edges().len()
+        );
         for (i, b) in d.bridges().iter().enumerate() {
             let mut nodes: Vec<&str> = b.nodes.iter().map(|v| v.name()).collect();
             nodes.sort();

@@ -3,9 +3,9 @@
 //! ablation of minimize-during-powers in the torsion search.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use linrec_core::plan_decomposition;
+use linrec_core::{plan_decomposition, CommutativityCert};
 use linrec_datalog::parse_linear_rule;
-use linrec_engine::{eval_decomposed, eval_direct, workload};
+use linrec_engine::{workload, Plan};
 
 fn operators() -> Vec<linrec_datalog::LinearRule> {
     vec![
@@ -35,16 +35,23 @@ fn bench_decompose(c: &mut Criterion) {
     group.bench_function("planning_3_ops", |b| {
         b.iter(|| plan_decomposition(&ops, 0).unwrap())
     });
+    group.bench_function("certify_3_ops", |b| {
+        b.iter(|| CommutativityCert::establish(&ops, 0).unwrap().unwrap())
+    });
 
+    let direct = Plan::direct(ops.clone());
+    let decomposed = Plan::decomposed(
+        CommutativityCert::establish(&ops, 0)
+            .unwrap()
+            .expect("mutually commuting"),
+    );
     for n in [16i64, 32, 64] {
         let (db, init) = setup(n, 5);
         group.bench_with_input(BenchmarkId::new("direct_3ops", n), &n, |b, _| {
-            b.iter(|| eval_direct(&ops, &db, &init))
+            b.iter(|| direct.execute(&db, &init).unwrap())
         });
-        let groups: Vec<Vec<linrec_datalog::LinearRule>> =
-            ops.iter().map(|r| vec![r.clone()]).collect();
         group.bench_with_input(BenchmarkId::new("decomposed_3ops", n), &n, |b, _| {
-            b.iter(|| eval_decomposed(&groups, &db, &init))
+            b.iter(|| decomposed.execute(&db, &init).unwrap())
         });
     }
 

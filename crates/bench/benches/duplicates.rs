@@ -3,22 +3,26 @@
 //! reported by `cargo run -p linrec-bench --bin experiments e1`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use linrec_engine::{eval_decomposed, eval_direct, rules, workload};
+use linrec_core::CommutativityCert;
+use linrec_engine::{rules, workload, Plan};
 
 fn bench_duplicates(c: &mut Criterion) {
-    let up = rules::up_rule();
-    let down = rules::down_rule();
+    let all = vec![rules::up_rule(), rules::down_rule()];
+    let direct = Plan::direct(all.clone());
+    let decomposed = Plan::decomposed(
+        CommutativityCert::establish(&all, 0)
+            .unwrap()
+            .expect("up/down commute"),
+    );
     let mut group = c.benchmark_group("e1_duplicates");
     group.sample_size(10);
     for depth in [6u32, 8, 10] {
         let (db, init) = workload::up_down(depth, 7);
         group.bench_with_input(BenchmarkId::new("direct", depth), &depth, |b, _| {
-            b.iter(|| eval_direct(&[up.clone(), down.clone()], &db, &init))
+            b.iter(|| direct.execute(&db, &init).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("decomposed", depth), &depth, |b, _| {
-            b.iter(|| {
-                eval_decomposed(&[vec![up.clone()], vec![down.clone()]], &db, &init)
-            })
+            b.iter(|| decomposed.execute(&db, &init).unwrap())
         });
     }
     group.finish();

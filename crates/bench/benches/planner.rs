@@ -1,0 +1,64 @@
+//! Planner dividend: the certificate-backed plan the analysis picks versus
+//! a forced `Direct` baseline, on the two workloads where the paper
+//! promises a win — the commuting up/down recursion (Theorem 3.1) and the
+//! redundant shopping recursion (Theorem 4.2). The planning cost itself
+//! (analysis + certificate search) is measured separately so future PRs
+//! can track both halves; every measurement lands as a JSON line in
+//! `target/criterion.jsonl` for the perf trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linrec_engine::{rules, workload, Analysis, Plan, PlanShape};
+
+fn bench_planner_vs_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_vs_direct");
+    group.sample_size(10);
+
+    // --- planning cost (analysis + certificates) -----------------------
+    let updown = vec![rules::up_rule(), rules::down_rule()];
+    let shopping = vec![rules::shopping_rule()];
+    group.bench_function("analyze/updown", |b| {
+        b.iter(|| Analysis::of(&updown, None).plan())
+    });
+    group.bench_function("analyze/shopping", |b| {
+        b.iter(|| Analysis::of(&shopping, None).plan())
+    });
+
+    // --- up/down: planner picks Decomposed ------------------------------
+    let chosen = Analysis::of(&updown, None).plan();
+    assert!(matches!(chosen.shape(), PlanShape::Decomposed { .. }));
+    let forced = Plan::direct(updown.clone());
+    for depth in [6u32, 8, 10] {
+        let (db, init) = workload::up_down(depth, 7);
+        group.bench_with_input(BenchmarkId::new("updown_planner", depth), &depth, |b, _| {
+            b.iter(|| chosen.execute(&db, &init).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("updown_forced_direct", depth),
+            &depth,
+            |b, _| b.iter(|| forced.execute(&db, &init).unwrap()),
+        );
+    }
+
+    // --- shopping: planner picks RedundancyBounded ----------------------
+    let chosen = Analysis::of(&shopping, None).plan();
+    assert_eq!(chosen.shape(), PlanShape::RedundancyBounded);
+    let forced = Plan::direct(shopping.clone());
+    for people in [100i64, 400, 1600] {
+        let (db, init) = workload::shopping(people, 30, 4, 99);
+        group.bench_with_input(
+            BenchmarkId::new("shopping_planner", people),
+            &people,
+            |b, _| b.iter(|| chosen.execute(&db, &init).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("shopping_forced_direct", people),
+            &people,
+            |b, _| b.iter(|| forced.execute(&db, &init).unwrap()),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner_vs_direct);
+criterion_main!(benches);

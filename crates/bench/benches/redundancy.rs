@@ -2,23 +2,27 @@
 //! direct evaluation on the Example 6.1 shopping workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linrec_core::RedundancyCert;
 use linrec_datalog::Symbol;
-use linrec_engine::{eval_direct, eval_redundancy_bounded, rules, workload};
+use linrec_engine::{rules, workload, Plan};
 
 fn bench_redundancy(c: &mut Criterion) {
     let rule = rules::shopping_rule();
-    let dec = linrec_core::decomposition_for_pred(&rule, Symbol::new("cheap"), 8)
-        .unwrap()
-        .expect("cheap is redundant");
+    let direct = Plan::direct(vec![rule.clone()]);
+    let bounded = Plan::redundancy_bounded(
+        RedundancyCert::establish(&rule, Symbol::new("cheap"), 8)
+            .unwrap()
+            .expect("cheap is redundant"),
+    );
     let mut group = c.benchmark_group("e3_redundancy");
     group.sample_size(10);
     for people in [100i64, 400, 1600] {
         let (db, init) = workload::shopping(people, 30, 4, 99);
         group.bench_with_input(BenchmarkId::new("direct", people), &people, |b, _| {
-            b.iter(|| eval_direct(std::slice::from_ref(&rule), &db, &init))
+            b.iter(|| direct.execute(&db, &init).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("bounded", people), &people, |b, _| {
-            b.iter(|| eval_redundancy_bounded(&rule, &dec, &db, &init).unwrap())
+            b.iter(|| bounded.execute(&db, &init).unwrap())
         });
     }
     group.finish();

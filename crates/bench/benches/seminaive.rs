@@ -2,21 +2,22 @@
 //! evaluation of transitive closure.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use linrec_engine::{eval_direct, eval_naive, rules, workload};
+use linrec_engine::{rules, workload, Plan};
 
 fn bench_seminaive(c: &mut Criterion) {
-    let tc = rules::tc_right();
+    let seminaive = Plan::direct(vec![rules::tc_right()]);
+    let naive = Plan::naive(vec![rules::tc_right()]);
     let mut group = c.benchmark_group("e6_seminaive");
     group.sample_size(10);
     for n in [64i64, 256, 1024] {
         let edges = workload::chain(n);
         let db = workload::graph_db("q", edges.clone());
         group.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
-            b.iter(|| eval_direct(std::slice::from_ref(&tc), &db, &edges))
+            b.iter(|| seminaive.execute(&db, &edges).unwrap())
         });
         if n <= 256 {
             group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
-                b.iter(|| eval_naive(std::slice::from_ref(&tc), &db, &edges))
+                b.iter(|| naive.execute(&db, &edges).unwrap())
             });
         }
     }

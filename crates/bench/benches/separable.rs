@@ -2,22 +2,28 @@
 //! `σ(A₁+A₂)*` versus select-after-fixpoint.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use linrec_engine::{eval_select_after, eval_separable, rules, workload, Selection};
+use linrec_core::SeparabilityCert;
+use linrec_engine::{rules, workload, Plan, Selection};
 
 fn bench_separable(c: &mut Criterion) {
     let up = rules::up_rule();
     let down = rules::down_rule();
+    let cert = SeparabilityCert::establish(&up, &down)
+        .unwrap()
+        .expect("up/down commute");
+    let all = vec![down, up];
     let mut group = c.benchmark_group("e2_separable");
     group.sample_size(10);
     for depth in [7u32, 9, 11] {
         let (db, init) = workload::up_down(depth, 11);
         let sel = Selection::eq(1, (1i64 << (depth + 1)) + 1);
-        let all = [down.clone(), up.clone()];
+        let select_after = Plan::select_after(Plan::direct(all.clone()), sel.clone());
+        let separable = Plan::separable(cert.clone(), sel).unwrap();
         group.bench_with_input(BenchmarkId::new("select_after", depth), &depth, |b, _| {
-            b.iter(|| eval_select_after(&all, &db, &init, &sel))
+            b.iter(|| select_after.execute(&db, &init).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("separable", depth), &depth, |b, _| {
-            b.iter(|| eval_separable(&up, &down, &db, &init, &sel).unwrap())
+            b.iter(|| separable.execute(&db, &init).unwrap())
         });
     }
     group.finish();

@@ -11,14 +11,11 @@
 
 use linrec_bench::{commuting_pair, repeated_pred_pair};
 use linrec_core::{
-    commute_by_definition, commutes_exact, commutes_sufficient, decomposition_for_pred,
-    plan_decomposition,
+    commute_by_definition, commutes_exact, commutes_sufficient, CommutativityCert, RedundancyCert,
+    SeparabilityCert,
 };
 use linrec_datalog::Symbol;
-use linrec_engine::{
-    eval_decomposed, eval_direct, eval_naive, eval_redundancy_bounded, eval_select_after,
-    eval_separable, rules, workload, Selection,
-};
+use linrec_engine::{rules, workload, Plan, Selection};
 use std::time::Instant;
 
 fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -46,12 +43,18 @@ fn e1() {
         let init = workload::random_graph(n, 40, 15);
         cases.push((format!("random G({n},{m})"), db, init));
     }
+    let all = vec![up, down];
+    let direct_plan = Plan::direct(all.clone());
+    let decomposed_plan = Plan::decomposed(
+        CommutativityCert::establish(&all, 0)
+            .unwrap()
+            .expect("up/down commute"),
+    );
     for (name, db, init) in cases {
-        let ((direct, sd), td) = time(|| eval_direct(&[up.clone(), down.clone()], &db, &init));
-        let ((dec, sc), tc) = time(|| {
-            eval_decomposed(&[vec![up.clone()], vec![down.clone()]], &db, &init)
-        });
-        assert_eq!(direct.sorted(), dec.sorted());
+        let (direct, td) = time(|| direct_plan.execute(&db, &init).unwrap());
+        let (dec, tc) = time(|| decomposed_plan.execute(&db, &init).unwrap());
+        assert_eq!(direct.relation.sorted(), dec.relation.sorted());
+        let (sd, sc) = (direct.stats, dec.stats);
         println!(
             "| {name} | {} | {} | {} | {} | {} | {td:.1} | {tc:.1} |",
             sd.tuples, sd.duplicates, sc.duplicates, sd.derivations, sc.derivations
@@ -62,22 +65,29 @@ fn e1() {
 
 fn e2() {
     println!("## E2 — Theorem 4.1 / Algorithm 4.1: σ(A1+A2)* strategies\n");
-    println!("| depth | answers | der select-after | der separable | ms select-after | ms separable |");
+    println!(
+        "| depth | answers | der select-after | der separable | ms select-after | ms separable |"
+    );
     println!("|---|---|---|---|---|---|");
     let up = rules::up_rule();
     let down = rules::down_rule();
+    let cert = SeparabilityCert::establish(&up, &down)
+        .unwrap()
+        .expect("up/down commute");
+    let all = vec![down, up];
     for depth in [7u32, 9, 11, 12] {
         let (db, init) = workload::up_down(depth, 11);
         let sel = Selection::eq(1, (1i64 << (depth + 1)) + 1);
-        let all = [down.clone(), up.clone()];
-        let ((slow, ss), ts) = time(|| eval_select_after(&all, &db, &init, &sel));
-        let ((fast, sf), tf) = time(|| eval_separable(&up, &down, &db, &init, &sel).unwrap());
-        assert_eq!(slow.sorted(), fast.sorted());
+        let slow_plan = Plan::select_after(Plan::direct(all.clone()), sel.clone());
+        let fast_plan = Plan::separable(cert.clone(), sel).unwrap();
+        let (slow, ts) = time(|| slow_plan.execute(&db, &init).unwrap());
+        let (fast, tf) = time(|| fast_plan.execute(&db, &init).unwrap());
+        assert_eq!(slow.relation.sorted(), fast.relation.sorted());
         println!(
             "| {depth} | {} | {} | {} | {ts:.1} | {tf:.1} |",
-            fast.len(),
-            ss.derivations,
-            sf.derivations
+            fast.relation.len(),
+            slow.stats.derivations,
+            fast.stats.derivations
         );
     }
     println!("\nClaim: the separable algorithm touches only selection-relevant tuples.\n");
@@ -88,18 +98,21 @@ fn e3() {
     println!("| people | tuples | der direct | der bounded | C-joins direct | C-joins bounded | ms direct | ms bounded |");
     println!("|---|---|---|---|---|---|---|---|");
     let rule = rules::shopping_rule();
-    let dec = decomposition_for_pred(&rule, Symbol::new("cheap"), 8)
+    let cert = RedundancyCert::establish(&rule, Symbol::new("cheap"), 8)
         .unwrap()
         .expect("cheap is redundant");
+    let dec = cert.decomposition();
     let c_joins_bounded: usize = (0..dec.torsion.period())
         .map(|r| (dec.torsion.k + r) * dec.l)
         .sum();
+    let direct_plan = Plan::direct(vec![rule.clone()]);
+    let bounded_plan = Plan::redundancy_bounded(cert.clone());
     for people in [100i64, 400, 1600] {
         let (db, init) = workload::shopping(people, 30, 4, 99);
-        let ((direct, sd), td) = time(|| eval_direct(std::slice::from_ref(&rule), &db, &init));
-        let ((bounded, sb), tb) =
-            time(|| eval_redundancy_bounded(&rule, &dec, &db, &init).unwrap());
-        assert_eq!(direct.sorted(), bounded.sorted());
+        let (direct, td) = time(|| direct_plan.execute(&db, &init).unwrap());
+        let (bounded, tb) = time(|| bounded_plan.execute(&db, &init).unwrap());
+        assert_eq!(direct.relation.sorted(), bounded.relation.sorted());
+        let (sd, sb) = (direct.stats, bounded.stats);
         println!(
             "| {people} | {} | {} | {} | {} | {c_joins_bounded} | {td:.1} | {tb:.1} |",
             sd.tuples, sd.derivations, sb.derivations, sd.iterations
@@ -111,7 +124,9 @@ fn e3() {
 
 fn e4() {
     println!("## E4 — Theorem 5.3: commutativity-test scaling\n");
-    println!("| argument positions a | exact Thm 5.2 (µs) | sufficient Thm 5.1 (µs) | definition (µs) |");
+    println!(
+        "| argument positions a | exact Thm 5.2 (µs) | sufficient Thm 5.1 (µs) | definition (µs) |"
+    );
     println!("|---|---|---|---|");
     for k in [2usize, 8, 32, 128, 512] {
         let (r1, r2) = commuting_pair(k);
@@ -157,8 +172,16 @@ fn e5() {
         linrec_datalog::parse_linear_rule("p(x,y,z) :- p(w,y,z), b(x,w).").unwrap(),
         linrec_datalog::parse_linear_rule("p(x,y,z) :- p(x,w,z), c(w,y).").unwrap(),
     ];
-    let plan = plan_decomposition(&ops, 0).unwrap();
-    println!("planner clusters: {:?} (fully decomposed: {})\n", plan.clusters, plan.is_fully_decomposed());
+    let cert = CommutativityCert::establish(&ops, 0)
+        .unwrap()
+        .expect("mutually commuting");
+    println!(
+        "certified clusters: {:?} (fully decomposed: {})\n",
+        cert.clusters(),
+        cert.clusters().len() == ops.len()
+    );
+    let direct_plan = Plan::direct(ops.to_vec());
+    let decomposed_plan = Plan::decomposed(cert);
     println!("| n | tuples | dup direct | dup decomposed | ms direct | ms decomposed |");
     println!("|---|---|---|---|---|---|");
     for n in [16i64, 32, 64] {
@@ -170,11 +193,10 @@ fn e5() {
         for t in workload::random_graph(n, n as usize, 8).iter() {
             init.insert(vec![t[0], t[1], t[0]]);
         }
-        let ((direct, sd), td) = time(|| eval_direct(&ops, &db, &init));
-        let groups: Vec<Vec<linrec_datalog::LinearRule>> =
-            ops.iter().map(|r| vec![r.clone()]).collect();
-        let ((dec, sc), tc) = time(|| eval_decomposed(&groups, &db, &init));
-        assert_eq!(direct.sorted(), dec.sorted());
+        let (direct, td) = time(|| direct_plan.execute(&db, &init).unwrap());
+        let (dec, tc) = time(|| decomposed_plan.execute(&db, &init).unwrap());
+        assert_eq!(direct.relation.sorted(), dec.relation.sorted());
+        let (sd, sc) = (direct.stats, dec.stats);
         println!(
             "| {n} | {} | {} | {} | {td:.1} | {tc:.1} |",
             sd.tuples, sd.duplicates, sc.duplicates
@@ -188,16 +210,17 @@ fn e6() {
     println!("## E6 — substrate: semi-naive vs naive (Bancilhon [5])\n");
     println!("| chain n | tuples | der semi-naive | der naive | ms semi-naive | ms naive |");
     println!("|---|---|---|---|---|---|");
-    let tc = rules::tc_right();
+    let seminaive_plan = Plan::direct(vec![rules::tc_right()]);
+    let naive_plan = Plan::naive(vec![rules::tc_right()]);
     for n in [64i64, 128, 256] {
         let edges = workload::chain(n);
         let db = workload::graph_db("q", edges.clone());
-        let ((a, sa), ta) = time(|| eval_direct(std::slice::from_ref(&tc), &db, &edges));
-        let ((b, sb), tb) = time(|| eval_naive(std::slice::from_ref(&tc), &db, &edges));
-        assert_eq!(a.sorted(), b.sorted());
+        let (a, ta) = time(|| seminaive_plan.execute(&db, &edges).unwrap());
+        let (b, tb) = time(|| naive_plan.execute(&db, &edges).unwrap());
+        assert_eq!(a.relation.sorted(), b.relation.sorted());
         println!(
             "| {n} | {} | {} | {} | {ta:.1} | {tb:.1} |",
-            sa.tuples, sa.derivations, sb.derivations
+            a.stats.tuples, a.stats.derivations, b.stats.derivations
         );
     }
     println!("\nClaim: semi-naive avoids the naive re-derivation blow-up — the model of");

@@ -29,9 +29,21 @@ fn main() {
         return;
     }
     for (label, r1, r2) in [
-        ("figure 3 pair (Example 5.2)", rules::tc_right(), rules::tc_left()),
-        ("figure 4 pair (Example 5.3)", rules::example_5_3_r1(), rules::example_5_3_r2()),
-        ("figure 5 pair (Example 5.4)", rules::example_5_4_r1(), rules::example_5_4_r2()),
+        (
+            "figure 3 pair (Example 5.2)",
+            rules::tc_right(),
+            rules::tc_left(),
+        ),
+        (
+            "figure 4 pair (Example 5.3)",
+            rules::example_5_3_r1(),
+            rules::example_5_3_r2(),
+        ),
+        (
+            "figure 5 pair (Example 5.4)",
+            rules::example_5_4_r1(),
+            rules::example_5_4_r2(),
+        ),
     ] {
         println!("==== {label} ====");
         println!("{}", pair_report(&r1, &r2).unwrap());

@@ -106,8 +106,7 @@ impl OperatorSum {
 
 /// The identity operator `1` for the given consequent: `P(x̄) :- P(x̄)`.
 pub fn identity_operator(head: &Atom) -> LinearRule {
-    LinearRule::from_parts(head.clone(), head.clone(), Vec::new())
-        .expect("identity rule is linear")
+    LinearRule::from_parts(head.clone(), head.clone(), Vec::new()).expect("identity rule is linear")
 }
 
 /// Search for the generalized decomposition condition of Section 3 (\[13\]):

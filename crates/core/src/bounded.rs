@@ -11,7 +11,9 @@
 //! a finite set of bodies, so repetition is guaranteed); in general it is a
 //! semi-decision bounded by `max_power`.
 
-use linrec_cq::{canonicalize_linear, compose, linear_contains, linear_equivalent, minimize_linear};
+use linrec_cq::{
+    canonicalize_linear, compose, linear_contains, linear_equivalent, minimize_linear,
+};
 use linrec_datalog::{LinearRule, RuleError};
 
 /// A witness `(k, n)` with `k < n` for a power relation between `Bⁿ`
@@ -31,10 +33,7 @@ impl PowerWitness {
     }
 }
 
-fn minimized_powers(
-    rule: &LinearRule,
-    max_power: usize,
-) -> Result<Vec<LinearRule>, RuleError> {
+fn minimized_powers(rule: &LinearRule, max_power: usize) -> Result<Vec<LinearRule>, RuleError> {
     let mut powers: Vec<LinearRule> = Vec::with_capacity(max_power);
     let base = minimize_linear(rule);
     powers.push(base.clone());
@@ -47,7 +46,10 @@ fn minimized_powers(
 
 /// Search for the least torsion witness `Bⁿ = Bᵏ` with `1 ≤ k < n ≤
 /// max_power`. Returns `None` if no witness exists within the bound.
-pub fn torsion_index(rule: &LinearRule, max_power: usize) -> Result<Option<PowerWitness>, RuleError> {
+pub fn torsion_index(
+    rule: &LinearRule,
+    max_power: usize,
+) -> Result<Option<PowerWitness>, RuleError> {
     let mut powers: Vec<(LinearRule, LinearRule)> = Vec::new(); // (power, canonical)
     let base = minimize_linear(rule);
     let mut current = base.clone();

@@ -24,10 +24,7 @@ pub fn commute_by_definition(r1: &LinearRule, r2: &LinearRule) -> Result<bool, R
 
 /// The two composites themselves, for inspection (e.g. by examples and the
 /// figure generator).
-pub fn composites(
-    r1: &LinearRule,
-    r2: &LinearRule,
-) -> Result<(LinearRule, LinearRule), RuleError> {
+pub fn composites(r1: &LinearRule, r2: &LinearRule) -> Result<(LinearRule, LinearRule), RuleError> {
     let r2 = r2.align_consequent(r1.head())?;
     Ok((compose(r1, &r2)?, compose(&r2, r1)?))
 }

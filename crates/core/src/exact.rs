@@ -49,7 +49,11 @@ pub fn restricted_class_violations(rule: &LinearRule) -> Vec<Restriction> {
             .vars()
             .chain(rule.nonrec_atoms().iter().flat_map(|a| a.vars()))
             .collect();
-        if let Some(v) = rule.head_vars().into_iter().find(|v| !body_vars.contains(v)) {
+        if let Some(v) = rule
+            .head_vars()
+            .into_iter()
+            .find(|v| !body_vars.contains(v))
+        {
             out.push(Restriction::NotRangeRestricted(v.name()));
         }
     }
@@ -83,13 +87,10 @@ pub fn commutes_exact(r1: &LinearRule, r2: &LinearRule) -> Result<ExactOutcome, 
         if let Some(first) = violations.first() {
             return Err(match first {
                 Restriction::Constants => RuleError::HasConstants,
-                Restriction::NotRangeRestricted(v) => {
-                    RuleError::NotRangeRestricted { var: v }
-                }
+                Restriction::NotRangeRestricted(v) => RuleError::NotRangeRestricted { var: v },
                 Restriction::RepeatedHeadVars(v) => RuleError::RepeatedHeadVars { var: v },
                 Restriction::RepeatedNonrecPreds => RuleError::Parse(
-                    "rule repeats a nonrecursive predicate; outside the Theorem 5.2 class"
-                        .into(),
+                    "rule repeats a nonrecursive predicate; outside the Theorem 5.2 class".into(),
                 ),
             });
         }

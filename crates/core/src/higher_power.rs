@@ -75,13 +75,10 @@ mod tests {
     fn example_6_2_b_and_c_commute_at_power_two() {
         // B and C from Example 6.2: BC ≠ CB but B¹ commutes with C².
         let rule = lr("p(w,x,y,z) :- p(x,w,x,u), q(x,u), r(x,y), s(u,z).");
-        let dec = crate::redundancy::decomposition_for_pred(
-            &rule,
-            linrec_datalog::Symbol::new("r"),
-            8,
-        )
-        .unwrap()
-        .unwrap();
+        let dec =
+            crate::redundancy::decomposition_for_pred(&rule, linrec_datalog::Symbol::new("r"), 8)
+                .unwrap()
+                .unwrap();
         // dec.b is built on A² (so it pairs with C²); pit it against C.
         let w = powers_commute(&dec.b, &dec.c, 3).unwrap().unwrap();
         assert_eq!((w.i, w.j), (1, 2));

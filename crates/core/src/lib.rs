@@ -32,6 +32,7 @@
 
 pub mod algebra;
 pub mod bounded;
+pub mod cert;
 pub mod commutativity;
 pub mod decompose;
 pub mod exact;
@@ -44,17 +45,22 @@ pub mod sufficient;
 
 pub use algebra::{identity_operator, lassez_maher_sum_condition, semi_commute, OperatorSum};
 pub use bounded::{search_is_complete, torsion_index, uniformly_bounded, PowerWitness};
+pub use cert::{
+    BoundednessCert, CommutativityCert, RedundancyCert, SeparabilityCert, SeparabilityEvidence,
+};
 pub use commutativity::{commute_by_definition, composites};
 pub use decompose::{pair_commutes, plan_decomposition, DecompositionPlan, PairRelation};
-pub use expr::{decompose_stars, ExprContext, OpExpr};
-pub use higher_power::{powers_commute, PowerCommutation};
 pub use exact::{
     commutes_exact, is_restricted_pair, restricted_class_violations, ExactOutcome, Restriction,
 };
+pub use expr::{decompose_stars, ExprContext, OpExpr};
+pub use higher_power::{powers_commute, PowerCommutation};
 pub use redundancy::{
     analyze_redundancy, decomposition_for_pred, lemma_6_3_exponent, redundancy_decomposition,
     BridgeRedundancy, Decomposition, RedundancyAnalysis,
 };
 pub use report::{pair_report, redundancy_report};
 pub use separability::{is_separable, separability_report, SeparabilityReport};
-pub use sufficient::{commutes_sufficient, sufficiency_report, Sufficiency, SufficiencyReport, VarCondition};
+pub use sufficient::{
+    commutes_sufficient, sufficiency_report, Sufficiency, SufficiencyReport, VarCondition,
+};

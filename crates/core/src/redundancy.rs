@@ -303,8 +303,7 @@ mod tests {
         let expected_c = lr("p(w,x,y,z) :- p(x,w,x,z), r(x,y).");
         assert!(linear_equivalent(&d.c, &expected_c));
         // Paper: B = P(w,x,y,z) :- P(w,x,y,u1), Q(w,u1), S(u1,u), Q(x,u), S(u,z).
-        let expected_b =
-            lr("p(w,x,y,z) :- p(w,x,y,u1), q(w,u1), s(u1,u2), q(x,u2), s(u2,z).");
+        let expected_b = lr("p(w,x,y,z) :- p(w,x,y,u1), q(w,u1), s(u1,u2), q(x,u2), s(u2,z).");
         assert!(linear_equivalent(&d.b, &expected_b));
         // Paper: A² = BC².
         assert!(linear_equivalent(

@@ -39,10 +39,7 @@ pub fn pair_report(r1: &LinearRule, r2: &LinearRule) -> Result<String, RuleError
                 Sufficiency::Commute => "holds — commutativity guaranteed".to_owned(),
                 Sufficiency::Unknown(vars) => format!(
                     "fails on {{{}}} — no conclusion",
-                    vars.iter()
-                        .map(|v| v.name())
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                    vars.iter().map(|v| v.name()).collect::<Vec<_>>().join(", ")
                 ),
             };
             let _ = writeln!(out, "  => {verdict}");
@@ -61,10 +58,7 @@ pub fn pair_report(r1: &LinearRule, r2: &LinearRule) -> Result<String, RuleError
                 let _ = writeln!(
                     out,
                     "Theorem 5.2 (exact, O(a log a)): do NOT commute (witness: {})",
-                    vars.iter()
-                        .map(|v| v.name())
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                    vars.iter().map(|v| v.name()).collect::<Vec<_>>().join(", ")
                 );
             }
         }
@@ -120,7 +114,11 @@ pub fn redundancy_report(rule: &LinearRule, max_power: usize) -> Result<String, 
     }
     let redundant = analysis.redundant_preds();
     let names: Vec<&str> = redundant.iter().map(|p| p.as_str()).collect();
-    let _ = writeln!(out, "recursively redundant predicates: {{{}}}", names.join(", "));
+    let _ = writeln!(
+        out,
+        "recursively redundant predicates: {{{}}}",
+        names.join(", ")
+    );
     Ok(out)
 }
 
@@ -142,8 +140,7 @@ mod tests {
 
     #[test]
     fn redundancy_report_flags_cheap() {
-        let a =
-            parse_linear_rule("buys(x,y) :- knows(x,z), buys(z,y), cheap(y).").unwrap();
+        let a = parse_linear_rule("buys(x,y) :- knows(x,z), buys(z,y), cheap(y).").unwrap();
         let rep = redundancy_report(&a, 8).unwrap();
         assert!(rep.contains("cheap"));
         assert!(rep.contains("uniformly bounded"));

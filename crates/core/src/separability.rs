@@ -55,10 +55,7 @@ impl SeparabilityReport {
 }
 
 fn nonrec_vars(rule: &LinearRule) -> FastSet<Var> {
-    rule.nonrec_atoms()
-        .iter()
-        .flat_map(|a| a.vars())
-        .collect()
+    rule.nonrec_atoms().iter().flat_map(|a| a.vars()).collect()
 }
 
 fn condition1(rule: &LinearRule) -> bool {
@@ -230,10 +227,7 @@ mod tests {
         // Theorem 6.2 (checked exhaustively in the integration suite; spot
         // check here).
         let pairs = [
-            (
-                "p(x,y) :- p(x,z), up(z,y).",
-                "p(x,y) :- p(w,y), down(x,w).",
-            ),
+            ("p(x,y) :- p(x,z), up(z,y).", "p(x,y) :- p(w,y), down(x,w)."),
             (
                 "sg(x,y) :- sg(u,v), par(x,u), par2(y,v).",
                 "sg(x,y) :- sg(x,y), flat(x0,x0).",

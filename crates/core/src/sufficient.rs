@@ -140,9 +140,7 @@ impl PairAnalysis {
                 let h2x = self.r2.h_var(x);
                 let h1x = self.r1.h_var(x);
                 if let (Some(h2x), Some(h1x)) = (h2x, h1x) {
-                    if self.r1.h(h2x) == self.r2.h(h1x)
-                        && self.r1.h(h2x).is_some()
-                    {
+                    if self.r1.h(h2x) == self.r2.h(h1x) && self.r1.h(h2x).is_some() {
                         return VarCondition::CommutingFreeCycles;
                     }
                 }
@@ -195,9 +193,8 @@ pub fn sufficiency_report(
     r2: &LinearRule,
 ) -> Result<SufficiencyReport, RuleError> {
     let pa = PairAnalysis::build(r1, r2, true)?;
-    let per_var = pa.check_conditions(&mut |a, b| {
-        linrec_cq::equivalent(&a.underlying(), &b.underlying())
-    });
+    let per_var =
+        pa.check_conditions(&mut |a, b| linrec_cq::equivalent(&a.underlying(), &b.underlying()));
     let failing: Vec<Var> = per_var
         .iter()
         .filter(|(_, c)| *c == VarCondition::Fails)
@@ -236,10 +233,7 @@ mod tests {
     fn example_5_3_satisfies_condition() {
         let r1 = lr("p(x,y,z) :- p(u,y,z), q(x,y).");
         let r2 = lr("p(x,y,z) :- p(x,y,v), r(z,y).");
-        assert_eq!(
-            commutes_sufficient(&r1, &r2).unwrap(),
-            Sufficiency::Commute
-        );
+        assert_eq!(commutes_sufficient(&r1, &r2).unwrap(), Sufficiency::Commute);
     }
 
     #[test]
@@ -259,10 +253,7 @@ mod tests {
     fn condition_b_link_one_persistent_in_both() {
         let r1 = lr("p(x,y) :- p(x,y), q(x,y).");
         let r2 = lr("p(x,y) :- p(x,y), r(x,y).");
-        assert_eq!(
-            commutes_sufficient(&r1, &r2).unwrap(),
-            Sufficiency::Commute
-        );
+        assert_eq!(commutes_sufficient(&r1, &r2).unwrap(), Sufficiency::Commute);
         assert!(commute_by_definition(&r1, &r2).unwrap());
     }
 

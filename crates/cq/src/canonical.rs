@@ -59,10 +59,7 @@ pub fn canonicalize(rule: &Rule) -> Rule {
         let mut assigned = false;
         for &i in &order {
             let a = &rule.body[i];
-            let unranked: Vec<Var> = a
-                .vars()
-                .filter(|v| !ranks.contains_key(v))
-                .collect();
+            let unranked: Vec<Var> = a.vars().filter(|v| !ranks.contains_key(v)).collect();
             if !unranked.is_empty() {
                 for v in unranked {
                     ranks.entry(v).or_insert_with(|| {
@@ -101,7 +98,12 @@ pub fn canonicalize_linear(rule: &LinearRule) -> LinearRule {
         .find(|a| a.pred == in_pred)
         .expect("underlying rule keeps its recursive atom")
         .clone();
-    let nonrec: Vec<Atom> = u.body.iter().filter(|a| a.pred != in_pred).cloned().collect();
+    let nonrec: Vec<Atom> = u
+        .body
+        .iter()
+        .filter(|a| a.pred != in_pred)
+        .cloned()
+        .collect();
     LinearRule::from_parts(u.head, Atom::new(rule.rec_pred(), rec.terms), nonrec)
         .expect("canonicalization preserves linearity")
 }

@@ -43,9 +43,7 @@ pub fn compose(r1: &LinearRule, r2: &LinearRule) -> Result<LinearRule, RuleError
         let x = t.as_var().expect("head vars checked above");
         g.insert(x, r1.rec_atom().terms[pos]);
     }
-    let sub = |a: &Atom| -> Atom {
-        a.map_vars(|v| g.get(&v).copied().unwrap_or(Term::Var(v)))
-    };
+    let sub = |a: &Atom| -> Atom { a.map_vars(|v| g.get(&v).copied().unwrap_or(Term::Var(v))) };
 
     let rec = sub(r2.rec_atom());
     let mut nonrec: Vec<Atom> = r1.nonrec_atoms().to_vec();
@@ -59,7 +57,10 @@ pub fn compose(r1: &LinearRule, r2: &LinearRule) -> Result<LinearRule, RuleError
 
 /// The `n`-th composition power of `r` (`n ≥ 1`). `r¹ = r`.
 pub fn power(r: &LinearRule, n: usize) -> Result<LinearRule, RuleError> {
-    assert!(n >= 1, "power requires n >= 1 (r⁰ is the identity operator)");
+    assert!(
+        n >= 1,
+        "power requires n >= 1 (r⁰ is the identity operator)"
+    );
     let mut acc = r.clone();
     for _ in 1..n {
         acc = compose(&acc, r)?;
@@ -113,7 +114,6 @@ pub fn compose_aligned(r1: &LinearRule, r2: &LinearRule) -> Result<LinearRule, R
     let r2 = r2.align_consequent(r1.head())?;
     compose(r1, &r2)
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -208,7 +208,10 @@ mod tests {
         let from = r("p(x) :- e(x,z), e(z,w).");
         let to = r("p(x) :- e(x,x).");
         let h = find_homomorphism(&from, &to).unwrap();
-        assert_eq!(apply_term(Term::Var(Var::new("z")), &h), Term::Var(Var::new("x")));
+        assert_eq!(
+            apply_term(Term::Var(Var::new("z")), &h),
+            Term::Var(Var::new("x"))
+        );
     }
 
     #[test]

@@ -92,7 +92,9 @@ mod tests {
             found: 2,
         };
         assert!(e.to_string().contains("not linear"));
-        assert!(RuleError::HasConstants.to_string().contains("constant-free"));
+        assert!(RuleError::HasConstants
+            .to_string()
+            .contains("constant-free"));
         assert!(RuleError::Parse("oops".into()).to_string().contains("oops"));
     }
 }

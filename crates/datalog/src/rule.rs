@@ -232,11 +232,7 @@ impl LinearRule {
     /// `h` would not be a function); returns `None` for nondistinguished
     /// variables.
     pub fn h(&self, x: Var) -> Option<Term> {
-        let pos = self
-            .head
-            .terms
-            .iter()
-            .position(|t| t.as_var() == Some(x))?;
+        let pos = self.head.terms.iter().position(|t| t.as_var() == Some(x))?;
         Some(self.rec.terms[pos])
     }
 
@@ -366,11 +362,7 @@ impl LinearRule {
             .filter(|a| !a.is_eq())
             .map(|a| a.map_vars(apply))
             .collect();
-        Ok(LinearRule {
-            head,
-            rec,
-            nonrec,
-        })
+        Ok(LinearRule { head, rec, nonrec })
     }
 
     /// Rename every nondistinguished variable to a fresh one. Used to meet
@@ -442,7 +434,10 @@ impl LinearRule {
     /// the rule an ordinary conjunctive query over EDB predicates.
     pub fn underlying(&self) -> Rule {
         let mut body = Vec::with_capacity(1 + self.nonrec.len());
-        body.push(Atom::new(input_pred(self.rec_pred()), self.rec.terms.clone()));
+        body.push(Atom::new(
+            input_pred(self.rec_pred()),
+            self.rec.terms.clone(),
+        ));
         body.extend(self.nonrec.iter().cloned());
         Rule::new(self.head.clone(), body)
     }
@@ -465,9 +460,7 @@ impl LinearRule {
     /// Total number of argument positions in the antecedent (the size
     /// parameter `a` of Theorem 5.3) plus the consequent's.
     pub fn argument_positions(&self) -> usize {
-        self.head.arity()
-            + self.rec.arity()
-            + self.nonrec.iter().map(|a| a.arity()).sum::<usize>()
+        self.head.arity() + self.rec.arity() + self.nonrec.iter().map(|a| a.arity()).sum::<usize>()
     }
 }
 
@@ -513,8 +506,7 @@ mod tests {
     #[test]
     fn h_function_matches_paper() {
         // Figure 1 rule: P(x,y,z,u,v,w) :- P(x,x,z,v,u,w), Q(x,y), R(y,y).
-        let r =
-            parse_linear_rule("p(x,y,z,u,v,w) :- p(x,x,z,v,u,w), q(x,y), r(y,y).").unwrap();
+        let r = parse_linear_rule("p(x,y,z,u,v,w) :- p(x,x,z,v,u,w), q(x,y), r(y,y).").unwrap();
         assert_eq!(r.h_var(Var::new("x")), Some(Var::new("x")));
         assert_eq!(r.h_var(Var::new("y")), Some(Var::new("x")));
         assert_eq!(r.h_var(Var::new("z")), Some(Var::new("z")));
@@ -527,8 +519,7 @@ mod tests {
         let good = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
         assert!(good.is_restricted_class());
 
-        let repeated_pred =
-            parse_linear_rule("p(x,y) :- p(u,v), q(x), q(y).").unwrap();
+        let repeated_pred = parse_linear_rule("p(x,y) :- p(u,v), q(x), q(y).").unwrap();
         assert!(repeated_pred.has_repeated_nonrec_preds());
         assert!(!repeated_pred.is_restricted_class());
 

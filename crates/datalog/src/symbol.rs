@@ -7,9 +7,8 @@
 //! results freely shareable across crates and test threads.
 
 use crate::hash::FastMap;
-use parking_lot::RwLock;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned string (predicate name or symbolic constant).
 ///
@@ -53,16 +52,17 @@ fn interner() -> &'static RwLock<Interner> {
 impl Symbol {
     /// Intern `s`, returning its (process-wide) unique id.
     pub fn new(s: &str) -> Symbol {
-        // Fast path: read lock only.
-        if let Some(&id) = interner().read().map.get(s) {
+        // Fast path: read lock only. The lock is only poisoned if an
+        // interning thread panicked, which cannot leave the map half-written.
+        if let Some(&id) = interner().read().expect("interner lock").map.get(s) {
             return Symbol(id);
         }
-        Symbol(interner().write().intern(s))
+        Symbol(interner().write().expect("interner lock").intern(s))
     }
 
     /// The interned text.
     pub fn as_str(self) -> &'static str {
-        interner().read().strings[self.0 as usize]
+        interner().read().expect("interner lock").strings[self.0 as usize]
     }
 
     /// The raw id. Stable within a process run only.
@@ -116,7 +116,9 @@ mod tests {
     #[test]
     fn symbols_are_usable_across_threads() {
         let handles: Vec<_> = (0..8)
-            .map(|i| std::thread::spawn(move || Symbol::new(if i % 2 == 0 { "even" } else { "odd" })))
+            .map(|i| {
+                std::thread::spawn(move || Symbol::new(if i % 2 == 0 { "even" } else { "odd" }))
+            })
             .collect();
         let syms: Vec<Symbol> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         for s in &syms {

@@ -38,7 +38,10 @@ impl DerivationGraph {
 
     /// Number of derived (non-seed) tuples.
     pub fn derived_tuples(&self) -> usize {
-        self.in_degree.keys().filter(|t| !self.seeds.contains(*t)).count()
+        self.in_degree
+            .keys()
+            .filter(|t| !self.seeds.contains(*t))
+            .count()
     }
 
     /// The theorem's duplicate count: `|E| −` derived tuples (arcs into
@@ -213,15 +216,17 @@ mod tests {
             // shows with q(z,·) fan-in from one tuple: p(0,1) with
             // q(1,9): single path. Use a rule with a nondistinguished
             // join instead:
-            r.insert(vec![linrec_datalog::Value::Int(0), linrec_datalog::Value::Int(1)]);
+            r.insert(vec![
+                linrec_datalog::Value::Int(0),
+                linrec_datalog::Value::Int(1),
+            ]);
             r
         };
         // p(x,y) :- p(x,w), r2(w,u), q2(u,y): two u-paths, same (src,dst).
         let rule = parse_linear_rule("p(x,y) :- p(x,w), r2(w,u), q2(u,y).").unwrap();
         db.set_relation("r2", linrec_datalog::Relation::from_pairs([(1, 5), (1, 6)]));
         db.set_relation("q2", linrec_datalog::Relation::from_pairs([(5, 7), (6, 7)]));
-        let (_, stats) =
-            crate::seminaive::seminaive_star(std::slice::from_ref(&rule), &db, &init);
+        let (_, stats) = crate::seminaive::seminaive_star(std::slice::from_ref(&rule), &db, &init);
         let (_, graph) = trace_star(std::slice::from_ref(&rule), &db, &init);
         assert_eq!(stats.derivations, 2, "two body matches");
         assert_eq!(graph.arcs(), 1, "one arc (t1 -> t2)");

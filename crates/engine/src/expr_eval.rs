@@ -91,7 +91,7 @@ fn go(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{eval_direct, rules, workload};
+    use crate::{rules, seminaive_star, workload};
     use linrec_core::{decompose_stars, ExprContext, OpExpr};
 
     fn ctx_updown() -> ExprContext {
@@ -108,7 +108,7 @@ mod tests {
         let (db, init) = workload::up_down(5, 9);
         let e = OpExpr::star_of_sum([0, 1]);
         let (via_expr, _) = eval_expr(&e, &ctx, &db, &init);
-        let (direct, _) = eval_direct(&ctx.rules(), &db, &init);
+        let (direct, _) = seminaive_star(&ctx.rules(), &db, &init);
         assert_eq!(via_expr.sorted(), direct.sorted());
     }
 

@@ -1,39 +1,53 @@
-//! Evaluation engine for linear recursion.
+//! Evaluation engine for linear recursion: `Analysis → Plan → Execution`.
 //!
-//! Implements every processing strategy the paper discusses, instrumented
-//! with the duplicate/derivation counters its Section 3.1 argues are the
-//! tractable cost measure:
+//! Every processing strategy the paper discusses sits behind one
+//! certificate-carrying pipeline ([`planner`]):
 //!
-//! * semi-naive and naive fixpoints ([`seminaive_star`], [`naive_star`]),
-//! * **decomposed** evaluation `(B+C)* = B*C*` for commuting operators
-//!   ([`eval_decomposed`], Theorem 3.1),
-//! * the **separable algorithm** for selections (Algorithm 4.1 /
-//!   Theorems 4.1, 6.1) with magic-style selection push-down
-//!   ([`eval_separable`], [`magic`]),
-//! * **redundancy-bounded** evaluation (Theorems 4.2/6.4)
-//!   ([`eval_redundancy_bounded`]),
-//! * deterministic workload generators ([`workload`]) and the paper's
-//!   example rules ([`rules`]).
+//! 1. [`Analysis`] runs the paper's tests over a rule set (and optional
+//!    [`Selection`]) and collects typed certificates from `linrec-core` —
+//!    commutativity clusters (Theorems 5.1–5.3), separability premises
+//!    (Theorems 4.1/6.1), uniform boundedness (Lemma 6.2) and recursive
+//!    redundancy (Theorems 6.3/6.4).
+//! 2. [`Analysis::plan`] picks a licensed [`Plan`]: `Direct`, `Naive`,
+//!    `BoundedPrefix`, `Decomposed`, `Separable`, `RedundancyBounded` or a
+//!    `SelectAfter` wrapper. The specialized nodes are *unconstructible*
+//!    without their certificate.
+//! 3. [`Plan::execute`] evaluates the tree, instrumented with the
+//!    duplicate/derivation counters of Section 3.1 ([`EvalStats`]), and
+//!    returns an [`ExecOutcome`] with a per-phase [`TraceStep`] record.
 //!
 //! # Example: decomposing a commuting recursion
 //!
 //! ```
-//! use linrec_engine::{rules, workload, eval_direct, eval_decomposed};
+//! use linrec_engine::{planner::Analysis, rules, workload, Plan};
 //!
 //! let (db, init) = workload::up_down(5, 42);
-//! let (up, down) = (rules::up_rule(), rules::down_rule());
-//! let (direct, sd) = eval_direct(&[up.clone(), down.clone()], &db, &init);
-//! let (decomposed, sc) = eval_decomposed(&[vec![up], vec![down]], &db, &init);
-//! assert_eq!(direct.sorted(), decomposed.sorted());
-//! assert!(sc.duplicates <= sd.duplicates); // Theorem 3.1
+//! let rules = vec![rules::up_rule(), rules::down_rule()];
+//!
+//! // Analysis finds the Theorem 5.2 commutativity certificate…
+//! let plan = Analysis::of(&rules, None).plan();
+//! assert!(plan.rationale().contains("Theorem 3.1"));
+//!
+//! // …and the decomposed plan `up* down*` produces the same relation as
+//! // the direct baseline with no more duplicates (Theorem 3.1):
+//! let decomposed = plan.execute(&db, &init).unwrap();
+//! let direct = Plan::direct(rules).execute(&db, &init).unwrap();
+//! assert_eq!(decomposed.relation.sorted(), direct.relation.sorted());
+//! assert!(decomposed.stats.duplicates <= direct.stats.duplicates);
 //! ```
+//!
+//! The six legacy entry points (`eval_direct`, `eval_naive`,
+//! `eval_decomposed`, `eval_select_after`, `eval_separable`,
+//! `eval_redundancy_bounded`) are deprecated wrappers over this pipeline;
+//! see [`strategies`] for the migration table.
 
 #![warn(missing_docs)]
 
-pub mod join;
 pub mod derivation;
 pub mod expr_eval;
+pub mod join;
 pub mod magic;
+pub mod planner;
 pub mod program;
 pub mod provenance;
 pub mod rules;
@@ -43,16 +57,20 @@ pub mod stats;
 pub mod strategies;
 pub mod workload;
 
-pub use join::{apply_flat, apply_linear, Indexes};
 pub use derivation::{trace_decomposed, trace_star, DerivationGraph};
 pub use expr_eval::eval_expr;
+pub use join::{apply_flat, apply_linear, Indexes};
 pub use magic::{eval_selected_star, magic_applicable};
-pub use program::{execute_plan, plan_query, PlanKind, Program, QueryPlan};
+pub use planner::{
+    Analysis, AnalysisEffort, ExecOutcome, Plan, PlanShape, StrategyError, TraceStep,
+};
+pub use program::Program;
 pub use provenance::{eval_with_provenance, Provenance, Step};
 pub use selection::Selection;
 pub use seminaive::{bounded_prefix, exact_power, naive_star, seminaive_star};
 pub use stats::EvalStats;
+#[allow(deprecated)]
 pub use strategies::{
     eval_decomposed, eval_direct, eval_naive, eval_redundancy_bounded, eval_select_after,
-    eval_separable, StrategyError,
+    eval_separable,
 };

@@ -94,8 +94,8 @@ const MAGIC_DELTA_PRED: &str = "\u{b7}mag\u{394}";
 /// and statistics; the derivation counts include the magic phase.
 ///
 /// # Panics
-/// If `!magic_applicable(rule, sel)` — callers must check (or use
-/// [`crate::strategies::eval_select_after`] as the fallback).
+/// If `!magic_applicable(rule, sel)` — callers must check (the planner's
+/// separable node falls back to select-after-star automatically).
 pub fn eval_selected_star(
     rule: &LinearRule,
     db: &Database,
@@ -163,9 +163,8 @@ pub fn eval_selected_star(
     }
 
     // --- Phase 2: filtered semi-naive ascent. ---
-    let project = |t: &[linrec_datalog::Value]| -> Tuple {
-        positions.iter().map(|&p| t[p]).collect()
-    };
+    let project =
+        |t: &[linrec_datalog::Value]| -> Tuple { positions.iter().map(|&p| t[p]).collect() };
     let mut total = Relation::new(rule.arity());
     for t in init.iter() {
         if mag.contains(&project(t)) {

@@ -1,0 +1,886 @@
+//! The certificate-carrying planner: `Analysis → Plan → Execution`.
+//!
+//! This module is the single entry point for evaluating a linear recursion.
+//! It replaces the six free `eval_*` functions (now deprecated wrappers in
+//! [`crate::strategies`]) with a three-stage pipeline:
+//!
+//! 1. **[`Analysis`]** runs the paper's tests over a rule set (and optional
+//!    [`Selection`]) and collects *typed certificates* from `linrec-core`:
+//!    [`BoundednessCert`], [`CommutativityCert`], [`SeparabilityCert`],
+//!    [`RedundancyCert`].
+//! 2. **[`Plan`]** is a composable strategy tree. The specialized nodes —
+//!    `Decomposed`, `Separable`, `RedundancyBounded`, `BoundedPrefix` —
+//!    can **only** be built from the corresponding certificate, so an
+//!    unlicensed plan is unrepresentable; `Direct`, `Naive` and
+//!    `SelectAfter` need no premise and are always available.
+//! 3. **[`Plan::execute`]** runs the tree over a database and seed
+//!    relation, returning an [`ExecOutcome`] with the result relation, the
+//!    paper's duplicate/derivation statistics, and a per-phase trace.
+//!
+//! ```
+//! use linrec_engine::{planner::Analysis, workload, rules};
+//!
+//! let (db, init) = workload::up_down(5, 42);
+//! let analysis = Analysis::of(&[rules::up_rule(), rules::down_rule()], None);
+//! let plan = analysis.plan();          // picks Decomposed, certificate-backed
+//! let outcome = plan.execute(&db, &init).unwrap();
+//! assert!(plan.rationale().contains("Theorem 3.1"));
+//! assert_eq!(outcome.relation.len(), outcome.stats.tuples);
+//! ```
+
+use crate::magic::{eval_selected_star, magic_applicable};
+use crate::selection::Selection;
+use crate::seminaive::{bounded_prefix, exact_power, naive_star, seminaive_star};
+use crate::stats::EvalStats;
+use linrec_core::{BoundednessCert, CommutativityCert, RedundancyCert, SeparabilityCert};
+use linrec_datalog::{Database, LinearRule, Relation, RuleError};
+
+/// Errors from plan construction and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyError {
+    /// The selection does not commute with the operator that must absorb it
+    /// (Theorem 4.1's selection premise).
+    SelectionDoesNotCommute,
+    /// A strategy was requested without the certificate that licenses it.
+    MissingCertificate(String),
+    /// Underlying rule manipulation failed.
+    Rule(RuleError),
+}
+
+impl std::fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyError::SelectionDoesNotCommute => {
+                write!(f, "selection does not commute with the outer operator")
+            }
+            StrategyError::MissingCertificate(what) => {
+                write!(f, "no certificate licenses the strategy: {what}")
+            }
+            StrategyError::Rule(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
+impl From<RuleError> for StrategyError {
+    fn from(e: RuleError) -> StrategyError {
+        StrategyError::Rule(e)
+    }
+}
+
+// --- analysis -------------------------------------------------------------
+
+/// Search-depth knobs for [`Analysis`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisEffort {
+    /// Bound for power searches (uniform boundedness, torsion,
+    /// redundancy): `Bⁿ` is explored for `n ≤ max_power`.
+    pub max_power: usize,
+    /// Exponent bound for two-operator semi-commutation certificates
+    /// (`CB ≤ BᵏCˡ`); `0` disables the search.
+    pub semi_exp: usize,
+}
+
+impl Default for AnalysisEffort {
+    fn default() -> AnalysisEffort {
+        AnalysisEffort {
+            max_power: 8,
+            semi_exp: 0,
+        }
+    }
+}
+
+/// The certificates the paper's analyses produced for one rule set (and
+/// optional selection). Feed it to [`Analysis::plan`] to pick a strategy,
+/// or inspect the individual certificates (e.g. `linrec analyze`).
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    rules: Vec<LinearRule>,
+    selection: Option<Selection>,
+    boundedness: Option<BoundednessCert>,
+    commutativity: Option<CommutativityCert>,
+    redundancy: Option<RedundancyCert>,
+    /// `(outer, inner, cert)` candidates for the separable algorithm, in
+    /// preference order; only populated when a selection is present.
+    separability: Vec<(usize, usize, SeparabilityCert)>,
+    notes: Vec<String>,
+}
+
+impl Analysis {
+    /// Analyze `rules` under an optional selection with default effort.
+    pub fn of(rules: &[LinearRule], selection: Option<&Selection>) -> Analysis {
+        Analysis::with_effort(rules, selection, AnalysisEffort::default())
+    }
+
+    /// Analyze with explicit search bounds.
+    pub fn with_effort(
+        rules: &[LinearRule],
+        selection: Option<&Selection>,
+        effort: AnalysisEffort,
+    ) -> Analysis {
+        let mut analysis = Analysis {
+            rules: rules.to_vec(),
+            selection: selection.cloned(),
+            boundedness: None,
+            commutativity: None,
+            redundancy: None,
+            separability: Vec::new(),
+            notes: Vec::new(),
+        };
+
+        if rules.len() == 1 {
+            match BoundednessCert::establish(&rules[0], effort.max_power) {
+                Ok(cert) => analysis.boundedness = cert,
+                Err(e) => analysis
+                    .notes
+                    .push(format!("boundedness search failed: {e}")),
+            }
+            if analysis.boundedness.is_none() {
+                match RedundancyCert::establish_any(&rules[0], effort.max_power) {
+                    Ok(cert) => analysis.redundancy = cert,
+                    Err(e) => analysis
+                        .notes
+                        .push(format!("redundancy search failed: {e}")),
+                }
+            }
+        }
+
+        if rules.len() > 1 {
+            match CommutativityCert::establish(rules, effort.semi_exp) {
+                Ok(cert) => analysis.commutativity = cert,
+                Err(e) => analysis
+                    .notes
+                    .push(format!("commutativity analysis failed: {e}")),
+            }
+        }
+
+        if let (Some(sel), 2) = (selection, rules.len()) {
+            for (outer, inner) in [(0usize, 1usize), (1, 0)] {
+                if !sel.commutes_with(&rules[outer]) {
+                    continue;
+                }
+                match SeparabilityCert::establish(&rules[outer], &rules[inner]) {
+                    Ok(Some(cert)) => analysis.separability.push((outer, inner, cert)),
+                    Ok(None) => {}
+                    Err(e) => analysis.notes.push(format!(
+                        "separability analysis ({outer},{inner}) failed: {e}"
+                    )),
+                }
+            }
+        }
+
+        analysis
+    }
+
+    /// The analyzed rules.
+    pub fn rules(&self) -> &[LinearRule] {
+        &self.rules
+    }
+
+    /// The selection the analysis was made for, if any.
+    pub fn selection(&self) -> Option<&Selection> {
+        self.selection.as_ref()
+    }
+
+    /// Uniform-boundedness certificate (single-rule sets only).
+    pub fn boundedness(&self) -> Option<&BoundednessCert> {
+        self.boundedness.as_ref()
+    }
+
+    /// Cluster-decomposition certificate (multi-rule sets only).
+    pub fn commutativity(&self) -> Option<&CommutativityCert> {
+        self.commutativity.as_ref()
+    }
+
+    /// Recursive-redundancy certificate (single-rule sets only).
+    pub fn redundancy(&self) -> Option<&RedundancyCert> {
+        self.redundancy.as_ref()
+    }
+
+    /// Separable-algorithm candidates `(outer, inner, cert)`.
+    pub fn separability(&self) -> &[(usize, usize, SeparabilityCert)] {
+        &self.separability
+    }
+
+    /// Diagnostics from analyses that errored (rather than merely failing
+    /// to find a certificate).
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// True iff no specialized strategy is licensed.
+    pub fn has_no_certificates(&self) -> bool {
+        self.boundedness.is_none()
+            && self.commutativity.is_none()
+            && self.redundancy.is_none()
+            && self.separability.is_empty()
+    }
+
+    /// Pick the best licensed strategy, mirroring the paper's preference
+    /// order: exhaust a bounded recursion, run the separable algorithm for
+    /// selections, decompose commuting clusters, bound a redundant factor,
+    /// and fall back to semi-naive over the rule sum.
+    pub fn plan(&self) -> Plan {
+        if let Some(cert) = &self.boundedness {
+            return self.wrap_selection(Plan::bounded_prefix(cert.clone()));
+        }
+        if let Some(sel) = &self.selection {
+            // Candidates were collected only for outers the selection
+            // commutes with, so the constructor's premise check holds.
+            if let Some((_, _, cert)) = self.separability.first() {
+                if let Ok(plan) = Plan::separable(cert.clone(), sel.clone()) {
+                    return plan;
+                }
+            }
+        }
+        if let Some(cert) = &self.commutativity {
+            return self.wrap_selection(Plan::decomposed(cert.clone()));
+        }
+        if let Some(cert) = &self.redundancy {
+            return self.wrap_selection(Plan::redundancy_bounded(cert.clone()));
+        }
+        let mut plan = Plan::direct(self.rules.clone());
+        plan.rationale =
+            "no decomposition certificate found: semi-naive on the rule sum".to_owned();
+        self.wrap_selection(plan)
+    }
+
+    fn wrap_selection(&self, plan: Plan) -> Plan {
+        match &self.selection {
+            Some(sel) => Plan::select_after(plan, sel.clone()),
+            None => plan,
+        }
+    }
+
+    /// A human-readable certificate listing (used by `linrec analyze`).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let mut any = false;
+        if let Some(c) = &self.boundedness {
+            out.push_str(&format!("• boundedness: {}\n", c.rationale()));
+            any = true;
+        }
+        if let Some(c) = &self.commutativity {
+            out.push_str(&format!("• commutativity: {}\n", c.rationale()));
+            any = true;
+        }
+        if let Some(c) = &self.redundancy {
+            out.push_str(&format!("• redundancy: {}\n", c.rationale()));
+            any = true;
+        }
+        for (outer, inner, c) in &self.separability {
+            out.push_str(&format!(
+                "• separability (outer rule {outer}, inner rule {inner}): {}\n",
+                c.rationale()
+            ));
+            any = true;
+        }
+        if !any {
+            out.push_str("• no certificates: only the baseline strategies are licensed\n");
+        }
+        for note in &self.notes {
+            out.push_str(&format!("• note: {note}\n"));
+        }
+        out
+    }
+}
+
+// --- plans ----------------------------------------------------------------
+
+/// The strategy tree. Construction of the specialized nodes requires the
+/// corresponding certificate; see the module docs.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    node: PlanNode,
+    rationale: String,
+}
+
+#[derive(Debug, Clone)]
+enum PlanNode {
+    Direct {
+        rules: Vec<LinearRule>,
+    },
+    Naive {
+        rules: Vec<LinearRule>,
+    },
+    BoundedPrefix {
+        cert: BoundednessCert,
+    },
+    Decomposed {
+        cert: CommutativityCert,
+    },
+    Separable {
+        cert: SeparabilityCert,
+        sel: Selection,
+    },
+    RedundancyBounded {
+        cert: Box<RedundancyCert>,
+    },
+    SelectAfter {
+        inner: Box<Plan>,
+        sel: Selection,
+    },
+}
+
+/// A certificate-free view of a plan's structure, for matching and
+/// reporting (certificates stay inside the [`Plan`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanShape {
+    /// Semi-naive over the rule sum.
+    Direct,
+    /// Naive fixpoint (baseline).
+    Naive,
+    /// `A* = Σ_{m<N} Aᵐ` with the certified application count.
+    BoundedPrefix {
+        /// Number of operator applications (`N − 1`).
+        applications: usize,
+    },
+    /// One star per commuting cluster (rule indices).
+    Decomposed {
+        /// The certified clusters.
+        clusters: Vec<Vec<usize>>,
+    },
+    /// `outer* (σ inner*)`.
+    Separable,
+    /// Theorem 4.2 bounded evaluation of a redundant factor.
+    RedundancyBounded,
+    /// Apply a selection to an inner plan's result.
+    SelectAfter(Box<PlanShape>),
+}
+
+/// The result of [`Plan::execute`]: the relation, the paper's cost
+/// counters, and one [`TraceStep`] per executed phase.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// The computed relation (with any selection already applied).
+    pub relation: Relation,
+    /// Aggregated statistics across all phases.
+    pub stats: EvalStats,
+    /// Per-phase execution record, in execution order.
+    pub trace: Vec<TraceStep>,
+}
+
+/// One executed phase of a plan.
+#[derive(Debug, Clone)]
+pub struct TraceStep {
+    /// What ran (human-readable).
+    pub label: String,
+    /// That phase's statistics.
+    pub stats: EvalStats,
+}
+
+impl Plan {
+    /// Semi-naive evaluation of `(Σ rules)*` — always licensed.
+    pub fn direct(rules: impl Into<Vec<LinearRule>>) -> Plan {
+        Plan {
+            node: PlanNode::Direct {
+                rules: rules.into(),
+            },
+            rationale: "semi-naive evaluation of the rule sum (the paper's baseline)".to_owned(),
+        }
+    }
+
+    /// Naive fixpoint — always licensed (substrate baseline).
+    pub fn naive(rules: impl Into<Vec<LinearRule>>) -> Plan {
+        Plan {
+            node: PlanNode::Naive {
+                rules: rules.into(),
+            },
+            rationale: "naive fixpoint (re-applies every operator to the whole relation)"
+                .to_owned(),
+        }
+    }
+
+    /// Exhaust a uniformly bounded recursion in `N − 1` applications.
+    /// Licensed by a [`BoundednessCert`].
+    pub fn bounded_prefix(cert: BoundednessCert) -> Plan {
+        let rationale = cert.rationale().to_owned();
+        Plan {
+            node: PlanNode::BoundedPrefix { cert },
+            rationale,
+        }
+    }
+
+    /// One star per commuting cluster, right-to-left. Licensed by a
+    /// [`CommutativityCert`].
+    pub fn decomposed(cert: CommutativityCert) -> Plan {
+        let rationale = cert.rationale().to_owned();
+        Plan {
+            node: PlanNode::Decomposed { cert },
+            rationale,
+        }
+    }
+
+    /// The separable algorithm `outer* (σ inner*)` (Algorithm 4.1).
+    /// Licensed by a [`SeparabilityCert`] for the operator pair; the
+    /// selection premise (σ commutes with `outer`) is checked here and is
+    /// the only way construction can fail.
+    pub fn separable(cert: SeparabilityCert, sel: Selection) -> Result<Plan, StrategyError> {
+        if !sel.commutes_with(cert.outer()) {
+            return Err(StrategyError::SelectionDoesNotCommute);
+        }
+        let rationale = format!(
+            "σ commutes with the outer operator and {}",
+            cert.rationale()
+        );
+        Ok(Plan {
+            node: PlanNode::Separable { cert, sel },
+            rationale,
+        })
+    }
+
+    /// Theorem 4.2 bounded evaluation. Licensed by a [`RedundancyCert`].
+    pub fn redundancy_bounded(cert: RedundancyCert) -> Plan {
+        let rationale = cert.rationale().to_owned();
+        Plan {
+            node: PlanNode::RedundancyBounded {
+                cert: Box::new(cert),
+            },
+            rationale,
+        }
+    }
+
+    /// Apply `sel` to `inner`'s result — always licensed (`σ` after star).
+    pub fn select_after(inner: Plan, sel: Selection) -> Plan {
+        let rationale = format!("apply σ to the result of: {}", inner.rationale);
+        Plan {
+            node: PlanNode::SelectAfter {
+                inner: Box::new(inner),
+                sel,
+            },
+            rationale,
+        }
+    }
+
+    /// Why this plan is licensed (certificate-backed where applicable).
+    pub fn rationale(&self) -> &str {
+        &self.rationale
+    }
+
+    /// The certificate-free structure of the plan.
+    pub fn shape(&self) -> PlanShape {
+        match &self.node {
+            PlanNode::Direct { .. } => PlanShape::Direct,
+            PlanNode::Naive { .. } => PlanShape::Naive,
+            PlanNode::BoundedPrefix { cert } => PlanShape::BoundedPrefix {
+                applications: cert.applications(),
+            },
+            PlanNode::Decomposed { cert } => PlanShape::Decomposed {
+                clusters: cert.clusters().to_vec(),
+            },
+            PlanNode::Separable { .. } => PlanShape::Separable,
+            PlanNode::RedundancyBounded { .. } => PlanShape::RedundancyBounded,
+            PlanNode::SelectAfter { inner, .. } => PlanShape::SelectAfter(Box::new(inner.shape())),
+        }
+    }
+
+    /// A multi-line, indented rendering of the plan tree with rationales.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        self.describe_into(&mut out, 0);
+        out
+    }
+
+    fn describe_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match &self.node {
+            PlanNode::Direct { rules } => {
+                out.push_str(&format!("{pad}Direct ({} rules)\n", rules.len()));
+            }
+            PlanNode::Naive { rules } => {
+                out.push_str(&format!("{pad}Naive ({} rules)\n", rules.len()));
+            }
+            PlanNode::BoundedPrefix { cert } => {
+                out.push_str(&format!(
+                    "{pad}BoundedPrefix (≤ {} applications)\n",
+                    cert.applications()
+                ));
+            }
+            PlanNode::Decomposed { cert } => {
+                out.push_str(&format!(
+                    "{pad}Decomposed ({} clusters, applied right-to-left)\n",
+                    cert.clusters().len()
+                ));
+                for cluster in cert.clusters().iter().rev() {
+                    let rules: Vec<String> = cluster
+                        .iter()
+                        .map(|&i| cert.rules()[i].to_string())
+                        .collect();
+                    out.push_str(&format!("{pad}  star of {{ {} }}\n", rules.join("  +  ")));
+                }
+            }
+            PlanNode::Separable { cert, sel } => {
+                out.push_str(&format!("{pad}Separable outer*(σ inner*)\n"));
+                out.push_str(&format!("{pad}  outer: {}\n", cert.outer()));
+                out.push_str(&format!(
+                    "{pad}  inner: {} (absorbs σ {:?})\n",
+                    cert.inner(),
+                    sel.bindings()
+                ));
+            }
+            PlanNode::RedundancyBounded { cert } => {
+                let dec = cert.decomposition();
+                out.push_str(&format!(
+                    "{pad}RedundancyBounded ({} elided after {} C-applications)\n",
+                    cert.pred(),
+                    (dec.torsion.n - 1) * dec.l
+                ));
+                out.push_str(&format!("{pad}  B: {}\n", dec.b));
+                out.push_str(&format!("{pad}  C: {}\n", dec.c));
+            }
+            PlanNode::SelectAfter { inner, sel } => {
+                out.push_str(&format!("{pad}SelectAfter σ {:?}\n", sel.bindings()));
+                inner.describe_into(out, depth + 1);
+            }
+        }
+        out.push_str(&format!("{pad}  rationale: {}\n", self.rationale));
+    }
+
+    /// Run the plan over `db` starting from `init`.
+    pub fn execute(&self, db: &Database, init: &Relation) -> Result<ExecOutcome, StrategyError> {
+        let mut trace = Vec::new();
+        let (relation, mut stats) = self.run(db, init, &mut trace)?;
+        stats.tuples = relation.len();
+        Ok(ExecOutcome {
+            relation,
+            stats,
+            trace,
+        })
+    }
+
+    fn run(
+        &self,
+        db: &Database,
+        init: &Relation,
+        trace: &mut Vec<TraceStep>,
+    ) -> Result<(Relation, EvalStats), StrategyError> {
+        match &self.node {
+            PlanNode::Direct { rules } => {
+                let (rel, stats) = seminaive_star(rules, db, init);
+                trace.push(TraceStep {
+                    label: format!("semi-naive star over {} rule(s)", rules.len()),
+                    stats,
+                });
+                Ok((rel, stats))
+            }
+            PlanNode::Naive { rules } => {
+                let (rel, stats) = naive_star(rules, db, init);
+                trace.push(TraceStep {
+                    label: format!("naive fixpoint over {} rule(s)", rules.len()),
+                    stats,
+                });
+                Ok((rel, stats))
+            }
+            PlanNode::BoundedPrefix { cert } => {
+                let (rel, stats) = bounded_prefix(cert.rule(), db, init, cert.applications());
+                trace.push(TraceStep {
+                    label: format!("bounded prefix (≤ {} applications)", cert.applications()),
+                    stats,
+                });
+                Ok((rel, stats))
+            }
+            PlanNode::Decomposed { cert } => {
+                let mut stats = EvalStats::default();
+                let mut current = init.clone();
+                for cluster in cert.clusters().iter().rev() {
+                    let group: Vec<LinearRule> =
+                        cluster.iter().map(|&i| cert.rules()[i].clone()).collect();
+                    let (next, s) = seminaive_star(&group, db, &current);
+                    trace.push(TraceStep {
+                        label: format!("star of cluster {cluster:?}"),
+                        stats: s,
+                    });
+                    stats += s;
+                    current = next;
+                }
+                stats.tuples = current.len();
+                Ok((current, stats))
+            }
+            PlanNode::Separable { cert, sel } => {
+                exec_separable(cert.outer(), cert.inner(), sel, db, init, trace)
+            }
+            PlanNode::RedundancyBounded { cert } => exec_redundancy_bounded(cert, db, init, trace),
+            PlanNode::SelectAfter { inner, sel } => {
+                let (rel, mut stats) = inner.run(db, init, trace)?;
+                let out = sel.apply(&rel);
+                stats.tuples = out.len();
+                trace.push(TraceStep {
+                    label: format!("selection σ {:?}", sel.bindings()),
+                    stats: EvalStats {
+                        tuples: out.len(),
+                        ..EvalStats::default()
+                    },
+                });
+                Ok((out, stats))
+            }
+        }
+    }
+}
+
+/// The separable algorithm (Algorithm 4.1): `outer* (σ inner*)`, pushing
+/// the selection into `inner`'s parameter relations when the binding
+/// closure allows it.
+fn exec_separable(
+    outer: &LinearRule,
+    inner: &LinearRule,
+    sel: &Selection,
+    db: &Database,
+    init: &Relation,
+    trace: &mut Vec<TraceStep>,
+) -> Result<(Relation, EvalStats), StrategyError> {
+    // Re-checked so a cloned-and-mutated selection cannot sneak past the
+    // constructor check (construction already guarantees it for planner
+    // paths).
+    if !sel.commutes_with(outer) {
+        return Err(StrategyError::SelectionDoesNotCommute);
+    }
+    let (selected, mut stats) = if magic_applicable(inner, sel) {
+        let (rel, s) = eval_selected_star(inner, db, init, sel);
+        trace.push(TraceStep {
+            label: "σ-pushed inner star (magic frontier)".to_owned(),
+            stats: s,
+        });
+        (rel, s)
+    } else {
+        let (full, mut s) = seminaive_star(std::slice::from_ref(inner), db, init);
+        let rel = sel.apply(&full);
+        s.tuples = rel.len();
+        trace.push(TraceStep {
+            label: "inner star, then σ (push-down not applicable)".to_owned(),
+            stats: s,
+        });
+        (rel, s)
+    };
+    let (result, s2) = seminaive_star(std::slice::from_ref(outer), db, &selected);
+    trace.push(TraceStep {
+        label: "outer star over the selected relation".to_owned(),
+        stats: s2,
+    });
+    stats += s2;
+    // σ commutes with `outer`, so the result is already σ-selected; apply
+    // once more for belt and braces (cheap, and keeps the contract obvious).
+    let out = sel.apply(&result);
+    stats.tuples = out.len();
+    Ok((out, stats))
+}
+
+/// Redundancy-bounded evaluation (Theorem 4.2 via the Theorem 6.4
+/// witnesses): with `Aᴸ = BCᴸ`, `Cᴺ = Cᴷ`, and period `P = N−K`,
+///
+/// ```text
+/// A*q = Σ_{m<KL} Aᵐq  ∪  Σ_{n<L} Aⁿ ( Σ_{r<P} B( C^{(K+r)L} ( (Bᴾ)* ( B^{K−1+r} q ))))
+/// ```
+///
+/// an identity obtained from `A^{mL} = B·C^{mL}·B^{m−1}` (first equality of
+/// Theorem 6.4 plus the `Cᴸ`-commutation) and the torsion collapse
+/// `C^{mL} = C^{g(m)L}`. `C` is applied at most `(N−1)·L` times per branch —
+/// the paper's "C is processed only a fixed finite number of times, beyond
+/// which only B is processed".
+fn exec_redundancy_bounded(
+    cert: &RedundancyCert,
+    db: &Database,
+    init: &Relation,
+    trace: &mut Vec<TraceStep>,
+) -> Result<(Relation, EvalStats), StrategyError> {
+    let rule = cert.rule();
+    let dec = cert.decomposition();
+    let (k, n, l) = (dec.torsion.k, dec.torsion.n, dec.l);
+    let period = n - k;
+    let mut stats = EvalStats::default();
+
+    // Part 1: Σ_{m=0}^{KL-1} Aᵐ q.
+    let (mut result, s1) = bounded_prefix(rule, db, init, k * l - 1);
+    trace.push(TraceStep {
+        label: format!("prefix Σ_{{m<{}}} Aᵐ q", k * l),
+        stats: s1,
+    });
+    stats += s1;
+
+    // (Bᴾ)* is evaluated with the composed rule Bᴾ.
+    let b_period = linrec_cq::power(&dec.b, period)?;
+
+    // Part 2 inner sums.
+    let branch_stats_before = stats;
+    let mut acc = Relation::new(rule.arity());
+    let mut img = exact_power(&dec.b, db, init, k - 1, &mut stats); // B^{K-1} q
+    for r in 0..period {
+        if r > 0 {
+            img = exact_power(&dec.b, db, &img, 1, &mut stats); // B^{K-1+r} q
+        }
+        let (bstar, s) = seminaive_star(std::slice::from_ref(&b_period), db, &img);
+        stats += s;
+        let after_c = exact_power(&dec.c, db, &bstar, (k + r) * l, &mut stats);
+        let with_b = exact_power(&dec.b, db, &after_c, 1, &mut stats);
+        acc.union_in_place(&with_b);
+    }
+
+    // Σ_{n<L} Aⁿ (acc).
+    let mut cur = acc.clone();
+    result.union_in_place(&acc);
+    for _ in 1..l {
+        cur = exact_power(rule, db, &cur, 1, &mut stats);
+        result.union_in_place(&cur);
+    }
+    {
+        let mut branch = stats;
+        branch.iterations -= branch_stats_before.iterations;
+        branch.applications -= branch_stats_before.applications;
+        branch.derivations -= branch_stats_before.derivations;
+        branch.duplicates -= branch_stats_before.duplicates;
+        trace.push(TraceStep {
+            label: format!(
+                "{period} periodic branch(es) with C bounded at {} applications",
+                (n - 1) * l
+            ),
+            stats: branch,
+        });
+    }
+
+    stats.tuples = result.len();
+    Ok((result, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rules, workload};
+    use linrec_datalog::{parse_linear_rule, Symbol, Value};
+
+    fn updown() -> Vec<LinearRule> {
+        vec![rules::down_rule(), rules::up_rule()]
+    }
+
+    #[test]
+    fn analysis_licenses_decomposition_for_up_down() {
+        let rules = updown();
+        let analysis = Analysis::of(&rules, None);
+        let plan = analysis.plan();
+        assert!(matches!(plan.shape(), PlanShape::Decomposed { .. }));
+        assert!(plan.rationale().contains("Theorem 3.1"));
+
+        let (db, init) = workload::up_down(5, 3);
+        let planned = plan.execute(&db, &init).unwrap();
+        let direct = Plan::direct(rules).execute(&db, &init).unwrap();
+        assert_eq!(planned.relation.sorted(), direct.relation.sorted());
+        assert!(planned.stats.duplicates <= direct.stats.duplicates);
+        assert_eq!(planned.trace.len(), 2); // one star per cluster
+    }
+
+    #[test]
+    fn analysis_uses_separable_for_selected_queries() {
+        let rules = updown();
+        let sel = Selection::eq(1, (1i64 << 6) + 1);
+        let analysis = Analysis::of(&rules, Some(&sel));
+        let plan = analysis.plan();
+        assert_eq!(plan.shape(), PlanShape::Separable);
+
+        let (db, init) = workload::up_down(5, 3);
+        let fast = plan.execute(&db, &init).unwrap();
+        let slow = Plan::select_after(Plan::direct(rules), sel)
+            .execute(&db, &init)
+            .unwrap();
+        assert_eq!(fast.relation.sorted(), slow.relation.sorted());
+    }
+
+    #[test]
+    fn analysis_detects_bounded_recursion() {
+        let rule = parse_linear_rule("p(x,y) :- p(x,y), mark(x).").unwrap();
+        let analysis = Analysis::of(std::slice::from_ref(&rule), None);
+        let plan = analysis.plan();
+        assert_eq!(plan.shape(), PlanShape::BoundedPrefix { applications: 1 });
+
+        let mut db = Database::new();
+        db.set_relation("mark", Relation::from_tuples(1, [vec![Value::Int(1)]]));
+        let init = Relation::from_pairs([(1, 5), (2, 6)]);
+        let outcome = plan.execute(&db, &init).unwrap();
+        assert_eq!(outcome.relation.len(), 2);
+        assert!(outcome.stats.iterations <= 1);
+    }
+
+    #[test]
+    fn analysis_licenses_redundancy_bounded_for_shopping() {
+        let rule = rules::shopping_rule();
+        let analysis = Analysis::of(std::slice::from_ref(&rule), None);
+        assert!(analysis.redundancy().is_some());
+        let plan = analysis.plan();
+        assert_eq!(plan.shape(), PlanShape::RedundancyBounded);
+
+        let (db, init) = workload::shopping(40, 10, 3, 5);
+        let bounded = plan.execute(&db, &init).unwrap();
+        let direct = Plan::direct(vec![rule]).execute(&db, &init).unwrap();
+        assert_eq!(bounded.relation.sorted(), direct.relation.sorted());
+    }
+
+    #[test]
+    fn certificate_less_rule_sets_fall_back_to_direct() {
+        let rules = vec![
+            parse_linear_rule("p(x,y) :- p(x,z), a(z,y).").unwrap(),
+            parse_linear_rule("p(x,y) :- p(x,z), b(z,y).").unwrap(),
+        ];
+        let analysis = Analysis::of(&rules, None);
+        assert!(analysis.has_no_certificates());
+        assert_eq!(analysis.plan().shape(), PlanShape::Direct);
+
+        let sel = Selection::eq(0, 1);
+        let analysis = Analysis::of(&rules, Some(&sel));
+        assert_eq!(
+            analysis.plan().shape(),
+            PlanShape::SelectAfter(Box::new(PlanShape::Direct))
+        );
+    }
+
+    #[test]
+    fn separable_construction_rejects_noncommuting_selection() {
+        // σ on position 1 does not commute with the down-rule.
+        let cert = SeparabilityCert::establish(&rules::down_rule(), &rules::up_rule())
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            Plan::separable(cert, Selection::eq(1, 4)).unwrap_err(),
+            StrategyError::SelectionDoesNotCommute
+        );
+    }
+
+    #[test]
+    fn naive_plan_agrees_with_direct() {
+        let rules = updown();
+        let (db, init) = workload::up_down(4, 9);
+        let a = Plan::direct(rules.clone()).execute(&db, &init).unwrap();
+        let b = Plan::naive(rules).execute(&db, &init).unwrap();
+        assert_eq!(a.relation.sorted(), b.relation.sorted());
+        assert!(b.stats.duplicates >= a.stats.duplicates);
+    }
+
+    #[test]
+    fn outcome_trace_and_describe_are_informative() {
+        let rule = rules::shopping_rule();
+        let cert = RedundancyCert::establish(&rule, Symbol::new("cheap"), 8)
+            .unwrap()
+            .unwrap();
+        let plan = Plan::select_after(Plan::redundancy_bounded(cert), Selection::eq(0, 1));
+        let text = plan.describe();
+        assert!(text.contains("SelectAfter"));
+        assert!(text.contains("RedundancyBounded"));
+        assert!(text.contains("rationale"));
+
+        let (db, init) = workload::shopping(20, 8, 2, 1);
+        let outcome = plan.execute(&db, &init).unwrap();
+        assert!(outcome.trace.len() >= 3);
+        assert_eq!(outcome.stats.tuples, outcome.relation.len());
+    }
+
+    #[test]
+    fn empty_selection_analysis_on_single_rule() {
+        // A single unbounded, irredundant rule: plain direct.
+        let rule = rules::tc_right();
+        let analysis = Analysis::of(std::slice::from_ref(&rule), None);
+        assert!(analysis.has_no_certificates());
+        let plan = analysis.plan();
+        assert_eq!(plan.shape(), PlanShape::Direct);
+        let edges = workload::chain(10);
+        let db = workload::graph_db("q", edges.clone());
+        let outcome = plan.execute(&db, &edges).unwrap();
+        assert_eq!(outcome.relation.len(), 55);
+    }
+}

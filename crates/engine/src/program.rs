@@ -1,20 +1,27 @@
 //! Whole-program API: parse a Datalog program, analyze it with the paper's
-//! machinery, pick an evaluation strategy, and run it.
+//! machinery, and run it through the certificate-carrying planner.
 //!
-//! This is the "downstream user" entry point: the analysis results of
-//! `linrec-core` (commutativity clusters, uniform boundedness, separability
-//! premises) become *certificates* that license the specialized strategies,
-//! with a human-readable rationale attached to the chosen plan.
+//! This is the "downstream user" entry point. A [`Program`] is one
+//! recursive predicate with its rules, EDB facts and seed; [`Program::analyze`]
+//! produces the typed certificates, [`Program::plan`] picks a licensed
+//! [`Plan`], and [`Program::run`] executes it:
+//!
+//! ```
+//! use linrec_engine::{PlanShape, Program};
+//!
+//! let prog = Program::parse(
+//!     "p(x,y) :- p(x,z), down(z,y).
+//!      p(x,y) :- p(w,y), up(x,w).
+//!      up(1,2). down(10,11). p(1,10).",
+//! ).unwrap();
+//! let (outcome, plan) = prog.run(None).unwrap();
+//! assert!(matches!(plan.shape(), PlanShape::Decomposed { .. }));
+//! assert_eq!(outcome.relation.len(), 2);
+//! ```
 
+use crate::planner::{Analysis, AnalysisEffort, ExecOutcome, Plan, StrategyError};
 use crate::selection::Selection;
-use crate::seminaive::bounded_prefix;
-use crate::stats::EvalStats;
-use crate::strategies::{
-    eval_decomposed, eval_direct, eval_select_after, eval_separable, StrategyError,
-};
-use linrec_datalog::{
-    parse_program, Clause, Database, LinearRule, Relation, RuleError, Symbol,
-};
+use linrec_datalog::{parse_program, Clause, Database, LinearRule, Relation, RuleError, Symbol};
 
 /// A parsed recursive query program: one recursive (IDB) predicate defined
 /// by linear rules, plus ground facts for the EDB relations and the seed of
@@ -119,163 +126,36 @@ impl Program {
         self
     }
 
-    /// Choose an evaluation strategy for this program (and optional
-    /// selection) using the paper's analyses.
-    pub fn plan(&self, sel: Option<&Selection>) -> QueryPlan {
-        plan_query(&self.rules, sel)
+    /// Run the paper's analyses for this program (and optional selection),
+    /// collecting the certificates that license specialized strategies.
+    pub fn analyze(&self, sel: Option<&Selection>) -> Analysis {
+        Analysis::of(&self.rules, sel)
     }
 
-    /// Plan and execute. Returns the result (with the selection applied, if
-    /// any), the statistics, and the plan that was used.
-    pub fn run(
-        &self,
-        sel: Option<&Selection>,
-    ) -> Result<(Relation, EvalStats, QueryPlan), StrategyError> {
+    /// Analyze with explicit search bounds.
+    pub fn analyze_with_effort(&self, sel: Option<&Selection>, effort: AnalysisEffort) -> Analysis {
+        Analysis::with_effort(&self.rules, sel, effort)
+    }
+
+    /// Choose an evaluation strategy (certificate-backed) for this program
+    /// and optional selection.
+    pub fn plan(&self, sel: Option<&Selection>) -> Plan {
+        self.analyze(sel).plan()
+    }
+
+    /// Plan and execute. Returns the execution outcome (with the selection
+    /// applied, if any) and the plan that was used.
+    pub fn run(&self, sel: Option<&Selection>) -> Result<(ExecOutcome, Plan), StrategyError> {
         let plan = self.plan(sel);
-        let (rel, stats) = execute_plan(&plan, &self.rules, &self.db, &self.init, sel)?;
-        Ok((rel, stats, plan))
-    }
-}
-
-/// The strategy chosen for a query.
-#[derive(Debug, Clone)]
-pub enum PlanKind {
-    /// The recursion is uniformly bounded: `A* = Σ_{m<N} Aᵐ` (finitely many
-    /// applications regardless of the data).
-    BoundedPrefix {
-        /// Number of operator applications needed (`N − 1`).
-        applications: usize,
-    },
-    /// Commuting clusters: `(ΣA)* = Π (Σ cluster)*` (Theorems 5.1/5.2 +
-    /// §3 decomposition). Cluster indices refer to the program's rules.
-    Decomposed {
-        /// The clusters, applied right-to-left.
-        clusters: Vec<Vec<usize>>,
-    },
-    /// The separable algorithm (Algorithm 4.1 / Theorem 4.1): evaluate
-    /// `outer*(σ inner*)`.
-    Separable {
-        /// Index of the operator that commutes with the selection.
-        outer: usize,
-        /// Index of the operator absorbing the selection.
-        inner: usize,
-    },
-    /// Plain semi-naive on the whole rule sum.
-    Direct,
-}
-
-/// A chosen strategy plus the certificate-backed rationale.
-#[derive(Debug, Clone)]
-pub struct QueryPlan {
-    /// What to execute.
-    pub kind: PlanKind,
-    /// Why it is licensed (which theorem/check).
-    pub rationale: String,
-}
-
-/// Decide a strategy for `rules` under an optional selection.
-pub fn plan_query(rules: &[LinearRule], sel: Option<&Selection>) -> QueryPlan {
-    // 1. Bounded recursion: a uniformly bounded operator sum needs only a
-    //    finite prefix. (Checked for the single-rule case, where the
-    //    certificate is the paper's uniform-boundedness witness.)
-    if rules.len() == 1 {
-        if let Ok(Some(w)) = linrec_core::uniformly_bounded(&rules[0], 6) {
-            return QueryPlan {
-                kind: PlanKind::BoundedPrefix {
-                    applications: w.n - 1,
-                },
-                rationale: format!(
-                    "uniformly bounded: A^{} ≤ A^{} (Lemma 6.2 search), so A* = Σ_{{m<{}}} Aᵐ",
-                    w.n, w.k, w.n
-                ),
-            };
-        }
-    }
-
-    // 2. Separable algorithm for two operators and a selection.
-    if let (Some(sel), 2) = (sel, rules.len()) {
-        for (outer, inner) in [(0usize, 1usize), (1, 0)] {
-            if sel.commutes_with(&rules[outer])
-                && linrec_core::pair_commutes(&rules[outer], &rules[inner]).unwrap_or(false)
-            {
-                return QueryPlan {
-                    kind: PlanKind::Separable { outer, inner },
-                    rationale: format!(
-                        "rules commute and σ commutes with rule {outer}: σ(A₁+A₂)* = A{outer}*(σA{inner}*) (Theorem 4.1)"
-                    ),
-                };
-            }
-        }
-    }
-
-    // 3. Cluster decomposition.
-    if rules.len() > 1 {
-        if let Ok(plan) = linrec_core::plan_decomposition(rules, 0) {
-            if plan.is_decomposed() {
-                return QueryPlan {
-                    kind: PlanKind::Decomposed {
-                        clusters: plan.clusters.clone(),
-                    },
-                    rationale: format!(
-                        "{} commuting clusters: (ΣA)* = Π (Σ cluster)* (Theorems 5.1/5.2, §3)",
-                        plan.clusters.len()
-                    ),
-                };
-            }
-        }
-    }
-
-    QueryPlan {
-        kind: PlanKind::Direct,
-        rationale: "no decomposition certificate found: semi-naive on the rule sum".into(),
-    }
-}
-
-/// Execute a plan.
-pub fn execute_plan(
-    plan: &QueryPlan,
-    rules: &[LinearRule],
-    db: &Database,
-    init: &Relation,
-    sel: Option<&Selection>,
-) -> Result<(Relation, EvalStats), StrategyError> {
-    match &plan.kind {
-        PlanKind::BoundedPrefix { applications } => {
-            let (rel, mut stats) = bounded_prefix(&rules[0], db, init, *applications);
-            let out = match sel {
-                Some(s) => s.apply(&rel),
-                None => rel,
-            };
-            stats.tuples = out.len();
-            Ok((out, stats))
-        }
-        PlanKind::Decomposed { clusters } => {
-            let groups: Vec<Vec<LinearRule>> = clusters
-                .iter()
-                .map(|c| c.iter().map(|&i| rules[i].clone()).collect())
-                .collect();
-            let (rel, mut stats) = eval_decomposed(&groups, db, init);
-            let out = match sel {
-                Some(s) => s.apply(&rel),
-                None => rel,
-            };
-            stats.tuples = out.len();
-            Ok((out, stats))
-        }
-        PlanKind::Separable { outer, inner } => {
-            let sel = sel.expect("separable plan requires a selection");
-            eval_separable(&rules[*outer], &rules[*inner], db, init, sel)
-        }
-        PlanKind::Direct => Ok(match sel {
-            Some(s) => eval_select_after(rules, db, init, s),
-            None => eval_direct(rules, db, init),
-        }),
+        let outcome = plan.execute(&self.db, &self.init)?;
+        Ok((outcome, plan))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::planner::PlanShape;
     use linrec_datalog::Value;
 
     const UPDOWN: &str = "
@@ -299,9 +179,9 @@ mod tests {
     fn planner_decomposes_commuting_program() {
         let prog = Program::parse(UPDOWN).unwrap();
         let plan = prog.plan(None);
-        assert!(matches!(plan.kind, PlanKind::Decomposed { .. }));
-        assert!(plan.rationale.contains("commuting clusters"));
-        let (result, _, _) = prog.run(None).unwrap();
+        assert!(matches!(plan.shape(), PlanShape::Decomposed { .. }));
+        assert!(plan.rationale().contains("commuting clusters"));
+        let (outcome, _) = prog.run(None).unwrap();
         // p(1,10) closed under up/down: {1,2,3} × {10,11,12}... only
         // reachable combinations: up extends x backwards? up(x,w): x
         // new, w old: from (1,10): up(?,1): none... up(1,2) means
@@ -309,7 +189,7 @@ mod tests {
         // (1,10): down: (1,11),(1,12); up needs p(w,y) with up(x,w): w ∈
         // {1}: no up(_,1)... up(1,2): p(2,y) would derive p(1,y): p(2,_)
         // unknown. So result = {(1,10),(1,11),(1,12)}.
-        assert_eq!(result.len(), 3);
+        assert_eq!(outcome.relation.len(), 3);
     }
 
     #[test]
@@ -317,25 +197,22 @@ mod tests {
         let prog = Program::parse(UPDOWN).unwrap();
         let sel = Selection::eq(1, 12);
         let plan = prog.plan(Some(&sel));
-        assert!(matches!(plan.kind, PlanKind::Separable { .. }), "{plan:?}");
-        let (result, _, _) = prog.run(Some(&sel)).unwrap();
-        assert_eq!(result.sorted(), vec![vec![Value::Int(1), Value::Int(12)]]);
+        assert_eq!(plan.shape(), PlanShape::Separable, "{plan:?}");
+        let (outcome, _) = prog.run(Some(&sel)).unwrap();
+        assert_eq!(
+            outcome.relation.sorted(),
+            vec![vec![Value::Int(1), Value::Int(12)]]
+        );
     }
 
     #[test]
     fn planner_detects_bounded_recursion() {
-        let prog = Program::parse(
-            "p(x,y) :- p(x,y), mark(x). mark(1). p(1,5). p(2,6).",
-        )
-        .unwrap();
+        let prog = Program::parse("p(x,y) :- p(x,y), mark(x). mark(1). p(1,5). p(2,6).").unwrap();
         let plan = prog.plan(None);
-        match plan.kind {
-            PlanKind::BoundedPrefix { applications } => assert_eq!(applications, 1),
-            other => panic!("expected bounded prefix, got {other:?}"),
-        }
-        let (result, stats, _) = prog.run(None).unwrap();
-        assert_eq!(result.len(), 2); // seeds only (rule derives nothing new)
-        assert!(stats.iterations <= 1);
+        assert_eq!(plan.shape(), PlanShape::BoundedPrefix { applications: 1 });
+        let (outcome, _) = prog.run(None).unwrap();
+        assert_eq!(outcome.relation.len(), 2); // seeds only (rule derives nothing new)
+        assert!(outcome.stats.iterations <= 1);
     }
 
     #[test]
@@ -347,17 +224,27 @@ mod tests {
         )
         .unwrap();
         let plan = prog.plan(None);
-        assert!(matches!(plan.kind, PlanKind::Direct));
-        let (result, _, _) = prog.run(None).unwrap();
-        assert_eq!(result.len(), 3); // (0,1),(0,2),(0,3)
+        assert_eq!(plan.shape(), PlanShape::Direct);
+        let (outcome, _) = prog.run(None).unwrap();
+        assert_eq!(outcome.relation.len(), 3); // (0,1),(0,2),(0,3)
     }
 
     #[test]
     fn plans_agree_with_direct_evaluation() {
         let prog = Program::parse(UPDOWN).unwrap();
-        let (planned, _, _) = prog.run(None).unwrap();
-        let (direct, _) = eval_direct(prog.rules(), prog.database(), prog.init());
-        assert_eq!(planned.sorted(), direct.sorted());
+        let (planned, _) = prog.run(None).unwrap();
+        let direct = Plan::direct(prog.rules().to_vec())
+            .execute(prog.database(), prog.init())
+            .unwrap();
+        assert_eq!(planned.relation.sorted(), direct.relation.sorted());
+    }
+
+    #[test]
+    fn analysis_is_exposed_for_reporting() {
+        let prog = Program::parse(UPDOWN).unwrap();
+        let analysis = prog.analyze(None);
+        assert!(analysis.commutativity().is_some());
+        assert!(analysis.summary().contains("commutativity"));
     }
 
     #[test]

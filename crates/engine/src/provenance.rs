@@ -71,12 +71,7 @@ impl Provenance {
     }
 
     /// Render a derivation for humans.
-    pub fn explain(
-        &self,
-        t: &Tuple,
-        seeds: &Relation,
-        rules: &[LinearRule],
-    ) -> Option<String> {
+    pub fn explain(&self, t: &Tuple, seeds: &Relation, rules: &[LinearRule]) -> Option<String> {
         let steps = self.derivation(t, seeds)?;
         let mut out = String::new();
         use std::fmt::Write as _;
@@ -120,13 +115,8 @@ pub fn eval_with_provenance(
                 let derived: Tuple = row[..arity].to_vec();
                 let parent: Tuple = row[arity..].to_vec();
                 if !total.contains(&derived) && !next.contains(&derived) {
-                    prov.first.insert(
-                        derived.clone(),
-                        Step {
-                            rule: ri,
-                            parent,
-                        },
-                    );
+                    prov.first
+                        .insert(derived.clone(), Step { rule: ri, parent });
                     next.insert(derived);
                 }
             }
@@ -194,10 +184,8 @@ mod tests {
         let (mixed, _) = eval_with_provenance(&rs, &db, &init);
 
         // Canonical order: up* first, then down*.
-        let (after_up, prov_up) =
-            eval_with_provenance(std::slice::from_ref(&rs[1]), &db, &init);
-        let (full, prov_down) =
-            eval_with_provenance(std::slice::from_ref(&rs[0]), &db, &after_up);
+        let (after_up, prov_up) = eval_with_provenance(std::slice::from_ref(&rs[1]), &db, &init);
+        let (full, prov_down) = eval_with_provenance(std::slice::from_ref(&rs[0]), &db, &after_up);
         assert_eq!(mixed.sorted(), full.sorted());
 
         // Every tuple has a derivation that is all-up then all-down.

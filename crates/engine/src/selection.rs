@@ -41,9 +41,11 @@ impl Selection {
         self.bindings.iter().map(|&(p, _)| p).collect()
     }
 
-    /// Does a tuple satisfy the selection?
+    /// Does a tuple satisfy the selection? Positions beyond the tuple's
+    /// arity match nothing (rather than panicking), mirroring
+    /// [`Selection::commutes_with`]'s treatment of out-of-range positions.
     pub fn matches(&self, t: &[Value]) -> bool {
-        self.bindings.iter().all(|&(p, v)| t[p] == v)
+        self.bindings.iter().all(|&(p, v)| t.get(p) == Some(&v))
     }
 
     /// Apply to a whole relation.
@@ -107,6 +109,14 @@ mod tests {
     fn out_of_range_position_never_commutes() {
         let r = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
         assert!(!Selection::eq(7, 5).commutes_with(&r));
+    }
+
+    #[test]
+    fn out_of_range_position_matches_nothing() {
+        let rel = Relation::from_pairs([(1, 2), (3, 4)]);
+        let sel = Selection::eq(9, 1);
+        assert!(!sel.matches(&[Value::Int(1), Value::Int(2)]));
+        assert!(sel.apply(&rel).is_empty());
     }
 
     #[test]

@@ -1,66 +1,72 @@
-//! Evaluation strategies for linear recursion.
+//! Deprecated free-function strategy entry points.
 //!
-//! | Strategy | Paper | Use |
-//! |---|---|---|
-//! | [`eval_direct`] | semi-naive `(ΣAᵢ)*` \[5\] | baseline |
-//! | [`eval_naive`] | naive fixpoint | substrate baseline (E6) |
-//! | [`eval_decomposed`] | `(B+C)* = B*C*` (§3, Thm 3.1) | commuting operators |
-//! | [`eval_separable`] | Algorithm 4.1, Theorems 4.1/6.1 | selections |
-//! | [`eval_select_after`] | `σ((ΣAᵢ)* q)` | selection baseline |
-//! | [`eval_redundancy_bounded`] | Theorem 4.2/6.4 | redundant predicates |
+//! These six functions were the engine's original API. They are now thin
+//! wrappers over the certificate-carrying planner ([`crate::planner`]) and
+//! will be removed; migrate as follows:
+//!
+//! | Legacy call | Replacement |
+//! |---|---|
+//! | `eval_direct(rules, db, q)` | `Plan::direct(rules.to_vec()).execute(db, q)` |
+//! | `eval_naive(rules, db, q)` | `Plan::naive(rules.to_vec()).execute(db, q)` |
+//! | `eval_decomposed(groups, db, q)` | `Plan::decomposed(CommutativityCert::establish(rules, 0)?…)` `.execute(db, q)` |
+//! | `eval_select_after(rules, db, q, σ)` | `Plan::select_after(Plan::direct(…), σ).execute(db, q)` |
+//! | `eval_separable(a1, a2, db, q, σ)` | `Plan::separable(SeparabilityCert::establish(a1, a2)?…, σ)?` `.execute(db, q)` |
+//! | `eval_redundancy_bounded(rule, dec, db, q)` | `Plan::redundancy_bounded(RedundancyCert::establish(rule, pred, 8)?…)` `.execute(db, q)` |
+//!
+//! Or let the analysis pick: `Analysis::of(rules, sel).plan().execute(db, q)`.
+//!
+//! Semantics note: the legacy functions took the commutativity premises on
+//! faith ("the caller's certificate"). The wrappers re-establish (or
+//! re-verify) the certificates, so a call whose premise does not actually
+//! hold now fails with [`StrategyError::MissingCertificate`] instead of
+//! silently computing from an unlicensed identity. `eval_decomposed` is the
+//! exception: its group structure *is* the caller's claim, so it executes
+//! the product of group-stars literally (which is correct exactly when the
+//! groups commute — same contract as before).
 
-use crate::magic::{eval_selected_star, magic_applicable};
+use crate::planner::Plan;
+pub use crate::planner::StrategyError;
 use crate::selection::Selection;
-use crate::seminaive::{bounded_prefix, exact_power, naive_star, seminaive_star};
 use crate::stats::EvalStats;
-use linrec_core::Decomposition;
-use linrec_datalog::{Database, LinearRule, Relation, RuleError};
-
-/// Errors from strategy preconditions.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum StrategyError {
-    /// The selection does not commute with the operator that must absorb it
-    /// (Theorem 4.1's premise).
-    SelectionDoesNotCommute,
-    /// Underlying rule manipulation failed.
-    Rule(RuleError),
-}
-
-impl std::fmt::Display for StrategyError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            StrategyError::SelectionDoesNotCommute => {
-                write!(f, "selection does not commute with the outer operator")
-            }
-            StrategyError::Rule(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for StrategyError {}
-
-impl From<RuleError> for StrategyError {
-    fn from(e: RuleError) -> StrategyError {
-        StrategyError::Rule(e)
-    }
-}
+use linrec_core::{Decomposition, RedundancyCert, SeparabilityCert};
+use linrec_datalog::{Database, LinearRule, Relation};
 
 /// Semi-naive evaluation of `(Σ rules)* init` — the paper's general
 /// baseline.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `planner::Plan::direct(rules.to_vec()).execute(db, init)`"
+)]
 pub fn eval_direct(rules: &[LinearRule], db: &Database, init: &Relation) -> (Relation, EvalStats) {
-    seminaive_star(rules, db, init)
+    let out = Plan::direct(rules.to_vec())
+        .execute(db, init)
+        .expect("direct plans cannot fail");
+    (out.relation, out.stats)
 }
 
 /// Naive evaluation (every operator re-applied to the whole relation each
 /// round).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `planner::Plan::naive(rules.to_vec()).execute(db, init)`"
+)]
 pub fn eval_naive(rules: &[LinearRule], db: &Database, init: &Relation) -> (Relation, EvalStats) {
-    naive_star(rules, db, init)
+    let out = Plan::naive(rules.to_vec())
+        .execute(db, init)
+        .expect("naive plans cannot fail");
+    (out.relation, out.stats)
 }
 
 /// Decomposed evaluation `(Σ all)* = Π_g (Σ g)*`, with groups applied
 /// right-to-left: `groups[k-1]` is applied to `init` first, matching the
 /// paper's reading of `A* = B*C*` (compute `C* q`, then run `B` over the
-/// result — Section 2's closing remark).
+/// result — Section 2's closing remark). The grouping is the *caller's*
+/// claim; prefer `Plan::decomposed(CommutativityCert::establish(…))`, which
+/// proves it.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `planner::Plan::decomposed(CommutativityCert::establish(rules, 0)…)` (certificate-checked)"
+)]
 pub fn eval_decomposed(
     groups: &[Vec<LinearRule>],
     db: &Database,
@@ -69,25 +75,31 @@ pub fn eval_decomposed(
     let mut stats = EvalStats::default();
     let mut current = init.clone();
     for group in groups.iter().rev() {
-        let (next, s) = seminaive_star(group, db, &current);
-        stats += s;
-        current = next;
+        let out = Plan::direct(group.clone())
+            .execute(db, &current)
+            .expect("direct plans cannot fail");
+        stats += out.stats;
+        current = out.relation;
     }
     stats.tuples = current.len();
     (current, stats)
 }
 
 /// Baseline for selection queries: full star, then select.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `planner::Plan::select_after(Plan::direct(rules.to_vec()), sel.clone()).execute(db, init)`"
+)]
 pub fn eval_select_after(
     rules: &[LinearRule],
     db: &Database,
     init: &Relation,
     sel: &Selection,
 ) -> (Relation, EvalStats) {
-    let (full, mut stats) = seminaive_star(rules, db, init);
-    let out = sel.apply(&full);
-    stats.tuples = out.len();
-    (out, stats)
+    let out = Plan::select_after(Plan::direct(rules.to_vec()), sel.clone())
+        .execute(db, init)
+        .expect("select-after plans cannot fail");
+    (out.relation, out.stats)
 }
 
 /// The separable algorithm (Algorithm 4.1) for `σ(A₁+A₂)*` under
@@ -96,8 +108,13 @@ pub fn eval_select_after(
 /// relations when possible (falling back to select-after-star for the
 /// inner part otherwise).
 ///
-/// The commutativity of the pair is the *caller's* certificate (checked by
-/// `linrec-core`); this function verifies the selection premise.
+/// Both premises are now *checked*: the commutativity of the pair through
+/// [`SeparabilityCert::establish`] (it used to be the caller's unverified
+/// certificate) and the selection premise as before.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `planner::Plan::separable(SeparabilityCert::establish(a1, a2)…, sel.clone())`"
+)]
 pub fn eval_separable(
     a1: &LinearRule,
     a2: &LinearRule,
@@ -108,76 +125,48 @@ pub fn eval_separable(
     if !sel.commutes_with(a1) {
         return Err(StrategyError::SelectionDoesNotCommute);
     }
-    let (selected, mut stats) = if magic_applicable(a2, sel) {
-        eval_selected_star(a2, db, init, sel)
-    } else {
-        eval_select_after(std::slice::from_ref(a2), db, init, sel)
-    };
-    let (result, s2) = seminaive_star(std::slice::from_ref(a1), db, &selected);
-    stats += s2;
-    // σ commutes with A₁, so the final result is already σ-selected; apply
-    // once more for belt and braces (cheap, and keeps the contract obvious).
-    let out = sel.apply(&result);
-    stats.tuples = out.len();
-    Ok((out, stats))
+    let cert = SeparabilityCert::establish(a1, a2)?.ok_or_else(|| {
+        StrategyError::MissingCertificate(format!(
+            "the operators do not commute (Theorem 4.1 premise): {a1} / {a2}"
+        ))
+    })?;
+    let out = Plan::separable(cert, sel.clone())?.execute(db, init)?;
+    Ok((out.relation, out.stats))
 }
 
 /// Redundancy-bounded evaluation (Theorem 4.2 via the Theorem 6.4
-/// witnesses): with `Aᴸ = BCᴸ`, `Cᴺ = Cᴷ`, and period `P = N−K`,
+/// witnesses); see [`crate::planner`] for the evaluated identity.
 ///
-/// ```text
-/// A*q = Σ_{m<KL} Aᵐq  ∪  Σ_{n<L} Aⁿ ( Σ_{r<P} B( C^{(K+r)L} ( (Bᴾ)* ( B^{K−1+r} q ))))
-/// ```
-///
-/// an identity obtained from `A^{mL} = B·C^{mL}·B^{m−1}` (first equality of
-/// Theorem 6.4 plus the `Cᴸ`-commutation) and the torsion collapse
-/// `C^{mL} = C^{g(m)L}`. `C` is applied at most `(N−1)·L` times per branch —
-/// the paper's "C is processed only a fixed finite number of times, beyond
-/// which only B is processed".
+/// The supplied witnesses are re-verified ([`RedundancyCert::verify`])
+/// before execution; unverifiable witnesses fail with
+/// [`StrategyError::MissingCertificate`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `planner::Plan::redundancy_bounded(RedundancyCert::establish(rule, pred, 8)…)`"
+)]
 pub fn eval_redundancy_bounded(
     rule: &LinearRule,
     dec: &Decomposition,
     db: &Database,
     init: &Relation,
 ) -> Result<(Relation, EvalStats), StrategyError> {
-    let (k, n, l) = (dec.torsion.k, dec.torsion.n, dec.l);
-    let period = n - k;
-    let mut stats = EvalStats::default();
-
-    // Part 1: Σ_{m=0}^{KL-1} Aᵐ q.
-    let (mut result, s1) = bounded_prefix(rule, db, init, k * l - 1);
-    stats += s1;
-
-    // (Bᴾ)* is evaluated with the composed rule Bᴾ.
-    let b_period = linrec_cq::power(&dec.b, period)?;
-
-    // Part 2 inner sums.
-    let mut acc = Relation::new(rule.arity());
-    let mut img = exact_power(&dec.b, db, init, k - 1, &mut stats); // B^{K-1} q
-    for r in 0..period {
-        if r > 0 {
-            img = exact_power(&dec.b, db, &img, 1, &mut stats); // B^{K-1+r} q
-        }
-        let (bstar, s) = seminaive_star(std::slice::from_ref(&b_period), db, &img);
-        stats += s;
-        let after_c = exact_power(&dec.c, db, &bstar, (k + r) * l, &mut stats);
-        let with_b = exact_power(&dec.b, db, &after_c, 1, &mut stats);
-        acc.union_in_place(&with_b);
-    }
-
-    // Σ_{n<L} Aⁿ (acc).
-    let mut cur = acc.clone();
-    result.union_in_place(&acc);
-    for _ in 1..l {
-        cur = exact_power(rule, db, &cur, 1, &mut stats);
-        result.union_in_place(&cur);
-    }
-
-    stats.tuples = result.len();
-    Ok((result, stats))
+    let pred = dec
+        .c
+        .nonrec_atoms()
+        .first()
+        .map(|a| a.pred)
+        .unwrap_or_else(|| rule.rec_pred());
+    let cert = RedundancyCert::verify(rule, pred, dec)?.ok_or_else(|| {
+        StrategyError::MissingCertificate(
+            "the supplied Theorem 6.4 witnesses failed re-verification".to_owned(),
+        )
+    })?;
+    let out = Plan::redundancy_bounded(cert).execute(db, init)?;
+    Ok((out.relation, out.stats))
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use linrec_datalog::parse_linear_rule;
@@ -201,8 +190,7 @@ mod tests {
     fn decomposed_equals_direct_for_commuting_rules() {
         let (down_rule, up_rule) = updown();
         let (db, init) = updown_db();
-        let (direct, sd) =
-            eval_direct(&[down_rule.clone(), up_rule.clone()], &db, &init);
+        let (direct, sd) = eval_direct(&[down_rule.clone(), up_rule.clone()], &db, &init);
         let (dec, sc) = eval_decomposed(
             &[vec![up_rule.clone()], vec![down_rule.clone()]],
             &db,
@@ -254,16 +242,26 @@ mod tests {
     }
 
     #[test]
+    fn separable_now_rejects_noncommuting_pairs() {
+        // New behavior: the wrapper re-establishes the operator premise and
+        // refuses pairs that do not commute (previously the caller's
+        // unchecked certificate).
+        let a = parse_linear_rule("p(x,y) :- p(x,z), a(z,y).").unwrap();
+        let b = parse_linear_rule("p(x,y) :- p(x,z), b(z,y).").unwrap();
+        let (db, init) = updown_db();
+        let sel = Selection::eq(0, 2); // commutes with both (position 0 persists)
+        assert!(matches!(
+            eval_separable(&a, &b, &db, &init, &sel).unwrap_err(),
+            StrategyError::MissingCertificate(_)
+        ));
+    }
+
+    #[test]
     fn redundancy_bounded_equals_direct_example_6_1() {
-        let a = parse_linear_rule("buys(x,y) :- knows(x,z), buys(z,y), cheap(y).")
-            .unwrap();
-        let dec = linrec_core::decomposition_for_pred(
-            &a,
-            linrec_datalog::Symbol::new("cheap"),
-            8,
-        )
-        .unwrap()
-        .expect("cheap is redundant");
+        let a = parse_linear_rule("buys(x,y) :- knows(x,z), buys(z,y), cheap(y).").unwrap();
+        let dec = linrec_core::decomposition_for_pred(&a, linrec_datalog::Symbol::new("cheap"), 8)
+            .unwrap()
+            .expect("cheap is redundant");
         let mut db = Database::new();
         db.set_relation(
             "knows",
@@ -273,7 +271,10 @@ mod tests {
             "cheap",
             Relation::from_tuples(
                 1,
-                [vec![linrec_datalog::Value::Int(100)], vec![linrec_datalog::Value::Int(200)]],
+                [
+                    vec![linrec_datalog::Value::Int(100)],
+                    vec![linrec_datalog::Value::Int(200)],
+                ],
             ),
         );
         let init = Relation::from_pairs([(4, 100), (4, 200), (4, 300), (1, 100)]);
@@ -284,8 +285,7 @@ mod tests {
 
     #[test]
     fn redundancy_bounded_equals_direct_example_6_2() {
-        let a = parse_linear_rule("p(w,x,y,z) :- p(x,w,x,u), q(x,u), r(x,y), s(u,z).")
-            .unwrap();
+        let a = parse_linear_rule("p(w,x,y,z) :- p(x,w,x,u), q(x,u), r(x,y), s(u,z).").unwrap();
         let dec = linrec_core::decomposition_for_pred(&a, linrec_datalog::Symbol::new("r"), 8)
             .unwrap()
             .expect("r is redundant");

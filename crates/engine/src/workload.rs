@@ -127,7 +127,12 @@ pub fn up_down(depth: u32, seed: u64) -> (Database, Relation) {
 /// The Example 6.1 shopping workload: `knows` is a random digraph over
 /// `people`, `cheap` marks a fraction of `items`, and the initial `buys`
 /// relation links random people to random items.
-pub fn shopping(people: i64, items: i64, knows_per_person: usize, seed: u64) -> (Database, Relation) {
+pub fn shopping(
+    people: i64,
+    items: i64,
+    knows_per_person: usize,
+    seed: u64,
+) -> (Database, Relation) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut knows = Relation::new(2);
     for p in 0..people {

@@ -32,8 +32,16 @@ fn main() {
     println!("==== figure 3/4/5: commutativity of the example pairs ====\n");
     for (label, r1, r2) in [
         ("Example 5.2", rules::tc_right(), rules::tc_left()),
-        ("Example 5.3", rules::example_5_3_r1(), rules::example_5_3_r2()),
-        ("Example 5.4", rules::example_5_4_r1(), rules::example_5_4_r2()),
+        (
+            "Example 5.3",
+            rules::example_5_3_r1(),
+            rules::example_5_3_r2(),
+        ),
+        (
+            "Example 5.4",
+            rules::example_5_4_r1(),
+            rules::example_5_4_r2(),
+        ),
     ] {
         println!("---- {label} ----");
         println!("{}", pair_report(&r1, &r2).unwrap());

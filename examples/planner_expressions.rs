@@ -42,10 +42,10 @@ fn main() {
     ";
     let prog = Program::parse(program_text).unwrap();
     let plan = prog.plan(None);
-    println!("\nprogram plan: {:?}", plan.kind);
-    println!("  rationale: {}", plan.rationale);
-    let (result, _, _) = prog.run(None).unwrap();
-    println!("  result: {result:?}");
+    println!("\nprogram plan ({:?}):", plan.shape());
+    print!("{}", plan.describe());
+    let (outcome, _) = prog.run(None).unwrap();
+    println!("  result: {:?}", outcome.relation);
 
     // --- Provenance -----------------------------------------------------
     let (total, prov) = eval_with_provenance(prog.rules(), prog.database(), prog.init());

@@ -1,5 +1,5 @@
-//! Quickstart: test two rules for commutativity, decompose the recursion,
-//! and compare the two evaluations.
+//! Quickstart: test two rules for commutativity, let the planner certify
+//! and pick the decomposition, and compare against the forced baseline.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -31,24 +31,30 @@ fn main() {
         commute_by_definition(&up, &dn).unwrap()
     );
 
-    // Consequence: (up + dn)* = up* dn*. Evaluate both ways over a random
-    // graph with a sparse seed relation and compare results and duplicate
-    // counts (Theorem 3.1): direct evaluation derives each answer once per
-    // interleaving of up- and dn-steps, decomposed evaluation only through
-    // the canonical dn-then-up order.
+    // Consequence: (up + dn)* = up* dn*. The analysis turns that into a
+    // certificate, the certificate licenses the decomposed plan, and
+    // Theorem 3.1 guarantees no more duplicates than the direct baseline:
+    // direct evaluation derives each answer once per interleaving of up-
+    // and dn-steps, decomposed evaluation only through the canonical
+    // dn-then-up order.
+    let rules = vec![up, dn];
+    let analysis = Analysis::of(&rules, None);
+    let plan = analysis.plan();
+    println!("\nplan:\n{}", plan.describe());
+
     let edges = linrec::engine::workload::random_graph(300, 600, 42);
     let db = linrec::engine::workload::graph_db("q", edges);
     let init = linrec::engine::workload::random_graph(300, 40, 43);
 
-    let (direct, sd) = eval_direct(&[up.clone(), dn.clone()], &db, &init);
-    let (decomposed, sc) = eval_decomposed(&[vec![up], vec![dn]], &db, &init);
-    assert_eq!(direct.sorted(), decomposed.sorted());
+    let direct = Plan::direct(rules).execute(&db, &init).unwrap();
+    let decomposed = plan.execute(&db, &init).unwrap();
+    assert_eq!(direct.relation.sorted(), decomposed.relation.sorted());
 
-    println!("\nevaluation over G(300, 600):");
-    println!("  direct     (up+dn)*: {sd}");
-    println!("  decomposed up* dn* : {sc}");
+    println!("evaluation over G(300, 600):");
+    println!("  direct     (up+dn)*: {}", direct.stats);
+    println!("  decomposed up* dn* : {}", decomposed.stats);
     println!(
         "  duplicate reduction: {:.1}%",
-        100.0 * (1.0 - sc.duplicates as f64 / sd.duplicates.max(1) as f64)
+        100.0 * (1.0 - decomposed.stats.duplicates as f64 / direct.stats.duplicates.max(1) as f64)
     );
 }

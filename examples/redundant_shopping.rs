@@ -9,29 +9,38 @@
 //!
 //! The `cheap` test is re-checked at every recursive step although its
 //! truth never changes along a derivation — it is *recursively redundant*
-//! (Theorem 6.3). The engine detects this, constructs the Theorem 6.4
-//! witnesses `A = B·C` with `C = buys ∧ cheap` torsion, and evaluates with
-//! `C` applied a bounded number of times.
+//! (Theorem 6.3). The analysis certifies the Theorem 6.4 witnesses
+//! `A = B·C` with `C = buys ∧ cheap` torsion, and the planner's
+//! `RedundancyBounded` node evaluates with `C` applied a bounded number of
+//! times.
 //!
 //! ```sh
 //! cargo run --release --example redundant_shopping
 //! ```
 
-use linrec::core::{decomposition_for_pred, redundancy_report};
-use linrec::engine::{eval_direct, eval_redundancy_bounded, rules, workload};
-use linrec::prelude::*;
+use linrec::core::redundancy_report;
+use linrec::engine::{rules, workload, Analysis, Plan, PlanShape};
 use std::time::Instant;
 
 fn main() {
     let rule = rules::shopping_rule();
     println!("{}", redundancy_report(&rule, 8).unwrap());
 
-    let dec = decomposition_for_pred(&rule, Symbol::new("cheap"), 8)
-        .unwrap()
+    // Analysis certifies the redundancy; the planner picks the bounded plan.
+    let analysis = Analysis::of(std::slice::from_ref(&rule), None);
+    let cert = analysis
+        .redundancy()
         .expect("cheap is recursively redundant");
-    println!("Theorem 6.4 witnesses (L = {}, C^{} = C^{}):", dec.l, dec.torsion.n, dec.torsion.k);
+    let dec = cert.decomposition();
+    println!(
+        "Theorem 6.4 witnesses (L = {}, C^{} = C^{}):",
+        dec.l, dec.torsion.n, dec.torsion.k
+    );
     println!("  B = {}", dec.b);
     println!("  C = {}\n", dec.c);
+
+    let bounded_plan = analysis.plan();
+    assert_eq!(bounded_plan.shape(), PlanShape::RedundancyBounded);
 
     // The paper's efficiency claim (Theorem 4.2): C is processed a *fixed*
     // number of times (≤ NL−1), beyond which only B is processed — versus
@@ -42,24 +51,37 @@ fn main() {
         .sum();
     println!(
         "{:<10} {:>8} {:>14} {:>14} {:>12} {:>12} {:>10} {:>10}",
-        "people", "tuples", "der(direct)", "der(bounded)", "Cjoin(dir)", "Cjoin(bnd)", "ms(dir)", "ms(bnd)"
+        "people",
+        "tuples",
+        "der(direct)",
+        "der(bounded)",
+        "Cjoin(dir)",
+        "Cjoin(bnd)",
+        "ms(dir)",
+        "ms(bnd)"
     );
     for people in [50i64, 100, 200, 400, 800] {
         let (db, init) = workload::shopping(people, 30, 4, 99);
         let t0 = Instant::now();
-        let (direct, sd) = eval_direct(std::slice::from_ref(&rule), &db, &init);
+        let direct = Plan::direct(vec![rule.clone()])
+            .execute(&db, &init)
+            .unwrap();
         let t_direct = t0.elapsed();
         let t1 = Instant::now();
-        let (bounded, sb) = eval_redundancy_bounded(&rule, &dec, &db, &init).unwrap();
+        let bounded = bounded_plan.execute(&db, &init).unwrap();
         let t_bounded = t1.elapsed();
-        assert_eq!(direct.sorted(), bounded.sorted(), "strategies must agree");
+        assert_eq!(
+            direct.relation.sorted(),
+            bounded.relation.sorted(),
+            "strategies must agree"
+        );
         println!(
             "{:<10} {:>8} {:>14} {:>14} {:>12} {:>12} {:>10.2} {:>10.2}",
             people,
-            sd.tuples,
-            sd.derivations,
-            sb.derivations,
-            sd.iterations, // every direct iteration joins cheap
+            direct.stats.tuples,
+            direct.stats.derivations,
+            bounded.stats.derivations,
+            direct.stats.iterations, // every direct iteration joins cheap
             c_joins_bounded,
             t_direct.as_secs_f64() * 1e3,
             t_bounded.as_secs_f64() * 1e3,

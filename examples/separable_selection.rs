@@ -5,13 +5,14 @@
 //! "z delegates to y"; `p(x,y)` closes a visibility relation across both.
 //! The user asks for one employee's row: `σ_{x=c} (A₁+A₂)* q`. Theorem 4.1
 //! lets the engine evaluate `A₁*(σ A₂*)`, pushing the constant into the
-//! parameter relations instead of materializing the full closure.
+//! parameter relations instead of materializing the full closure — and the
+//! planner only builds that plan from a `SeparabilityCert`.
 //!
 //! ```sh
 //! cargo run --release --example separable_selection
 //! ```
 
-use linrec::engine::{eval_select_after, eval_separable, rules, workload, Selection};
+use linrec::engine::{rules, workload, Analysis, Plan, PlanShape, Selection};
 use linrec::prelude::*;
 use std::time::Instant;
 
@@ -28,28 +29,38 @@ fn main() {
         "depth", "answers", "der(baseline)", "der(separable)", "ms(baseline)", "ms(separable)"
     );
 
+    let all = vec![down, up];
     for depth in 6..=11u32 {
         let (db, init) = workload::up_down(depth, 11);
         // Select a concrete down-side node (down ids live above the offset).
         let sel = Selection::eq(1, (1i64 << (depth + 1)) + 1);
-        assert!(sel.commutes_with(&up), "σ must commute with the outer operator");
-        let all = [down.clone(), up.clone()];
+
+        // The analysis finds the separability certificate and the planner
+        // picks Algorithm 4.1; the baseline is the forced select-after plan.
+        let analysis = Analysis::of(&all, Some(&sel));
+        let fast_plan = analysis.plan();
+        assert_eq!(fast_plan.shape(), PlanShape::Separable);
+        let slow_plan = Plan::select_after(Plan::direct(all.clone()), sel);
 
         let t0 = Instant::now();
-        let (slow, ss) = eval_select_after(&all, &db, &init, &sel);
+        let slow = slow_plan.execute(&db, &init).unwrap();
         let t_slow = t0.elapsed();
 
         let t1 = Instant::now();
-        let (fast, sf) = eval_separable(&up, &down, &db, &init, &sel).unwrap();
+        let fast = fast_plan.execute(&db, &init).unwrap();
         let t_fast = t1.elapsed();
 
-        assert_eq!(slow.sorted(), fast.sorted(), "strategies must agree");
+        assert_eq!(
+            slow.relation.sorted(),
+            fast.relation.sorted(),
+            "strategies must agree"
+        );
         println!(
             "{:<8} {:>9} {:>14} {:>14} {:>12.2} {:>12.2}",
             depth,
-            fast.len(),
-            ss.derivations,
-            sf.derivations,
+            fast.relation.len(),
+            slow.stats.derivations,
+            fast.stats.derivations,
             t_slow.as_secs_f64() * 1e3,
             t_fast.as_secs_f64() * 1e3,
         );

@@ -1,41 +1,61 @@
 //! A part-hierarchy scenario: components connect *up* into assemblies and
 //! *down* into sub-components; the query closes a compatibility relation in
-//! both directions. The two rules commute, so the commutativity planner
-//! decomposes the star, and Theorem 3.1 predicts fewer duplicates.
+//! both directions. The two rules commute, so the analysis certifies the
+//! cluster decomposition, the planner picks it, and Theorem 3.1 predicts
+//! fewer duplicates.
 //!
 //! ```sh
 //! cargo run --release --example updown_decomposition
 //! ```
 
-use linrec::core::{plan_decomposition, PairRelation};
-use linrec::engine::{eval_decomposed, eval_direct, rules, workload};
+use linrec::core::PairRelation;
+use linrec::engine::{rules, workload, Analysis, Plan, PlanShape};
 
 fn main() {
     let up = rules::up_rule();
     let down = rules::down_rule();
     println!("rules:\n  {up}\n  {down}\n");
 
-    // Let the planner find the decomposition.
-    let plan = plan_decomposition(&[up.clone(), down.clone()], 2).unwrap();
+    // Let the analysis find (and certify) the decomposition.
+    let all = vec![up, down];
+    let analysis = Analysis::of(&all, None);
+    let cert = analysis
+        .commutativity()
+        .expect("up/down commute (Theorem 5.2)");
     println!(
-        "planner: pair relation = {:?}, clusters = {:?}",
-        plan.relations[0][1], plan.clusters
+        "analysis: pair relation = {:?}, clusters = {:?}",
+        cert.pair_relation(0, 1),
+        cert.clusters()
     );
-    assert_eq!(plan.relations[0][1], PairRelation::Commute);
+    assert_eq!(cert.pair_relation(0, 1), PairRelation::Commute);
 
-    println!("\n{:<8} {:>10} {:>12} {:>12} {:>12} {:>12}",
-        "depth", "tuples", "dup(direct)", "dup(decomp)", "der(direct)", "der(decomp)");
+    let plan = analysis.plan();
+    assert!(matches!(plan.shape(), PlanShape::Decomposed { .. }));
+
+    println!(
+        "\n{:<8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "depth", "tuples", "dup(direct)", "dup(decomp)", "der(direct)", "der(decomp)"
+    );
     for depth in 4..=9u32 {
         let (db, init) = workload::up_down(depth, 7);
-        let (direct, sd) = eval_direct(&[up.clone(), down.clone()], &db, &init);
-        let groups = [vec![up.clone()], vec![down.clone()]];
-        let (decomposed, sc) = eval_decomposed(&groups, &db, &init);
-        assert_eq!(direct.sorted(), decomposed.sorted());
-        assert!(sc.duplicates <= sd.duplicates, "Theorem 3.1 violated");
+        let direct = Plan::direct(all.clone()).execute(&db, &init).unwrap();
+        let decomposed = plan.execute(&db, &init).unwrap();
+        assert_eq!(direct.relation.sorted(), decomposed.relation.sorted());
+        assert!(
+            decomposed.stats.duplicates <= direct.stats.duplicates,
+            "Theorem 3.1 violated"
+        );
         println!(
             "{:<8} {:>10} {:>12} {:>12} {:>12} {:>12}",
-            depth, sd.tuples, sd.duplicates, sc.duplicates, sd.derivations, sc.derivations
+            depth,
+            direct.stats.tuples,
+            direct.stats.duplicates,
+            decomposed.stats.duplicates,
+            direct.stats.derivations,
+            decomposed.stats.derivations
         );
     }
-    println!("\n(equal results at every depth; decomposed evaluation never produces more duplicates)");
+    println!(
+        "\n(equal results at every depth; decomposed evaluation never produces more duplicates)"
+    );
 }

@@ -1,9 +1,11 @@
 //! `linrec` — command-line front end.
 //!
 //! ```text
-//! linrec analyze <file>                 commutativity / separability /
-//!                                       redundancy report for the program's rules
+//! linrec analyze <file>                 certificates (commutativity /
+//!                                       separability / boundedness /
+//!                                       redundancy) and the plan they license
 //! linrec run <file> [pos=value ...]     plan and evaluate (optional selection)
+//! linrec explain <file> <v1,v2,...>     derivation of one answer tuple
 //! linrec figures [--dot]                regenerate the paper's figures
 //! ```
 //!
@@ -36,7 +38,11 @@ fn load(path: &str) -> Result<Program, String> {
 fn analyze(path: &str) -> Result<(), String> {
     let prog = load(path)?;
     let rules = prog.rules();
-    println!("recursive predicate: {} ({} rules)\n", prog.rec_pred(), rules.len());
+    println!(
+        "recursive predicate: {} ({} rules)\n",
+        prog.rec_pred(),
+        rules.len()
+    );
     for (i, r) in rules.iter().enumerate() {
         println!("rule {i}: {r}");
     }
@@ -57,8 +63,12 @@ fn analyze(path: &str) -> Result<(), String> {
             Err(e) => println!("not analyzable: {e}\n"),
         }
     }
-    let plan = prog.plan(None);
-    println!("plan (no selection): {:?}\n  rationale: {}", plan.kind, plan.rationale);
+    let analysis = prog.analyze(None);
+    println!("---- certificates ----");
+    print!("{}", analysis.summary());
+    let plan = analysis.plan();
+    println!("\n---- plan (no selection) ----");
+    print!("{}", plan.describe());
     Ok(())
 }
 
@@ -88,13 +98,20 @@ fn run(path: &str, sel_args: &[String]) -> Result<(), String> {
     let prog = load(path)?;
     let sel = parse_selection(sel_args)?;
     let plan = prog.plan(sel.as_ref());
-    println!("plan: {:?}", plan.kind);
-    println!("rationale: {}\n", plan.rationale);
+    println!("plan:\n{}", plan.describe());
     let t = std::time::Instant::now();
-    let (result, stats, _) = prog.run(sel.as_ref()).map_err(|e| e.to_string())?;
+    let (outcome, _) = prog.run(sel.as_ref()).map_err(|e| e.to_string())?;
     let elapsed = t.elapsed();
-    println!("{} tuples in {:.2} ms ({stats})", result.len(), elapsed.as_secs_f64() * 1e3);
-    let rows = result.sorted();
+    println!(
+        "{} tuples in {:.2} ms ({})",
+        outcome.relation.len(),
+        elapsed.as_secs_f64() * 1e3,
+        outcome.stats
+    );
+    for step in &outcome.trace {
+        println!("  phase: {} [{}]", step.label, step.stats);
+    }
+    let rows = outcome.relation.sorted();
     for row in rows.iter().take(20) {
         let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
         println!("  {}({})", prog.rec_pred(), cells.join(","));
@@ -114,11 +131,8 @@ fn explain(path: &str, tuple: &str) -> Result<(), String> {
             Err(_) => Value::sym(s.trim()),
         })
         .collect();
-    let (total, prov) = linrec::engine::eval_with_provenance(
-        prog.rules(),
-        prog.database(),
-        prog.init(),
-    );
+    let (total, prov) =
+        linrec::engine::eval_with_provenance(prog.rules(), prog.database(), prog.init());
     if !total.contains(&values) {
         println!("{}({tuple}) is NOT in the answer", prog.rec_pred());
         return Ok(());

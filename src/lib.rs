@@ -12,11 +12,13 @@
 //! * [`alpha`] — α-graphs: persistence classes, bridges, narrow/wide rules;
 //! * [`core`] — the paper's results: the Theorem 5.1 sufficient and
 //!   Theorem 5.2/5.3 exact commutativity tests, separability (§4.1/§6.1),
-//!   uniform boundedness/torsion, recursive redundancy (§4.2/§6.2), and
-//!   star-decomposition planning;
-//! * [`engine`] — instrumented evaluation: semi-naive, decomposed
-//!   `(B+C)* = B*C*`, the separable algorithm with selection push-down,
-//!   and redundancy-bounded evaluation.
+//!   uniform boundedness/torsion, recursive redundancy (§4.2/§6.2) — and
+//!   the **typed certificates** ([`core::cert`]) those analyses produce;
+//! * [`engine`] — the `Analysis → Plan → Execution` pipeline: certificates
+//!   license plan nodes (decomposed `(B+C)* = B*C*`, the separable
+//!   algorithm with selection push-down, bounded and redundancy-bounded
+//!   evaluation), and [`engine::Plan::execute`] runs them instrumented with
+//!   the paper's duplicate/derivation counters.
 //!
 //! ## Quick start
 //!
@@ -28,15 +30,40 @@
 //! let dn = parse_linear_rule("p(x,y) :- p(w,y), q(x,w).").unwrap();
 //! assert_eq!(commutes_exact(&up, &dn).unwrap(), ExactOutcome::Commute);
 //!
-//! // ...so (up + dn)* decomposes into up* dn*, which provably produces no
-//! // more duplicates (Theorem 3.1):
+//! // ...so analysis certifies the decomposition (B+C)* = B*C*, the planner
+//! // picks it, and execution provably produces no more duplicates
+//! // (Theorem 3.1):
+//! let rules = vec![up, dn];
+//! let plan = Analysis::of(&rules, None).plan();
+//! assert!(matches!(plan.shape(), PlanShape::Decomposed { .. }));
+//!
 //! let db = linrec::engine::workload::graph_db("q", linrec::engine::workload::chain(64));
 //! let init = linrec::engine::workload::chain(64);
-//! let (direct, sd) = eval_direct(&[up.clone(), dn.clone()], &db, &init);
-//! let (decomposed, sc) = eval_decomposed(&[vec![up], vec![dn]], &db, &init);
-//! assert_eq!(direct.sorted(), decomposed.sorted());
-//! assert!(sc.duplicates <= sd.duplicates);
+//! let decomposed = plan.execute(&db, &init).unwrap();
+//! let direct = Plan::direct(rules).execute(&db, &init).unwrap();
+//! assert_eq!(decomposed.relation.sorted(), direct.relation.sorted());
+//! assert!(decomposed.stats.duplicates <= direct.stats.duplicates);
 //! ```
+//!
+//! ## Migrating from the `eval_*` functions
+//!
+//! The six free evaluation functions are deprecated; each maps onto one
+//! plan construction (certificates come from [`core::cert`], via
+//! [`engine::Analysis`] or directly):
+//!
+//! | Legacy | Certificate-carrying form |
+//! |---|---|
+//! | `eval_direct(rules, db, q)` | `Plan::direct(rules.to_vec()).execute(db, q)` |
+//! | `eval_naive(rules, db, q)` | `Plan::naive(rules.to_vec()).execute(db, q)` |
+//! | `eval_decomposed(groups, db, q)` | `Plan::decomposed(CommutativityCert::establish(&rules, 0)?.unwrap()).execute(db, q)` |
+//! | `eval_select_after(rules, db, q, σ)` | `Plan::select_after(Plan::direct(rules.to_vec()), σ).execute(db, q)` |
+//! | `eval_separable(a1, a2, db, q, σ)` | `Plan::separable(SeparabilityCert::establish(a1, a2)?.unwrap(), σ)?.execute(db, q)` |
+//! | `eval_redundancy_bounded(rule, dec, db, q)` | `Plan::redundancy_bounded(RedundancyCert::establish(rule, pred, 8)?.unwrap()).execute(db, q)` |
+//!
+//! Where the legacy call trusted the caller's premise by comment, the
+//! certificate constructors *check* it — an unlicensed `Decomposed`,
+//! `Separable` or `RedundancyBounded` plan is unrepresentable. To let the
+//! analysis choose: `Analysis::of(&rules, sel).plan().execute(db, q)`.
 
 pub use linrec_alpha as alpha;
 pub use linrec_core as core;
@@ -49,16 +76,20 @@ pub mod prelude {
     pub use linrec_alpha::{AlphaGraph, BridgeDecomposition, Classification, PersistenceClass};
     pub use linrec_core::{
         analyze_redundancy, commute_by_definition, commutes_exact, commutes_sufficient,
-        decomposition_for_pred, is_separable, plan_decomposition, ExactOutcome, Sufficiency,
+        decomposition_for_pred, is_separable, plan_decomposition, BoundednessCert,
+        CommutativityCert, ExactOutcome, RedundancyCert, SeparabilityCert, Sufficiency,
     };
     pub use linrec_cq::{compose, linear_equivalent, minimize_linear, power};
     pub use linrec_datalog::{
         parse_linear_rule, parse_program, parse_rule, Atom, Database, LinearRule, Relation, Rule,
         Symbol, Term, Value, Var,
     };
+    #[allow(deprecated)]
     pub use linrec_engine::{
         eval_decomposed, eval_direct, eval_redundancy_bounded, eval_select_after, eval_separable,
-        EvalStats, Selection,
+    };
+    pub use linrec_engine::{
+        Analysis, EvalStats, ExecOutcome, Plan, PlanShape, Program, Selection, StrategyError,
     };
 }
 
@@ -70,5 +101,7 @@ mod tests {
     fn prelude_is_usable() {
         let r = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
         assert!(commute_by_definition(&r, &r).unwrap());
+        let plan = Analysis::of(std::slice::from_ref(&r), None).plan();
+        assert_eq!(plan.shape(), PlanShape::Direct);
     }
 }

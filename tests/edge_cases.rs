@@ -6,14 +6,17 @@ use linrec::alpha::{
     Classification, PersistenceClass,
 };
 use linrec::core::{
-    commute_by_definition, commutes_exact, commutes_sufficient, identity_operator,
-    torsion_index, uniformly_bounded, ExactOutcome, Sufficiency,
+    commute_by_definition, commutes_exact, commutes_sufficient, identity_operator, torsion_index,
+    uniformly_bounded, ExactOutcome, Sufficiency,
 };
 use linrec::cq::{compose, linear_equivalent, minimize_linear, power};
-use linrec::engine::{
-    eval_direct, eval_select_after, magic_applicable, rules, workload, Selection,
-};
+use linrec::engine::{magic_applicable, rules, workload, Plan, Selection};
 use linrec::prelude::*;
+
+fn direct(rules: &[LinearRule], db: &Database, init: &Relation) -> (Relation, EvalStats) {
+    let out = Plan::direct(rules.to_vec()).execute(db, init).unwrap();
+    (out.relation, out.stats)
+}
 
 fn lr(src: &str) -> LinearRule {
     parse_linear_rule(src).unwrap()
@@ -219,7 +222,7 @@ fn multi_position_selection_pushdown() {
     db.set_relation("up", workload::chain(20));
     let init = Relation::from_pairs([(20, 30), (20, 31), (5, 30)]);
     let (fast, _) = linrec::engine::eval_selected_star(&r, &db, &init, &sel);
-    let (full, _) = eval_direct(std::slice::from_ref(&r), &db, &init);
+    let (full, _) = direct(std::slice::from_ref(&r), &db, &init);
     assert_eq!(fast.sorted(), sel.apply(&full).sorted());
     assert_eq!(fast.len(), 1); // (0,30) via the chain from 20, plus... 5→..→0 also reaches (0,30)? chain edges are i→i+1, up(x,w) walks backwards: from (20,30) to (0,30). (5,30) walks to (0,30) too — same tuple.
 }
@@ -238,9 +241,11 @@ fn select_after_on_empty_result() {
     let db = Database::new();
     let init = Relation::new(2);
     let sel = Selection::eq(0, 1);
-    let (out, stats) = eval_select_after(std::slice::from_ref(&r), &db, &init, &sel);
-    assert!(out.is_empty());
-    assert_eq!(stats.tuples, 0);
+    let out = Plan::select_after(Plan::direct(vec![r]), sel)
+        .execute(&db, &init)
+        .unwrap();
+    assert!(out.relation.is_empty());
+    assert_eq!(out.stats.tuples, 0);
 }
 
 // --- engine robustness ----------------------------------------------------
@@ -251,7 +256,7 @@ fn self_loop_heavy_graphs_terminate() {
     let mut edges = workload::cycle(5);
     edges.insert(vec![Value::Int(0), Value::Int(0)]);
     let db = workload::graph_db("q", edges.clone());
-    let (result, stats) = eval_direct(std::slice::from_ref(&tc), &db, &edges);
+    let (result, stats) = direct(std::slice::from_ref(&tc), &db, &edges);
     assert_eq!(result.len(), 25);
     assert!(stats.iterations < 20);
 }
@@ -264,7 +269,7 @@ fn disconnected_components_stay_disconnected() {
         edges.insert(vec![Value::Int(a), Value::Int(b)]);
     }
     let db = workload::graph_db("q", edges.clone());
-    let (result, _) = eval_direct(std::slice::from_ref(&tc), &db, &edges);
+    let (result, _) = direct(std::slice::from_ref(&tc), &db, &edges);
     assert_eq!(result.len(), 6); // 3 pairs per component
     assert!(!result.contains(&[Value::Int(1), Value::Int(12)]));
 }
@@ -278,7 +283,13 @@ fn program_api_applies_selection_on_direct_plans() {
     )
     .unwrap();
     let sel = Selection::eq(1, 3);
-    let (result, _, plan) = prog.run(Some(&sel)).unwrap();
-    assert!(matches!(plan.kind, linrec::engine::PlanKind::Direct));
-    assert_eq!(result.sorted(), vec![vec![Value::Int(0), Value::Int(3)]]);
+    let (outcome, plan) = prog.run(Some(&sel)).unwrap();
+    assert_eq!(
+        plan.shape(),
+        PlanShape::SelectAfter(Box::new(PlanShape::Direct))
+    );
+    assert_eq!(
+        outcome.relation.sorted(),
+        vec![vec![Value::Int(0), Value::Int(3)]]
+    );
 }

@@ -10,9 +10,7 @@
 //!   distinguished variables 1-persistent).
 //! * **Lemma 6.2**: uniformly bounded restricted rules are torsion.
 
-use linrec::alpha::{
-    wide_rule, AlphaGraph, BridgeDecomposition, Classification, PersistenceClass,
-};
+use linrec::alpha::{wide_rule, AlphaGraph, BridgeDecomposition, Classification, PersistenceClass};
 use linrec::core::{lemma_6_3_exponent, torsion_index, uniformly_bounded};
 use linrec::cq::{compose, linear_equivalent, power};
 use linrec::engine::rules;
@@ -48,10 +46,7 @@ fn lemma_6_3_a_persistence_sets_are_power_invariant() {
             for (v, c) in base.iter() {
                 if matches!(c, PersistenceClass::LinkPersistent(_)) {
                     assert!(
-                        matches!(
-                            pc.class(v),
-                            Some(PersistenceClass::LinkPersistent(_))
-                        ),
+                        matches!(pc.class(v), Some(PersistenceClass::LinkPersistent(_))),
                         "{v} lost link-persistence at power {l} of {rule}"
                     );
                 }

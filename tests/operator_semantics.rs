@@ -74,11 +74,17 @@ fn test_db(seed: u64) -> Database {
     db.set_relation("r", workload::random_graph(6, 12, seed + 1));
     db.set_relation(
         "uq",
-        Relation::from_tuples(1, (0..6).filter(|i| i % 2 == 0).map(|i| vec![Value::Int(i)])),
+        Relation::from_tuples(
+            1,
+            (0..6).filter(|i| i % 2 == 0).map(|i| vec![Value::Int(i)]),
+        ),
     );
     db.set_relation(
         "ur",
-        Relation::from_tuples(1, (0..6).filter(|i| i % 3 != 0).map(|i| vec![Value::Int(i)])),
+        Relation::from_tuples(
+            1,
+            (0..6).filter(|i| i % 3 != 0).map(|i| vec![Value::Int(i)]),
+        ),
     );
     db
 }
@@ -161,7 +167,10 @@ proptest! {
         // S = q ∪ A(S).
         let db = test_db(seed);
         let q = workload::random_graph(6, 8, seed + 2);
-        let (s, _) = linrec::engine::eval_direct(std::slice::from_ref(&r), &db, &q);
+        let s = linrec::engine::Plan::direct(vec![r.clone()])
+            .execute(&db, &q)
+            .unwrap()
+            .relation;
         prop_assert!(q.is_subset_of(&s));
         let a_s = apply(&r, &db, &s);
         prop_assert!(a_s.is_subset_of(&s));

@@ -29,7 +29,10 @@ fn figure_1_classification_matches_paper() {
     assert_eq!(c.class(v("y")), Some(PersistenceClass::LinkPersistent(1)));
     assert_eq!(c.class(v("u")), Some(PersistenceClass::FreePersistent(2)));
     assert_eq!(c.class(v("v")), Some(PersistenceClass::FreePersistent(2)));
-    assert_eq!(c.class(v("x")), Some(PersistenceClass::General { ray: None }));
+    assert_eq!(
+        c.class(v("x")),
+        Some(PersistenceClass::General { ray: None })
+    );
 }
 
 #[test]
@@ -45,7 +48,10 @@ fn figure_2_narrow_and_wide_rules_match_paper() {
 
     let bw = d.bridge_containing(v("w")).unwrap();
     let narrow = linrec::alpha::narrow_rule(&g, &d.augmented(&g, bw)).unwrap();
-    assert_eq!(narrow, parse_linear_rule("p(u,w) :- p(u,u), r(w).").unwrap());
+    assert_eq!(
+        narrow,
+        parse_linear_rule("p(u,w) :- p(u,u), r(w).").unwrap()
+    );
     let wide = linrec::alpha::wide_rule(&g, &d.augmented(&g, bw)).unwrap();
     assert_eq!(
         wide,
@@ -147,10 +153,9 @@ fn example_6_2_decomposition_matches_paper() {
     assert_eq!(dec.l, 2);
     let paper_c2 = parse_linear_rule("p(w,x,y,z) :- p(w,x,w,z), r(w,x), r(x,y).").unwrap();
     assert!(linear_equivalent(&dec.c_pow_l, &paper_c2));
-    let paper_b = parse_linear_rule(
-        "p(w,x,y,z) :- p(w,x,y,u1), q(w,u1), s(u1,u2), q(x,u2), s(u2,z).",
-    )
-    .unwrap();
+    let paper_b =
+        parse_linear_rule("p(w,x,y,z) :- p(w,x,y,u1), q(w,u1), s(u1,u2), q(x,u2), s(u2,z).")
+            .unwrap();
     assert!(linear_equivalent(&dec.b, &paper_b));
     // Paper: "By Theorem 5.1, C² and B commute".
     assert!(commute_by_definition(&dec.b, &dec.c_pow_l).unwrap());
@@ -178,7 +183,10 @@ fn example_6_3_noncommuting_but_theorem_6_4_holds() {
         "p(w,x,y,z) :- p(w,x,w,u1), r(w,x), r(x,y), r(x,w), q(x,u1), s(u1,u2), q(w,u2), s(u2,z).",
     )
     .unwrap();
-    assert!(linear_equivalent(&linrec::cq::minimize_linear(&lhs), &expected));
+    assert!(linear_equivalent(
+        &linrec::cq::minimize_linear(&lhs),
+        &expected
+    ));
 }
 
 #[test]

@@ -1,12 +1,31 @@
-//! Cross-strategy agreement on concrete data: every evaluation strategy
-//! computes the same relation, and the paper's inequalities hold.
+//! Cross-strategy agreement on concrete data, through the
+//! `Analysis → Plan → Execution` pipeline: every certificate-backed plan
+//! computes the same relation as the direct baseline, and the paper's
+//! inequalities hold.
 
-use linrec::core::{decomposition_for_pred, semi_commute};
-use linrec::engine::{
-    eval_decomposed, eval_direct, eval_naive, eval_redundancy_bounded, eval_select_after,
-    eval_separable, rules, workload, Selection,
-};
+use linrec::core::semi_commute;
+use linrec::engine::{rules, workload, Analysis, Plan, PlanShape, Selection};
 use linrec::prelude::*;
+
+/// `Π_g (Σ g)*` by explicit right-to-left chaining of certificate-free
+/// direct plans — the ground-truth decomposed evaluation used when the
+/// grouping under test is a *claim* (semi-commutation, forced orders)
+/// rather than a planner certificate.
+fn chain_stars(
+    groups: &[Vec<LinearRule>],
+    db: &Database,
+    init: &Relation,
+) -> (Relation, EvalStats) {
+    let mut stats = EvalStats::default();
+    let mut current = init.clone();
+    for group in groups.iter().rev() {
+        let out = Plan::direct(group.clone()).execute(db, &current).unwrap();
+        stats += out.stats;
+        current = out.relation;
+    }
+    stats.tuples = current.len();
+    (current, stats)
+}
 
 #[test]
 fn all_graph_shapes_direct_vs_naive() {
@@ -20,26 +39,34 @@ fn all_graph_shapes_direct_vs_naive() {
         ("layered", workload::layered(4, 5, 2, 9)),
     ] {
         let db = workload::graph_db("q", edges.clone());
-        let (a, _) = eval_direct(std::slice::from_ref(&tc), &db, &edges);
-        let (b, _) = eval_naive(std::slice::from_ref(&tc), &db, &edges);
-        assert_eq!(a.sorted(), b.sorted(), "{name}");
+        let a = Plan::direct(vec![tc.clone()]).execute(&db, &edges).unwrap();
+        let b = Plan::naive(vec![tc.clone()]).execute(&db, &edges).unwrap();
+        assert_eq!(a.relation.sorted(), b.relation.sorted(), "{name}");
     }
 }
 
 #[test]
-fn decomposed_equals_direct_and_never_more_duplicates() {
-    // Theorem 3.1 across workloads and seeds.
-    let (up, down) = (rules::up_rule(), rules::down_rule());
+fn planned_decomposition_equals_direct_and_never_more_duplicates() {
+    // Theorem 3.1 across workloads and seeds, with the planner (not the
+    // caller) certifying the decomposition.
+    let all = vec![rules::up_rule(), rules::down_rule()];
+    let analysis = Analysis::of(&all, None);
+    let plan = analysis.plan();
+    assert!(matches!(plan.shape(), PlanShape::Decomposed { .. }));
     for seed in 0..6u64 {
         let (db, init) = workload::up_down(6, seed);
-        let (direct, sd) = eval_direct(&[up.clone(), down.clone()], &db, &init);
-        let (dec, sc) = eval_decomposed(&[vec![up.clone()], vec![down.clone()]], &db, &init);
-        assert_eq!(direct.sorted(), dec.sorted(), "seed {seed}");
+        let direct = Plan::direct(all.clone()).execute(&db, &init).unwrap();
+        let dec = plan.execute(&db, &init).unwrap();
+        assert_eq!(
+            direct.relation.sorted(),
+            dec.relation.sorted(),
+            "seed {seed}"
+        );
         assert!(
-            sc.duplicates <= sd.duplicates,
+            dec.stats.duplicates <= direct.stats.duplicates,
             "Theorem 3.1 violated at seed {seed}: {} > {}",
-            sc.duplicates,
-            sd.duplicates
+            dec.stats.duplicates,
+            direct.stats.duplicates
         );
     }
 }
@@ -48,14 +75,37 @@ fn decomposed_equals_direct_and_never_more_duplicates() {
 fn decomposition_order_is_irrelevant_for_commuting_pairs() {
     let (up, down) = (rules::up_rule(), rules::down_rule());
     let (db, init) = workload::up_down(5, 17);
-    let (a, _) = eval_decomposed(&[vec![up.clone()], vec![down.clone()]], &db, &init);
-    let (b, _) = eval_decomposed(&[vec![down], vec![up]], &db, &init);
+    let (a, _) = chain_stars(&[vec![up.clone()], vec![down.clone()]], &db, &init);
+    let (b, _) = chain_stars(&[vec![down], vec![up]], &db, &init);
     assert_eq!(a.sorted(), b.sorted());
 }
 
 #[test]
+fn decomposed_plans_require_the_certificate() {
+    // The certificate (hence the Decomposed node) is only available when
+    // the rules actually commute — and carries the clusters it proved.
+    let commuting = vec![rules::up_rule(), rules::down_rule()];
+    let cert = CommutativityCert::establish(&commuting, 0)
+        .unwrap()
+        .unwrap();
+    assert_eq!(cert.clusters().len(), 2);
+    let plan = Plan::decomposed(cert);
+    assert!(matches!(plan.shape(), PlanShape::Decomposed { .. }));
+
+    let clashing = vec![
+        parse_linear_rule("p(x,y) :- p(x,z), a(z,y).").unwrap(),
+        parse_linear_rule("p(x,y) :- p(x,z), b(z,y).").unwrap(),
+    ];
+    assert!(CommutativityCert::establish(&clashing, 0)
+        .unwrap()
+        .is_none());
+}
+
+#[test]
 fn semi_commutation_certificate_validates_on_data() {
-    // CB ≤ C² (witness (0,2)) ⇒ (B+C)* = B*C* — check on data.
+    // CB ≤ C² (witness (0,2)) ⇒ (B+C)* = B*C* — check on data. The
+    // clustering certificate does not cover order-directed semi-commutation,
+    // so the decomposed side is the explicit B*C* chain.
     let b = parse_linear_rule("p(x,y) :- p(x,z), q(z,y), t(y).").unwrap();
     let c = parse_linear_rule("p(x,y) :- p(x,z), q(z,y).").unwrap();
     assert_eq!(semi_commute(&b, &c, 2).unwrap(), Some((0, 2)));
@@ -67,10 +117,12 @@ fn semi_commutation_certificate_validates_on_data() {
     );
     db.set_relation("t", marks);
     let init = workload::random_graph(25, 10, 6);
-    let (direct, _) = eval_direct(&[b.clone(), c.clone()], &db, &init);
+    let direct = Plan::direct(vec![b.clone(), c.clone()])
+        .execute(&db, &init)
+        .unwrap();
     // B*C*: C applied first.
-    let (dec, _) = eval_decomposed(&[vec![b], vec![c]], &db, &init);
-    assert_eq!(direct.sorted(), dec.sorted());
+    let (dec, _) = chain_stars(&[vec![b], vec![c]], &db, &init);
+    assert_eq!(direct.relation.sorted(), dec.sorted());
 }
 
 #[test]
@@ -84,16 +136,21 @@ fn lassez_maher_sum_star_identity_on_data() {
     let mut db = Database::new();
     db.set_relation(
         "s",
-        Relation::from_tuples(1, (0..10).filter(|i| i % 2 == 0).map(|i| vec![Value::Int(i)])),
+        Relation::from_tuples(
+            1,
+            (0..10).filter(|i| i % 2 == 0).map(|i| vec![Value::Int(i)]),
+        ),
     );
     let init = workload::random_graph(10, 20, 77);
-    let (sum_star, _) = eval_direct(&[b.clone(), c.clone()], &db, &init);
+    let sum_star = Plan::direct(vec![b.clone(), c.clone()])
+        .execute(&db, &init)
+        .unwrap();
     // B* + C* applied to init: union of the two separate stars.
-    let (b_star, _) = eval_direct(std::slice::from_ref(&b), &db, &init);
-    let (c_star, _) = eval_direct(std::slice::from_ref(&c), &db, &init);
-    let mut star_sum = b_star;
-    star_sum.union_in_place(&c_star);
-    assert_eq!(sum_star.sorted(), star_sum.sorted());
+    let b_star = Plan::direct(vec![b]).execute(&db, &init).unwrap();
+    let c_star = Plan::direct(vec![c]).execute(&db, &init).unwrap();
+    let mut star_sum = b_star.relation;
+    star_sum.union_in_place(&c_star.relation);
+    assert_eq!(sum_star.relation.sorted(), star_sum.sorted());
 }
 
 #[test]
@@ -102,37 +159,67 @@ fn lassez_maher_star_sum_identity_on_data() {
     // it. Validate the star-level identity on data for the up/down pair.
     let (up, down) = (rules::up_rule(), rules::down_rule());
     let (db, init) = workload::up_down(5, 23);
-    let (bstar_cstar, _) =
-        eval_decomposed(&[vec![up.clone()], vec![down.clone()]], &db, &init);
-    let (cstar_bstar, _) = eval_decomposed(&[vec![down], vec![up]], &db, &init);
+    let (bstar_cstar, _) = chain_stars(&[vec![up.clone()], vec![down.clone()]], &db, &init);
+    let (cstar_bstar, _) = chain_stars(&[vec![down], vec![up]], &db, &init);
     assert_eq!(bstar_cstar.sorted(), cstar_bstar.sorted());
 }
 
 #[test]
-fn separable_algorithm_agrees_across_selections() {
+fn separable_plan_agrees_across_selections() {
     let (up, down) = (rules::up_rule(), rules::down_rule());
     let (db, init) = workload::up_down(6, 31);
     let offset = 1i64 << 7;
+    let all = vec![down.clone(), up.clone()];
+    let cert = SeparabilityCert::establish(&up, &down).unwrap().unwrap();
     for target in [offset + 1, offset + 2, offset + 5, 999_999] {
         let sel = Selection::eq(1, target);
-        let rules_all = [down.clone(), up.clone()];
-        let (slow, _) = eval_select_after(&rules_all, &db, &init, &sel);
-        let (fast, _) = eval_separable(&up, &down, &db, &init, &sel).unwrap();
-        assert_eq!(slow.sorted(), fast.sorted(), "target {target}");
+        let slow = Plan::select_after(Plan::direct(all.clone()), sel.clone())
+            .execute(&db, &init)
+            .unwrap();
+        let fast = Plan::separable(cert.clone(), sel)
+            .unwrap()
+            .execute(&db, &init)
+            .unwrap();
+        assert_eq!(
+            slow.relation.sorted(),
+            fast.relation.sorted(),
+            "target {target}"
+        );
     }
+}
+
+#[test]
+fn planner_picks_separable_when_selection_commutes() {
+    let all = vec![rules::down_rule(), rules::up_rule()];
+    let (db, init) = workload::up_down(5, 31);
+    let sel = Selection::eq(1, (1i64 << 6) + 2);
+    let plan = Analysis::of(&all, Some(&sel)).plan();
+    assert_eq!(plan.shape(), PlanShape::Separable);
+    let fast = plan.execute(&db, &init).unwrap();
+    let slow = Plan::select_after(Plan::direct(all), sel)
+        .execute(&db, &init)
+        .unwrap();
+    assert_eq!(fast.relation.sorted(), slow.relation.sorted());
 }
 
 #[test]
 fn redundancy_bounded_agrees_on_random_shopping_workloads() {
     let rule = rules::shopping_rule();
-    let dec = decomposition_for_pred(&rule, Symbol::new("cheap"), 8)
+    let cert = RedundancyCert::establish(&rule, Symbol::new("cheap"), 8)
         .unwrap()
         .unwrap();
+    let plan = Plan::redundancy_bounded(cert);
     for seed in 0..5u64 {
         let (db, init) = workload::shopping(60, 12, 3, seed);
-        let (direct, _) = eval_direct(std::slice::from_ref(&rule), &db, &init);
-        let (bounded, _) = eval_redundancy_bounded(&rule, &dec, &db, &init).unwrap();
-        assert_eq!(direct.sorted(), bounded.sorted(), "seed {seed}");
+        let direct = Plan::direct(vec![rule.clone()])
+            .execute(&db, &init)
+            .unwrap();
+        let bounded = plan.execute(&db, &init).unwrap();
+        assert_eq!(
+            direct.relation.sorted(),
+            bounded.relation.sorted(),
+            "seed {seed}"
+        );
     }
 }
 
@@ -141,9 +228,10 @@ fn redundancy_bounded_agrees_on_example_6_3() {
     // The non-commuting case: only the C²-prefixed equality holds, and the
     // bounded evaluation must still be exact.
     let rule = rules::example_6_3();
-    let dec = decomposition_for_pred(&rule, Symbol::new("r"), 8)
+    let cert = RedundancyCert::establish(&rule, Symbol::new("r"), 8)
         .unwrap()
         .unwrap();
+    let plan = Plan::redundancy_bounded(cert);
     for seed in 0..4u64 {
         let mut db = Database::new();
         db.set_relation("q", workload::random_graph(6, 14, seed));
@@ -156,25 +244,29 @@ fn redundancy_bounded_agrees_on_example_6_3() {
             init.insert(vec![a, b, a, b]);
             init.insert(vec![b, a, b, a]);
         }
-        let (direct, _) = eval_direct(std::slice::from_ref(&rule), &db, &init);
-        let (bounded, _) = eval_redundancy_bounded(&rule, &dec, &db, &init).unwrap();
-        assert_eq!(direct.sorted(), bounded.sorted(), "seed {seed}");
+        let direct = Plan::direct(vec![rule.clone()])
+            .execute(&db, &init)
+            .unwrap();
+        let bounded = plan.execute(&db, &init).unwrap();
+        assert_eq!(
+            direct.relation.sorted(),
+            bounded.relation.sorted(),
+            "seed {seed}"
+        );
     }
 }
 
 #[test]
 fn three_way_decomposition_with_planner() {
-    // Three mutually commuting operators: planner fully decomposes; the
-    // product of stars equals the direct star in any cluster order.
+    // Three mutually commuting operators: the analysis fully decomposes;
+    // the certified plan equals the direct star.
     let r1 = parse_linear_rule("p(x,y,z) :- p(x,y,w), a(w,z).").unwrap();
     let r2 = parse_linear_rule("p(x,y,z) :- p(w,y,z), b(x,w).").unwrap();
     let r3 = parse_linear_rule("p(x,y,z) :- p(x,y,z), c(y).").unwrap();
-    let plan = linrec::core::plan_decomposition(
-        &[r1.clone(), r2.clone(), r3.clone()],
-        0,
-    )
-    .unwrap();
-    assert!(plan.is_fully_decomposed());
+    let all = vec![r1, r2, r3];
+    let analysis = Analysis::of(&all, None);
+    let cert = analysis.commutativity().expect("mutually commuting");
+    assert_eq!(cert.clusters().len(), 3);
 
     let mut db = Database::new();
     db.set_relation("a", workload::random_graph(10, 25, 1));
@@ -187,10 +279,9 @@ fn three_way_decomposition_with_planner() {
     for t in workload::random_graph(10, 12, 3).iter() {
         init.insert(vec![t[0], t[1], t[0]]);
     }
-    let all = [r1.clone(), r2.clone(), r3.clone()];
-    let (direct, _) = eval_direct(&all, &db, &init);
-    let (dec, _) = eval_decomposed(&[vec![r1], vec![r2], vec![r3]], &db, &init);
-    assert_eq!(direct.sorted(), dec.sorted());
+    let direct = Plan::direct(all).execute(&db, &init).unwrap();
+    let dec = analysis.plan().execute(&db, &init).unwrap();
+    assert_eq!(direct.relation.sorted(), dec.relation.sorted());
 }
 
 #[test]
@@ -204,13 +295,38 @@ fn selection_after_decomposition_for_multiple_selections() {
     // commutes with up.
     let s0 = Selection::eq(0, 3);
     let s1 = Selection::eq(1, offset + 3);
-    let rules_all = [down.clone(), up.clone()];
-    let (full, _) = eval_direct(&rules_all, &db, &init);
-    let expected = s0.apply(&s1.apply(&full));
+    let full = Plan::direct(vec![down.clone(), up.clone()])
+        .execute(&db, &init)
+        .unwrap();
+    let expected = s0.apply(&s1.apply(&full.relation));
 
     // (σ0 up*)(σ1 down*) q: evaluate down side with σ1 pushed, then up side
     // with σ0 pushed.
     let (inner, _) = linrec::engine::eval_selected_star(&down, &db, &init, &s1);
     let (outer, _) = linrec::engine::eval_selected_star(&up, &db, &inner, &s0);
     assert_eq!(outer.sorted(), expected.sorted());
+}
+
+#[test]
+fn legacy_wrappers_delegate_to_the_planner() {
+    // The deprecated entry points must stay behaviorally identical to the
+    // plans they wrap.
+    #![allow(deprecated)]
+    use linrec::engine::{eval_direct, eval_naive, eval_select_after};
+    let all = vec![rules::down_rule(), rules::up_rule()];
+    let (db, init) = workload::up_down(5, 13);
+    let (legacy, legacy_stats) = eval_direct(&all, &db, &init);
+    let new = Plan::direct(all.clone()).execute(&db, &init).unwrap();
+    assert_eq!(legacy.sorted(), new.relation.sorted());
+    assert_eq!(legacy_stats, new.stats);
+
+    let (legacy_naive, _) = eval_naive(&all, &db, &init);
+    assert_eq!(legacy_naive.sorted(), new.relation.sorted());
+
+    let sel = Selection::eq(1, (1i64 << 6) + 1);
+    let (legacy_sel, _) = eval_select_after(&all, &db, &init, &sel);
+    let new_sel = Plan::select_after(Plan::direct(all), sel)
+        .execute(&db, &init)
+        .unwrap();
+    assert_eq!(legacy_sel.sorted(), new_sel.relation.sorted());
 }

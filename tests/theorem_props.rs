@@ -12,10 +12,10 @@
 //!   duplicates.
 
 use linrec::core::{
-    commute_by_definition, commutes_exact, commutes_sufficient, is_restricted_pair,
-    is_separable, ExactOutcome, Sufficiency,
+    commute_by_definition, commutes_exact, commutes_sufficient, is_restricted_pair, is_separable,
+    ExactOutcome, Sufficiency,
 };
-use linrec::engine::{eval_decomposed, eval_direct, workload};
+use linrec::engine::{workload, Plan};
 use linrec::prelude::*;
 use proptest::prelude::*;
 
@@ -28,7 +28,7 @@ const UPREDS: [&str; 3] = ["uq", "ur", "us"];
 #[derive(Debug, Clone)]
 struct RuleSpec {
     arity: usize,
-    rec_choice: Vec<u8>,   // 0 = same head var, 1 = shifted head var, 2+ = nondist
+    rec_choice: Vec<u8>, // 0 = same head var, 1 = shifted head var, 2+ = nondist
     atoms: Vec<Option<(bool, u8, u8)>>, // per pred: (unary?, term picks)
 }
 
@@ -205,11 +205,18 @@ proptest! {
         }
         let init = workload::random_graph(8, 8, seed + 7);
 
-        let rules_all = [r1.clone(), r2.clone()];
-        let (direct, sd) = eval_direct(&rules_all, &db, &init);
-        let (dec, sc) = eval_decomposed(&[vec![r1], vec![r2]], &db, &init);
-        prop_assert_eq!(direct.sorted(), dec.sorted());
-        prop_assert!(sc.duplicates <= sd.duplicates, "Theorem 3.1");
+        let rules_all = vec![r1.clone(), r2.clone()];
+        let direct = Plan::direct(rules_all.clone()).execute(&db, &init).unwrap();
+        // The pair commutes (verified above), so the certificate exists and
+        // licenses the decomposed plan.
+        let cert = CommutativityCert::establish(&rules_all, 0).unwrap();
+        prop_assert!(cert.is_some(), "commuting pair must certify");
+        let dec = Plan::decomposed(cert.unwrap()).execute(&db, &init).unwrap();
+        prop_assert_eq!(direct.relation.sorted(), dec.relation.sorted());
+        prop_assert!(
+            dec.stats.duplicates <= direct.stats.duplicates,
+            "Theorem 3.1"
+        );
     }
 
     #[test]
@@ -221,9 +228,9 @@ proptest! {
         let tc = linrec::engine::rules::tc_right();
         let edges = workload::random_graph(n, m, seed);
         let db = workload::graph_db("q", edges.clone());
-        let (a, _) = eval_direct(std::slice::from_ref(&tc), &db, &edges);
-        let (b, _) = linrec::engine::eval_naive(std::slice::from_ref(&tc), &db, &edges);
-        prop_assert_eq!(a.sorted(), b.sorted());
+        let a = Plan::direct(vec![tc.clone()]).execute(&db, &edges).unwrap();
+        let b = Plan::naive(vec![tc]).execute(&db, &edges).unwrap();
+        prop_assert_eq!(a.relation.sorted(), b.relation.sorted());
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the criterion API its benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `sample_size`/`bench_function`/
+//! `bench_with_input`, and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Statistics are simpler than upstream (mean/min/max over fixed
+//! samples, one warm-up), but timings are real and every measurement is
+//! appended as a JSON line to `target/criterion.jsonl` (override with the
+//! `CRITERION_JSON` environment variable) so successive runs accumulate a
+//! perf trajectory that future changes can diff.
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A benchmark identifier: function name plus an input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name` / `parameter` pair, rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+/// Anything usable as a bench id (plain strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to the closure of `bench_function`.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `sample_size` executions of `f` (after one warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std_black_box(f()); // warm-up
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std_black_box(f());
+            self.samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// The top-level harness.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+#[derive(Debug, Clone)]
+struct Measurement {
+    id: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Bench outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        run_one(self, None, 20, id.into_id(), f);
+    }
+
+    fn finalize(&self) {
+        let path =
+            std::env::var("CRITERION_JSON").unwrap_or_else(|_| "target/criterion.jsonl".to_owned());
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(mut file) => {
+                for m in &self.results {
+                    let mut line = String::new();
+                    let _ = write!(
+                        line,
+                        "{{\"bench\":\"{}\",\"mean_ns\":{:.0},\"min_ns\":{:.0},\"max_ns\":{:.0},\"samples\":{}}}",
+                        m.id.replace('"', "'"),
+                        m.mean_ns,
+                        m.min_ns,
+                        m.max_ns,
+                        m.samples
+                    );
+                    let _ = writeln!(file, "{line}");
+                }
+                eprintln!(
+                    "criterion(shim): appended {} records to {path}",
+                    self.results.len()
+                );
+            }
+            Err(e) => eprintln!("criterion(shim): cannot write {path}: {e}"),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    c: &mut Criterion,
+    group: Option<&str>,
+    sample_size: usize,
+    id: String,
+    mut f: F,
+) {
+    let full_id = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id,
+    };
+    let mut b = Bencher {
+        samples_ns: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        return;
+    }
+    let n = b.samples_ns.len();
+    let mean = b.samples_ns.iter().sum::<f64>() / n as f64;
+    let min = b.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples_ns.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{full_id:<60} mean {:>12.1} µs   min {:>12.1} µs   ({n} samples)",
+        mean / 1e3,
+        min / 1e3
+    );
+    c.results.push(Measurement {
+        id: full_id,
+        mean_ns: mean,
+        min_ns: min,
+        max_ns: max,
+        samples: n,
+    });
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed executions per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = self.name.clone();
+        run_one(self.parent, Some(&name), self.sample_size, id.into_id(), f);
+        self
+    }
+
+    /// Time a closure that receives `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = self.name.clone();
+        run_one(
+            self.parent,
+            Some(&name),
+            self.sample_size,
+            id.into_id(),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (kept for API compatibility; measurement emission
+    /// happens in `criterion_main!`).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the declared groups and emitting JSON.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            $crate::__finalize(&c);
+        }
+    };
+}
+
+/// Internal hook for `criterion_main!` (not part of the public API).
+pub fn __finalize(c: &Criterion) {
+    c.finalize();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("g2", 7), &7, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].id, "g/f");
+        assert_eq!(c.results[1].id, "g/g2/7");
+        assert_eq!(c.results[0].samples, 3);
+    }
+}

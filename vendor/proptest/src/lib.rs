@@ -1,0 +1,150 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the proptest API its tests use: the [`Strategy`]
+//! trait with `prop_map` / `prop_filter` / `prop_filter_map`, strategies
+//! for integer ranges, tuples, simple regex patterns, [`collection::vec`]
+//! and [`option::of`], and the [`proptest!`], [`prop_compose!`],
+//! [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//! [`prop_assume!`] macros.
+//!
+//! Differences from upstream: generation is seeded deterministically from
+//! the test's name (every run explores the same cases), and failing cases
+//! are reported **without shrinking** — the failure message carries the
+//! generated values' `Debug`/`Display` where the assertion provides them.
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Run property tests: each `#[test] fn name(binding in strategy, ...)`
+/// becomes a regular test that evaluates its body over `cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr); $($(#[$fmeta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block)*) => {
+        $(
+            $(#[$fmeta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut passed: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(64).saturating_add(256);
+                while passed < config.cases && attempts < max_attempts {
+                    attempts += 1;
+                    $(
+                        let $arg = match $crate::strategy::Strategy::generate(&($strat), &mut rng) {
+                            Some(v) => v,
+                            None => continue,
+                        };
+                    )*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            Ok(())
+                        })();
+                    match outcome {
+                        Ok(()) => passed += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {} failed after {} passes: {}", stringify!($name), passed, msg);
+                        }
+                    }
+                }
+                if passed == 0 {
+                    panic!(
+                        "proptest {}: every generated case was rejected ({} attempts); strategy too restrictive",
+                        stringify!($name), attempts
+                    );
+                }
+            }
+        )*
+    };
+}
+
+/// Compose a parameterized strategy out of sub-strategies (subset of
+/// upstream `prop_compose!`).
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($param:ident: $pty:ty),* $(,)?)($($arg:ident in $strat:expr),* $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(($($strat,)*), move |($($arg,)*)| $body)
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Assert inside a property body (fails the case without panicking the
+/// generator loop's bookkeeping).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}: {:?} != {:?}", format!($($fmt)*), l, r),
+            ));
+        }
+    }};
+}
+
+/// Discard the current case when its premise does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_owned(),
+            ));
+        }
+    };
+}

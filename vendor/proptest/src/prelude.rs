@@ -1,0 +1,5 @@
+//! The common imports (subset of `proptest::prelude`).
+
+pub use crate::strategy::{any, Strategy};
+pub use crate::test_runner::Config as ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_compose, prop_oneof, proptest};

@@ -1,0 +1,387 @@
+//! Value-generation strategies (subset of `proptest::strategy`).
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+///
+/// `generate` returns `None` when an attached filter rejects the draw; the
+/// harness then discards the whole case and tries again.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transform generated values.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (`reason` is for diagnostics).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Map-and-filter in one step.
+    fn prop_filter_map<T, F: Fn(Self::Value) -> Option<T>>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+}
+
+/// Box a strategy for heterogeneous collections ([`OneOf`]).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Retry locally before rejecting the whole case.
+        for _ in 0..64 {
+            if let Some(v) = self.inner.generate(rng) {
+                if (self.pred)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> Option<T>> Strategy for FilterMap<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        for _ in 0..64 {
+            if let Some(v) = self.inner.generate(rng) {
+                if let Some(out) = (self.f)(v) {
+                    return Some(out);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Uniform choice among boxed strategies (backing [`crate::prop_oneof!`]).
+pub struct OneOf<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// Choose uniformly among `options`.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> OneOf<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+// --- primitive strategies -------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                Some((self.start as i128 + offset as i128) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, i8, u16, i16, u32, i32, u64, i64, usize);
+
+/// Types with a canonical "any value" strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize);
+
+/// The full-range strategy for `A` (mirrors `proptest::prelude::any`).
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> Option<A> {
+        Some(A::arbitrary(rng))
+    }
+}
+
+// --- tuples ---------------------------------------------------------------
+
+impl<A: Strategy> Strategy for (A,) {
+    type Value = (A::Value,);
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        Some((self.0.generate(rng)?,))
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        Some((self.0.generate(rng)?, self.1.generate(rng)?))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        Some((
+            self.0.generate(rng)?,
+            self.1.generate(rng)?,
+            self.2.generate(rng)?,
+        ))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        Some((
+            self.0.generate(rng)?,
+            self.1.generate(rng)?,
+            self.2.generate(rng)?,
+            self.3.generate(rng)?,
+        ))
+    }
+}
+
+// --- regex-pattern strings ------------------------------------------------
+
+/// One generator unit of a parsed pattern: a set of candidate characters
+/// and a repetition range.
+struct PatternPiece {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut prev: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => return out,
+            '-' => {
+                let lo = prev
+                    .take()
+                    .unwrap_or_else(|| panic!("proptest shim: range without start in char class"));
+                let hi = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("proptest shim: unterminated range"));
+                out.pop();
+                for ch in lo..=hi {
+                    out.push(ch);
+                }
+            }
+            other => {
+                out.push(other);
+                prev = Some(other);
+            }
+        }
+    }
+    panic!("proptest shim: unterminated character class");
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
+    let mut pieces: Vec<PatternPiece> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '[' => {
+                let set = parse_class(&mut chars);
+                pieces.push(PatternPiece {
+                    chars: set,
+                    min: 1,
+                    max: 1,
+                });
+            }
+            '{' => {
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                let piece = pieces
+                    .last_mut()
+                    .unwrap_or_else(|| panic!("proptest shim: {{}} without a preceding atom"));
+                let (min, max) = match spec.split_once(',') {
+                    Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+                    None => {
+                        let n: usize = spec.trim().parse().unwrap();
+                        (n, n)
+                    }
+                };
+                piece.min = min;
+                piece.max = max;
+            }
+            '?' => {
+                let piece = pieces
+                    .last_mut()
+                    .unwrap_or_else(|| panic!("proptest shim: ? without a preceding atom"));
+                piece.min = 0;
+                piece.max = 1;
+            }
+            literal => pieces.push(PatternPiece {
+                chars: vec![literal],
+                min: 1,
+                max: 1,
+            }),
+        }
+    }
+    pieces
+}
+
+/// String patterns generate matching strings (subset of proptest's regex
+/// strategies: character classes, literals, `{m,n}` / `{n}` / `?`).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> Option<String> {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..count {
+                let i = rng.below(piece.chars.len() as u64) as usize;
+                out.push(piece.chars[i]);
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_strings_match_shape() {
+        let mut rng = TestRng::from_name("pattern");
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut rng).unwrap();
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn map_filter_compose() {
+        let mut rng = TestRng::from_name("mf");
+        let even = (0u8..100)
+            .prop_filter("even", |v| v % 2 == 0)
+            .prop_map(|v| v as u32 + 1);
+        for _ in 0..100 {
+            let v = even.generate(&mut rng).unwrap();
+            assert!(v % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn oneof_uses_all_branches() {
+        let mut rng = TestRng::from_name("oneof");
+        let s = crate::prop_oneof![(0u8..1).prop_map(|_| 'a'), (0u8..1).prop_map(|_| 'b')];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 2);
+    }
+}

@@ -6,7 +6,7 @@ use crate::hash::FastMap;
 use crate::parser::{parse_program, Clause};
 use crate::relation::{Relation, Tuple};
 use crate::symbol::Symbol;
-use crate::term::Term;
+use crate::term::{Term, Value};
 use std::fmt;
 
 /// A collection of named relations (the EDB plus any materialized IDB).
@@ -58,7 +58,8 @@ impl Database {
     ///
     /// # Panics
     /// If `pred` already exists with a different arity.
-    pub fn insert_tuple(&mut self, pred: Symbol, tuple: Tuple) {
+    pub fn insert_tuple(&mut self, pred: Symbol, tuple: impl AsRef<[Value]>) {
+        let tuple = tuple.as_ref();
         let arity = tuple.len();
         self.relations
             .entry(pred)

@@ -1,21 +1,261 @@
-//! In-memory relations: sets of fixed-arity tuples.
+//! In-memory relations: sets of fixed-arity tuples in flat arena storage.
+//!
+//! # Storage layout
+//!
+//! A [`Relation`] stores its tuples row-major in a single flat `Vec<Value>`
+//! arena: row `r` of an arity-`a` relation occupies `arena[r*a .. r*a + a]`.
+//! Iteration therefore walks one contiguous allocation (cache-linear, no
+//! pointer chasing), and a whole relation can be copied with a single
+//! `memcpy` of the arena.
+//!
+//! Set semantics are maintained by a private open-addressing hash table over
+//! *row ids* (`slots`), with one cached 64-bit hash per row (`hashes`).
+//! Membership tests and inserts probe the table and compare against arena
+//! rows directly, so neither ever allocates: `contains` takes a plain
+//! `&[Value]`, and `insert` accepts anything viewable as a value slice and
+//! copies it into the arena only when it is actually new. Rows are never
+//! deleted individually (only [`Relation::clear`] removes tuples), which
+//! keeps the table tombstone-free.
+//!
+//! [`Tuple`] is the owned-tuple type for callers that need tuples as values
+//! (map keys, seeds, sorted output). Up to [`INLINE_ARITY`] values are
+//! stored inline — no heap allocation for the small arities that dominate
+//! the paper's workloads — and wider tuples spill to a `Vec`. It derefs to
+//! `[Value]`, hashes and compares like a value slice, and can be borrowed
+//! as `[Value]`, so `FastMap<Tuple, _>` lookups work with unowned slices.
 
-use crate::hash::FastSet;
+use crate::hash::{FastSet, FxHasher};
 use crate::term::Value;
+use std::borrow::Borrow;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
-/// A database tuple.
-pub type Tuple = Vec<Value>;
+/// Maximum arity stored inline (without heap allocation) by [`Tuple`].
+pub const INLINE_ARITY: usize = 4;
 
-/// A relation: a set of tuples of a fixed arity.
+const PAD: Value = Value::Int(0);
+
+/// A database tuple: a short owned sequence of [`Value`]s.
+///
+/// Arities up to [`INLINE_ARITY`] live inline; wider tuples spill to the
+/// heap. Equality, ordering, and hashing all delegate to the underlying
+/// value slice, and `Borrow<[Value]>` makes `Tuple`-keyed hash maps
+/// queryable with `&[Value]`.
+#[derive(Clone)]
+pub struct Tuple(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        vals: [Value; INLINE_ARITY],
+    },
+    Spill(Vec<Value>),
+}
+
+impl Tuple {
+    /// An empty tuple.
+    pub fn new() -> Tuple {
+        Tuple(Repr::Inline {
+            len: 0,
+            vals: [PAD; INLINE_ARITY],
+        })
+    }
+
+    /// An empty tuple with room for `n` values (spills immediately when
+    /// `n > INLINE_ARITY` so later pushes never re-copy).
+    pub fn with_capacity(n: usize) -> Tuple {
+        if n <= INLINE_ARITY {
+            Tuple::new()
+        } else {
+            Tuple(Repr::Spill(Vec::with_capacity(n)))
+        }
+    }
+
+    /// Copy a value slice into an owned tuple.
+    pub fn from_slice(vals: &[Value]) -> Tuple {
+        if vals.len() <= INLINE_ARITY {
+            let mut inline = [PAD; INLINE_ARITY];
+            inline[..vals.len()].copy_from_slice(vals);
+            Tuple(Repr::Inline {
+                len: vals.len() as u8,
+                vals: inline,
+            })
+        } else {
+            Tuple(Repr::Spill(vals.to_vec()))
+        }
+    }
+
+    /// Append a value.
+    pub fn push(&mut self, v: Value) {
+        match &mut self.0 {
+            Repr::Inline { len, vals } => {
+                if (*len as usize) < INLINE_ARITY {
+                    vals[*len as usize] = v;
+                    *len += 1;
+                } else {
+                    let mut spill = vals.to_vec();
+                    spill.push(v);
+                    self.0 = Repr::Spill(spill);
+                }
+            }
+            Repr::Spill(vec) => vec.push(v),
+        }
+    }
+
+    /// The values as a slice.
+    pub fn as_slice(&self) -> &[Value] {
+        match &self.0 {
+            Repr::Inline { len, vals } => &vals[..*len as usize],
+            Repr::Spill(vec) => vec,
+        }
+    }
+}
+
+impl Default for Tuple {
+    fn default() -> Tuple {
+        Tuple::new()
+    }
+}
+
+impl std::ops::Deref for Tuple {
+    type Target = [Value];
+    fn deref(&self) -> &[Value] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[Value]> for Tuple {
+    fn as_ref(&self) -> &[Value] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[Value]> for Tuple {
+    fn borrow(&self) -> &[Value] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Tuple) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Tuple {}
+
+impl PartialEq<Vec<Value>> for Tuple {
+    fn eq(&self, other: &Vec<Value>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Tuple> for Vec<Value> {
+    fn eq(&self, other: &Tuple) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Tuple) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    fn cmp(&self, other: &Tuple) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Tuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Slice hashing, so `Borrow<[Value]>` lookups stay consistent.
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(vals: Vec<Value>) -> Tuple {
+        if vals.len() <= INLINE_ARITY {
+            Tuple::from_slice(&vals)
+        } else {
+            Tuple(Repr::Spill(vals))
+        }
+    }
+}
+
+impl From<&[Value]> for Tuple {
+    fn from(vals: &[Value]) -> Tuple {
+        Tuple::from_slice(vals)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Tuple {
+        let mut t = Tuple::new();
+        for v in iter {
+            t.push(v);
+        }
+        t
+    }
+}
+
+impl IntoIterator for Tuple {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        // Both arms must yield the same iterator type; the inline copy is
+        // at most INLINE_ARITY values.
+        let vec = match self.0 {
+            Repr::Inline { len, vals } => vals[..len as usize].to_vec(),
+            Repr::Spill(vec) => vec,
+        };
+        vec.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+// --- relation --------------------------------------------------------------
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// A relation: a set of tuples of a fixed arity, stored in a flat arena
+/// (see the module docs for the layout).
 ///
 /// The schema of a relation is its arity alone (the paper's typeless
 /// system). Insertions of tuples of the wrong arity panic — arity mismatch
 /// is a programming error, not a data error.
-#[derive(Clone, PartialEq, Eq, Default)]
+#[derive(Clone, Default)]
 pub struct Relation {
     arity: usize,
-    tuples: FastSet<Tuple>,
+    /// Row-major tuple storage: row `r` is `arena[r*arity .. (r+1)*arity]`.
+    arena: Vec<Value>,
+    /// Cached hash per row (same order as the arena).
+    hashes: Vec<u64>,
+    /// Open-addressing table of row ids; `EMPTY_SLOT` marks a free slot.
+    /// Length is always a power of two (or zero before the first insert).
+    slots: Vec<u32>,
+}
+
+fn hash_row(vals: &[Value]) -> u64 {
+    let mut h = FxHasher::default();
+    vals.hash(&mut h);
+    h.finish()
 }
 
 impl Relation {
@@ -23,12 +263,17 @@ impl Relation {
     pub fn new(arity: usize) -> Relation {
         Relation {
             arity,
-            tuples: FastSet::default(),
+            arena: Vec::new(),
+            hashes: Vec::new(),
+            slots: Vec::new(),
         }
     }
 
     /// Build from an iterator of tuples (arity taken from the argument).
-    pub fn from_tuples(arity: usize, tuples: impl IntoIterator<Item = Tuple>) -> Relation {
+    pub fn from_tuples<T: AsRef<[Value]>>(
+        arity: usize,
+        tuples: impl IntoIterator<Item = T>,
+    ) -> Relation {
         let mut r = Relation::new(arity);
         for t in tuples {
             r.insert(t);
@@ -43,7 +288,7 @@ impl Relation {
             2,
             pairs
                 .into_iter()
-                .map(|(a, b)| vec![Value::Int(a), Value::Int(b)]),
+                .map(|(a, b)| [Value::Int(a), Value::Int(b)]),
         )
     }
 
@@ -54,19 +299,70 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.hashes.len()
     }
 
     /// True iff the relation holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.hashes.is_empty()
+    }
+
+    /// The flat row-major arena: `len() * arity()` values. Row `r` is
+    /// `flat()[r*arity .. (r+1)*arity]`. This is the zero-copy bulk-read
+    /// interface used by the engine's scan/index caches.
+    pub fn flat(&self) -> &[Value] {
+        &self.arena
+    }
+
+    /// Row `r` as a value slice.
+    ///
+    /// # Panics
+    /// If `r >= len()`.
+    pub fn row(&self, r: usize) -> &[Value] {
+        &self.arena[r * self.arity..(r + 1) * self.arity]
+    }
+
+    /// Probe for `t`. `Ok(row)` when present, `Err(slot)` with the slot to
+    /// fill otherwise. Requires `!self.slots.is_empty()`.
+    fn probe(&self, h: u64, t: &[Value]) -> Result<u32, usize> {
+        let mask = self.slots.len() - 1;
+        let mut i = (h as usize) & mask;
+        loop {
+            let row = self.slots[i];
+            if row == EMPTY_SLOT {
+                return Err(i);
+            }
+            let r = row as usize;
+            if self.hashes[r] == h && self.row(r) == t {
+                return Ok(row);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Grow (or initialize) the slot table and re-link every row.
+    fn grow_slots(&mut self) {
+        let new_len = (self.slots.len() * 2).max(8);
+        self.slots.clear();
+        self.slots.resize(new_len, EMPTY_SLOT);
+        let mask = new_len - 1;
+        for (r, &h) in self.hashes.iter().enumerate() {
+            let mut i = (h as usize) & mask;
+            while self.slots[i] != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = r as u32;
+        }
     }
 
     /// Insert a tuple; returns `true` iff it was not already present.
+    /// Accepts anything viewable as a value slice (`Tuple`, `Vec<Value>`,
+    /// arrays, slices); the values are copied into the arena only when new.
     ///
     /// # Panics
     /// If the tuple's arity differs from the relation's.
-    pub fn insert(&mut self, t: Tuple) -> bool {
+    pub fn insert(&mut self, t: impl AsRef<[Value]>) -> bool {
+        let t = t.as_ref();
         assert_eq!(
             t.len(),
             self.arity,
@@ -74,17 +370,39 @@ impl Relation {
             t.len(),
             self.arity
         );
-        self.tuples.insert(t)
+        // Keep load factor below 7/8.
+        if (self.hashes.len() + 1) * 8 > self.slots.len() * 7 {
+            self.grow_slots();
+        }
+        let h = hash_row(t);
+        match self.probe(h, t) {
+            Ok(_) => false,
+            Err(slot) => {
+                let row = self.hashes.len() as u32;
+                self.arena.extend_from_slice(t);
+                self.hashes.push(h);
+                self.slots[slot] = row;
+                true
+            }
+        }
     }
 
-    /// Membership test.
+    /// Membership test (never allocates).
     pub fn contains(&self, t: &[Value]) -> bool {
-        self.tuples.contains(t)
+        if t.len() != self.arity || self.slots.is_empty() {
+            return false;
+        }
+        self.probe(hash_row(t), t).is_ok()
     }
 
-    /// Iterate over tuples (unspecified order).
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.tuples.iter()
+    /// Iterate over tuples as value slices, in insertion order.
+    pub fn iter(&self) -> RowIter<'_> {
+        RowIter {
+            arena: &self.arena,
+            arity: self.arity,
+            row: 0,
+            rows: self.hashes.len(),
+        }
     }
 
     /// Add every tuple of `other`; returns the number of new tuples.
@@ -92,7 +410,7 @@ impl Relation {
         assert_eq!(self.arity, other.arity, "arity mismatch in union");
         let mut added = 0;
         for t in other.iter() {
-            if self.tuples.insert(t.clone()) {
+            if self.insert(t) {
                 added += 1;
             }
         }
@@ -102,15 +420,13 @@ impl Relation {
     /// Set-difference: tuples of `self` not in `other`.
     pub fn difference(&self, other: &Relation) -> Relation {
         assert_eq!(self.arity, other.arity, "arity mismatch in difference");
-        Relation {
-            arity: self.arity,
-            tuples: self
-                .tuples
-                .iter()
-                .filter(|t| !other.tuples.contains(*t))
-                .cloned()
-                .collect(),
+        let mut out = Relation::new(self.arity);
+        for t in self.iter() {
+            if !other.contains(t) {
+                out.insert(t);
+            }
         }
+        out
     }
 
     /// True iff every tuple of `self` is in `other`.
@@ -118,18 +434,80 @@ impl Relation {
         self.arity == other.arity && self.iter().all(|t| other.contains(t))
     }
 
+    /// Number of distinct values in column `col` (an `O(len)` scan; used by
+    /// the planner's cost model for selectivity estimates). Zero for empty
+    /// relations or out-of-range columns.
+    pub fn distinct_in_col(&self, col: usize) -> usize {
+        if col >= self.arity {
+            return 0;
+        }
+        let mut seen: FastSet<Value> = FastSet::default();
+        for t in self.iter() {
+            seen.insert(t[col]);
+        }
+        seen.len()
+    }
+
     /// Tuples sorted lexicographically — deterministic display/compare order.
     pub fn sorted(&self) -> Vec<Tuple> {
-        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        let mut v: Vec<Tuple> = self.iter().map(Tuple::from_slice).collect();
         v.sort();
         v
     }
 
     /// Remove all tuples.
     pub fn clear(&mut self) {
-        self.tuples.clear();
+        self.arena.clear();
+        self.hashes.clear();
+        self.slots.clear();
     }
 }
+
+/// Iterator over a relation's rows as value slices.
+pub struct RowIter<'a> {
+    arena: &'a [Value],
+    arity: usize,
+    row: usize,
+    rows: usize,
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = &'a [Value];
+
+    fn next(&mut self) -> Option<&'a [Value]> {
+        if self.row == self.rows {
+            return None;
+        }
+        let start = self.row * self.arity;
+        self.row += 1;
+        Some(&self.arena[start..start + self.arity])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.rows - self.row;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RowIter<'_> {}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a [Value];
+    type IntoIter = RowIter<'a>;
+    fn into_iter(self) -> RowIter<'a> {
+        self.iter()
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        self.arity == other.arity
+            && self.len() == other.len()
+            && self.iter().all(|t| other.contains(t))
+    }
+}
+
+impl Eq for Relation {}
 
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -214,5 +592,97 @@ mod tests {
     fn debug_output_is_stable() {
         let r = Relation::from_pairs([(2, 3), (1, 2)]);
         assert_eq!(format!("{r:?}"), "{(1,2), (2,3)}");
+    }
+
+    #[test]
+    fn arena_layout_is_row_major_insertion_order() {
+        let mut r = Relation::new(2);
+        r.insert([Value::Int(5), Value::Int(6)]);
+        r.insert([Value::Int(1), Value::Int(2)]);
+        r.insert([Value::Int(5), Value::Int(6)]); // duplicate: no growth
+        assert_eq!(
+            r.flat(),
+            &[Value::Int(5), Value::Int(6), Value::Int(1), Value::Int(2)]
+        );
+        assert_eq!(r.row(1), &[Value::Int(1), Value::Int(2)]);
+        let rows: Vec<&[Value]> = r.iter().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], r.row(0));
+    }
+
+    #[test]
+    fn set_equality_ignores_insertion_order() {
+        let a = Relation::from_pairs([(1, 2), (3, 4)]);
+        let b = Relation::from_pairs([(3, 4), (1, 2)]);
+        assert_eq!(a, b);
+        let c = Relation::from_pairs([(1, 2)]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn many_inserts_grow_the_table() {
+        let mut r = Relation::new(2);
+        for i in 0..10_000 {
+            assert!(r.insert([Value::Int(i), Value::Int(i + 1)]));
+        }
+        for i in 0..10_000 {
+            assert!(r.contains(&[Value::Int(i), Value::Int(i + 1)]));
+            assert!(!r.insert([Value::Int(i), Value::Int(i + 1)]));
+        }
+        assert_eq!(r.len(), 10_000);
+    }
+
+    #[test]
+    fn zero_arity_relation_holds_at_most_one_tuple() {
+        let mut r = Relation::new(0);
+        assert!(r.insert(Vec::<Value>::new()));
+        assert!(!r.insert(Vec::<Value>::new()));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[]));
+        assert_eq!(r.iter().count(), 1);
+    }
+
+    #[test]
+    fn distinct_in_col_counts_values() {
+        let r = Relation::from_pairs([(1, 9), (2, 9), (3, 8)]);
+        assert_eq!(r.distinct_in_col(0), 3);
+        assert_eq!(r.distinct_in_col(1), 2);
+        assert_eq!(r.distinct_in_col(7), 0);
+    }
+
+    #[test]
+    fn tuple_inline_and_spill() {
+        let small = Tuple::from_slice(&[Value::Int(1), Value::Int(2)]);
+        assert_eq!(small.len(), 2);
+        assert_eq!(small[1], Value::Int(2));
+        let wide: Tuple = (0..7).map(Value::Int).collect();
+        assert_eq!(wide.len(), 7);
+        assert_eq!(wide[6], Value::Int(6));
+        // Pushing across the inline boundary spills without losing values.
+        let mut t = Tuple::new();
+        for i in 0..6 {
+            t.push(Value::Int(i));
+        }
+        assert_eq!(t.as_slice(), (0..6).map(Value::Int).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tuple_hashes_like_a_slice() {
+        use crate::hash::FastMap;
+        let mut m: FastMap<Tuple, u32> = FastMap::default();
+        m.insert(Tuple::from_slice(&[Value::Int(1), Value::Int(2)]), 7);
+        // Borrow<[Value]> lookup with an unowned slice.
+        assert_eq!(m.get(&[Value::Int(1), Value::Int(2)][..]), Some(&7));
+        let wide: Tuple = (0..9).map(Value::Int).collect();
+        m.insert(wide.clone(), 9);
+        assert_eq!(m.get(wide.as_slice()), Some(&9));
+    }
+
+    #[test]
+    fn tuple_orders_like_a_slice() {
+        let a = Tuple::from_slice(&[Value::Int(1), Value::Int(2)]);
+        let b = Tuple::from_slice(&[Value::Int(1), Value::Int(3)]);
+        assert!(a < b);
+        assert_eq!(a, vec![Value::Int(1), Value::Int(2)]);
     }
 }

@@ -74,7 +74,7 @@ impl DerivationGraph {
 /// extended head `(head, rec-atom)` and splitting the output.
 fn apply_traced(
     rule: &LinearRule,
-    db: &Database,
+    scratch: &mut Database,
     delta: &Relation,
     indexes: &mut Indexes,
 ) -> FastSet<(Tuple, Tuple)> {
@@ -82,16 +82,22 @@ fn apply_traced(
     ext_terms.extend(rule.rec_atom().terms.iter().copied());
     let ext_head = Atom::new("\u{b7}trace", ext_terms);
     // Flat rule with the extended head; the recursive atom is pointed at a
-    // scratch relation holding the delta.
+    // scratch relation holding the delta (the caller clones the database
+    // once per fixpoint; only the delta changes between rounds, and it is
+    // the leading atom, so the cached trailing indexes stay valid).
     let mut body = vec![Atom::new("\u{b7}delta", rule.rec_atom().terms.clone())];
     body.extend(rule.nonrec_atoms().iter().cloned());
     let flat = linrec_datalog::Rule::new(ext_head, body);
-    let mut scratch = db.clone();
     scratch.set_relation("\u{b7}delta", delta.clone());
-    let (ext, _) = crate::join::apply_flat(&flat, &scratch, indexes);
+    let (ext, _) = crate::join::apply_flat(&flat, scratch, indexes);
     let arity = rule.arity();
     ext.iter()
-        .map(|t| (t[arity..].to_vec(), t[..arity].to_vec()))
+        .map(|t| {
+            (
+                Tuple::from_slice(&t[arity..]),
+                Tuple::from_slice(&t[..arity]),
+            )
+        })
         .collect()
 }
 
@@ -103,15 +109,16 @@ pub fn trace_star(
 ) -> (Relation, DerivationGraph) {
     let mut graph = DerivationGraph::default();
     for t in init.iter() {
-        graph.seeds.insert(t.clone());
+        graph.seeds.insert(Tuple::from_slice(t));
     }
     let mut indexes = Indexes::new();
+    let mut scratch = db.clone();
     let mut total = init.clone();
     let mut delta = init.clone();
     while !delta.is_empty() {
         let mut next = Relation::new(total.arity());
         for rule in rules {
-            let pairs = apply_traced(rule, db, &delta, &mut indexes);
+            let pairs = apply_traced(rule, &mut scratch, &delta, &mut indexes);
             graph.record_arcs(&pairs);
             for (_, dst) in pairs {
                 if !total.contains(&dst) {
@@ -135,16 +142,17 @@ pub fn trace_decomposed(
 ) -> (Relation, DerivationGraph) {
     let mut graph = DerivationGraph::default();
     for t in init.iter() {
-        graph.seeds.insert(t.clone());
+        graph.seeds.insert(Tuple::from_slice(t));
     }
     let mut current = init.clone();
+    let mut scratch = db.clone();
     for group in groups.iter().rev() {
         let mut indexes = Indexes::new();
         let mut delta = current.clone();
         while !delta.is_empty() {
             let mut next = Relation::new(current.arity());
             for rule in group {
-                let pairs = apply_traced(rule, db, &delta, &mut indexes);
+                let pairs = apply_traced(rule, &mut scratch, &delta, &mut indexes);
                 graph.record_arcs(&pairs);
                 for (_, dst) in pairs {
                     if !current.contains(&dst) {

@@ -73,7 +73,7 @@ fn go(
                 let mut next = Relation::new(total.arity());
                 for t in derived.iter() {
                     if !total.contains(t) {
-                        next.insert(t.clone());
+                        next.insert(t);
                     }
                 }
                 // Tuples re-derived across rounds are duplicates (the

@@ -2,45 +2,170 @@
 //!
 //! A linear operator application `A(P)` evaluates the rule body as a
 //! backtracking join. The recursive atom is matched first (its relation is
-//! the small delta in semi-naive evaluation); nonrecursive atoms are matched
-//! through per-column hash indexes that are built once per `(predicate,
-//! column)` and cached across iterations (the EDB never changes during a
-//! fixpoint).
+//! the small delta in semi-naive evaluation); the trailing atoms are
+//! reordered once per application by estimated selectivity and matched
+//! through per-column hash indexes over arena row ids.
+//!
+//! # Index lifecycle
+//!
+//! [`Indexes`] is the per-fixpoint cache. The EDB never changes during a
+//! fixpoint computation, so each trailing-atom relation is materialized
+//! into the cache **once** per fixpoint (a single flat copy of the
+//! relation's arena — see `linrec_datalog::relation` for the layout), and
+//! per-column hash indexes are built over **row ids** into that arena
+//! rather than cloned tuples. Rounds of the fixpoint reuse both; nothing
+//! about the EDB is re-scanned, re-cloned, or re-hashed after the first
+//! round. A fresh fixpoint (new `Indexes`) starts empty.
+//!
+//! Column indexes are only built for columns that can ever hold a bound
+//! value when the atom is matched: a column whose term is a variable that
+//! occurs in no *other* body atom can never be bound at probe time (the
+//! join binds variables strictly left-to-right across atoms), so indexing
+//! it would be wasted work. The runtime falls back to a linear arena scan
+//! for un-indexed columns — the per-tuple [`match_tuple`] check re-verifies
+//! every column, so indexes are purely a candidate filter and never affect
+//! the result.
+//!
+//! # Atom ordering
+//!
+//! Before descending, the trailing atoms are ordered greedily by estimated
+//! selectivity: starting from the variables bound by the recursive atom,
+//! repeatedly pick the atom whose first bound column has the smallest
+//! expected index bucket (`rows / distinct keys`), atoms with no bound
+//! column scoring their full row count. This keeps the candidate sets small
+//! early, which shrinks the whole search tree; it changes only enumeration
+//! order, never the set of matches or the derivation count.
 
-use linrec_datalog::hash::FastMap;
-use linrec_datalog::{Atom, Database, LinearRule, Relation, Symbol, Term, Tuple, Value, Var};
+use linrec_datalog::hash::{FastMap, FastSet};
+use linrec_datalog::{Atom, Database, LinearRule, Relation, Symbol, Term, Value, Var};
 
-/// Hash indexes `(predicate, column) → value → tuples`, built lazily and
-/// cached for the lifetime of a fixpoint computation.
+/// Per-predicate scan/index cache, valid for one fixpoint computation (the
+/// EDB is immutable across a fixpoint). See the module docs for lifecycle.
 #[derive(Default)]
 pub struct Indexes {
-    by_col: FastMap<(Symbol, usize), FastMap<Value, Vec<Tuple>>>,
+    cache: FastMap<Symbol, RelCache>,
+    /// Per-body join plans (atom order, validity), keyed by the body atoms:
+    /// both depend only on the rule text and the cached statistics, so they
+    /// are computed once per fixpoint rather than once per application.
+    plans: FastMap<Vec<Atom>, JoinPlan>,
+}
+
+/// The round-invariant part of one body's evaluation.
+#[derive(Clone)]
+struct JoinPlan {
+    /// `false` when a trailing atom's arity disagrees with its stored
+    /// relation — the body then matches nothing.
+    valid: bool,
+    /// Trailing-atom match order (indices into the body, all ≥ 1).
+    order: Vec<usize>,
+}
+
+/// One cached relation: a flat snapshot of its arena plus lazily built
+/// per-column indexes of row ids.
+struct RelCache {
+    arity: usize,
+    /// Row-major copy of the relation's arena (one `memcpy` at build time).
+    arena: Vec<Value>,
+    rows: usize,
+    /// `cols[c]` maps a value to the row ids holding it in column `c`;
+    /// `None` while unbuilt (never-bindable or not yet requested).
+    cols: Vec<Option<FastMap<Value, Vec<u32>>>>,
+}
+
+impl RelCache {
+    fn of(rel: &Relation) -> RelCache {
+        RelCache {
+            arity: rel.arity(),
+            arena: rel.flat().to_vec(),
+            rows: rel.len(),
+            cols: (0..rel.arity()).map(|_| None).collect(),
+        }
+    }
+
+    fn row(&self, r: u32) -> &[Value] {
+        let start = r as usize * self.arity;
+        &self.arena[start..start + self.arity]
+    }
+
+    fn build_col(&mut self, col: usize) {
+        if self.cols[col].is_some() {
+            return;
+        }
+        let mut idx: FastMap<Value, Vec<u32>> = FastMap::default();
+        for r in 0..self.rows {
+            idx.entry(self.arena[r * self.arity + col])
+                .or_default()
+                .push(r as u32);
+        }
+        self.cols[col] = Some(idx);
+    }
+
+    /// Row ids whose column `col` holds `val`, when that column is indexed.
+    fn lookup(&self, col: usize, val: Value) -> Option<&[u32]> {
+        self.cols[col]
+            .as_ref()
+            .map(|idx| idx.get(&val).map(|v| v.as_slice()).unwrap_or(&[]))
+    }
+
+    /// Expected candidate-set size when probing `col` bound (average index
+    /// bucket), or the full row count when the column is not indexed.
+    fn est_bound(&self, col: usize) -> f64 {
+        match &self.cols[col] {
+            Some(idx) if !idx.is_empty() => self.rows as f64 / idx.len() as f64,
+            _ => self.rows as f64,
+        }
+    }
 }
 
 impl Indexes {
-    /// Fresh empty index cache.
+    /// Fresh empty cache (start of a fixpoint).
     pub fn new() -> Indexes {
         Indexes::default()
     }
 
-    /// Ensure an index exists for every column of `atom`'s relation.
-    fn ensure(&mut self, atom: &Atom, rel: &Relation) {
-        for col in 0..atom.arity() {
-            self.by_col.entry((atom.pred, col)).or_insert_with(|| {
-                let mut idx: FastMap<Value, Vec<Tuple>> = FastMap::default();
-                for t in rel.iter() {
-                    idx.entry(t[col]).or_default().push(t.clone());
-                }
-                idx
-            });
+    /// Materialize `atom`'s relation from `db` (once per fixpoint) and build
+    /// indexes for the columns flagged bindable. Returns `false` when the
+    /// stored relation's arity disagrees with the atom's (the atom can then
+    /// match nothing).
+    ///
+    /// An `Indexes` must only ever see **one** database: the cache is keyed
+    /// by predicate and never revalidated against `db`'s contents (that is
+    /// the whole point — the EDB is immutable across a fixpoint). The debug
+    /// assertion below catches cross-database reuse loudly in tests.
+    fn ensure(&mut self, atom: &Atom, db: &Database, bindable: &[bool]) -> bool {
+        debug_assert!(
+            self.cache.get(&atom.pred).is_none_or(|cached| {
+                cached.rows == db.relation(atom.pred).map_or(0, |r| r.len())
+            }),
+            "Indexes reused across databases: cached scan of {} is stale",
+            atom.pred
+        );
+        let cache = self.cache.entry(atom.pred).or_insert_with(|| {
+            match db.relation(atom.pred) {
+                Some(rel) => RelCache::of(rel),
+                // Missing predicate: cache an empty relation of the atom's
+                // arity so later lookups stay cheap.
+                None => RelCache {
+                    arity: atom.arity(),
+                    arena: Vec::new(),
+                    rows: 0,
+                    cols: (0..atom.arity()).map(|_| None).collect(),
+                },
+            }
+        });
+        if cache.arity != atom.arity() {
+            return false;
         }
+        for (col, &b) in bindable.iter().enumerate() {
+            if b {
+                cache.build_col(col);
+            }
+        }
+        true
     }
 
-    fn lookup(&self, pred: Symbol, col: usize, val: Value) -> Option<&[Tuple]> {
-        self.by_col
-            .get(&(pred, col))
-            .and_then(|idx| idx.get(&val))
-            .map(|v| v.as_slice())
+    fn get(&self, pred: Symbol) -> &RelCache {
+        &self.cache[&pred]
     }
 }
 
@@ -71,38 +196,98 @@ fn match_tuple(atom: &Atom, tuple: &[Value], bind: &mut Bindings, trail: &mut Ve
     true
 }
 
-fn first_bound_col(atom: &Atom, bind: &Bindings) -> Option<(usize, Value)> {
-    atom.terms.iter().enumerate().find_map(|(i, t)| match t {
-        Term::Const(c) => Some((i, *c)),
-        Term::Var(v) => bind.get(v).map(|&val| (i, val)),
+/// The first column of `terms` that carries a concrete value when the atom
+/// is probed (a constant, or a variable `is_bound`). Shared by the join's
+/// selectivity ordering and the planner's fanout estimation so the cost
+/// model always ranks candidates against the probe column the engine will
+/// actually use.
+pub(crate) fn first_probe_col(terms: &[Term], is_bound: impl Fn(Var) -> bool) -> Option<usize> {
+    terms.iter().enumerate().find_map(|(c, t)| match t {
+        Term::Const(_) => Some(c),
+        Term::Var(v) if is_bound(*v) => Some(c),
+        Term::Var(_) => None,
     })
+}
+
+/// For each column of trailing atom `i`, can the column's value be bound
+/// when the atom is probed? A constant always is; a variable only if it
+/// also occurs in some *other* body atom (the recursive atom or another
+/// trailing atom) — a variable private to this atom is bound, if at all,
+/// only while matching the atom itself, after the candidate set was chosen.
+fn bindable_columns(atoms: &[Atom], i: usize) -> Vec<bool> {
+    let elsewhere: FastSet<Var> = atoms
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != i)
+        .flat_map(|(_, a)| a.vars())
+        .collect();
+    atoms[i]
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => elsewhere.contains(v),
+        })
+        .collect()
+}
+
+/// Greedy selectivity order for the trailing atoms: repeatedly pick the
+/// atom with the cheapest estimated candidate set given the variables bound
+/// so far. Returns indices into `atoms` (all ≥ 1; index 0 stays first).
+fn selectivity_order(atoms: &[Atom], indexes: &Indexes) -> Vec<usize> {
+    let mut bound: FastSet<Var> = atoms[0].vars().collect();
+    let mut remaining: Vec<usize> = (1..atoms.len()).collect();
+    let mut order = Vec::with_capacity(atoms.len() - 1);
+    while !remaining.is_empty() {
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for (k, &i) in remaining.iter().enumerate() {
+            let atom = &atoms[i];
+            let cache = indexes.get(atom.pred);
+            let probe_col = first_probe_col(&atom.terms, |v| bound.contains(&v));
+            let cost = match probe_col {
+                Some(c) => cache.est_bound(c),
+                None => cache.rows as f64, // unbound: full cross product
+            };
+            if cost < best_cost {
+                best_cost = cost;
+                best = k;
+            }
+        }
+        let i = remaining.swap_remove(best);
+        bound.extend(atoms[i].vars());
+        order.push(i);
+    }
+    order
 }
 
 struct JoinRun<'a> {
     head: &'a Atom,
-    atoms: &'a [Atom],
+    /// Body atoms in match order: the recursive/leading atom first, then
+    /// the trailing atoms in selectivity order.
+    atoms: Vec<&'a Atom>,
     first_rel: &'a Relation,
-    full_scans: &'a [Vec<Tuple>], // per trailing atom, for unbound fallback
     indexes: &'a Indexes,
     out: Relation,
     derivations: u64,
+    scratch: Vec<Value>,
 }
 
 impl<'a> JoinRun<'a> {
     fn emit(&mut self, bind: &Bindings) {
-        let tuple: Tuple = self
-            .head
-            .terms
-            .iter()
-            .map(|t| match t {
+        self.scratch.clear();
+        for t in &self.head.terms {
+            self.scratch.push(match t {
                 Term::Const(c) => *c,
                 Term::Var(v) => *bind.get(v).unwrap_or_else(|| {
                     panic!("head variable {v} unbound: rule not range-restricted over its body")
                 }),
-            })
-            .collect();
+            });
+        }
         self.derivations += 1;
-        self.out.insert(tuple);
+        let scratch = std::mem::take(&mut self.scratch);
+        self.out.insert(&scratch);
+        self.scratch = scratch;
     }
 
     fn descend(&mut self, depth: usize, bind: &mut Bindings, trail: &mut Vec<Var>) {
@@ -110,24 +295,36 @@ impl<'a> JoinRun<'a> {
             self.emit(bind);
             return;
         }
-        let atom: &'a Atom = &self.atoms[depth];
+        let atom: &'a Atom = self.atoms[depth];
         let marker = trail.len();
-        // Candidate tuples for this atom; all three sources borrow data that
-        // outlives `self`, so the loop can call `descend` freely.
-        let candidates: CandidateIter<'a> = if depth == 0 {
-            CandidateIter::Rel(self.first_rel)
-        } else {
-            match first_bound_col(atom, bind) {
-                Some((col, val)) => {
-                    CandidateIter::Slice(self.indexes.lookup(atom.pred, col, val).unwrap_or(&[]))
+        if depth == 0 {
+            for t in self.first_rel.iter() {
+                if match_tuple(atom, t, bind, trail) {
+                    self.descend(depth + 1, bind, trail);
+                    for v in trail.drain(marker..) {
+                        bind.remove(&v);
+                    }
                 }
-                None => CandidateIter::Slice(&self.full_scans[depth - 1]),
             }
-        };
-        match candidates {
-            CandidateIter::Rel(rel) => {
-                for t in rel.iter() {
-                    if match_tuple(atom, t, bind, trail) {
+            return;
+        }
+        let cache = self.indexes.get(atom.pred);
+        // Candidate rows: an index bucket when a bound, indexed column
+        // exists; a linear arena scan otherwise. match_tuple re-checks
+        // every column, so the fallback is always sound.
+        let indexed: Option<&'a [u32]> = atom
+            .terms
+            .iter()
+            .enumerate()
+            .filter_map(|(c, t)| match t {
+                Term::Const(v) => Some((c, *v)),
+                Term::Var(v) => bind.get(v).map(|&val| (c, val)),
+            })
+            .find_map(|(col, val)| cache.lookup(col, val));
+        match indexed {
+            Some(rows) => {
+                for &r in rows {
+                    if match_tuple(atom, cache.row(r), bind, trail) {
                         self.descend(depth + 1, bind, trail);
                         for v in trail.drain(marker..) {
                             bind.remove(&v);
@@ -135,9 +332,9 @@ impl<'a> JoinRun<'a> {
                     }
                 }
             }
-            CandidateIter::Slice(tuples) => {
-                for t in tuples {
-                    if match_tuple(atom, t, bind, trail) {
+            None => {
+                for r in 0..cache.rows as u32 {
+                    if match_tuple(atom, cache.row(r), bind, trail) {
                         self.descend(depth + 1, bind, trail);
                         for v in trail.drain(marker..) {
                             bind.remove(&v);
@@ -147,11 +344,6 @@ impl<'a> JoinRun<'a> {
             }
         }
     }
-}
-
-enum CandidateIter<'a> {
-    Rel(&'a Relation),
-    Slice(&'a [Tuple]),
 }
 
 /// Apply the body `atoms` (with `atoms[0]`'s relation given explicitly as
@@ -171,23 +363,43 @@ fn join_emit(
     if first_rel.arity() != atoms[0].arity() {
         return (Relation::new(head.arity()), 0);
     }
-    let mut full_scans: Vec<Vec<Tuple>> = Vec::with_capacity(atoms.len().saturating_sub(1));
-    for a in &atoms[1..] {
-        let rel = db.relation_or_empty(a.pred, a.arity());
-        if rel.arity() != a.arity() {
-            return (Relation::new(head.arity()), 0);
+    let plan = match indexes.plans.get(atoms) {
+        Some(plan) => plan.clone(),
+        None => {
+            let mut valid = true;
+            for (i, a) in atoms.iter().enumerate().skip(1) {
+                let bindable = bindable_columns(atoms, i);
+                if !indexes.ensure(a, db, &bindable) {
+                    valid = false;
+                    break;
+                }
+            }
+            let plan = JoinPlan {
+                valid,
+                order: if valid {
+                    selectivity_order(atoms, indexes)
+                } else {
+                    Vec::new()
+                },
+            };
+            indexes.plans.insert(atoms.to_vec(), plan.clone());
+            plan
         }
-        indexes.ensure(a, &rel);
-        full_scans.push(rel.iter().cloned().collect());
+    };
+    if !plan.valid {
+        return (Relation::new(head.arity()), 0);
     }
+    let mut ordered: Vec<&Atom> = Vec::with_capacity(atoms.len());
+    ordered.push(&atoms[0]);
+    ordered.extend(plan.order.iter().map(|&i| &atoms[i]));
     let mut run = JoinRun {
         head,
-        atoms,
+        atoms: ordered,
         first_rel,
-        full_scans: &full_scans,
         indexes,
         out: Relation::new(head.arity()),
         derivations: 0,
+        scratch: Vec::with_capacity(head.arity()),
     };
     let mut bind: Bindings = FastMap::default();
     let mut trail: Vec<Var> = Vec::new();
@@ -217,8 +429,15 @@ pub fn apply_flat(
     indexes: &mut Indexes,
 ) -> (Relation, u64) {
     assert!(!rule.body.is_empty(), "flat rule needs a body");
-    let first_rel = db.relation_or_empty(rule.body[0].pred, rule.body[0].arity());
-    join_emit(&rule.head, &rule.body, &first_rel, db, indexes)
+    let fallback;
+    let first_rel = match db.relation(rule.body[0].pred) {
+        Some(rel) => rel,
+        None => {
+            fallback = Relation::new(rule.body[0].arity());
+            &fallback
+        }
+    };
+    join_emit(&rule.head, &rule.body, first_rel, db, indexes)
 }
 
 #[cfg(test)]
@@ -314,5 +533,64 @@ mod tests {
         let (out, derivs) = apply_linear(&r, &db, &p, &mut Indexes::new());
         assert_eq!(out.len(), 4);
         assert_eq!(derivs, 4);
+    }
+
+    #[test]
+    fn reuse_across_rounds_matches_fresh_indexes() {
+        // The cache must serve the same answers on round 2 as a fresh build.
+        let r = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2), (2, 3), (3, 4)]));
+        let mut idx = Indexes::new();
+        let p1 = Relation::from_pairs([(0, 1)]);
+        let (out1, _) = apply_linear(&r, &db, &p1, &mut idx);
+        let (out2_cached, d2c) = apply_linear(&r, &db, &out1, &mut idx);
+        let (out2_fresh, d2f) = apply_linear(&r, &db, &out1, &mut Indexes::new());
+        assert_eq!(out2_cached.sorted(), out2_fresh.sorted());
+        assert_eq!(d2c, d2f);
+    }
+
+    #[test]
+    fn private_variable_columns_are_not_indexed() {
+        // In p(x,y) :- p(x,w), a(y): `y` occurs only in `a` (and the head),
+        // so a's single column must never get an index; the full scan
+        // fallback still enumerates the cross product.
+        let r = parse_linear_rule("p(x,y) :- p(x,w), a(y).").unwrap();
+        let mut db = Database::new();
+        db.set_relation("a", Relation::from_tuples(1, [vec![Value::Int(7)]]));
+        let p = Relation::from_pairs([(1, 1)]);
+        let mut idx = Indexes::new();
+        let (out, _) = apply_linear(&r, &db, &p, &mut idx);
+        assert_eq!(out.len(), 1);
+        let cache = idx.get(linrec_datalog::Symbol::new("a"));
+        assert!(cache.cols.iter().all(|c| c.is_none()));
+    }
+
+    #[test]
+    fn selectivity_order_prefers_small_buckets() {
+        // big(z,u) fans out 100-wide per z; tiny(z,y) is 1:1. The greedy
+        // order must probe tiny first regardless of textual order.
+        let r = parse_linear_rule("p(x,y) :- p(x,z), big(z,u), tiny(z,y).").unwrap();
+        let mut db = Database::new();
+        let mut big = Relation::new(2);
+        for u in 0..100 {
+            big.insert([Value::Int(1), Value::Int(u)]);
+        }
+        db.set_relation("big", big);
+        db.set_relation("tiny", Relation::from_pairs([(1, 5)]));
+        let p = Relation::from_pairs([(0, 1)]);
+        let mut idx = Indexes::new();
+        let mut atoms = vec![r.rec_atom().clone()];
+        atoms.extend(r.nonrec_atoms().iter().cloned());
+        for (i, a) in atoms.iter().enumerate().skip(1) {
+            let bindable = bindable_columns(&atoms, i);
+            idx.ensure(a, &db, &bindable);
+        }
+        let order = selectivity_order(&atoms, &idx);
+        assert_eq!(order[0], 2, "tiny (atom 2) must be probed first");
+        let (out, derivs) = apply_linear(&r, &db, &p, &mut idx);
+        assert_eq!(out.sorted(), Relation::from_pairs([(0, 5)]).sorted());
+        // 100 matches regardless of order (join cardinality is invariant).
+        assert_eq!(derivs, 100);
     }
 }

@@ -62,7 +62,7 @@ pub use expr_eval::eval_expr;
 pub use join::{apply_flat, apply_linear, Indexes};
 pub use magic::{eval_selected_star, magic_applicable};
 pub use planner::{
-    Analysis, AnalysisEffort, ExecOutcome, Plan, PlanShape, StrategyError, TraceStep,
+    Analysis, AnalysisEffort, CostModel, ExecOutcome, Plan, PlanShape, StrategyError, TraceStep,
 };
 pub use program::Program;
 pub use provenance::{eval_with_provenance, Provenance, Step};

@@ -153,7 +153,7 @@ pub fn eval_selected_star(
         let mut next = Relation::new(positions.len());
         let mut new = 0u64;
         for t in derived.iter() {
-            if !mag.contains(t) && next.insert(t.clone()) {
+            if !mag.contains(t) && next.insert(t) {
                 new += 1;
             }
         }
@@ -168,7 +168,7 @@ pub fn eval_selected_star(
     let mut total = Relation::new(rule.arity());
     for t in init.iter() {
         if mag.contains(&project(t)) {
-            total.insert(t.clone());
+            total.insert(t);
         }
     }
     let mut delta = total.clone();
@@ -179,7 +179,7 @@ pub fn eval_selected_star(
         let mut next = Relation::new(rule.arity());
         let mut new = 0u64;
         for t in derived.iter() {
-            if mag.contains(&project(t)) && !total.contains(t) && next.insert(t.clone()) {
+            if mag.contains(&project(t)) && !total.contains(t) && next.insert(t) {
                 new += 1;
             }
         }

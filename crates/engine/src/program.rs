@@ -3,8 +3,10 @@
 //!
 //! This is the "downstream user" entry point. A [`Program`] is one
 //! recursive predicate with its rules, EDB facts and seed; [`Program::analyze`]
-//! produces the typed certificates, [`Program::plan`] picks a licensed
-//! [`Plan`], and [`Program::run`] executes it:
+//! produces the typed certificates, [`Program::plan`] /
+//! [`Program::plan_for`] pick a licensed [`Plan`] (by preference order and
+//! by cost model, respectively), and [`Program::run`] executes the
+//! cost-chosen plan:
 //!
 //! ```
 //! use linrec_engine::{PlanShape, Program};
@@ -14,8 +16,10 @@
 //!      p(x,y) :- p(w,y), up(x,w).
 //!      up(1,2). down(10,11). p(1,10).",
 //! ).unwrap();
-//! let (outcome, plan) = prog.run(None).unwrap();
-//! assert!(matches!(plan.shape(), PlanShape::Decomposed { .. }));
+//! // The certificate preference order showcases the decomposition…
+//! assert!(matches!(prog.plan(None).shape(), PlanShape::Decomposed { .. }));
+//! // …and execution computes the closure either way.
+//! let (outcome, _plan) = prog.run(None).unwrap();
 //! assert_eq!(outcome.relation.len(), 2);
 //! ```
 
@@ -138,15 +142,22 @@ impl Program {
     }
 
     /// Choose an evaluation strategy (certificate-backed) for this program
-    /// and optional selection.
+    /// and optional selection, by the paper's fixed preference order.
     pub fn plan(&self, sel: Option<&Selection>) -> Plan {
         self.analyze(sel).plan()
     }
 
-    /// Plan and execute. Returns the execution outcome (with the selection
-    /// applied, if any) and the plan that was used.
+    /// Choose the cheapest licensed strategy for this program's *data*
+    /// (cost-model ranked; see [`Analysis::plan_for`]).
+    pub fn plan_for(&self, sel: Option<&Selection>) -> Plan {
+        self.analyze(sel).plan_for(&self.db, &self.init)
+    }
+
+    /// Plan (cost-model ranked against this program's data) and execute.
+    /// Returns the execution outcome (with the selection applied, if any)
+    /// and the plan that was used.
     pub fn run(&self, sel: Option<&Selection>) -> Result<(ExecOutcome, Plan), StrategyError> {
-        let plan = self.plan(sel);
+        let plan = self.plan_for(sel);
         let outcome = plan.execute(&self.db, &self.init)?;
         Ok((outcome, plan))
     }
@@ -237,6 +248,19 @@ mod tests {
             .execute(prog.database(), prog.init())
             .unwrap();
         assert_eq!(planned.relation.sorted(), direct.relation.sorted());
+    }
+
+    #[test]
+    fn cost_choice_agrees_with_preference_choice_on_results() {
+        let prog = Program::parse(UPDOWN).unwrap();
+        let costed = prog.plan_for(None);
+        assert!(costed.rationale().contains("cost model"));
+        let a = costed.execute(prog.database(), prog.init()).unwrap();
+        let b = prog
+            .plan(None)
+            .execute(prog.database(), prog.init())
+            .unwrap();
+        assert_eq!(a.relation.sorted(), b.relation.sorted());
     }
 
     #[test]

@@ -38,18 +38,18 @@ impl Provenance {
     /// The full derivation of `t`: the sequence of `(rule, parent)` steps
     /// from a seed tuple to `t`, seed first. Empty for seeds; `None` for
     /// tuples that were never derived.
-    pub fn derivation(&self, t: &Tuple, seeds: &Relation) -> Option<Vec<Step>> {
+    pub fn derivation(&self, t: &[linrec_datalog::Value], seeds: &Relation) -> Option<Vec<Step>> {
         if seeds.contains(t) && !self.first.contains_key(t) {
             return Some(Vec::new());
         }
         let mut steps = Vec::new();
-        let mut cur = t.clone();
+        let mut cur = Tuple::from_slice(t);
         loop {
-            match self.first.get(&cur) {
+            match self.first.get(cur.as_slice()) {
                 Some(step) => {
                     steps.push(step.clone());
                     cur = step.parent.clone();
-                    if seeds.contains(&cur) && !self.first.contains_key(&cur) {
+                    if seeds.contains(&cur) && !self.first.contains_key(cur.as_slice()) {
                         break;
                     }
                     if steps.len() > self.first.len() + 1 {
@@ -65,13 +65,22 @@ impl Provenance {
     }
 
     /// The multiset of rule indices along `t`'s derivation.
-    pub fn rule_sequence(&self, t: &Tuple, seeds: &Relation) -> Option<Vec<usize>> {
+    pub fn rule_sequence(
+        &self,
+        t: &[linrec_datalog::Value],
+        seeds: &Relation,
+    ) -> Option<Vec<usize>> {
         self.derivation(t, seeds)
             .map(|steps| steps.iter().map(|s| s.rule).collect())
     }
 
     /// Render a derivation for humans.
-    pub fn explain(&self, t: &Tuple, seeds: &Relation, rules: &[LinearRule]) -> Option<String> {
+    pub fn explain(
+        &self,
+        t: &[linrec_datalog::Value],
+        seeds: &Relation,
+        rules: &[LinearRule],
+    ) -> Option<String> {
         let steps = self.derivation(t, seeds)?;
         let mut out = String::new();
         use std::fmt::Write as _;
@@ -96,6 +105,7 @@ pub fn eval_with_provenance(
 ) -> (Relation, Provenance) {
     let mut prov = Provenance::default();
     let mut indexes = Indexes::new();
+    let mut scratch = db.clone();
     let mut total = init.clone();
     let mut delta = init.clone();
     while !delta.is_empty() {
@@ -107,13 +117,12 @@ pub fn eval_with_provenance(
             let mut body = vec![Atom::new("\u{b7}pdelta", rule.rec_atom().terms.clone())];
             body.extend(rule.nonrec_atoms().iter().cloned());
             let flat = linrec_datalog::Rule::new(Atom::new("\u{b7}ptrace", ext_terms), body);
-            let mut scratch = db.clone();
             scratch.set_relation("\u{b7}pdelta", delta.clone());
             let (ext, _) = crate::join::apply_flat(&flat, &scratch, &mut indexes);
             let arity = rule.arity();
             for row in ext.iter() {
-                let derived: Tuple = row[..arity].to_vec();
-                let parent: Tuple = row[arity..].to_vec();
+                let derived = Tuple::from_slice(&row[..arity]);
+                let parent = Tuple::from_slice(&row[arity..]);
                 if !total.contains(&derived) && !next.contains(&derived) {
                     prov.first
                         .insert(derived.clone(), Step { rule: ri, parent });
@@ -134,7 +143,7 @@ mod tests {
     use linrec_datalog::Value;
 
     fn int_pair(a: i64, b: i64) -> Tuple {
-        vec![Value::Int(a), Value::Int(b)]
+        Tuple::from_slice(&[Value::Int(a), Value::Int(b)])
     }
 
     #[test]
@@ -193,7 +202,7 @@ mod tests {
             let tail = prov_down.derivation(t, &after_up).unwrap();
             let mid: Tuple = match tail.first() {
                 Some(s) => s.parent.clone(),
-                None => t.clone(),
+                None => Tuple::from_slice(t),
             };
             let head = prov_up.derivation(&mid, &init).unwrap();
             // head uses only rule "up", tail only rule "down".

@@ -53,7 +53,7 @@ impl Selection {
         let mut out = Relation::new(rel.arity());
         for t in rel.iter() {
             if self.matches(t) {
-                out.insert(t.clone());
+                out.insert(t);
             }
         }
         out

@@ -18,18 +18,29 @@ pub fn seminaive_star(
     db: &Database,
     init: &Relation,
 ) -> (Relation, EvalStats) {
+    seminaive_star_in(rules, db, init, &mut Indexes::new())
+}
+
+/// [`seminaive_star`] with a caller-provided scan/index cache, so
+/// multi-phase strategies over the same database (decomposed clusters,
+/// redundancy-bounded branches) materialize each EDB relation only once.
+pub fn seminaive_star_in(
+    rules: &[LinearRule],
+    db: &Database,
+    init: &Relation,
+    indexes: &mut Indexes,
+) -> (Relation, EvalStats) {
     let mut stats = EvalStats::default();
-    let mut indexes = Indexes::new();
     let mut total = init.clone();
     let mut delta = init.clone();
     while !delta.is_empty() {
         stats.iterations += 1;
         let mut next_delta = Relation::new(total.arity());
         for rule in rules {
-            let (derived, count) = apply_linear(rule, db, &delta, &mut indexes);
+            let (derived, count) = apply_linear(rule, db, &delta, indexes);
             let mut new = 0u64;
             for t in derived.iter() {
-                if !total.contains(t) && next_delta.insert(t.clone()) {
+                if !total.contains(t) && next_delta.insert(t) {
                     new += 1;
                 }
             }
@@ -58,7 +69,7 @@ pub fn naive_star(rules: &[LinearRule], db: &Database, init: &Relation) -> (Rela
             let (derived, count) = apply_linear(rule, db, &total, &mut indexes);
             let mut new = 0u64;
             for t in derived.iter() {
-                if !total.contains(t) && round.insert(t.clone()) {
+                if !total.contains(t) && round.insert(t) {
                     new += 1;
                 }
             }
@@ -82,8 +93,18 @@ pub fn bounded_prefix(
     init: &Relation,
     count: usize,
 ) -> (Relation, EvalStats) {
+    bounded_prefix_in(rule, db, init, count, &mut Indexes::new())
+}
+
+/// [`bounded_prefix`] with a caller-provided scan/index cache.
+pub fn bounded_prefix_in(
+    rule: &LinearRule,
+    db: &Database,
+    init: &Relation,
+    count: usize,
+    indexes: &mut Indexes,
+) -> (Relation, EvalStats) {
     let mut stats = EvalStats::default();
-    let mut indexes = Indexes::new();
     let mut total = init.clone();
     let mut delta = init.clone();
     for _ in 0..count {
@@ -91,11 +112,11 @@ pub fn bounded_prefix(
             break;
         }
         stats.iterations += 1;
-        let (derived, count) = apply_linear(rule, db, &delta, &mut indexes);
+        let (derived, count) = apply_linear(rule, db, &delta, indexes);
         let mut next_delta = Relation::new(total.arity());
         let mut new = 0u64;
         for t in derived.iter() {
-            if !total.contains(t) && next_delta.insert(t.clone()) {
+            if !total.contains(t) && next_delta.insert(t) {
                 new += 1;
             }
         }
@@ -115,10 +136,21 @@ pub fn exact_power(
     count: usize,
     stats: &mut EvalStats,
 ) -> Relation {
-    let mut indexes = Indexes::new();
+    exact_power_in(rule, db, init, count, stats, &mut Indexes::new())
+}
+
+/// [`exact_power`] with a caller-provided scan/index cache.
+pub fn exact_power_in(
+    rule: &LinearRule,
+    db: &Database,
+    init: &Relation,
+    count: usize,
+    stats: &mut EvalStats,
+    indexes: &mut Indexes,
+) -> Relation {
     let mut current = init.clone();
     for _ in 0..count {
-        let (next, derivs) = apply_linear(rule, db, &current, &mut indexes);
+        let (next, derivs) = apply_linear(rule, db, &current, indexes);
         stats.record(derivs, next.len() as u64);
         current = next;
     }

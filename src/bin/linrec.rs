@@ -97,7 +97,9 @@ fn parse_selection(args: &[String]) -> Result<Option<Selection>, String> {
 fn run(path: &str, sel_args: &[String]) -> Result<(), String> {
     let prog = load(path)?;
     let sel = parse_selection(sel_args)?;
-    let plan = prog.plan(sel.as_ref());
+    // Cost-model ranked choice: the program's own data decides among the
+    // licensed strategies (the estimates appear in the rationale line).
+    let plan = prog.plan_for(sel.as_ref());
     println!("plan:\n{}", plan.describe());
     let t = std::time::Instant::now();
     let (outcome, _) = prog.run(sel.as_ref()).map_err(|e| e.to_string())?;

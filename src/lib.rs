@@ -82,14 +82,15 @@ pub mod prelude {
     pub use linrec_cq::{compose, linear_equivalent, minimize_linear, power};
     pub use linrec_datalog::{
         parse_linear_rule, parse_program, parse_rule, Atom, Database, LinearRule, Relation, Rule,
-        Symbol, Term, Value, Var,
+        Symbol, Term, Tuple, Value, Var,
     };
     #[allow(deprecated)]
     pub use linrec_engine::{
         eval_decomposed, eval_direct, eval_redundancy_bounded, eval_select_after, eval_separable,
     };
     pub use linrec_engine::{
-        Analysis, EvalStats, ExecOutcome, Plan, PlanShape, Program, Selection, StrategyError,
+        Analysis, CostModel, EvalStats, ExecOutcome, Plan, PlanShape, Program, Selection,
+        StrategyError,
     };
 }
 

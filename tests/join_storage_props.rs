@@ -1,0 +1,309 @@
+//! Equivalence of the arena-backed join pipeline with a naive reference
+//! implementation (seeded, deterministic — vendored proptest).
+//!
+//! The engine's join (`linrec_engine::join`) matches the recursive atom
+//! first, reorders trailing atoms by estimated selectivity, probes cached
+//! per-column row-id indexes, and stores results in flat-arena relations.
+//! None of that machinery may change *what* is computed: for random rules
+//! and databases, the produced relation and the derivation count must
+//! equal those of a straightforward nested-loop join over plain
+//! `Vec<Vec<Value>>` data, and the semi-naive fixpoint must equal a naive
+//! model-checking fixpoint. A second group of properties checks the
+//! `Relation` storage itself against a `HashSet<Vec<Value>>` model across
+//! arities 1..=6 (exercising both the inline and the spilled `Tuple`
+//! representation).
+
+use linrec::engine::{apply_linear, seminaive_star, Indexes};
+use linrec::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+// --- reference implementations ---------------------------------------------
+
+/// Nested-loop join of `rule` against `p_rel` (the recursive atom's
+/// relation) and `db`: no indexes, no reordering, no arenas. Returns the
+/// result tuples and the number of complete body matches.
+fn reference_apply(
+    rule: &LinearRule,
+    db: &Database,
+    p_rel: &[Vec<Value>],
+) -> (HashSet<Vec<Value>>, u64) {
+    fn atom_matches(atom: &Atom, tuple: &[Value], bind: &mut Vec<(Var, Value)>) -> bool {
+        let depth = bind.len();
+        for (term, &val) in atom.terms.iter().zip(tuple) {
+            let ok = match term {
+                Term::Const(c) => *c == val,
+                Term::Var(v) => match bind.iter().find(|(b, _)| b == v) {
+                    Some(&(_, bound)) => bound == val,
+                    None => {
+                        bind.push((*v, val));
+                        true
+                    }
+                },
+            };
+            if !ok {
+                bind.truncate(depth);
+                return false;
+            }
+        }
+        true
+    }
+
+    fn descend(
+        rule: &LinearRule,
+        db: &Database,
+        p_rel: &[Vec<Value>],
+        atom_idx: usize,
+        bind: &mut Vec<(Var, Value)>,
+        out: &mut HashSet<Vec<Value>>,
+        derivs: &mut u64,
+    ) {
+        let atoms: Vec<&Atom> = std::iter::once(rule.rec_atom())
+            .chain(rule.nonrec_atoms().iter())
+            .collect();
+        if atom_idx == atoms.len() {
+            let tuple: Vec<Value> = rule
+                .head()
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => *c,
+                    Term::Var(v) => {
+                        bind.iter()
+                            .find(|(b, _)| b == v)
+                            .expect("range-restricted")
+                            .1
+                    }
+                })
+                .collect();
+            *derivs += 1;
+            out.insert(tuple);
+            return;
+        }
+        let atom = atoms[atom_idx];
+        let tuples: Vec<Vec<Value>> = if atom_idx == 0 {
+            p_rel.to_vec()
+        } else {
+            match db.relation(atom.pred) {
+                Some(rel) if rel.arity() == atom.arity() => {
+                    rel.iter().map(|t| t.to_vec()).collect()
+                }
+                _ => Vec::new(),
+            }
+        };
+        for t in &tuples {
+            let depth = bind.len();
+            if atom_matches(atom, t, bind) {
+                descend(rule, db, p_rel, atom_idx + 1, bind, out, derivs);
+            }
+            bind.truncate(depth);
+        }
+    }
+
+    let mut out = HashSet::new();
+    let mut derivs = 0;
+    descend(rule, db, p_rel, 0, &mut Vec::new(), &mut out, &mut derivs);
+    (out, derivs)
+}
+
+/// Naive fixpoint over the reference join.
+fn reference_star(rules: &[LinearRule], db: &Database, init: &[Vec<Value>]) -> HashSet<Vec<Value>> {
+    let mut total: HashSet<Vec<Value>> = init.iter().cloned().collect();
+    loop {
+        let snapshot: Vec<Vec<Value>> = total.iter().cloned().collect();
+        let before = total.len();
+        for rule in rules {
+            let (derived, _) = reference_apply(rule, db, &snapshot);
+            total.extend(derived);
+        }
+        if total.len() == before {
+            return total;
+        }
+    }
+}
+
+// --- generators -------------------------------------------------------------
+
+/// A random arity-2 linear rule `p(x0,x1) :- p(..), a(..), b(..)?` whose
+/// recursive-atom positions copy/shift head variables or introduce fresh
+/// ones, with zero to two binary nonrecursive atoms over a 4-variable pool.
+fn rule_strategy() -> impl Strategy<Value = LinearRule> {
+    (
+        (0u8..4, 0u8..4),
+        (0u8..3, 0u8..4, 0u8..4),
+        (0u8..3, 0u8..4, 0u8..4),
+    )
+        .prop_filter_map(
+            "rule must be linear and range-restricted",
+            |((r0, r1), (na, a0, a1), (nb, b0, b1))| {
+                let hv = [Var::new("x0"), Var::new("x1")];
+                let fresh = [Var::new("n0"), Var::new("n1")];
+                let pool = [hv[0], hv[1], fresh[0], fresh[1]];
+                let pick = |sel: u8, i: usize| match sel {
+                    0 => Term::Var(hv[i]),
+                    1 => Term::Var(hv[(i + 1) % 2]),
+                    n => Term::Var(fresh[(n as usize) % 2]),
+                };
+                let head = Atom::from_vars("p", &hv);
+                let rec = Atom::new("p", vec![pick(r0, 0), pick(r1, 1)]);
+                let mut nonrec = Vec::new();
+                if na > 0 {
+                    nonrec.push(Atom::from_vars(
+                        "a",
+                        &[pool[a0 as usize], pool[a1 as usize]],
+                    ));
+                }
+                if nb > 0 {
+                    nonrec.push(Atom::from_vars(
+                        "b",
+                        &[pool[b0 as usize], pool[b1 as usize]],
+                    ));
+                }
+                LinearRule::from_parts(head, rec, nonrec)
+                    .ok()
+                    .filter(|r| r.is_range_restricted())
+            },
+        )
+}
+
+/// A set of integer pairs over a small universe (dense enough to join).
+fn pairs_strategy(max: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..6, 0i64..6), 1..max)
+}
+
+fn build_db(a: &[(i64, i64)], b: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.set_relation("a", Relation::from_pairs(a.iter().copied()));
+    db.set_relation("b", Relation::from_pairs(b.iter().copied()));
+    db
+}
+
+fn to_vecs(pairs: &[(i64, i64)]) -> Vec<Vec<Value>> {
+    let set: HashSet<Vec<Value>> = pairs
+        .iter()
+        .map(|&(x, y)| vec![Value::Int(x), Value::Int(y)])
+        .collect();
+    set.into_iter().collect()
+}
+
+// --- join equivalence -------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn join_matches_reference_nested_loop(
+        rule in rule_strategy(),
+        a in pairs_strategy(24),
+        b in pairs_strategy(24),
+        p in pairs_strategy(12),
+    ) {
+        let db = build_db(&a, &b);
+        let p_vecs = to_vecs(&p);
+        let p_rel = Relation::from_pairs(p.iter().copied());
+
+        let (expected, expected_derivs) = reference_apply(&rule, &db, &p_vecs);
+        let (got, got_derivs) = apply_linear(&rule, &db, &p_rel, &mut Indexes::new());
+
+        let got_set: HashSet<Vec<Value>> = got.iter().map(|t| t.to_vec()).collect();
+        prop_assert_eq!(&got_set, &expected, "rule {}", rule);
+        prop_assert_eq!(got_derivs, expected_derivs, "derivation count for {}", rule);
+    }
+
+    #[test]
+    fn seminaive_fixpoint_matches_reference_fixpoint(
+        rule in rule_strategy(),
+        a in pairs_strategy(16),
+        b in pairs_strategy(16),
+        p in pairs_strategy(8),
+    ) {
+        let db = build_db(&a, &b);
+        let p_vecs = to_vecs(&p);
+        let p_rel = Relation::from_pairs(p.iter().copied());
+
+        let expected = reference_star(std::slice::from_ref(&rule), &db, &p_vecs);
+        let (got, stats) = seminaive_star(std::slice::from_ref(&rule), &db, &p_rel);
+
+        let got_set: HashSet<Vec<Value>> = got.iter().map(|t| t.to_vec()).collect();
+        prop_assert_eq!(&got_set, &expected, "fixpoint for {}", rule);
+        prop_assert_eq!(stats.tuples, expected.len());
+    }
+
+    #[test]
+    fn cached_indexes_equal_fresh_indexes_across_rounds(
+        rule in rule_strategy(),
+        a in pairs_strategy(16),
+        b in pairs_strategy(16),
+        p in pairs_strategy(8),
+    ) {
+        // Apply twice with one cache, twice with fresh caches: identical.
+        let db = build_db(&a, &b);
+        let p_rel = Relation::from_pairs(p.iter().copied());
+        let mut shared = Indexes::new();
+        let (r1, d1) = apply_linear(&rule, &db, &p_rel, &mut shared);
+        let (r2, d2) = apply_linear(&rule, &db, &r1, &mut shared);
+        let (f1, e1) = apply_linear(&rule, &db, &p_rel, &mut Indexes::new());
+        let (f2, e2) = apply_linear(&rule, &db, &f1, &mut Indexes::new());
+        prop_assert_eq!(r1.sorted(), f1.sorted());
+        prop_assert_eq!(r2.sorted(), f2.sorted());
+        prop_assert_eq!((d1, d2), (e1, e2));
+    }
+}
+
+// --- storage model ----------------------------------------------------------
+
+fn tuple_strategy(arity: usize) -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec((0i64..5).prop_map(Value::Int), arity..arity + 1)
+}
+
+proptest! {
+    #[test]
+    fn relation_behaves_like_a_hash_set_of_tuples(
+        arity in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        // Deterministic tuple stream from the seed (covers inline (≤ 4)
+        // and spilled (> 4) tuples as arity varies).
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut rel = Relation::new(arity);
+        let mut model: HashSet<Vec<Value>> = HashSet::new();
+        for _ in 0..200 {
+            let t: Vec<Value> = (0..arity).map(|_| Value::Int((next() % 4) as i64)).collect();
+            prop_assert_eq!(rel.insert(t.clone()), model.insert(t));
+        }
+        prop_assert_eq!(rel.len(), model.len());
+        for t in &model {
+            prop_assert!(rel.contains(t));
+        }
+        let iterated: HashSet<Vec<Value>> = rel.iter().map(|t| t.to_vec()).collect();
+        prop_assert_eq!(&iterated, &model);
+        // flat() is exactly rows × arity values, row-major.
+        prop_assert_eq!(rel.flat().len(), rel.len() * arity);
+    }
+
+    #[test]
+    fn union_and_difference_match_set_algebra(
+        xs in proptest::collection::vec(tuple_strategy(3), 0..40),
+        ys in proptest::collection::vec(tuple_strategy(3), 0..40),
+    ) {
+        let a = Relation::from_tuples(3, xs.iter().cloned());
+        let b = Relation::from_tuples(3, ys.iter().cloned());
+        let sa: HashSet<Vec<Value>> = xs.into_iter().collect();
+        let sb: HashSet<Vec<Value>> = ys.into_iter().collect();
+
+        let mut u = a.clone();
+        let added = u.union_in_place(&b);
+        prop_assert_eq!(u.len(), sa.union(&sb).count());
+        prop_assert_eq!(added, sb.difference(&sa).count());
+
+        let d = a.difference(&b);
+        prop_assert_eq!(d.len(), sa.difference(&sb).count());
+        for t in d.iter() {
+            prop_assert!(sa.contains(t) && !sb.contains(t));
+        }
+    }
+}

@@ -111,7 +111,11 @@ fn cover_db(rules: &[LinearRule], seed: u64) -> (Database, Relation) {
         let mut g = Gen(seed.wrapping_add(7));
         let mut rel = Relation::new(arity);
         for _ in 0..8 {
-            rel.insert((0..arity).map(|_| Value::Int(g.below(5) as i64)).collect());
+            rel.insert(
+                (0..arity)
+                    .map(|_| Value::Int(g.below(5) as i64))
+                    .collect::<Tuple>(),
+            );
         }
         rel
     };
@@ -166,6 +170,26 @@ fn check_case(
         plan.shape()
     );
     assert_eq!(planned.stats.tuples, planned.relation.len(), "{case}");
+
+    // Property 3: the cost-based choice is licensed the same way (never a
+    // certified node without a certificate) and computes the same relation.
+    let costed = analysis.plan_for(db, init);
+    if analysis.has_no_certificates() {
+        assert!(
+            !uses_certified_strategy(&costed.shape()),
+            "{case}: certificate-less analysis cost-chose {:?}",
+            costed.shape()
+        );
+    }
+    let costed_out = costed
+        .execute(db, init)
+        .unwrap_or_else(|e| panic!("{case}: cost-chosen plan {:?} failed: {e}", costed.shape()));
+    assert_eq!(
+        costed_out.relation.sorted(),
+        expected.sorted(),
+        "{case}: cost-chosen plan {:?} diverges from eval_direct",
+        costed.shape()
+    );
 }
 
 #[test]

@@ -87,6 +87,7 @@ pub struct Criterion {
 struct Measurement {
     id: String,
     mean_ns: f64,
+    median_ns: f64,
     min_ns: f64,
     max_ns: f64,
     samples: usize,
@@ -107,6 +108,17 @@ impl Criterion {
         run_one(self, None, 20, id.into_id(), f);
     }
 
+    /// Snapshot of the recorded measurements as `(id, median_ns, samples)`
+    /// tuples, in execution order — for harnesses (`harness = false`
+    /// benches with a custom `main`) that post-process their own results,
+    /// e.g. to emit a committed summary file.
+    pub fn measurements(&self) -> Vec<(String, f64, usize)> {
+        self.results
+            .iter()
+            .map(|m| (m.id.clone(), m.median_ns, m.samples))
+            .collect()
+    }
+
     fn finalize(&self) {
         let path =
             std::env::var("CRITERION_JSON").unwrap_or_else(|_| "target/criterion.jsonl".to_owned());
@@ -123,9 +135,10 @@ impl Criterion {
                     let mut line = String::new();
                     let _ = write!(
                         line,
-                        "{{\"bench\":\"{}\",\"mean_ns\":{:.0},\"min_ns\":{:.0},\"max_ns\":{:.0},\"samples\":{}}}",
+                        "{{\"bench\":\"{}\",\"mean_ns\":{:.0},\"median_ns\":{:.0},\"min_ns\":{:.0},\"max_ns\":{:.0},\"samples\":{}}}",
                         m.id.replace('"', "'"),
                         m.mean_ns,
+                        m.median_ns,
                         m.min_ns,
                         m.max_ns,
                         m.samples
@@ -165,14 +178,20 @@ fn run_one<F: FnMut(&mut Bencher)>(
     let mean = b.samples_ns.iter().sum::<f64>() / n as f64;
     let min = b.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = b.samples_ns.iter().cloned().fold(0.0f64, f64::max);
+    let median = {
+        let mut sorted = b.samples_ns.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted[n / 2]
+    };
     println!(
-        "{full_id:<60} mean {:>12.1} µs   min {:>12.1} µs   ({n} samples)",
-        mean / 1e3,
+        "{full_id:<60} median {:>12.1} µs   min {:>12.1} µs   ({n} samples)",
+        median / 1e3,
         min / 1e3
     );
     c.results.push(Measurement {
         id: full_id,
         mean_ns: mean,
+        median_ns: median,
         min_ns: min,
         max_ns: max,
         samples: n,

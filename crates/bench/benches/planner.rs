@@ -7,12 +7,18 @@
 //! validated against ground truth. The planning cost itself (analysis +
 //! certificate search) is measured separately.
 //!
+//! The `incremental` group measures the PR 3 serving scenario: maintaining
+//! the materialized 1k-chain transitive-closure view under a 1% insert
+//! batch (`linrec-service` delta maintenance, scan/index cache reused
+//! across batches) against recomputing the view from scratch on the
+//! post-batch EDB. The derived speedup is the acceptance headline.
+//!
 //! Every measurement lands in `target/criterion.jsonl` (perf trajectory),
 //! and a custom `main` additionally writes the committed summary
-//! `BENCH_pr2.json` at the workspace root: median ns per strategy per
-//! workload, together with the PR 1 seed-engine baselines recorded when
-//! this harness was introduced, so the speedup trajectory is visible in
-//! the repository itself.
+//! `BENCH_pr3.json` at the workspace root: median ns per strategy per
+//! workload, the PR 1 seed-engine baselines recorded when this harness was
+//! introduced (the committed `BENCH_pr2.json` carries the PR 2 points),
+//! and the incremental-vs-recompute speedup.
 //!
 //! Deliberate coverage gap (not a silent cap): `Naive` is skipped on the
 //! 1k-chain — naive evaluation re-joins the ~500k-tuple closure every one
@@ -149,13 +155,75 @@ fn bench_updown(c: &mut Criterion) {
     group.finish();
 }
 
+/// Maintaining the 1k-chain TC view under a 1% insert batch (10 edges
+/// extending the chain: ~10k new closure tuples) vs recomputing the view
+/// from scratch on the post-batch EDB. The maintained view and the
+/// cross-batch index cache are set up once; each iteration measures one
+/// steady-state maintenance step from the same pre-batch state.
+fn bench_incremental(c: &mut Criterion) {
+    use linrec_datalog::hash::FastMap;
+    use linrec_datalog::{Symbol, Value};
+    use linrec_service::{MaintenanceMode, ViewDef};
+    use std::sync::Arc;
+
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(10);
+    let n = 1000i64;
+    let rules = vec![rules::tc_right()];
+    let mut db = linrec_engine::workload::graph_db("q", workload::chain(n));
+    let def = ViewDef {
+        name: "tc".into(),
+        rules: rules.clone(),
+        seed: Symbol::new("q"),
+    };
+    let mut view = linrec_service::MaintainedView::register(def, &db).unwrap();
+    assert_eq!(view.mode(), &MaintenanceMode::Incremental);
+    let (materialized, _) = view.materialize(&db).unwrap();
+    let materialized = Arc::new(materialized);
+
+    // The 1% batch: 10 edges extending the chain to 1010 nodes.
+    let mut delta = linrec_datalog::Relation::new(2);
+    for i in 0..10 {
+        let t = [Value::Int(n + i), Value::Int(n + i + 1)];
+        db.insert_tuple(Symbol::new("q"), t);
+        delta.insert(t);
+    }
+    let mut deltas: FastMap<Symbol, Arc<linrec_datalog::Relation>> = FastMap::default();
+    deltas.insert(Symbol::new("q"), Arc::new(delta));
+
+    // Sanity: maintenance must agree with the from-scratch recompute.
+    let seed = db.relation_or_empty(Symbol::new("q"), 2);
+    let plan = Plan::direct(rules.clone());
+    let scratch = plan.execute(&db, &seed).unwrap();
+    let maintained = view
+        .maintain(&materialized, &db, &deltas)
+        .unwrap()
+        .relation
+        .unwrap();
+    assert_eq!(maintained.sorted(), scratch.relation.sorted());
+
+    group.bench_function("maintain/1000", |b| {
+        b.iter(|| {
+            view.maintain(&materialized, &db, &deltas)
+                .unwrap()
+                .relation
+                .unwrap()
+        })
+    });
+    group.bench_function("recompute/1000", |b| {
+        b.iter(|| plan.execute(&db, &seed).unwrap())
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_planning_cost,
     bench_shopping,
     bench_chain,
     bench_grid,
-    bench_updown
+    bench_updown,
+    bench_incremental
 );
 
 /// PR 1 seed-engine medians (ns) for the headline workloads, measured on
@@ -173,7 +241,7 @@ const PR1_BASELINES: &[(&str, u64)] = &[
 ];
 
 fn write_summary(c: &Criterion) {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json");
     let mut out = String::from("{\n  \"results\": {\n");
     let measurements = c.measurements();
     for (i, (id, median, samples)) in measurements.iter().enumerate() {
@@ -192,6 +260,26 @@ fn write_summary(c: &Criterion) {
         };
         let _ = writeln!(out, "    \"{id}\": {ns}{comma}");
     }
+    out.push_str("  },\n  \"derived\": {\n");
+    let median = |needle: &str| {
+        measurements
+            .iter()
+            .find(|(id, _, _)| id == needle)
+            .map(|&(_, m, _)| m)
+    };
+    // The PR 3 acceptance headline: maintaining the 1k-chain TC view under
+    // a 1% insert batch vs recomputing it from scratch.
+    let speedup = match (
+        median("incremental/maintain/1000"),
+        median("incremental/recompute/1000"),
+    ) {
+        (Some(maintain), Some(recompute)) if maintain > 0.0 => recompute / maintain,
+        _ => 0.0,
+    };
+    let _ = writeln!(
+        out,
+        "    \"chain_tc_1pct_batch_incremental_speedup\": {speedup:.2}"
+    );
     out.push_str("  }\n}\n");
     match std::fs::write(path, &out) {
         Ok(()) => eprintln!("planner bench: wrote {path}"),

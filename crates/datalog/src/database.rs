@@ -1,4 +1,17 @@
 //! A database: a mapping from predicate symbols to relations.
+//!
+//! # Copy-on-write snapshots
+//!
+//! Relations are stored behind [`Arc`], so cloning a [`Database`] — or
+//! calling the intention-revealing alias [`Database::snapshot`] — is
+//! `O(#relations)` regardless of how many tuples it holds: the clone
+//! shares every relation's arena with the original. Mutation goes through
+//! [`Arc::make_mut`], which deep-copies **only** the relation actually
+//! being written, and only when some other snapshot still shares it. This
+//! is the substrate for epoch-versioned serving (`linrec-service`): a
+//! writer snapshots the database, applies an insert batch (copying just
+//! the touched relations), and publishes the result while readers keep
+//! serving from the previous snapshot untouched.
 
 use crate::atom::Atom;
 use crate::error::RuleError;
@@ -8,11 +21,14 @@ use crate::relation::{Relation, Tuple};
 use crate::symbol::Symbol;
 use crate::term::{Term, Value};
 use std::fmt;
+use std::sync::Arc;
 
 /// A collection of named relations (the EDB plus any materialized IDB).
+///
+/// Cloning is cheap (copy-on-write; see the module docs).
 #[derive(Clone, Default)]
 pub struct Database {
-    relations: FastMap<Symbol, Relation>,
+    relations: FastMap<Symbol, Arc<Relation>>,
 }
 
 impl Database {
@@ -55,44 +71,75 @@ impl Database {
     }
 
     /// Insert a raw tuple for `pred`, creating the relation on first use.
+    /// Returns `true` iff the tuple was not already present.
+    ///
+    /// When the relation is shared with a snapshot, the write copies it
+    /// first (copy-on-write) so the snapshot is unaffected.
     ///
     /// # Panics
     /// If `pred` already exists with a different arity.
-    pub fn insert_tuple(&mut self, pred: Symbol, tuple: impl AsRef<[Value]>) {
+    pub fn insert_tuple(&mut self, pred: Symbol, tuple: impl AsRef<[Value]>) -> bool {
         let tuple = tuple.as_ref();
         let arity = tuple.len();
-        self.relations
+        let rel = self
+            .relations
             .entry(pred)
-            .or_insert_with(|| Relation::new(arity))
-            .insert(tuple);
+            .or_insert_with(|| Arc::new(Relation::new(arity)));
+        // Duplicate check before `make_mut`: a no-op insert must not
+        // deep-copy a relation that is shared with a snapshot. (The arity
+        // assertion still fires inside `insert` for genuinely new tuples;
+        // `contains` is simply false on an arity mismatch.)
+        if tuple.len() == rel.arity() && rel.contains(tuple) {
+            return false;
+        }
+        Arc::make_mut(rel).insert(tuple)
     }
 
     /// Install (or replace) a whole relation.
     pub fn set_relation(&mut self, pred: impl Into<Symbol>, rel: Relation) {
+        self.relations.insert(pred.into(), Arc::new(rel));
+    }
+
+    /// Install (or replace) a relation that is already shared — the
+    /// zero-copy path for publishing a materialized view into a snapshot.
+    pub fn set_relation_arc(&mut self, pred: impl Into<Symbol>, rel: Arc<Relation>) {
         self.relations.insert(pred.into(), rel);
     }
 
     /// Look up a relation.
     pub fn relation(&self, pred: Symbol) -> Option<&Relation> {
-        self.relations.get(&pred)
+        self.relations.get(&pred).map(|r| r.as_ref())
+    }
+
+    /// Look up a relation as a shared handle (zero-copy; the handle stays
+    /// valid however the database is mutated afterwards).
+    pub fn relation_arc(&self, pred: Symbol) -> Option<Arc<Relation>> {
+        self.relations.get(&pred).cloned()
+    }
+
+    /// A cheap copy-on-write snapshot: `O(#relations)`, sharing every
+    /// relation's storage with `self` (see the module docs). Identical to
+    /// `clone()`; spelled as a method so call sites state their intent.
+    pub fn snapshot(&self) -> Database {
+        self.clone()
     }
 
     /// Look up a relation by name.
     pub fn relation_named(&self, pred: &str) -> Option<&Relation> {
-        self.relations.get(&Symbol::new(pred))
+        self.relation(Symbol::new(pred))
     }
 
     /// The relation for `pred`, or an empty relation of the given arity.
     pub fn relation_or_empty(&self, pred: Symbol, arity: usize) -> Relation {
         self.relations
             .get(&pred)
-            .cloned()
+            .map(|r| Relation::clone(r))
             .unwrap_or_else(|| Relation::new(arity))
     }
 
     /// Iterate over `(predicate, relation)` pairs (unspecified order).
     pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Relation)> + '_ {
-        self.relations.iter().map(|(&s, r)| (s, r))
+        self.relations.iter().map(|(&s, r)| (s, r.as_ref()))
     }
 
     /// Number of distinct predicates.
@@ -155,6 +202,44 @@ mod tests {
         db.set_relation("e", Relation::from_pairs([(1, 2)]));
         db.set_relation("e", Relation::from_pairs([(3, 4), (4, 5)]));
         assert_eq!(db.relation_named("e").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_copy_on_write() {
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2)]));
+        let snap = db.snapshot();
+        // The snapshot shares storage until the original is written.
+        assert!(Arc::ptr_eq(
+            &db.relation_arc(Symbol::new("e")).unwrap(),
+            &snap.relation_arc(Symbol::new("e")).unwrap()
+        ));
+        assert!(db.insert_tuple(Symbol::new("e"), vec![Value::Int(3), Value::Int(4)]));
+        assert!(!db.insert_tuple(Symbol::new("e"), vec![Value::Int(3), Value::Int(4)]));
+        // Writer sees the insert; the snapshot does not.
+        assert_eq!(db.relation_named("e").unwrap().len(), 2);
+        assert_eq!(snap.relation_named("e").unwrap().len(), 1);
+        // A relation no snapshot shares is mutated in place (no copy).
+        drop(snap);
+        let before = Arc::as_ptr(&db.relation_arc(Symbol::new("e")).unwrap());
+        db.insert_tuple(Symbol::new("e"), vec![Value::Int(5), Value::Int(6)]);
+        assert_eq!(
+            before,
+            Arc::as_ptr(&db.relation_arc(Symbol::new("e")).unwrap())
+        );
+    }
+
+    #[test]
+    fn duplicate_insert_into_a_shared_relation_does_not_copy() {
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2)]));
+        let snap = db.snapshot(); // shares the relation
+        assert!(!db.insert_tuple(Symbol::new("e"), vec![Value::Int(1), Value::Int(2)]));
+        // The no-op insert must leave the sharing intact (no deep copy).
+        assert!(Arc::ptr_eq(
+            &db.relation_arc(Symbol::new("e")).unwrap(),
+            &snap.relation_arc(Symbol::new("e")).unwrap()
+        ));
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::term::Value;
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Maximum arity stored inline (without heap allocation) by [`Tuple`].
 pub const INLINE_ARITY: usize = 4;
@@ -250,7 +251,19 @@ pub struct Relation {
     /// Open-addressing table of row ids; `EMPTY_SLOT` marks a free slot.
     /// Length is always a power of two (or zero before the first insert).
     slots: Vec<u32>,
+    /// Content version: refreshed from a process-wide counter on every
+    /// mutation, so two relations with equal versions are guaranteed to
+    /// have identical contents (a clone shares its source's version; any
+    /// later mutation moves the mutated copy to a fresh, never-reused
+    /// number). Downstream caches (the engine's scan/index cache, the
+    /// service's epoch snapshots) revalidate against this instead of
+    /// re-hashing contents.
+    version: u64,
 }
+
+/// Source of [`Relation::version`] numbers. Starts at 1 so the default
+/// version 0 is reserved for never-mutated (empty) relations.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
 
 fn hash_row(vals: &[Value]) -> u64 {
     let mut h = FxHasher::default();
@@ -266,7 +279,18 @@ impl Relation {
             arena: Vec::new(),
             hashes: Vec::new(),
             slots: Vec::new(),
+            version: 0,
         }
+    }
+
+    /// The relation's content version (see the field docs): equal versions
+    /// imply equal contents, and every mutation produces a fresh version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn touch(&mut self) {
+        self.version = NEXT_VERSION.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Build from an iterator of tuples (arity taken from the argument).
@@ -382,6 +406,7 @@ impl Relation {
                 self.arena.extend_from_slice(t);
                 self.hashes.push(h);
                 self.slots[slot] = row;
+                self.touch();
                 true
             }
         }
@@ -460,6 +485,7 @@ impl Relation {
         self.arena.clear();
         self.hashes.clear();
         self.slots.clear();
+        self.touch();
     }
 }
 
@@ -648,6 +674,27 @@ mod tests {
         assert_eq!(r.distinct_in_col(0), 3);
         assert_eq!(r.distinct_in_col(1), 2);
         assert_eq!(r.distinct_in_col(7), 0);
+    }
+
+    #[test]
+    fn versions_track_mutation() {
+        let mut r = Relation::new(2);
+        assert_eq!(r.version(), 0); // never mutated
+        r.insert([Value::Int(1), Value::Int(2)]);
+        let v1 = r.version();
+        assert_ne!(v1, 0);
+        // A duplicate insert changes nothing and keeps the version.
+        r.insert([Value::Int(1), Value::Int(2)]);
+        assert_eq!(r.version(), v1);
+        // A clone shares the version (identical content)…
+        let c = r.clone();
+        assert_eq!(c.version(), v1);
+        // …and diverges on the next mutation of either copy.
+        r.insert([Value::Int(3), Value::Int(4)]);
+        assert_ne!(r.version(), c.version());
+        let before = r.version();
+        r.clear();
+        assert_ne!(r.version(), before);
     }
 
     #[test]

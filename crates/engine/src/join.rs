@@ -8,7 +8,7 @@
 //!
 //! # Index lifecycle
 //!
-//! [`Indexes`] is the per-fixpoint cache. The EDB never changes during a
+//! [`Indexes`] is the scan/index cache. The EDB never changes during a
 //! fixpoint computation, so each trailing-atom relation is materialized
 //! into the cache **once** per fixpoint (a single flat copy of the
 //! relation's arena — see `linrec_datalog::relation` for the layout), and
@@ -16,6 +16,17 @@
 //! rather than cloned tuples. Rounds of the fixpoint reuse both; nothing
 //! about the EDB is re-scanned, re-cloned, or re-hashed after the first
 //! round. A fresh fixpoint (new `Indexes`) starts empty.
+//!
+//! Since the incremental-view service reuses one `Indexes` **across**
+//! fixpoints while the EDB grows between batches, every cached scan
+//! remembers the [`Relation::version`] it was built from and is
+//! revalidated on each operator application: a version mismatch rebuilds
+//! that relation's scan and indexes (and the affected join plans) before
+//! any row is served. Relations untouched by a batch keep their cache —
+//! that is the point of sharing the cache across batches. Versions are
+//! globally unique per mutation, so revalidation is a single integer
+//! compare and can never serve stale rows. [`Indexes::invalidate`] drops
+//! one predicate's entry explicitly.
 //!
 //! Column indexes are only built for columns that can ever hold a bound
 //! value when the atom is matched: a column whose term is a variable that
@@ -39,25 +50,34 @@
 use linrec_datalog::hash::{FastMap, FastSet};
 use linrec_datalog::{Atom, Database, LinearRule, Relation, Symbol, Term, Value, Var};
 
-/// Per-predicate scan/index cache, valid for one fixpoint computation (the
-/// EDB is immutable across a fixpoint). See the module docs for lifecycle.
+/// Per-predicate scan/index cache. Valid across fixpoints: every cached
+/// scan is revalidated against its relation's content version on each
+/// operator application and rebuilt when the relation changed. See the
+/// module docs for lifecycle.
 #[derive(Default)]
 pub struct Indexes {
     cache: FastMap<Symbol, RelCache>,
-    /// Per-body join plans (atom order, validity), keyed by the body atoms:
-    /// both depend only on the rule text and the cached statistics, so they
-    /// are computed once per fixpoint rather than once per application.
+    /// Per-body join plans (trailing-atom order), keyed by the body atoms:
+    /// the order depends only on the rule text and the cached statistics,
+    /// so it is computed once and recomputed only when a scan of one of
+    /// the body's predicates has been rebuilt since — tracked by stamping
+    /// each scan with the rebuild generation it was built at and each plan
+    /// with the highest generation it observed (so a rebuild retires the
+    /// plans of *every* body over that predicate, not just the body whose
+    /// application happened to trigger the rebuild).
     plans: FastMap<Vec<Atom>, JoinPlan>,
+    /// Monotone counter of scan (re)builds, the source of the stamps.
+    generation: u64,
 }
 
-/// The round-invariant part of one body's evaluation.
+/// The scan-invariant part of one body's evaluation.
 #[derive(Clone)]
 struct JoinPlan {
-    /// `false` when a trailing atom's arity disagrees with its stored
-    /// relation — the body then matches nothing.
-    valid: bool,
     /// Trailing-atom match order (indices into the body, all ≥ 1).
     order: Vec<usize>,
+    /// Highest scan rebuild generation among the body's predicates when
+    /// the plan was computed; a scan with a newer stamp retires the plan.
+    generation: u64,
 }
 
 /// One cached relation: a flat snapshot of its arena plus lazily built
@@ -67,18 +87,36 @@ struct RelCache {
     /// Row-major copy of the relation's arena (one `memcpy` at build time).
     arena: Vec<Value>,
     rows: usize,
+    /// [`Relation::version`] the snapshot was taken at (0 for a predicate
+    /// that was missing from the database).
+    version: u64,
+    /// [`Indexes::generation`] at which this scan was (re)built.
+    built_at: u64,
     /// `cols[c]` maps a value to the row ids holding it in column `c`;
     /// `None` while unbuilt (never-bindable or not yet requested).
     cols: Vec<Option<FastMap<Value, Vec<u32>>>>,
 }
 
 impl RelCache {
-    fn of(rel: &Relation) -> RelCache {
+    fn of(rel: &Relation, built_at: u64) -> RelCache {
         RelCache {
             arity: rel.arity(),
             arena: rel.flat().to_vec(),
             rows: rel.len(),
+            version: rel.version(),
+            built_at,
             cols: (0..rel.arity()).map(|_| None).collect(),
+        }
+    }
+
+    fn missing(arity: usize, built_at: u64) -> RelCache {
+        RelCache {
+            arity,
+            arena: Vec::new(),
+            rows: 0,
+            version: 0,
+            built_at,
+            cols: (0..arity).map(|_| None).collect(),
         }
     }
 
@@ -123,45 +161,64 @@ impl Indexes {
         Indexes::default()
     }
 
-    /// Materialize `atom`'s relation from `db` (once per fixpoint) and build
-    /// indexes for the columns flagged bindable. Returns `false` when the
-    /// stored relation's arity disagrees with the atom's (the atom can then
-    /// match nothing).
-    ///
-    /// An `Indexes` must only ever see **one** database: the cache is keyed
-    /// by predicate and never revalidated against `db`'s contents (that is
-    /// the whole point — the EDB is immutable across a fixpoint). The debug
-    /// assertion below catches cross-database reuse loudly in tests.
-    fn ensure(&mut self, atom: &Atom, db: &Database, bindable: &[bool]) -> bool {
-        debug_assert!(
-            self.cache.get(&atom.pred).is_none_or(|cached| {
-                cached.rows == db.relation(atom.pred).map_or(0, |r| r.len())
-            }),
-            "Indexes reused across databases: cached scan of {} is stale",
-            atom.pred
-        );
-        let cache = self.cache.entry(atom.pred).or_insert_with(|| {
-            match db.relation(atom.pred) {
-                Some(rel) => RelCache::of(rel),
-                // Missing predicate: cache an empty relation of the atom's
-                // arity so later lookups stay cheap.
-                None => RelCache {
-                    arity: atom.arity(),
-                    arena: Vec::new(),
-                    rows: 0,
-                    cols: (0..atom.arity()).map(|_| None).collect(),
-                },
-            }
-        });
-        if cache.arity != atom.arity() {
-            return false;
+    /// Drop the cached scan/indexes for `pred`, forcing a rebuild on the
+    /// next application that touches it. Rarely needed — version
+    /// revalidation already catches every mutation — but available for
+    /// callers that want to bound the cache's memory between batches.
+    pub fn invalidate(&mut self, pred: Symbol) {
+        self.cache.remove(&pred);
+    }
+
+    /// Materialize `atom`'s relation from `db`, revalidating an existing
+    /// entry against the relation's content version (a mutated relation is
+    /// re-scanned; an untouched one is served from cache). Returns the
+    /// generation the scan was built at, or `None` when the stored
+    /// relation's arity disagrees with the atom's (the atom then matches
+    /// nothing). Column indexes are built separately ([`Indexes::build_cols`])
+    /// and only when a join plan is (re)computed.
+    fn revalidate(&mut self, atom: &Atom, db: &Database) -> Option<u64> {
+        let rel = db.relation(atom.pred);
+        let current_version = rel.map_or(0, |r| r.version());
+        let next_gen = self.generation + 1;
+        let mut built = false;
+        let cache = self
+            .cache
+            .entry(atom.pred)
+            .and_modify(|c| {
+                if c.version != current_version {
+                    *c = match rel {
+                        Some(rel) => RelCache::of(rel, next_gen),
+                        None => RelCache::missing(atom.arity(), next_gen),
+                    };
+                    built = true;
+                }
+            })
+            .or_insert_with(|| {
+                built = true;
+                match rel {
+                    Some(rel) => RelCache::of(rel, next_gen),
+                    // Missing predicate: cache an empty relation of the
+                    // atom's arity so later lookups stay cheap.
+                    None => RelCache::missing(atom.arity(), next_gen),
+                }
+            });
+        let built_at = cache.built_at;
+        let arity_ok = cache.arity == atom.arity();
+        if built {
+            self.generation = next_gen;
         }
+        arity_ok.then_some(built_at)
+    }
+
+    /// Build the column indexes flagged bindable on `pred`'s cached scan
+    /// (idempotent per column).
+    fn build_cols(&mut self, pred: Symbol, bindable: &[bool]) {
+        let cache = self.cache.get_mut(&pred).expect("scan revalidated first");
         for (col, &b) in bindable.iter().enumerate() {
             if b {
                 cache.build_col(col);
             }
         }
-        true
     }
 
     fn get(&self, pred: Symbol) -> &RelCache {
@@ -363,35 +420,44 @@ fn join_emit(
     if first_rel.arity() != atoms[0].arity() {
         return (Relation::new(head.arity()), 0);
     }
-    let plan = match indexes.plans.get(atoms) {
-        Some(plan) => plan.clone(),
-        None => {
-            let mut valid = true;
+    // Revalidate every trailing atom's scan on each application (a version
+    // compare per atom when nothing changed): the cache now outlives a
+    // single fixpoint, so relations may have been mutated since the last
+    // call. The cached atom order is reused only when no scan it depends
+    // on has been rebuilt since the order was computed — including
+    // rebuilds triggered by *other* bodies over the same predicates.
+    let mut scan_gen = 0u64;
+    for a in atoms.iter().skip(1) {
+        match indexes.revalidate(a, db) {
+            Some(built_at) => scan_gen = scan_gen.max(built_at),
+            None => return (Relation::new(head.arity()), 0),
+        }
+    }
+    let order = match indexes.plans.get(atoms) {
+        Some(plan) if plan.generation >= scan_gen => plan.order.clone(),
+        _ => {
+            // Bindable masks depend only on the rule text, so they are
+            // (re)computed only here, at plan-build time, and the column
+            // indexes they request are built on the freshly revalidated
+            // scans before the order is estimated.
             for (i, a) in atoms.iter().enumerate().skip(1) {
                 let bindable = bindable_columns(atoms, i);
-                if !indexes.ensure(a, db, &bindable) {
-                    valid = false;
-                    break;
-                }
+                indexes.build_cols(a.pred, &bindable);
             }
-            let plan = JoinPlan {
-                valid,
-                order: if valid {
-                    selectivity_order(atoms, indexes)
-                } else {
-                    Vec::new()
+            let order = selectivity_order(atoms, indexes);
+            indexes.plans.insert(
+                atoms.to_vec(),
+                JoinPlan {
+                    order: order.clone(),
+                    generation: scan_gen,
                 },
-            };
-            indexes.plans.insert(atoms.to_vec(), plan.clone());
-            plan
+            );
+            order
         }
     };
-    if !plan.valid {
-        return (Relation::new(head.arity()), 0);
-    }
     let mut ordered: Vec<&Atom> = Vec::with_capacity(atoms.len());
     ordered.push(&atoms[0]);
-    ordered.extend(plan.order.iter().map(|&i| &atoms[i]));
+    ordered.extend(order.iter().map(|&i| &atoms[i]));
     let mut run = JoinRun {
         head,
         atoms: ordered,
@@ -567,6 +633,104 @@ mod tests {
     }
 
     #[test]
+    fn stale_cache_is_rebuilt_when_relation_changes_between_fixpoints() {
+        // Regression for cross-fixpoint cache reuse (the service keeps one
+        // `Indexes` across maintenance batches): after the EDB relation
+        // grows, the next application must serve from a rebuilt scan, not
+        // the stale one.
+        let r = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2)]));
+        let p = Relation::from_pairs([(0, 1)]);
+        let mut idx = Indexes::new();
+        let (out1, _) = apply_linear(&r, &db, &p, &mut idx);
+        assert_eq!(out1.sorted(), Relation::from_pairs([(0, 2)]).sorted());
+        let stale_version = idx.get(Symbol::new("e")).version;
+
+        // Mutate the relation between fixpoints (insert + full replace).
+        db.insert_tuple(Symbol::new("e"), vec![Value::Int(1), Value::Int(5)]);
+        let (out2, derivs2) = apply_linear(&r, &db, &p, &mut idx);
+        assert_eq!(
+            out2.sorted(),
+            Relation::from_pairs([(0, 2), (0, 5)]).sorted(),
+            "stale index served rows from before the insert"
+        );
+        assert_eq!(derivs2, 2);
+        let cache = idx.get(Symbol::new("e"));
+        assert_ne!(cache.version, stale_version, "scan was not rebuilt");
+        assert_eq!(cache.rows, 2);
+
+        db.set_relation("e", Relation::from_pairs([(1, 7)]));
+        let (out3, _) = apply_linear(&r, &db, &p, &mut idx);
+        assert_eq!(out3.sorted(), Relation::from_pairs([(0, 7)]).sorted());
+        assert_eq!(idx.get(Symbol::new("e")).rows, 1);
+    }
+
+    #[test]
+    fn sibling_bodies_retire_their_plans_after_a_shared_rebuild() {
+        // Two rules join against the same predicate. When a batch mutates
+        // it, *both* bodies' cached atom orders must be recomputed — not
+        // only the one whose application happened to trigger the scan
+        // rebuild (the other would otherwise keep an order based on stale
+        // statistics forever).
+        let r1 = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        let r2 = parse_linear_rule("p(x,y) :- p(z,x), e(z,y).").unwrap();
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2)]));
+        let p = Relation::from_pairs([(0, 1)]);
+        let mut idx = Indexes::new();
+        apply_linear(&r1, &db, &p, &mut idx);
+        apply_linear(&r2, &db, &p, &mut idx);
+        let plan_gen = |idx: &Indexes, r: &LinearRule| {
+            let mut atoms = vec![r.rec_atom().clone()];
+            atoms.extend(r.nonrec_atoms().iter().cloned());
+            idx.plans[&atoms].generation
+        };
+        let g1 = plan_gen(&idx, &r1);
+        let g2 = plan_gen(&idx, &r2);
+
+        db.insert_tuple(Symbol::new("e"), vec![Value::Int(2), Value::Int(3)]);
+        // r1's application observes the rebuild; r2's must still see it.
+        apply_linear(&r1, &db, &p, &mut idx);
+        apply_linear(&r2, &db, &p, &mut idx);
+        assert!(plan_gen(&idx, &r1) > g1, "r1's plan not recomputed");
+        assert!(
+            plan_gen(&idx, &r2) > g2,
+            "r2's plan kept stale statistics after the shared scan rebuilt"
+        );
+    }
+
+    #[test]
+    fn invalidate_drops_the_cached_scan() {
+        let r = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2)]));
+        let p = Relation::from_pairs([(0, 1)]);
+        let mut idx = Indexes::new();
+        apply_linear(&r, &db, &p, &mut idx);
+        idx.invalidate(Symbol::new("e"));
+        assert!(!idx.cache.contains_key(&Symbol::new("e")));
+        // The next application rebuilds transparently.
+        let (out, _) = apply_linear(&r, &db, &p, &mut idx);
+        assert_eq!(out.sorted(), Relation::from_pairs([(0, 2)]).sorted());
+    }
+
+    #[test]
+    fn predicate_appearing_after_first_fixpoint_is_picked_up() {
+        // The service creates relations on first insert: a predicate that
+        // was missing (cached as empty) must be re-scanned once it exists.
+        let r = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        let mut db = Database::new();
+        let p = Relation::from_pairs([(0, 1)]);
+        let mut idx = Indexes::new();
+        let (out, _) = apply_linear(&r, &db, &p, &mut idx);
+        assert!(out.is_empty());
+        db.set_relation("e", Relation::from_pairs([(1, 3)]));
+        let (out, _) = apply_linear(&r, &db, &p, &mut idx);
+        assert_eq!(out.sorted(), Relation::from_pairs([(0, 3)]).sorted());
+    }
+
+    #[test]
     fn selectivity_order_prefers_small_buckets() {
         // big(z,u) fans out 100-wide per z; tiny(z,y) is 1:1. The greedy
         // order must probe tiny first regardless of textual order.
@@ -584,7 +748,8 @@ mod tests {
         atoms.extend(r.nonrec_atoms().iter().cloned());
         for (i, a) in atoms.iter().enumerate().skip(1) {
             let bindable = bindable_columns(&atoms, i);
-            idx.ensure(a, &db, &bindable);
+            idx.revalidate(a, &db).expect("arity matches");
+            idx.build_cols(a.pred, &bindable);
         }
         let order = selectivity_order(&atoms, &idx);
         assert_eq!(order[0], 2, "tiny (atom 2) must be probed first");

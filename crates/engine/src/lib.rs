@@ -67,7 +67,7 @@ pub use planner::{
 pub use program::Program;
 pub use provenance::{eval_with_provenance, Provenance, Step};
 pub use selection::Selection;
-pub use seminaive::{bounded_prefix, exact_power, naive_star, seminaive_star};
+pub use seminaive::{bounded_prefix, exact_power, naive_star, seminaive_resume_in, seminaive_star};
 pub use stats::EvalStats;
 #[allow(deprecated)]
 pub use strategies::{

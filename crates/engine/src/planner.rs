@@ -324,11 +324,12 @@ impl Analysis {
             .iter()
             .map(|(name, c)| format!("{name} ≈ {c:.3e}"))
             .collect();
-        let mut chosen = match best {
-            Some((plan, cost)) if cost < direct_cost => plan,
-            _ => direct,
+        let (mut chosen, chosen_cost) = match best {
+            Some((plan, cost)) if cost < direct_cost => (plan, cost),
+            _ => (direct, direct_cost),
         };
         chosen.rationale = format!("{} [cost model: {}]", chosen.rationale, verdict.join(", "));
+        chosen.estimate = Some(chosen_cost);
         self.wrap_selection(chosen)
     }
 
@@ -756,6 +757,23 @@ impl CostModel {
 pub struct Plan {
     node: PlanNode,
     rationale: String,
+    /// Cost-model estimate for this plan (unit-free; comparable to actual
+    /// derivation counts), recorded by [`Analysis::plan_with`].
+    estimate: Option<f64>,
+    /// Actual statistics of the latest [`Plan::execute_feedback`] run,
+    /// shown next to the estimate in [`Plan::annotated_rationale`].
+    actual: Option<EvalStats>,
+}
+
+impl Plan {
+    fn make(node: PlanNode, rationale: String) -> Plan {
+        Plan {
+            node,
+            rationale,
+            estimate: None,
+            actual: None,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -835,43 +853,36 @@ pub struct TraceStep {
 impl Plan {
     /// Semi-naive evaluation of `(Σ rules)*` — always licensed.
     pub fn direct(rules: impl Into<Vec<LinearRule>>) -> Plan {
-        Plan {
-            node: PlanNode::Direct {
+        Plan::make(
+            PlanNode::Direct {
                 rules: rules.into(),
             },
-            rationale: "semi-naive evaluation of the rule sum (the paper's baseline)".to_owned(),
-        }
+            "semi-naive evaluation of the rule sum (the paper's baseline)".to_owned(),
+        )
     }
 
     /// Naive fixpoint — always licensed (substrate baseline).
     pub fn naive(rules: impl Into<Vec<LinearRule>>) -> Plan {
-        Plan {
-            node: PlanNode::Naive {
+        Plan::make(
+            PlanNode::Naive {
                 rules: rules.into(),
             },
-            rationale: "naive fixpoint (re-applies every operator to the whole relation)"
-                .to_owned(),
-        }
+            "naive fixpoint (re-applies every operator to the whole relation)".to_owned(),
+        )
     }
 
     /// Exhaust a uniformly bounded recursion in `N − 1` applications.
     /// Licensed by a [`BoundednessCert`].
     pub fn bounded_prefix(cert: BoundednessCert) -> Plan {
         let rationale = cert.rationale().to_owned();
-        Plan {
-            node: PlanNode::BoundedPrefix { cert },
-            rationale,
-        }
+        Plan::make(PlanNode::BoundedPrefix { cert }, rationale)
     }
 
     /// One star per commuting cluster, right-to-left. Licensed by a
     /// [`CommutativityCert`].
     pub fn decomposed(cert: CommutativityCert) -> Plan {
         let rationale = cert.rationale().to_owned();
-        Plan {
-            node: PlanNode::Decomposed { cert },
-            rationale,
-        }
+        Plan::make(PlanNode::Decomposed { cert }, rationale)
     }
 
     /// The separable algorithm `outer* (σ inner*)` (Algorithm 4.1).
@@ -886,38 +897,86 @@ impl Plan {
             "σ commutes with the outer operator and {}",
             cert.rationale()
         );
-        Ok(Plan {
-            node: PlanNode::Separable { cert, sel },
-            rationale,
-        })
+        Ok(Plan::make(PlanNode::Separable { cert, sel }, rationale))
     }
 
     /// Theorem 4.2 bounded evaluation. Licensed by a [`RedundancyCert`].
     pub fn redundancy_bounded(cert: RedundancyCert) -> Plan {
         let rationale = cert.rationale().to_owned();
-        Plan {
-            node: PlanNode::RedundancyBounded {
+        Plan::make(
+            PlanNode::RedundancyBounded {
                 cert: Box::new(cert),
             },
             rationale,
-        }
+        )
     }
 
     /// Apply `sel` to `inner`'s result — always licensed (`σ` after star).
     pub fn select_after(inner: Plan, sel: Selection) -> Plan {
         let rationale = format!("apply σ to the result of: {}", inner.rationale);
-        Plan {
-            node: PlanNode::SelectAfter {
+        let estimate = inner.estimate;
+        let mut plan = Plan::make(
+            PlanNode::SelectAfter {
                 inner: Box::new(inner),
                 sel,
             },
             rationale,
-        }
+        );
+        plan.estimate = estimate;
+        plan
     }
 
     /// Why this plan is licensed (certificate-backed where applicable).
     pub fn rationale(&self) -> &str {
         &self.rationale
+    }
+
+    /// The cost-model estimate recorded by [`Analysis::plan_with`]
+    /// (`None` for plans chosen without the cost model). Unit-free, but
+    /// dominated by the per-derivation charge, so it is directly
+    /// comparable to the actual derivation count of a run.
+    pub fn estimate(&self) -> Option<f64> {
+        self.estimate
+    }
+
+    /// Actual statistics of the latest [`Plan::execute_feedback`] run.
+    pub fn actual(&self) -> Option<&EvalStats> {
+        self.actual.as_ref()
+    }
+
+    /// The rationale with the latest run's actual statistics attached next
+    /// to the cost-model estimate — the estimate-vs-actual ratio this
+    /// exposes per run is the groundwork for feedback-calibrated cost
+    /// models (recalibrating [`CostModel`] constants per deployment).
+    pub fn annotated_rationale(&self) -> String {
+        match &self.actual {
+            Some(stats) => {
+                let ratio = match self.estimate {
+                    Some(est) => format!(
+                        "; estimate/actual derivations = {:.3} ({:.3e} vs {})",
+                        est / (stats.derivations.max(1) as f64),
+                        est,
+                        stats.derivations
+                    ),
+                    None => String::new(),
+                };
+                format!("{} [actual: {}{}]", self.rationale, stats, ratio)
+            }
+            None => self.rationale.clone(),
+        }
+    }
+
+    /// [`Plan::execute`], additionally recording the run's actual
+    /// [`EvalStats`] on the plan (see [`Plan::annotated_rationale`]).
+    /// A repeated run replaces the previous record.
+    pub fn execute_feedback(
+        &mut self,
+        db: &Database,
+        init: &Relation,
+    ) -> Result<ExecOutcome, StrategyError> {
+        let outcome = self.execute(db, init)?;
+        self.actual = Some(outcome.stats);
+        Ok(outcome)
     }
 
     /// The certificate-free structure of the plan.
@@ -996,7 +1055,10 @@ impl Plan {
                 inner.describe_into(out, depth + 1);
             }
         }
-        out.push_str(&format!("{pad}  rationale: {}\n", self.rationale));
+        out.push_str(&format!(
+            "{pad}  rationale: {}\n",
+            self.annotated_rationale()
+        ));
     }
 
     /// Run the plan over `db` starting from `init`.
@@ -1364,6 +1426,35 @@ mod tests {
         let a = plan.execute(&db, &init).unwrap();
         let b = analysis.plan().execute(&db, &init).unwrap();
         assert_eq!(a.relation.sorted(), b.relation.sorted());
+    }
+
+    #[test]
+    fn execute_feedback_attaches_actuals_to_the_estimate() {
+        let rules = vec![rules::shopping_rule()];
+        let analysis = Analysis::of(&rules, None);
+        let (db, init) = workload::shopping(100, 30, 4, 99);
+        let mut plan = analysis.plan_for(&db, &init);
+        let est = plan.estimate().expect("plan_for records an estimate");
+        assert!(est.is_finite() && est > 0.0);
+        assert!(plan.actual().is_none());
+        assert_eq!(plan.annotated_rationale(), plan.rationale());
+
+        let outcome = plan.execute_feedback(&db, &init).unwrap();
+        assert_eq!(plan.actual().unwrap(), &outcome.stats);
+        let annotated = plan.annotated_rationale();
+        assert!(annotated.contains("cost model"), "{annotated}");
+        assert!(
+            annotated.contains("estimate/actual derivations"),
+            "{annotated}"
+        );
+        assert!(plan.describe().contains("estimate/actual"));
+        // The per-run record is replaced, not accumulated.
+        plan.execute_feedback(&db, &init).unwrap();
+        assert_eq!(
+            plan.annotated_rationale().matches("actual:").count(),
+            1,
+            "feedback must not accumulate across runs"
+        );
     }
 
     #[test]

@@ -155,10 +155,12 @@ impl Program {
 
     /// Plan (cost-model ranked against this program's data) and execute.
     /// Returns the execution outcome (with the selection applied, if any)
-    /// and the plan that was used.
+    /// and the plan that was used — annotated with the run's actual
+    /// statistics next to the cost-model estimate
+    /// ([`Plan::annotated_rationale`]).
     pub fn run(&self, sel: Option<&Selection>) -> Result<(ExecOutcome, Plan), StrategyError> {
-        let plan = self.plan_for(sel);
-        let outcome = plan.execute(&self.db, &self.init)?;
+        let mut plan = self.plan_for(sel);
+        let outcome = plan.execute_feedback(&self.db, &self.init)?;
         Ok((outcome, plan))
     }
 }

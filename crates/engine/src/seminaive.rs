@@ -30,10 +30,39 @@ pub fn seminaive_star_in(
     init: &Relation,
     indexes: &mut Indexes,
 ) -> (Relation, EvalStats) {
-    let mut stats = EvalStats::default();
     let mut total = init.clone();
-    let mut delta = init.clone();
-    while !delta.is_empty() {
+    let stats = seminaive_resume_in(rules, db, &mut total, init.clone(), None, indexes);
+    (total, stats)
+}
+
+/// Resume a semi-naive fixpoint from an already-materialized relation —
+/// the primitive behind incremental view maintenance.
+///
+/// Preconditions (the caller's obligations, not checked):
+/// * every tuple of `delta` is already in `total`;
+/// * `total` is closed under the rules *except* through `delta`, i.e.
+///   `Aᵢ(total) ⊆ total ∪ Aᵢ(delta)` for every rule — for linear rules
+///   (union-distributive in the recursive predicate) this holds whenever
+///   `total = old ∪ delta` with `old` a fixpoint of the rules over the
+///   *previous* EDB and `delta` covering every rule application that
+///   involves a changed EDB tuple.
+///
+/// Under those premises the loop extends `total` in place to the least
+/// fixpoint of `init ∪ Σᵢ Aᵢ(P)` for any `init ⊆ total`, re-deriving
+/// nothing reachable only from the unchanged region. `round_cap` bounds
+/// the number of delta rounds: sound when a boundedness certificate
+/// guarantees the fixpoint is reached within that many applications
+/// (`None` runs to fixpoint).
+pub fn seminaive_resume_in(
+    rules: &[LinearRule],
+    db: &Database,
+    total: &mut Relation,
+    mut delta: Relation,
+    round_cap: Option<usize>,
+    indexes: &mut Indexes,
+) -> EvalStats {
+    let mut stats = EvalStats::default();
+    while !delta.is_empty() && round_cap.is_none_or(|cap| stats.iterations < cap) {
         stats.iterations += 1;
         let mut next_delta = Relation::new(total.arity());
         for rule in rules {
@@ -53,7 +82,7 @@ pub fn seminaive_star_in(
         delta = next_delta;
     }
     stats.tuples = total.len();
-    (total, stats)
+    stats
 }
 
 /// Naive least fixpoint: re-applies every operator to the whole accumulated
@@ -236,6 +265,69 @@ mod tests {
         let mut stats = EvalStats::default();
         let p3 = exact_power(&tc_rule(), &db, &init, 3, &mut stats);
         assert_eq!(p3.sorted(), Relation::from_pairs([(0, 4)]).sorted());
+    }
+
+    #[test]
+    fn resume_extends_a_materialized_fixpoint() {
+        // Materialize TC of the chain 0→…→4, then append the edge (4,5)
+        // and resume from a delta seeded with the new-edge consequences:
+        // the result must equal the from-scratch fixpoint on the new EDB.
+        let rule = tc_rule();
+        let db = chain_db(4);
+        let init = db.relation_named("e").unwrap().clone();
+        let (mut total, _) = seminaive_star(std::slice::from_ref(&rule), &db, &init);
+
+        let mut db2 = db.clone();
+        db2.insert_tuple(
+            linrec_datalog::Symbol::new("e"),
+            Relation::from_pairs([(4, 5)]).row(0),
+        );
+        // Seed delta: the new edge plus every rule application through it.
+        let mut delta_db = db2.clone();
+        delta_db.set_relation("e", Relation::from_pairs([(4, 5)]));
+        let mut idx = Indexes::new();
+        let (through_new, _) = apply_linear(&rule, &delta_db, &total, &mut idx);
+        let mut delta = Relation::from_pairs([(4, 5)]);
+        for t in through_new.iter() {
+            if !total.contains(t) {
+                delta.insert(t);
+            }
+        }
+        total.union_in_place(&delta);
+
+        let stats = seminaive_resume_in(
+            std::slice::from_ref(&rule),
+            &db2,
+            &mut total,
+            delta,
+            None,
+            &mut Indexes::new(),
+        );
+        let init2 = db2.relation_named("e").unwrap().clone();
+        let (scratch, _) = seminaive_star(&[rule], &db2, &init2);
+        assert_eq!(total.sorted(), scratch.sorted());
+        assert_eq!(stats.tuples, total.len());
+        // C(6,2) = 15 pairs.
+        assert_eq!(total.len(), 15);
+    }
+
+    #[test]
+    fn resume_round_cap_limits_rounds() {
+        let rule = tc_rule();
+        let db = chain_db(10);
+        let mut total = Relation::from_pairs([(0, 1)]);
+        let delta = total.clone();
+        let stats = seminaive_resume_in(
+            &[rule],
+            &db,
+            &mut total,
+            delta,
+            Some(2),
+            &mut Indexes::new(),
+        );
+        assert_eq!(stats.iterations, 2);
+        // init ∪ A init ∪ A² init.
+        assert_eq!(total.len(), 3);
     }
 
     #[test]

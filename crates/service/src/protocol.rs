@@ -1,0 +1,386 @@
+//! The line-oriented serving protocol (stdin REPL and TCP).
+//!
+//! One request per line, one reply per line (`rows`/`select`/`stats`
+//! replies prepend extra lines, one `row …` per tuple). Replies start with
+//! `ok` or `err`. Inserts are **staged per session** and applied atomically
+//! by `commit`, which maintains every view and bumps the epoch; queries
+//! always run against the service's current snapshot, so a session
+//! observes its own commit immediately and other sessions' commits as they
+//! publish.
+//!
+//! ```text
+//! insert <pred> <v> …      stage one tuple for the next commit
+//! commit                   apply the staged batch, maintain views
+//!                          (a rejected batch stays staged — nothing lands)
+//! clear                    discard the staged batch
+//! epoch                    current epoch
+//! views                    registered views
+//! count <view>             tuple count
+//! ask <view> <v> …         membership test
+//! rows <view> [limit]      list tuples (default limit 20)
+//! select <view> <pos>=<v> … [limit <n>]   filtered listing
+//! stats <view>             maintenance mode, stats, plan rationale
+//! help                     this text
+//! quit                     end the session
+//! ```
+//!
+//! Values parse as `i64` when possible and as symbols otherwise.
+
+use crate::service::{ServiceError, ViewService};
+use linrec_datalog::{Symbol, Value};
+use linrec_engine::Selection;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Reply to one protocol line.
+pub struct Reply {
+    /// The reply text (possibly multi-line; no trailing newline).
+    pub text: String,
+    /// True after `quit`: the session is over.
+    pub quit: bool,
+}
+
+impl Reply {
+    fn line(text: impl Into<String>) -> Reply {
+        Reply {
+            text: text.into(),
+            quit: false,
+        }
+    }
+
+    fn err(e: impl std::fmt::Display) -> Reply {
+        Reply::line(format!("err {e}"))
+    }
+}
+
+const HELP: &str = "ok commands: insert <pred> <v>.. | commit | clear | epoch | views \
+| count <view> | ask <view> <v>.. | rows <view> [limit] \
+| select <view> <pos>=<v>.. [limit <n>] | stats <view> | help | quit";
+
+fn parse_value(tok: &str) -> Value {
+    match tok.parse::<i64>() {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::sym(tok),
+    }
+}
+
+/// One protocol session: a staged insert batch plus a handle to the
+/// service. Sessions are independent; any number may run concurrently
+/// (e.g. one per TCP connection, dispatched on the worker pool).
+pub struct Session {
+    service: Arc<ViewService>,
+    pending: Vec<(Symbol, Vec<Value>)>,
+}
+
+impl Session {
+    /// A fresh session with an empty staged batch.
+    pub fn new(service: Arc<ViewService>) -> Session {
+        Session {
+            service,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Handle one protocol line.
+    pub fn handle(&mut self, line: &str) -> Reply {
+        let mut toks = line.split_whitespace();
+        let Some(cmd) = toks.next() else {
+            return Reply::line("ok");
+        };
+        let rest: Vec<&str> = toks.collect();
+        match cmd {
+            "insert" => self.insert(&rest),
+            "commit" => self.commit(),
+            "clear" => {
+                let dropped = self.pending.len();
+                self.pending.clear();
+                Reply::line(format!("ok cleared {dropped} staged"))
+            }
+            "epoch" => Reply::line(format!("ok epoch {}", self.service.snapshot().epoch)),
+            "views" => {
+                let names = self.service.snapshot().view_names();
+                Reply::line(format!("ok views {}", names.join(",")))
+            }
+            "count" => self.count(&rest),
+            "ask" => self.ask(&rest),
+            "rows" => self.rows(&rest),
+            "select" => self.select(&rest),
+            "stats" => self.stats(&rest),
+            "help" => Reply::line(HELP),
+            "quit" => Reply {
+                text: "ok bye".to_owned(),
+                quit: true,
+            },
+            other => Reply::err(format_args!("unknown command {other:?} (try help)")),
+        }
+    }
+
+    fn insert(&mut self, rest: &[&str]) -> Reply {
+        let [pred, values @ ..] = rest else {
+            return Reply::err("usage: insert <pred> <v> ..");
+        };
+        if values.is_empty() {
+            return Reply::err("usage: insert <pred> <v> ..");
+        }
+        self.pending.push((
+            Symbol::new(pred),
+            values.iter().map(|t| parse_value(t)).collect(),
+        ));
+        Reply::line(format!("ok staged ({} pending)", self.pending.len()))
+    }
+
+    fn commit(&mut self) -> Reply {
+        let staged = self.pending.len();
+        match self.service.apply_batch(self.pending.iter().cloned()) {
+            Ok(report) => {
+                self.pending.clear();
+                let mut text = format!(
+                    "ok epoch {} inserted {}/{staged}",
+                    report.epoch, report.inserted
+                );
+                for v in &report.views {
+                    let _ = write!(
+                        text,
+                        "; {}: {} +{} tuples in {:.3} ms",
+                        v.name,
+                        v.mode,
+                        v.grown_by,
+                        v.nanos as f64 / 1e6
+                    );
+                }
+                Reply::line(text)
+            }
+            // A rejected batch stays staged (nothing landed — batches are
+            // atomic): fix the bad insert's effect with `clear` and retry.
+            Err(e) => Reply::err(format_args!(
+                "{e} ({staged} still staged; `clear` discards)"
+            )),
+        }
+    }
+
+    fn count(&self, rest: &[&str]) -> Reply {
+        let [view] = rest else {
+            return Reply::err("usage: count <view>");
+        };
+        match self.service.snapshot().count(view) {
+            Ok(n) => Reply::line(format!("ok count {n}")),
+            Err(e) => Reply::err(e),
+        }
+    }
+
+    fn ask(&self, rest: &[&str]) -> Reply {
+        let [view, values @ ..] = rest else {
+            return Reply::err("usage: ask <view> <v> ..");
+        };
+        let tuple: Vec<Value> = values.iter().map(|t| parse_value(t)).collect();
+        match self.service.snapshot().contains(view, &tuple) {
+            Ok(found) => Reply::line(format!("ok {found}")),
+            Err(e) => Reply::err(e),
+        }
+    }
+
+    fn rows(&self, rest: &[&str]) -> Reply {
+        let (view, limit) = match rest {
+            [view] => (view, 20usize),
+            [view, limit] => match limit.parse() {
+                Ok(n) => (view, n),
+                Err(_) => return Reply::err("bad limit"),
+            },
+            _ => return Reply::err("usage: rows <view> [limit]"),
+        };
+        self.listing(view, None, limit)
+    }
+
+    fn select(&self, rest: &[&str]) -> Reply {
+        let [view, args @ ..] = rest else {
+            return Reply::err("usage: select <view> <pos>=<v> .. [limit <n>]");
+        };
+        let mut sel: Option<Selection> = None;
+        let mut limit = 20usize;
+        let mut args = args.iter();
+        while let Some(arg) = args.next() {
+            if *arg == "limit" {
+                match args.next().and_then(|n| n.parse().ok()) {
+                    Some(n) => limit = n,
+                    None => return Reply::err("bad limit"),
+                }
+                continue;
+            }
+            let Some((pos, val)) = arg.split_once('=') else {
+                return Reply::err(format_args!("bad binding {arg:?}; expected pos=value"));
+            };
+            let Ok(pos) = pos.parse::<usize>() else {
+                return Reply::err(format_args!("bad position in {arg:?}"));
+            };
+            let value = parse_value(val);
+            sel = Some(match sel {
+                None => Selection::eq(pos, value),
+                Some(s) => s.and(pos, value),
+            });
+        }
+        self.listing(view, sel, limit)
+    }
+
+    fn listing(&self, view: &str, sel: Option<Selection>, limit: usize) -> Reply {
+        match self.service.snapshot().select(view, sel.as_ref(), limit) {
+            Ok(rows) => {
+                let mut text = String::new();
+                for row in &rows {
+                    text.push_str("row");
+                    for v in row {
+                        let _ = write!(text, " {v}");
+                    }
+                    text.push('\n');
+                }
+                let _ = write!(text, "ok {} rows", rows.len());
+                Reply::line(text)
+            }
+            Err(e) => Reply::err(e),
+        }
+    }
+
+    fn stats(&self, rest: &[&str]) -> Reply {
+        let [view] = rest else {
+            return Reply::err("usage: stats <view>");
+        };
+        let snapshot = self.service.snapshot();
+        match snapshot.view(view) {
+            Some(info) => Reply::line(format!(
+                "stat epoch {} (view updated at {})\n\
+                 stat mode {}\n\
+                 stat maintenance {:.3} ms [{}]\n\
+                 stat plan {}\n\
+                 ok stats",
+                snapshot.epoch,
+                info.updated_epoch,
+                info.mode,
+                info.maintenance_nanos as f64 / 1e6,
+                info.stats,
+                info.rationale,
+            )),
+            None => Reply::err(ServiceError::UnknownView((*view).to_owned())),
+        }
+    }
+}
+
+/// Run a session over arbitrary buffered line I/O (stdin REPL, test
+/// harnesses). Returns when the input ends or the session quits.
+pub fn serve_lines(
+    service: Arc<ViewService>,
+    input: impl std::io::BufRead,
+    mut output: impl std::io::Write,
+) -> std::io::Result<()> {
+    let mut session = Session::new(service);
+    for line in input.lines() {
+        let reply = session.handle(&line?);
+        writeln!(output, "{}", reply.text)?;
+        output.flush()?;
+        if reply.quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serve TCP connections on `listener`, one session per connection,
+/// dispatched on `pool` (so at most `pool.threads()` connections are
+/// served concurrently; further connections queue). Runs until the
+/// process exits.
+pub fn serve_tcp(
+    service: Arc<ViewService>,
+    listener: std::net::TcpListener,
+    pool: &crate::pool::WorkerPool,
+) -> std::io::Result<()> {
+    loop {
+        let (stream, _addr) = listener.accept()?;
+        let service = Arc::clone(&service);
+        pool.execute(move || {
+            let reader = std::io::BufReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            });
+            let _ = serve_lines(service, reader, stream);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::ViewDef;
+    use linrec_datalog::{parse_linear_rule, Database, Relation};
+
+    fn tc_service() -> Arc<ViewService> {
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2), (2, 3)]));
+        let service = Arc::new(ViewService::new(db));
+        service
+            .register_view(ViewDef {
+                name: "tc".into(),
+                rules: vec![parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap()],
+                seed: Symbol::new("e"),
+            })
+            .unwrap();
+        service
+    }
+
+    #[test]
+    fn protocol_round_trip() {
+        let service = tc_service();
+        let mut s = Session::new(Arc::clone(&service));
+        assert_eq!(s.handle("count tc").text, "ok count 3");
+        assert_eq!(s.handle("ask tc 1 3").text, "ok true");
+        assert_eq!(s.handle("ask tc 3 1").text, "ok false");
+        assert_eq!(s.handle("epoch").text, "ok epoch 1");
+        assert_eq!(s.handle("views").text, "ok views tc");
+        assert!(s.handle("insert e 3 4").text.starts_with("ok staged"));
+        let commit = s.handle("commit").text;
+        assert!(commit.starts_with("ok epoch 2 inserted 1/1"), "{commit}");
+        assert!(commit.contains("tc: incremental"), "{commit}");
+        assert_eq!(s.handle("ask tc 1 4").text, "ok true");
+        assert_eq!(s.handle("count tc").text, "ok count 6");
+        let select = s.handle("select tc 0=1").text;
+        assert_eq!(select.lines().count(), 4, "{select}");
+        assert!(select.ends_with("ok 3 rows"), "{select}");
+        let stats = s.handle("stats tc").text;
+        assert!(stats.contains("stat mode incremental"), "{stats}");
+        assert!(stats.contains("estimate/actual"), "{stats}");
+        assert!(s.handle("quit").quit);
+    }
+
+    #[test]
+    fn protocol_reports_errors() {
+        let service = tc_service();
+        let mut s = Session::new(service);
+        assert!(s.handle("count nope").text.starts_with("err unknown view"));
+        assert!(s
+            .handle("frobnicate")
+            .text
+            .starts_with("err unknown command"));
+        assert!(s.handle("insert e 1").text.starts_with("ok staged"));
+        assert!(s.handle("insert e 1 2 3").text.starts_with("ok staged"));
+        // Mixed arities within one batch fail atomically: nothing lands,
+        // and the staged batch is kept for inspection/clear.
+        let err = s.handle("commit").text;
+        assert!(err.starts_with("err"), "{err}");
+        assert!(err.contains("2 still staged"), "{err}");
+        assert_eq!(s.handle("count tc").text, "ok count 3");
+        assert_eq!(s.handle("epoch").text, "ok epoch 1");
+        assert_eq!(s.handle("clear").text, "ok cleared 2 staged");
+        // After clearing, a commit is a no-op rather than an error.
+        assert!(s
+            .handle("commit")
+            .text
+            .starts_with("ok epoch 1 inserted 0/0"));
+    }
+
+    #[test]
+    fn serve_lines_drives_a_session() {
+        let service = tc_service();
+        let input = b"count tc\nask tc 1 2\nquit\nnever reached\n";
+        let mut output = Vec::new();
+        serve_lines(service, &input[..], &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert_eq!(text, "ok count 3\nok true\nok bye\n");
+    }
+}

@@ -1,0 +1,579 @@
+//! The long-lived view service: epoch-versioned snapshots, one writer,
+//! many concurrent readers.
+//!
+//! # Snapshot lifecycle
+//!
+//! The service owns a current [`Snapshot`] behind an `RwLock<Arc<_>>`.
+//! Readers grab the `Arc` (one lock-held clone, no data copied — the
+//! snapshot's database and view relations are themselves shared
+//! copy-on-write) and serve from it for as long as they like; a snapshot
+//! is immutable once published. The single writer path
+//! ([`ViewService::apply_batch`], [`ViewService::register_view`]) runs
+//! under a separate mutex: it clones the master database (cheap COW),
+//! applies the insert batch (copying only the touched relations),
+//! maintains every registered view through its certificate-licensed
+//! maintenance form ([`crate::view`]), and publishes a new `Arc<Snapshot>`
+//! with the epoch bumped. Readers never block writers and vice versa
+//! beyond the pointer swap.
+//!
+//! Epochs are strictly increasing; a batch that inserts nothing new (all
+//! duplicates) publishes nothing and reports the current epoch.
+
+use crate::view::{MaintainedView, ViewDef, DELTA_MARKER};
+use linrec_datalog::hash::FastMap;
+use linrec_datalog::{Database, Relation, Symbol, Value};
+use linrec_engine::{EvalStats, Selection, StrategyError};
+use std::fmt;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Errors from the service's write and query paths.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Query or insert referenced an unknown view.
+    UnknownView(String),
+    /// An insert's arity disagrees with the predicate's relation.
+    ArityMismatch {
+        /// The predicate being inserted into.
+        pred: Symbol,
+        /// Arity of the stored relation.
+        expected: usize,
+        /// Arity of the offered tuple.
+        got: usize,
+    },
+    /// The predicate name is reserved for the service's delta machinery.
+    ReservedPredicate(String),
+    /// A view is already registered under this name.
+    DuplicateView(String),
+    /// Planning or execution failed.
+    Strategy(StrategyError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownView(name) => write!(f, "unknown view {name}"),
+            ServiceError::ArityMismatch {
+                pred,
+                expected,
+                got,
+            } => write!(f, "{pred} holds {expected}-tuples, got arity {got}"),
+            ServiceError::ReservedPredicate(name) => {
+                write!(f, "{name} is reserved (delta marker {DELTA_MARKER:?})")
+            }
+            ServiceError::DuplicateView(name) => write!(f, "view {name} already registered"),
+            ServiceError::Strategy(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<StrategyError> for ServiceError {
+    fn from(e: StrategyError) -> ServiceError {
+        ServiceError::Strategy(e)
+    }
+}
+
+/// Per-view serving state inside a [`Snapshot`].
+#[derive(Clone)]
+pub struct ViewInfo {
+    /// The materialized relation (shared, immutable).
+    pub relation: Arc<Relation>,
+    /// Maintenance form that produced this state (`"materialize"` for the
+    /// initial build).
+    pub mode: &'static str,
+    /// Statistics of the maintenance/materialization that produced it.
+    pub stats: EvalStats,
+    /// Wall-clock of that maintenance step.
+    pub maintenance_nanos: u64,
+    /// Epoch at which the relation last changed.
+    pub updated_epoch: u64,
+    /// The plan's rationale, annotated with estimate-vs-actual feedback
+    /// from the latest plan execution.
+    pub rationale: String,
+}
+
+/// An immutable, epoch-stamped state of the database and every view.
+pub struct Snapshot {
+    /// Epoch counter (strictly increasing across published snapshots).
+    pub epoch: u64,
+    /// The EDB (plus seed relations) at this epoch.
+    pub db: Database,
+    views: FastMap<String, ViewInfo>,
+}
+
+impl Snapshot {
+    /// Per-view serving state, if the view exists.
+    pub fn view(&self, name: &str) -> Option<&ViewInfo> {
+        self.views.get(name)
+    }
+
+    /// Registered view names (sorted, for deterministic listings).
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.views.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of tuples in a view.
+    pub fn count(&self, name: &str) -> Result<usize, ServiceError> {
+        self.view(name)
+            .map(|v| v.relation.len())
+            .ok_or_else(|| ServiceError::UnknownView(name.to_owned()))
+    }
+
+    /// Membership test against a view.
+    pub fn contains(&self, name: &str, tuple: &[Value]) -> Result<bool, ServiceError> {
+        self.view(name)
+            .map(|v| v.relation.contains(tuple))
+            .ok_or_else(|| ServiceError::UnknownView(name.to_owned()))
+    }
+
+    /// Tuples of a view matching a selection (all tuples when `None`),
+    /// capped at `limit`.
+    pub fn select(
+        &self,
+        name: &str,
+        sel: Option<&Selection>,
+        limit: usize,
+    ) -> Result<Vec<Vec<Value>>, ServiceError> {
+        let view = self
+            .view(name)
+            .ok_or_else(|| ServiceError::UnknownView(name.to_owned()))?;
+        let matches = |t: &[Value]| match sel {
+            Some(sel) => sel
+                .bindings()
+                .iter()
+                .all(|&(pos, v)| t.get(pos) == Some(&v)),
+            None => true,
+        };
+        Ok(view
+            .relation
+            .iter()
+            .filter(|t| matches(t))
+            .take(limit)
+            .map(|t| t.to_vec())
+            .collect())
+    }
+}
+
+/// Report for one view after one batch.
+#[derive(Debug)]
+pub struct ViewReport {
+    /// The view's name.
+    pub name: String,
+    /// Maintenance form that ran (`"unchanged"` when the batch did not
+    /// reach the view).
+    pub mode: &'static str,
+    /// Statistics of the maintenance work.
+    pub stats: EvalStats,
+    /// Wall-clock of the maintenance step.
+    pub nanos: u64,
+    /// Tuples added to the view by this batch.
+    pub grown_by: usize,
+}
+
+/// Report for one applied batch.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Epoch of the snapshot the batch produced (the current epoch if the
+    /// batch inserted nothing new).
+    pub epoch: u64,
+    /// Tuples that were actually new, per predicate.
+    pub inserted: usize,
+    /// Per-view maintenance outcomes (empty for an all-duplicate batch).
+    pub views: Vec<ViewReport>,
+}
+
+struct Writer {
+    /// The master database: the writer's working copy, snapshotted into
+    /// every published epoch.
+    db: Database,
+    views: Vec<MaintainedView>,
+    epoch: u64,
+}
+
+/// The service: one writer, epoch snapshots, concurrent readers. See the
+/// module docs for the lifecycle.
+pub struct ViewService {
+    current: RwLock<Arc<Snapshot>>,
+    writer: Mutex<Writer>,
+}
+
+impl ViewService {
+    /// A service starting from the given database at epoch 0, with no
+    /// views.
+    pub fn new(db: Database) -> ViewService {
+        let snapshot = Arc::new(Snapshot {
+            epoch: 0,
+            db: db.snapshot(),
+            views: FastMap::default(),
+        });
+        ViewService {
+            current: RwLock::new(snapshot),
+            writer: Mutex::new(Writer {
+                db,
+                views: Vec::new(),
+                epoch: 0,
+            }),
+        }
+    }
+
+    /// The current snapshot (cheap: one `Arc` clone under a read lock).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Register a view: plan it against the current database, materialize
+    /// it, and publish a new epoch.
+    pub fn register_view(&self, def: ViewDef) -> Result<BatchReport, ServiceError> {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        if writer.views.iter().any(|v| v.def().name == def.name) {
+            return Err(ServiceError::DuplicateView(def.name));
+        }
+        let name = def.name.clone();
+        // Pin the seed relation at the rules' arity when it does not exist
+        // yet, so a later insert cannot create it at a different arity
+        // (apply_batch validates inserts against existing relations).
+        if let (Some(rule), None) = (def.rules.first(), writer.db.relation(def.seed)) {
+            let arity = rule.arity();
+            writer.db.set_relation(def.seed, Relation::new(arity));
+        }
+        let mut view = MaintainedView::register(def, &writer.db)?;
+        let started = Instant::now();
+        let (relation, stats) = view.materialize(&writer.db)?;
+        let nanos = started.elapsed().as_nanos() as u64;
+        let grown_by = relation.len();
+        writer.epoch += 1;
+        let epoch = writer.epoch;
+        let info = ViewInfo {
+            relation: Arc::new(relation),
+            mode: "materialize",
+            stats,
+            maintenance_nanos: nanos,
+            updated_epoch: epoch,
+            rationale: view.plan().annotated_rationale(),
+        };
+        writer.views.push(view);
+        self.publish(&writer, [(name.clone(), info)]);
+        Ok(BatchReport {
+            epoch,
+            inserted: 0,
+            views: vec![ViewReport {
+                name,
+                mode: "materialize",
+                stats,
+                nanos,
+                grown_by,
+            }],
+        })
+    }
+
+    /// Apply one insert-only batch: extend the EDB, maintain every view,
+    /// publish a new epoch. Readers keep serving the previous snapshot
+    /// until the publish; a batch with no genuinely new tuple publishes
+    /// nothing.
+    pub fn apply_batch(
+        &self,
+        inserts: impl IntoIterator<Item = (Symbol, Vec<Value>)>,
+    ) -> Result<BatchReport, ServiceError> {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+
+        // Validate and stage: nothing is written until the whole batch
+        // checks out (a failed batch leaves the master database intact).
+        let mut staged: Vec<(Symbol, Vec<Value>)> = Vec::new();
+        let mut staged_arity: FastMap<Symbol, usize> = FastMap::default();
+        for (pred, tuple) in inserts {
+            if pred.as_str().starts_with(DELTA_MARKER) {
+                return Err(ServiceError::ReservedPredicate(pred.as_str().to_owned()));
+            }
+            let expected = writer
+                .db
+                .relation(pred)
+                .map(|r| r.arity())
+                .or_else(|| staged_arity.get(&pred).copied());
+            if let Some(expected) = expected {
+                if expected != tuple.len() {
+                    return Err(ServiceError::ArityMismatch {
+                        pred,
+                        expected,
+                        got: tuple.len(),
+                    });
+                }
+            }
+            staged_arity.insert(pred, tuple.len());
+            staged.push((pred, tuple));
+        }
+
+        let mut deltas: FastMap<Symbol, Relation> = FastMap::default();
+        let mut inserted = 0usize;
+        for (pred, tuple) in staged {
+            if writer.db.insert_tuple(pred, &tuple) {
+                inserted += 1;
+                deltas
+                    .entry(pred)
+                    .or_insert_with(|| Relation::new(tuple.len()))
+                    .insert(&tuple);
+            }
+        }
+        if inserted == 0 {
+            return Ok(BatchReport {
+                epoch: writer.epoch,
+                inserted: 0,
+                views: Vec::new(),
+            });
+        }
+        let deltas: FastMap<Symbol, Arc<Relation>> =
+            deltas.into_iter().map(|(p, r)| (p, Arc::new(r))).collect();
+
+        writer.epoch += 1;
+        let epoch = writer.epoch;
+        let mut reports = Vec::new();
+        let mut updates: Vec<(String, ViewInfo)> = Vec::new();
+        let snapshot = self.snapshot();
+        let Writer { db, views, .. } = &mut *writer;
+        for view in views.iter_mut() {
+            let name = view.def().name.clone();
+            let old = snapshot
+                .view(&name)
+                .map(|v| Arc::clone(&v.relation))
+                .expect("registered view must be in the current snapshot");
+            let started = Instant::now();
+            let outcome = view.maintain(&old, db, &deltas)?;
+            let nanos = started.elapsed().as_nanos() as u64;
+            match outcome.relation {
+                Some(relation) => {
+                    let grown_by = relation.len() - old.len();
+                    updates.push((
+                        name.clone(),
+                        ViewInfo {
+                            relation: Arc::new(relation),
+                            mode: outcome.mode,
+                            stats: outcome.stats,
+                            maintenance_nanos: nanos,
+                            updated_epoch: epoch,
+                            rationale: view.plan().annotated_rationale(),
+                        },
+                    ));
+                    reports.push(ViewReport {
+                        name,
+                        mode: outcome.mode,
+                        stats: outcome.stats,
+                        nanos,
+                        grown_by,
+                    });
+                }
+                None => reports.push(ViewReport {
+                    name,
+                    mode: "unchanged",
+                    stats: outcome.stats,
+                    nanos,
+                    grown_by: 0,
+                }),
+            }
+        }
+        self.publish(&writer, updates);
+        Ok(BatchReport {
+            epoch,
+            inserted,
+            views: reports,
+        })
+    }
+
+    /// Build and publish a snapshot from the writer's state, carrying the
+    /// previous snapshot's view states forward except for `updates`.
+    fn publish(&self, writer: &Writer, updates: impl IntoIterator<Item = (String, ViewInfo)>) {
+        let mut views = self
+            .current
+            .read()
+            .expect("snapshot lock poisoned")
+            .views
+            .clone();
+        for (name, info) in updates {
+            views.insert(name, info);
+        }
+        let snapshot = Arc::new(Snapshot {
+            epoch: writer.epoch,
+            db: writer.db.snapshot(),
+            views,
+        });
+        *self.current.write().expect("snapshot lock poisoned") = snapshot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::ViewDef;
+    use linrec_datalog::parse_linear_rule;
+
+    fn tc_def(name: &str) -> ViewDef {
+        ViewDef {
+            name: name.into(),
+            rules: vec![parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap()],
+            seed: Symbol::new("e"),
+        }
+    }
+
+    fn pair(a: i64, b: i64) -> Vec<Value> {
+        vec![Value::Int(a), Value::Int(b)]
+    }
+
+    #[test]
+    fn epochs_advance_and_old_snapshots_stay_immutable() {
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2), (2, 3)]));
+        let service = ViewService::new(db);
+        assert_eq!(service.snapshot().epoch, 0);
+        service.register_view(tc_def("tc")).unwrap();
+        let epoch1 = service.snapshot();
+        assert_eq!(epoch1.epoch, 1);
+        assert_eq!(epoch1.count("tc").unwrap(), 3);
+
+        let report = service
+            .apply_batch([(Symbol::new("e"), pair(3, 4))])
+            .unwrap();
+        assert_eq!(report.epoch, 2);
+        assert_eq!(report.inserted, 1);
+        assert_eq!(report.views[0].mode, "incremental");
+        assert_eq!(report.views[0].grown_by, 3); // (3,4),(2,4),(1,4)
+
+        // The old snapshot still answers from its epoch.
+        assert_eq!(epoch1.epoch, 1);
+        assert_eq!(epoch1.count("tc").unwrap(), 3);
+        assert!(!epoch1.contains("tc", &pair(1, 4)).unwrap());
+        let epoch2 = service.snapshot();
+        assert_eq!(epoch2.count("tc").unwrap(), 6);
+        assert!(epoch2.contains("tc", &pair(1, 4)).unwrap());
+    }
+
+    #[test]
+    fn duplicate_only_batches_publish_nothing() {
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2)]));
+        let service = ViewService::new(db);
+        service.register_view(tc_def("tc")).unwrap();
+        let before = service.snapshot();
+        let report = service
+            .apply_batch([(Symbol::new("e"), pair(1, 2))])
+            .unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.inserted, 0);
+        assert!(report.views.is_empty());
+        assert!(Arc::ptr_eq(&before, &service.snapshot()));
+    }
+
+    #[test]
+    fn batches_are_validated_atomically() {
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2)]));
+        let service = ViewService::new(db);
+        service.register_view(tc_def("tc")).unwrap();
+        // Second insert has the wrong arity: the whole batch must fail
+        // without the first insert landing.
+        let err = service
+            .apply_batch([
+                (Symbol::new("e"), pair(2, 3)),
+                (Symbol::new("e"), vec![Value::Int(9)]),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::ArityMismatch { .. }));
+        assert_eq!(service.snapshot().count("tc").unwrap(), 1);
+        assert_eq!(service.snapshot().epoch, 1);
+        // Reserved predicates are rejected.
+        let err = service
+            .apply_batch([(Symbol::new("Δ·e"), pair(0, 0))])
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::ReservedPredicate(_)));
+    }
+
+    #[test]
+    fn missing_seed_is_pinned_at_rule_arity_so_bad_inserts_cannot_poison_the_writer() {
+        // Regression: registering a view whose seed predicate does not
+        // exist yet used to leave the arity unpinned, so a wrong-arity
+        // insert could create the seed relation at the wrong arity and
+        // panic maintenance with the writer mutex held — permanently
+        // poisoning the write path.
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2)]));
+        let service = ViewService::new(db);
+        service
+            .register_view(ViewDef {
+                name: "tc".into(),
+                rules: vec![parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap()],
+                seed: Symbol::new("s0"), // not in the database
+            })
+            .unwrap();
+        // The wrong-arity insert is rejected cleanly…
+        let err = service
+            .apply_batch([(Symbol::new("s0"), vec![Value::Int(7)])])
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::ArityMismatch { .. }));
+        // …and the service keeps serving and writing afterwards.
+        let report = service
+            .apply_batch([(Symbol::new("s0"), pair(1, 1))])
+            .unwrap();
+        assert_eq!(report.inserted, 1);
+        assert_eq!(service.snapshot().count("tc").unwrap(), 2); // (1,1),(1,2)
+    }
+
+    #[test]
+    fn multiple_views_are_maintained_under_one_batch() {
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2), (2, 3)]));
+        db.set_relation("f", Relation::from_pairs([(7, 8)]));
+        let service = ViewService::new(db);
+        service.register_view(tc_def("tc")).unwrap();
+        service
+            .register_view(ViewDef {
+                name: "ftc".into(),
+                rules: vec![parse_linear_rule("q(x,y) :- q(x,z), f(z,y).").unwrap()],
+                seed: Symbol::new("f"),
+            })
+            .unwrap();
+        assert!(matches!(
+            service.register_view(tc_def("tc")).unwrap_err(),
+            ServiceError::DuplicateView(_)
+        ));
+        let report = service
+            .apply_batch([
+                (Symbol::new("e"), pair(3, 4)),
+                (Symbol::new("f"), pair(8, 9)),
+            ])
+            .unwrap();
+        assert_eq!(report.views.len(), 2);
+        assert!(report.views.iter().all(|v| v.mode == "incremental"));
+        let snap = service.snapshot();
+        assert_eq!(snap.count("tc").unwrap(), 6);
+        assert_eq!(snap.count("ftc").unwrap(), 3);
+        assert_eq!(snap.view_names(), vec!["ftc".to_owned(), "tc".to_owned()]);
+        // A batch touching only one predicate leaves the other view alone.
+        let report = service
+            .apply_batch([(Symbol::new("f"), pair(9, 10))])
+            .unwrap();
+        let tc = report.views.iter().find(|v| v.name == "tc").unwrap();
+        assert_eq!(tc.mode, "unchanged");
+        let snap2 = service.snapshot();
+        assert!(Arc::ptr_eq(
+            &snap.view("tc").unwrap().relation,
+            &snap2.view("tc").unwrap().relation
+        ));
+        assert_eq!(snap2.count("ftc").unwrap(), 6);
+    }
+
+    #[test]
+    fn select_filters_and_caps() {
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2), (2, 3), (3, 4)]));
+        let service = ViewService::new(db);
+        service.register_view(tc_def("tc")).unwrap();
+        let snap = service.snapshot();
+        let all = snap.select("tc", None, 100).unwrap();
+        assert_eq!(all.len(), 6);
+        let from1 = snap.select("tc", Some(&Selection::eq(0, 1)), 100).unwrap();
+        assert_eq!(from1.len(), 3);
+        assert_eq!(snap.select("tc", None, 2).unwrap().len(), 2);
+        assert!(snap.select("nope", None, 1).is_err());
+    }
+}

@@ -1,0 +1,600 @@
+//! Materialized recursive views and their delta maintenance.
+//!
+//! # The delta-maintenance rule
+//!
+//! A view is `V = A*(seed)` for a linear rule set `A = Σᵢ Aᵢ` over the
+//! current EDB. An **insert-only** batch turns the EDB `E` into
+//! `E ∪ ΔE` (operator `A'`) and the seed into `seed ∪ Δseed`. Because
+//! linear operators distribute over union, the new view satisfies
+//!
+//! ```text
+//! V' = A'*(seed')  =  A'*(V ∪ Δ₀)
+//! ```
+//!
+//! for any `Δ₀` with `Δseed ⊆ Δ₀` and `A'(V) ⊆ V ∪ Δ₀` — a monotone
+//! sandwich: `seed' ⊆ V ∪ Δ₀ ⊆ V'`. The maintenance step therefore:
+//!
+//! 1. **seeds the delta**: `Δ₀` is the new seed tuples plus, for every
+//!    rule and every body atom over a changed predicate, the rule applied
+//!    to `V` with that one atom restricted to the predicate's delta (the
+//!    discrete derivative of the join; `A(V) ⊆ V` covers the all-old
+//!    term, so only the at-least-one-delta terms are enumerated);
+//! 2. **resumes the fixpoint** from `total = V ∪ Δ₀` with frontier `Δ₀`
+//!    ([`linrec_engine::seminaive::seminaive_resume_in`]), re-deriving
+//!    nothing that is reachable only from the unchanged region.
+//!
+//! # What the certificates license
+//!
+//! The resumed fixpoint's shape follows the planner's certificate-backed
+//! [`Plan`] for the view ([`MaintenanceMode`]):
+//!
+//! * **boundedness** (`BoundedPrefix`) — the resume is cut off after the
+//!   certified number of applications, no fixpoint test beyond it;
+//! * **commutativity** (`Decomposed`) — one resume per commuting cluster,
+//!   right-to-left (`B'* C'* (V ∪ Δ₀)`, licensed because the certificate
+//!   is a property of the rules, not of the data), producing no more
+//!   duplicates than the rule-sum resume (Theorem 3.1);
+//! * **`Direct`/`Naive`** — resume over the rule sum (always sound);
+//! * anything else (`Separable`, `RedundancyBounded`, `SelectAfter`) has
+//!   no incremental form here: maintenance **falls back to a full
+//!   recompute** through the plan, which is always safe.
+
+use linrec_datalog::hash::FastMap;
+use linrec_datalog::{Atom, Database, LinearRule, Relation, Rule, Symbol};
+use linrec_engine::seminaive::seminaive_resume_in;
+use linrec_engine::{
+    apply_flat, apply_linear, Analysis, EvalStats, Indexes, Plan, PlanShape, StrategyError,
+};
+use std::sync::Arc;
+
+/// Marker prefix of the scratch predicates that carry per-batch EDB deltas
+/// (and the view's own previous state) through the join machinery. User
+/// predicates must not start with it.
+pub const DELTA_MARKER: &str = "Δ·";
+
+fn delta_sym(pred: Symbol) -> Symbol {
+    Symbol::new(&format!("{DELTA_MARKER}{pred}"))
+}
+
+fn view_sym(name: &str) -> Symbol {
+    Symbol::new(&format!("{DELTA_MARKER}view·{name}"))
+}
+
+/// Definition of a materialized view: a name, the linear rules, and the
+/// EDB predicate whose relation seeds the recursion.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    /// Name the view is served under.
+    pub name: String,
+    /// The linear rules (one recursive predicate, consequents aligned —
+    /// e.g. the rules of a parsed [`linrec_engine::Program`]).
+    pub rules: Vec<LinearRule>,
+    /// EDB predicate whose relation is the recursion's seed. Inserts into
+    /// it flow into the view like any other delta.
+    pub seed: Symbol,
+}
+
+/// How a view is maintained under a delta batch, derived from the shape of
+/// its certificate-backed plan (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaintenanceMode {
+    /// Semi-naive resume over the rule sum.
+    Incremental,
+    /// Resume cut off after the certified application count
+    /// (boundedness certificate).
+    IncrementalBounded(usize),
+    /// One resume per commuting cluster, right-to-left
+    /// (commutativity certificate; rule indices into [`ViewDef::rules`]).
+    IncrementalDecomposed(Vec<Vec<usize>>),
+    /// No incremental form: re-execute the plan from scratch.
+    Recompute,
+}
+
+impl MaintenanceMode {
+    fn of(shape: &PlanShape) -> MaintenanceMode {
+        match shape {
+            PlanShape::Direct | PlanShape::Naive => MaintenanceMode::Incremental,
+            PlanShape::BoundedPrefix { applications } => {
+                MaintenanceMode::IncrementalBounded(*applications)
+            }
+            PlanShape::Decomposed { clusters } => {
+                MaintenanceMode::IncrementalDecomposed(clusters.clone())
+            }
+            PlanShape::Separable | PlanShape::RedundancyBounded | PlanShape::SelectAfter(_) => {
+                MaintenanceMode::Recompute
+            }
+        }
+    }
+
+    /// Short label for reports and the protocol's `stats` command.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MaintenanceMode::Incremental => "incremental",
+            MaintenanceMode::IncrementalBounded(_) => "incremental-bounded",
+            MaintenanceMode::IncrementalDecomposed(_) => "incremental-decomposed",
+            MaintenanceMode::Recompute => "recompute",
+        }
+    }
+}
+
+/// One precomputed delta rewrite: the original rule's body with exactly
+/// one atom renamed to the delta predicate of `pred` — and reordered so
+/// that the (tiny) delta atom is the join's **outer** side while the
+/// recursive atom probes the materialized view through an index, rather
+/// than scanning all of `V` per rule. Stored as a flat [`Rule`] because
+/// the view atom is resolved like any other scratch relation.
+struct DeltaRule {
+    pred: Symbol,
+    rule: Rule,
+}
+
+/// Result of maintaining one view under one batch.
+pub struct MaintenanceOutcome {
+    /// The maintained relation (`None` when the batch did not change the
+    /// view — the caller keeps serving the previous relation unchanged).
+    pub relation: Option<Relation>,
+    /// Evaluation statistics of the maintenance work itself.
+    pub stats: EvalStats,
+    /// Which maintenance form ran (`MaintenanceMode::label`, or
+    /// `"recompute"` for the fallback).
+    pub mode: &'static str,
+}
+
+/// A registered view: its definition, certificate-backed plan, derived
+/// maintenance mode, precomputed delta rewrites, and the scan/index cache
+/// that persists across maintenance batches.
+pub struct MaintainedView {
+    def: ViewDef,
+    plan: Plan,
+    mode: MaintenanceMode,
+    delta_rules: Vec<DeltaRule>,
+    /// Scan/index cache shared across batches: relations untouched by a
+    /// batch keep their scans and indexes; mutated ones are revalidated by
+    /// content version and rebuilt (see `linrec_engine::join`).
+    indexes: Indexes,
+}
+
+impl MaintainedView {
+    /// Analyze `def`'s rules against the given database, pick the
+    /// cost-model-ranked plan, and derive the maintenance mode. Fails when
+    /// the seed relation exists at a different arity than the rules.
+    pub fn register(def: ViewDef, db: &Database) -> Result<MaintainedView, StrategyError> {
+        let arity = def
+            .rules
+            .first()
+            .map(|r| r.arity())
+            .ok_or_else(|| StrategyError::MissingCertificate("view has no rules".into()))?;
+        if let Some(rel) = db.relation(def.seed) {
+            if rel.arity() != arity {
+                return Err(StrategyError::MissingCertificate(format!(
+                    "seed {} has arity {}, rules have arity {arity}",
+                    def.seed,
+                    rel.arity()
+                )));
+            }
+        }
+        let seed = db.relation_or_empty(def.seed, arity);
+        let analysis = Analysis::of(&def.rules, None);
+        let plan = analysis.plan_for(db, &seed);
+        let mode = MaintenanceMode::of(&plan.shape());
+        let vsym = view_sym(&def.name);
+        let mut delta_rules = Vec::new();
+        for rule in &def.rules {
+            for (j, atom) in rule.nonrec_atoms().iter().enumerate() {
+                let mut body = vec![Atom::new(delta_sym(atom.pred), atom.terms.clone())];
+                body.push(Atom::new(vsym, rule.rec_atom().terms.clone()));
+                for (k, other) in rule.nonrec_atoms().iter().enumerate() {
+                    if k != j {
+                        body.push(other.clone());
+                    }
+                }
+                delta_rules.push(DeltaRule {
+                    pred: atom.pred,
+                    rule: Rule::new(rule.head().clone(), body),
+                });
+            }
+        }
+        Ok(MaintainedView {
+            def,
+            plan,
+            mode,
+            delta_rules,
+            indexes: Indexes::new(),
+        })
+    }
+
+    /// The view's definition.
+    pub fn def(&self) -> &ViewDef {
+        &self.def
+    }
+
+    /// The certificate-backed plan maintenance is derived from.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The derived maintenance mode.
+    pub fn mode(&self) -> &MaintenanceMode {
+        &self.mode
+    }
+
+    /// Materialize the view from scratch on `db` (registration, or the
+    /// recompute fallback). Records actual-vs-estimate feedback on the
+    /// plan.
+    pub fn materialize(&mut self, db: &Database) -> Result<(Relation, EvalStats), StrategyError> {
+        let arity = self.def.rules[0].arity();
+        let seed = db.relation_or_empty(self.def.seed, arity);
+        let outcome = self.plan.execute_feedback(db, &seed)?;
+        Ok((outcome.relation, outcome.stats))
+    }
+
+    /// Maintain the view under one insert-only batch: `old` is the
+    /// materialized relation for the EDB *before* the batch, `db` the
+    /// database *after* it, and `deltas` the actually-new tuples per
+    /// mutated predicate.
+    pub fn maintain(
+        &mut self,
+        old: &Arc<Relation>,
+        db: &Database,
+        deltas: &FastMap<Symbol, Arc<Relation>>,
+    ) -> Result<MaintenanceOutcome, StrategyError> {
+        if self.mode == MaintenanceMode::Recompute {
+            let (relation, stats) = self.materialize(db)?;
+            return Ok(MaintenanceOutcome {
+                relation: Some(relation),
+                stats,
+                mode: "recompute",
+            });
+        }
+
+        // Seed the delta: new seed tuples, plus every rule application
+        // through at least one changed EDB tuple (module docs, step 1).
+        // The view itself joins as a scratch relation (shared, zero-copy)
+        // so the tiny delta drives the join and `V` is only probed.
+        let mut stats = EvalStats::default();
+        let mut fresh = Relation::new(old.arity());
+        if let Some(dseed) = deltas.get(&self.def.seed) {
+            for t in dseed.iter() {
+                if !old.contains(t) {
+                    fresh.insert(t);
+                }
+            }
+        }
+        let mut scratch = db.snapshot();
+        scratch.set_relation_arc(view_sym(&self.def.name), Arc::clone(old));
+        for (&pred, delta) in deltas.iter() {
+            scratch.set_relation_arc(delta_sym(pred), Arc::clone(delta));
+        }
+        for dr in &self.delta_rules {
+            if !deltas.contains_key(&dr.pred) {
+                continue;
+            }
+            let (derived, count) = apply_flat(&dr.rule, &scratch, &mut self.indexes);
+            let mut new = 0u64;
+            for t in derived.iter() {
+                if !old.contains(t) && fresh.insert(t) {
+                    new += 1;
+                }
+            }
+            stats.record(count, new);
+        }
+        if fresh.is_empty() {
+            stats.tuples = old.len();
+            return Ok(MaintenanceOutcome {
+                relation: None,
+                stats,
+                mode: self.mode.label(),
+            });
+        }
+
+        // Resume the fixpoint from total = V ∪ Δ₀ (module docs, step 2).
+        let mut total = Relation::clone(old);
+        total.union_in_place(&fresh);
+        match &self.mode {
+            MaintenanceMode::Incremental => {
+                stats += seminaive_resume_in(
+                    &self.def.rules,
+                    &scratch,
+                    &mut total,
+                    fresh,
+                    None,
+                    &mut self.indexes,
+                );
+            }
+            MaintenanceMode::IncrementalBounded(applications) => {
+                stats += seminaive_resume_in(
+                    &self.def.rules,
+                    &scratch,
+                    &mut total,
+                    fresh,
+                    Some(*applications),
+                    &mut self.indexes,
+                );
+            }
+            MaintenanceMode::IncrementalDecomposed(clusters) => {
+                // One resume per commuting cluster, right-to-left; each
+                // phase's frontier is everything derived since `old`, so a
+                // later cluster sees the earlier clusters' consequences.
+                let mut frontier = fresh;
+                for cluster in clusters.iter().rev() {
+                    let group: Vec<LinearRule> =
+                        cluster.iter().map(|&i| self.def.rules[i].clone()).collect();
+                    let s = resume_collecting(
+                        &group,
+                        &scratch,
+                        &mut total,
+                        &mut frontier,
+                        &mut self.indexes,
+                    );
+                    stats += s;
+                }
+            }
+            MaintenanceMode::Recompute => unreachable!("handled above"),
+        }
+        stats.tuples = total.len();
+        Ok(MaintenanceOutcome {
+            relation: Some(total),
+            stats,
+            mode: self.mode.label(),
+        })
+    }
+}
+
+/// [`seminaive_resume_in`] that additionally folds every newly derived
+/// tuple into `frontier` (which doubles as the initial delta), so a
+/// subsequent cluster's resume starts from everything derived so far.
+fn resume_collecting(
+    rules: &[LinearRule],
+    db: &Database,
+    total: &mut Relation,
+    frontier: &mut Relation,
+    indexes: &mut Indexes,
+) -> EvalStats {
+    let mut stats = EvalStats::default();
+    let mut delta = frontier.clone();
+    while !delta.is_empty() {
+        stats.iterations += 1;
+        let mut next_delta = Relation::new(total.arity());
+        for rule in rules {
+            let (derived, count) = apply_linear(rule, db, &delta, indexes);
+            let mut new = 0u64;
+            for t in derived.iter() {
+                if !total.contains(t) && next_delta.insert(t) {
+                    new += 1;
+                }
+            }
+            stats.record(count, new);
+        }
+        total.union_in_place(&next_delta);
+        frontier.union_in_place(&next_delta);
+        delta = next_delta;
+    }
+    stats.tuples = total.len();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrec_datalog::{parse_linear_rule, Value};
+    use linrec_engine::seminaive_star;
+
+    fn scratch_view(rules: &[LinearRule], db: &Database, seed: Symbol) -> Relation {
+        let arity = rules[0].arity();
+        let init = db.relation_or_empty(seed, arity);
+        seminaive_star(rules, db, &init).0
+    }
+
+    fn apply(db: &mut Database, inserts: &[(&str, (i64, i64))]) -> FastMap<Symbol, Arc<Relation>> {
+        let mut deltas: FastMap<Symbol, Relation> = FastMap::default();
+        for &(pred, (a, b)) in inserts {
+            let tuple = vec![Value::Int(a), Value::Int(b)];
+            if db.insert_tuple(Symbol::new(pred), &tuple) {
+                deltas
+                    .entry(Symbol::new(pred))
+                    .or_insert_with(|| Relation::new(2))
+                    .insert(&tuple);
+            }
+        }
+        deltas.into_iter().map(|(p, r)| (p, Arc::new(r))).collect()
+    }
+
+    #[test]
+    fn mode_follows_the_plan_shape() {
+        assert_eq!(
+            MaintenanceMode::of(&PlanShape::Direct),
+            MaintenanceMode::Incremental
+        );
+        assert_eq!(
+            MaintenanceMode::of(&PlanShape::BoundedPrefix { applications: 3 }),
+            MaintenanceMode::IncrementalBounded(3)
+        );
+        assert_eq!(
+            MaintenanceMode::of(&PlanShape::Decomposed {
+                clusters: vec![vec![0], vec![1]]
+            }),
+            MaintenanceMode::IncrementalDecomposed(vec![vec![0], vec![1]])
+        );
+        for shape in [
+            PlanShape::Separable,
+            PlanShape::RedundancyBounded,
+            PlanShape::SelectAfter(Box::new(PlanShape::Direct)),
+        ] {
+            assert_eq!(MaintenanceMode::of(&shape), MaintenanceMode::Recompute);
+        }
+    }
+
+    #[test]
+    fn incremental_tc_matches_from_scratch_across_batches() {
+        let rules = vec![parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap()];
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(0, 1), (1, 2), (2, 3)]));
+        let def = ViewDef {
+            name: "tc".into(),
+            rules: rules.clone(),
+            seed: Symbol::new("e"),
+        };
+        let mut view = MaintainedView::register(def, &db).unwrap();
+        assert_eq!(view.mode(), &MaintenanceMode::Incremental);
+        let (materialized, _) = view.materialize(&db).unwrap();
+        let mut current = Arc::new(materialized);
+        for batch in [
+            vec![("e", (3, 4)), ("e", (1, 5))],
+            vec![("e", (5, 0))], // closes a cycle
+            vec![("e", (3, 4))], // pure duplicate
+        ] {
+            let deltas = apply(&mut db, &batch);
+            let outcome = view.maintain(&current, &db, &deltas).unwrap();
+            if let Some(next) = outcome.relation {
+                current = Arc::new(next);
+            } else {
+                assert!(deltas.is_empty() || batch == [("e", (3, 4))]);
+            }
+            assert_eq!(
+                current.sorted(),
+                scratch_view(&rules, &db, Symbol::new("e")).sorted(),
+                "maintenance diverged after batch {batch:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decomposed_maintenance_uses_clusters_and_matches_scratch() {
+        let rules = vec![
+            parse_linear_rule("p(x,y) :- p(x,z), down(z,y).").unwrap(),
+            parse_linear_rule("p(x,y) :- p(w,y), up(x,w).").unwrap(),
+        ];
+        let mut db = Database::new();
+        db.set_relation("down", Relation::from_pairs([(10, 11), (11, 12)]));
+        db.set_relation("up", Relation::from_pairs([(1, 2), (2, 3)]));
+        db.set_relation("p0", Relation::from_pairs([(2, 10), (3, 11)]));
+        let def = ViewDef {
+            name: "updown".into(),
+            rules: rules.clone(),
+            seed: Symbol::new("p0"),
+        };
+        let mut view = MaintainedView::register(def, &db).unwrap();
+        assert!(matches!(
+            view.mode(),
+            MaintenanceMode::IncrementalDecomposed(_)
+        ));
+        let (materialized, _) = view.materialize(&db).unwrap();
+        let mut current = Arc::new(materialized);
+        for batch in [
+            vec![("up", (0, 1)), ("down", (12, 13))],
+            vec![("p0", (1, 13))],
+            vec![("up", (5, 0)), ("up", (6, 5)), ("down", (13, 14))],
+        ] {
+            let deltas = apply(&mut db, &batch);
+            let outcome = view.maintain(&current, &db, &deltas).unwrap();
+            assert_eq!(outcome.mode, "incremental-decomposed");
+            if let Some(next) = outcome.relation {
+                current = Arc::new(next);
+            }
+            assert_eq!(
+                current.sorted(),
+                scratch_view(&rules, &db, Symbol::new("p0")).sorted(),
+                "decomposed maintenance diverged after batch {batch:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_maintenance_caps_rounds_and_matches_scratch() {
+        let rules = vec![parse_linear_rule("p(x,y) :- p(x,y), mark(x).").unwrap()];
+        let mut db = Database::new();
+        db.set_relation("mark", Relation::from_tuples(1, [vec![Value::Int(1)]]));
+        db.set_relation("s", Relation::from_pairs([(1, 5), (2, 6)]));
+        let def = ViewDef {
+            name: "marked".into(),
+            rules: rules.clone(),
+            seed: Symbol::new("s"),
+        };
+        let mut view = MaintainedView::register(def, &db).unwrap();
+        assert!(matches!(
+            view.mode(),
+            MaintenanceMode::IncrementalBounded(_)
+        ));
+        let (materialized, _) = view.materialize(&db).unwrap();
+        let current = Arc::new(materialized);
+
+        let mut deltas: FastMap<Symbol, Arc<Relation>> = FastMap::default();
+        db.insert_tuple(Symbol::new("mark"), vec![Value::Int(2)]);
+        deltas.insert(
+            Symbol::new("mark"),
+            Arc::new(Relation::from_tuples(1, [vec![Value::Int(2)]])),
+        );
+        db.insert_tuple(Symbol::new("s"), vec![Value::Int(3), Value::Int(7)]);
+        deltas.insert(Symbol::new("s"), Arc::new(Relation::from_pairs([(3, 7)])));
+        let outcome = view.maintain(&current, &db, &deltas).unwrap();
+        assert_eq!(outcome.mode, "incremental-bounded");
+        let maintained = outcome.relation.unwrap();
+        assert_eq!(
+            maintained.sorted(),
+            scratch_view(&rules, &db, Symbol::new("s")).sorted()
+        );
+        // The certificate licenses cutting off after N applications.
+        assert!(outcome.stats.iterations <= 1 + 1);
+    }
+
+    #[test]
+    fn recompute_fallback_matches_scratch() {
+        let rules = vec![parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap()];
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(0, 1), (1, 2)]));
+        let def = ViewDef {
+            name: "tc".into(),
+            rules: rules.clone(),
+            seed: Symbol::new("e"),
+        };
+        let mut view = MaintainedView::register(def, &db).unwrap();
+        // Force the fallback path (as if the plan had no incremental form).
+        view.mode = MaintenanceMode::Recompute;
+        let (materialized, _) = view.materialize(&db).unwrap();
+        let current = Arc::new(materialized);
+        let deltas = apply(&mut db, &[("e", (2, 3))]);
+        let outcome = view.maintain(&current, &db, &deltas).unwrap();
+        assert_eq!(outcome.mode, "recompute");
+        assert_eq!(
+            outcome.relation.unwrap().sorted(),
+            scratch_view(&rules, &db, Symbol::new("e")).sorted()
+        );
+    }
+
+    #[test]
+    fn register_rejects_seed_arity_mismatch_and_empty_rules() {
+        let mut db = Database::new();
+        db.set_relation("s", Relation::from_tuples(1, [vec![Value::Int(1)]]));
+        let def = ViewDef {
+            name: "v".into(),
+            rules: vec![parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap()],
+            seed: Symbol::new("s"),
+        };
+        assert!(MaintainedView::register(def, &db).is_err());
+        let empty = ViewDef {
+            name: "v".into(),
+            rules: Vec::new(),
+            seed: Symbol::new("s"),
+        };
+        assert!(MaintainedView::register(empty, &db).is_err());
+    }
+
+    #[test]
+    fn plan_feedback_is_visible_after_materialize() {
+        let rules = vec![parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap()];
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(0, 1), (1, 2)]));
+        let def = ViewDef {
+            name: "tc".into(),
+            rules,
+            seed: Symbol::new("e"),
+        };
+        let mut view = MaintainedView::register(def, &db).unwrap();
+        assert!(view.plan().estimate().is_some());
+        view.materialize(&db).unwrap();
+        assert!(view
+            .plan()
+            .annotated_rationale()
+            .contains("estimate/actual"));
+    }
+}

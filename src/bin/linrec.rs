@@ -6,6 +6,12 @@
 //!                                       redundancy) and the plan they license
 //! linrec run <file> [pos=value ...]     plan and evaluate (optional selection)
 //! linrec explain <file> <v1,v2,...>     derivation of one answer tuple
+//! linrec serve <file> [--tcp ADDR] [--threads N]
+//!                                       long-lived incremental view service:
+//!                                       materialize the program's recursion,
+//!                                       maintain it under insert batches, and
+//!                                       answer the line protocol on stdin or
+//!                                       TCP (see linrec_service::protocol)
 //! linrec figures [--dot]                regenerate the paper's figures
 //! ```
 //!
@@ -26,6 +32,7 @@ fn usage() -> ExitCode {
     eprintln!("usage: linrec analyze <file>");
     eprintln!("       linrec run <file> [pos=value ...]");
     eprintln!("       linrec explain <file> <v1,v2,...>");
+    eprintln!("       linrec serve <file> [--tcp ADDR] [--threads N]");
     eprintln!("       linrec figures [--dot]");
     ExitCode::from(2)
 }
@@ -98,12 +105,12 @@ fn run(path: &str, sel_args: &[String]) -> Result<(), String> {
     let prog = load(path)?;
     let sel = parse_selection(sel_args)?;
     // Cost-model ranked choice: the program's own data decides among the
-    // licensed strategies (the estimates appear in the rationale line).
-    let plan = prog.plan_for(sel.as_ref());
-    println!("plan:\n{}", plan.describe());
+    // licensed strategies. The plan comes back annotated with the run's
+    // actual statistics next to the estimate (estimate-vs-actual ratio).
     let t = std::time::Instant::now();
-    let (outcome, _) = prog.run(sel.as_ref()).map_err(|e| e.to_string())?;
+    let (outcome, plan) = prog.run(sel.as_ref()).map_err(|e| e.to_string())?;
     let elapsed = t.elapsed();
+    println!("plan:\n{}", plan.describe());
     println!(
         "{} tuples in {:.2} ms ({})",
         outcome.relation.len(),
@@ -146,6 +153,79 @@ fn explain(path: &str, tuple: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `linrec serve <file> [--tcp ADDR] [--threads N]`: start the incremental
+/// materialized-view service for the program's recursive predicate. The
+/// seed facts become an EDB relation named after the predicate, so
+/// protocol inserts into it extend the seed like any other delta.
+fn serve(path: &str, args: &[String]) -> Result<(), String> {
+    use linrec::service::{serve_lines, serve_tcp, ViewDef, ViewService, WorkerPool};
+    use std::sync::Arc;
+
+    let mut tcp: Option<String> = None;
+    let mut threads = 4usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tcp" => {
+                tcp = Some(
+                    it.next()
+                        .ok_or_else(|| "--tcp needs an address (e.g. 127.0.0.1:7171)".to_owned())?
+                        .clone(),
+                )
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| "--threads needs a number".to_owned())?
+            }
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
+
+    let prog = load(path)?;
+    let name = prog.rec_pred().as_str().to_owned();
+    let mut db = prog.database().snapshot();
+    db.set_relation(prog.rec_pred(), prog.init().clone());
+    let service = Arc::new(ViewService::new(db));
+    let report = service
+        .register_view(ViewDef {
+            name: name.clone(),
+            rules: prog.rules().to_vec(),
+            seed: prog.rec_pred(),
+        })
+        .map_err(|e| e.to_string())?;
+    let snapshot = service.snapshot();
+    let info = snapshot.view(&name).expect("view just registered");
+    eprintln!(
+        "view {name}: {} tuples materialized in {:.2} ms at epoch {} \
+         (maintenance: {})",
+        info.relation.len(),
+        report.views[0].nanos as f64 / 1e6,
+        snapshot.epoch,
+        info.rationale
+    );
+    match tcp {
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(&addr).map_err(|e| format!("{addr}: {e}"))?;
+            let pool = WorkerPool::new(threads);
+            eprintln!(
+                "serving on {} with {} workers (line protocol; try `help`)",
+                listener.local_addr().map_err(|e| e.to_string())?,
+                pool.threads()
+            );
+            serve_tcp(service, listener, &pool).map_err(|e| e.to_string())
+        }
+        None => {
+            eprintln!("serving on stdin (line protocol; try `help`)");
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_lines(service, stdin.lock(), stdout.lock()).map_err(|e| e.to_string())
+        }
+    }
+}
+
 fn figures(dot: bool) {
     use linrec::alpha::{summary, to_dot, AlphaGraph, BridgeDecomposition, Classification};
     for (name, rule) in linrec::engine::rules::paper_rules() {
@@ -167,6 +247,7 @@ fn main() -> ExitCode {
         Some("analyze") if args.len() == 2 => analyze(&args[1]),
         Some("run") if args.len() >= 2 => run(&args[1], &args[2..]),
         Some("explain") if args.len() == 3 => explain(&args[1], &args[2]),
+        Some("serve") if args.len() >= 2 => serve(&args[1], &args[2..]),
         Some("figures") => {
             figures(args.iter().any(|a| a == "--dot"));
             Ok(())

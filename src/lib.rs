@@ -70,6 +70,7 @@ pub use linrec_core as core;
 pub use linrec_cq as cq;
 pub use linrec_datalog as datalog;
 pub use linrec_engine as engine;
+pub use linrec_service as service;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -92,6 +93,7 @@ pub mod prelude {
         Analysis, CostModel, EvalStats, ExecOutcome, Plan, PlanShape, Program, Selection,
         StrategyError,
     };
+    pub use linrec_service::{ViewDef, ViewService};
 }
 
 #[cfg(test)]

@@ -13,12 +13,24 @@
 //! across batches) against recomputing the view from scratch on the
 //! post-batch EDB. The derived speedup is the acceptance headline.
 //!
+//! The `parallel` group measures the PR 4 tentpole: the shard-parallel
+//! semi-naive executor on the headline recursions, with **both** the
+//! 1-thread and the N-thread medians emitted from this same binary
+//! (`parallel/<workload>/t1` vs `parallel/<workload>/t<N>`), so the
+//! derived speedup compares like with like. `N` is `LINREC_THREADS` or
+//! the machine's available parallelism, floored at 4 (the acceptance
+//! target is "4+ threads"); the JSON's `meta` block records both the
+//! thread count used and the parallelism the machine actually offered —
+//! a 4-thread run on a 1-core container is honest about being one.
+//!
 //! Every measurement lands in `target/criterion.jsonl` (perf trajectory),
 //! and a custom `main` additionally writes the committed summary
-//! `BENCH_pr3.json` at the workspace root: median ns per strategy per
-//! workload, the PR 1 seed-engine baselines recorded when this harness was
-//! introduced (the committed `BENCH_pr2.json` carries the PR 2 points),
-//! and the incremental-vs-recompute speedup.
+//! `BENCH_pr4.json` at the workspace root: median ns per strategy per
+//! workload (samples pinned ≥ 10 everywhere, including the parallel
+//! groups), the PR 1 seed-engine baselines recorded when this harness was
+//! introduced (the committed `BENCH_pr2.json`/`BENCH_pr3.json` carry the
+//! earlier points), the incremental-vs-recompute speedup, and the
+//! same-binary parallel speedups.
 //!
 //! Deliberate coverage gap (not a silent cap): `Naive` is skipped on the
 //! 1k-chain — naive evaluation re-joins the ~500k-tuple closure every one
@@ -26,7 +38,7 @@
 //! the grid and shopping workloads where it terminates quickly.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use linrec_engine::{rules, workload, Analysis, Plan, PlanShape};
+use linrec_engine::{rules, workload, Analysis, CostModel, Parallelism, Plan, PlanShape};
 use std::fmt::Write as _;
 
 fn bench_planning_cost(c: &mut Criterion) {
@@ -216,6 +228,60 @@ fn bench_incremental(c: &mut Criterion) {
     group.finish();
 }
 
+/// Thread count for the N-thread side of the parallel groups: the
+/// engine's own resolution (`LINREC_THREADS` or available parallelism),
+/// floored at 4 so the acceptance comparison ("4+ threads vs 1 thread,
+/// same binary") is always what gets measured.
+fn parallel_threads() -> usize {
+    Parallelism::from_env().threads().max(4)
+}
+
+fn available_parallelism() -> usize {
+    Parallelism::available().threads()
+}
+
+/// Same-binary 1-thread vs N-thread medians for the headline recursions.
+/// The parallel plan goes through the production path — `Plan::parallelize`
+/// with the stock cost model — so what is measured includes the per-round
+/// cutover gate, not a hand-tuned harness.
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    let n = parallel_threads();
+    let rules = vec![rules::tc_right()];
+    let cases = [
+        ("chain_tc_1000", workload::chain(1000)),
+        ("grid_tc_20x20", workload::grid(20, 20)),
+    ];
+    for (name, edges) in cases {
+        let db = workload::graph_db("q", edges.clone());
+        let sequential = Plan::direct(rules.clone());
+        let parallel = Plan::direct(rules.clone()).parallelize(
+            &Parallelism::new(n),
+            &CostModel::default(),
+            &db,
+            &edges,
+        );
+        assert!(
+            parallel.rationale().contains("parallel:"),
+            "cost model must engage parallelism on {name}: {}",
+            parallel.rationale()
+        );
+        // Exactness guard before timing anything.
+        let a = sequential.execute(&db, &edges).unwrap();
+        let b = parallel.execute(&db, &edges).unwrap();
+        assert_eq!(a.relation.sorted(), b.relation.sorted());
+        assert_eq!(a.stats, b.stats);
+        group.bench_with_input(BenchmarkId::new(name, "t1"), &1usize, |bch, _| {
+            bch.iter(|| sequential.execute(&db, &edges).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new(name, format!("t{n}")), &n, |bch, _| {
+            bch.iter(|| parallel.execute(&db, &edges).unwrap())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_planning_cost,
@@ -223,7 +289,8 @@ criterion_group!(
     bench_chain,
     bench_grid,
     bench_updown,
-    bench_incremental
+    bench_incremental,
+    bench_parallel
 );
 
 /// PR 1 seed-engine medians (ns) for the headline workloads, measured on
@@ -241,8 +308,16 @@ const PR1_BASELINES: &[(&str, u64)] = &[
 ];
 
 fn write_summary(c: &Criterion) {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json");
-    let mut out = String::from("{\n  \"results\": {\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json");
+    let threads = parallel_threads();
+    let mut out = String::from("{\n  \"meta\": {\n");
+    let _ = writeln!(out, "    \"parallel_threads\": {threads},");
+    let _ = writeln!(
+        out,
+        "    \"available_parallelism\": {}",
+        available_parallelism()
+    );
+    out.push_str("  },\n  \"results\": {\n");
     let measurements = c.measurements();
     for (i, (id, median, samples)) in measurements.iter().enumerate() {
         let comma = if i + 1 == measurements.len() { "" } else { "," };
@@ -267,19 +342,33 @@ fn write_summary(c: &Criterion) {
             .find(|(id, _, _)| id == needle)
             .map(|&(_, m, _)| m)
     };
-    // The PR 3 acceptance headline: maintaining the 1k-chain TC view under
-    // a 1% insert batch vs recomputing it from scratch.
-    let speedup = match (
-        median("incremental/maintain/1000"),
-        median("incremental/recompute/1000"),
-    ) {
-        (Some(maintain), Some(recompute)) if maintain > 0.0 => recompute / maintain,
+    let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
+        (Some(n), Some(d)) if d > 0.0 => n / d,
         _ => 0.0,
     };
+    // The PR 3 headline: maintaining the 1k-chain TC view under a 1%
+    // insert batch vs recomputing it from scratch.
+    let speedup = ratio(
+        median("incremental/recompute/1000"),
+        median("incremental/maintain/1000"),
+    );
     let _ = writeln!(
         out,
-        "    \"chain_tc_1pct_batch_incremental_speedup\": {speedup:.2}"
+        "    \"chain_tc_1pct_batch_incremental_speedup\": {speedup:.2},"
     );
+    // The PR 4 headline: same-binary 1-thread vs N-thread medians of the
+    // shard-parallel executor.
+    let tn = format!("t{threads}");
+    let chain_par = ratio(
+        median("parallel/chain_tc_1000/t1"),
+        median(&format!("parallel/chain_tc_1000/{tn}")),
+    );
+    let grid_par = ratio(
+        median("parallel/grid_tc_20x20/t1"),
+        median(&format!("parallel/grid_tc_20x20/{tn}")),
+    );
+    let _ = writeln!(out, "    \"chain_tc_parallel_speedup\": {chain_par:.2},");
+    let _ = writeln!(out, "    \"grid_tc_parallel_speedup\": {grid_par:.2}");
     out.push_str("  }\n}\n");
     match std::fs::write(path, &out) {
         Ok(()) => eprintln!("planner bench: wrote {path}"),

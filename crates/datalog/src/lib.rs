@@ -40,7 +40,7 @@ pub use atom::{Atom, EQ_PRED};
 pub use database::Database;
 pub use error::RuleError;
 pub use parser::{parse_linear_rule, parse_program, parse_rule, Clause};
-pub use relation::{Relation, RowIter, Tuple, INLINE_ARITY};
+pub use relation::{Relation, RowIter, ShardView, Tuple, INLINE_ARITY};
 pub use rule::{input_pred, LinearRule, Rule};
 pub use symbol::Symbol;
 pub use term::{Term, Value, Var};

@@ -30,6 +30,7 @@ use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Maximum arity stored inline (without heap allocation) by [`Tuple`].
 pub const INLINE_ARITY: usize = 4;
@@ -489,6 +490,74 @@ impl Relation {
     }
 }
 
+// --- sharding --------------------------------------------------------------
+
+/// A `Send + Sync` zero-copy view of a subset of a shared relation's rows.
+///
+/// A shard holds an `Arc` to its relation and a list of row ids into the
+/// flat arena ([`Relation::flat`]); iterating a shard reads arena slices
+/// directly — no tuple is ever copied. Shards are the unit of work for the
+/// engine's parallel fixpoint rounds: [`ShardView::partition`] splits a
+/// delta relation into `k` disjoint shards by the hash of one column, so
+/// rows sharing a join-key value land in the same shard (load balance;
+/// correctness never depends on the column choice, because every row is
+/// processed independently and the merge deduplicates globally).
+#[derive(Clone)]
+pub struct ShardView {
+    rel: Arc<Relation>,
+    rows: Vec<u32>,
+}
+
+impl ShardView {
+    /// Partition `rel` into exactly `shards` disjoint views covering every
+    /// row, bucketed by the hash of column `col` (rows with equal values in
+    /// `col` share a shard). When `col` is out of range — including the
+    /// arity-0 relation — rows are dealt round-robin instead, which keeps
+    /// the shards balanced without inspecting values.
+    pub fn partition(rel: &Arc<Relation>, col: usize, shards: usize) -> Vec<ShardView> {
+        let k = shards.max(1);
+        let mut buckets: Vec<Vec<u32>> = (0..k).map(|_| Vec::new()).collect();
+        let by_hash = col < rel.arity();
+        for r in 0..rel.len() {
+            let b = if by_hash {
+                let mut h = FxHasher::default();
+                rel.row(r)[col].hash(&mut h);
+                (h.finish() % k as u64) as usize
+            } else {
+                r % k
+            };
+            buckets[b].push(r as u32);
+        }
+        buckets
+            .into_iter()
+            .map(|rows| ShardView {
+                rel: Arc::clone(rel),
+                rows,
+            })
+            .collect()
+    }
+
+    /// Number of rows in this shard.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the shard holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The relation the shard views.
+    pub fn relation(&self) -> &Relation {
+        &self.rel
+    }
+
+    /// Iterate the shard's rows as value slices (zero-copy arena reads).
+    pub fn iter(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        self.rows.iter().map(|&r| self.rel.row(r as usize))
+    }
+}
+
 /// Iterator over a relation's rows as value slices.
 pub struct RowIter<'a> {
     arena: &'a [Value],
@@ -723,6 +792,60 @@ mod tests {
         let wide: Tuple = (0..9).map(Value::Int).collect();
         m.insert(wide.clone(), 9);
         assert_eq!(m.get(wide.as_slice()), Some(&9));
+    }
+
+    #[test]
+    fn shards_partition_every_row_exactly_once() {
+        let rel = Arc::new(Relation::from_pairs((0..100).map(|i| (i % 7, i))));
+        for k in [1usize, 2, 3, 8] {
+            let shards = ShardView::partition(&rel, 0, k);
+            assert_eq!(shards.len(), k);
+            let mut seen = Relation::new(2);
+            let mut rows = 0;
+            for s in &shards {
+                rows += s.len();
+                for t in s.iter() {
+                    assert!(seen.insert(t), "row appeared in two shards");
+                }
+            }
+            assert_eq!(rows, rel.len());
+            assert_eq!(seen.len(), rel.len());
+        }
+    }
+
+    #[test]
+    fn shards_group_equal_join_keys_together() {
+        // Rows with the same value in the hash column must share a shard.
+        let rel = Arc::new(Relation::from_pairs((0..60).map(|i| (i % 5, i))));
+        let shards = ShardView::partition(&rel, 0, 4);
+        for key in 0..5 {
+            let holders: Vec<usize> = shards
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.iter().any(|t| t[0] == Value::Int(key)))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(holders.len(), 1, "key {key} split across shards");
+        }
+    }
+
+    #[test]
+    fn out_of_range_column_falls_back_to_round_robin() {
+        let rel = Arc::new(Relation::from_pairs((0..8).map(|i| (i, i))));
+        let shards = ShardView::partition(&rel, 9, 4);
+        assert!(shards.iter().all(|s| s.len() == 2));
+        let mut zero = Relation::new(0);
+        zero.insert(Vec::<Value>::new());
+        let z = Arc::new(zero);
+        let shards = ShardView::partition(&z, 0, 3);
+        assert_eq!(shards.iter().map(ShardView::len).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn shard_views_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardView>();
+        assert_send_sync::<Relation>();
     }
 
     #[test]

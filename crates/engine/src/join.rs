@@ -46,6 +46,18 @@
 //! column scoring their full row count. This keeps the candidate sets small
 //! early, which shrinks the whole search tree; it changes only enumeration
 //! order, never the set of matches or the derivation count.
+//!
+//! # Parallel rounds: prepare, then probe
+//!
+//! All cache mutation (scan revalidation, column-index building, join-plan
+//! computation) happens in [`prepare_rules`], on one thread, before a
+//! parallel fixpoint round starts. After that, the round's workers share
+//! the cache **read-only** through [`apply_linear_rows`]: `Indexes` is
+//! plain data (`Sync`), the database is frozen for the round, and a probe
+//! never writes — so one `Indexes` built once serves every shard of every
+//! rule concurrently. The sequential path ([`apply_linear`]) keeps doing
+//! both steps per application, which is cheaper when there is nothing to
+//! fan out.
 
 use linrec_datalog::hash::{FastMap, FastSet};
 use linrec_datalog::{Atom, Database, LinearRule, Relation, Symbol, Term, Value, Var};
@@ -323,8 +335,12 @@ struct JoinRun<'a> {
     /// Body atoms in match order: the recursive/leading atom first, then
     /// the trailing atoms in selectivity order.
     atoms: Vec<&'a Atom>,
-    first_rel: &'a Relation,
     indexes: &'a Indexes,
+    /// When set, head tuples already present here are counted as
+    /// derivations but not emitted into `out` — the parallel fixpoint's
+    /// workers pre-filter against the (round-frozen) total so the merge
+    /// pass only sees genuinely new candidates.
+    skip_known: Option<&'a Relation>,
     out: Relation,
     derivations: u64,
     scratch: Vec<Value>,
@@ -342,9 +358,30 @@ impl<'a> JoinRun<'a> {
             });
         }
         self.derivations += 1;
+        if let Some(known) = self.skip_known {
+            if known.contains(&self.scratch) {
+                return;
+            }
+        }
         let scratch = std::mem::take(&mut self.scratch);
         self.out.insert(&scratch);
         self.scratch = scratch;
+    }
+
+    /// Drive the join: match the leading atom against each of `rows`, then
+    /// descend through the trailing atoms.
+    fn run_rows<'r>(&mut self, rows: impl Iterator<Item = &'r [Value]>) {
+        let mut bind: Bindings = FastMap::default();
+        let mut trail: Vec<Var> = Vec::new();
+        let atom = self.atoms[0];
+        for t in rows {
+            if match_tuple(atom, t, &mut bind, &mut trail) {
+                self.descend(1, &mut bind, &mut trail);
+                for v in trail.drain(..) {
+                    bind.remove(&v);
+                }
+            }
+        }
     }
 
     fn descend(&mut self, depth: usize, bind: &mut Bindings, trail: &mut Vec<Var>) {
@@ -354,17 +391,6 @@ impl<'a> JoinRun<'a> {
         }
         let atom: &'a Atom = self.atoms[depth];
         let marker = trail.len();
-        if depth == 0 {
-            for t in self.first_rel.iter() {
-                if match_tuple(atom, t, bind, trail) {
-                    self.descend(depth + 1, bind, trail);
-                    for v in trail.drain(marker..) {
-                        bind.remove(&v);
-                    }
-                }
-            }
-            return;
-        }
         let cache = self.indexes.get(atom.pred);
         // Candidate rows: an index bucket when a bound, indexed column
         // exists; a linear arena scan otherwise. match_tuple re-checks
@@ -420,18 +446,36 @@ fn join_emit(
     if first_rel.arity() != atoms[0].arity() {
         return (Relation::new(head.arity()), 0);
     }
-    // Revalidate every trailing atom's scan on each application (a version
-    // compare per atom when nothing changed): the cache now outlives a
-    // single fixpoint, so relations may have been mutated since the last
-    // call. The cached atom order is reused only when no scan it depends
-    // on has been rebuilt since the order was computed — including
-    // rebuilds triggered by *other* bodies over the same predicates.
+    let Some(order) = ensure_plan(atoms, db, indexes) else {
+        return (Relation::new(head.arity()), 0);
+    };
+    let mut run = JoinRun {
+        head,
+        atoms: ordered_atoms(atoms, &order),
+        indexes,
+        skip_known: None,
+        out: Relation::new(head.arity()),
+        derivations: 0,
+        scratch: Vec::with_capacity(head.arity()),
+    };
+    run.run_rows(first_rel.iter());
+    (run.out, run.derivations)
+}
+
+/// Revalidate every trailing atom's scan and ensure a current join plan
+/// for the body, returning the trailing-atom order (`None` when an arity
+/// mismatch means the body matches nothing).
+///
+/// Scans are revalidated on each application (a version compare per atom
+/// when nothing changed): the cache outlives a single fixpoint, so
+/// relations may have been mutated since the last call. The cached atom
+/// order is reused only when no scan it depends on has been rebuilt since
+/// the order was computed — including rebuilds triggered by *other* bodies
+/// over the same predicates.
+fn ensure_plan(atoms: &[Atom], db: &Database, indexes: &mut Indexes) -> Option<Vec<usize>> {
     let mut scan_gen = 0u64;
     for a in atoms.iter().skip(1) {
-        match indexes.revalidate(a, db) {
-            Some(built_at) => scan_gen = scan_gen.max(built_at),
-            None => return (Relation::new(head.arity()), 0),
-        }
+        scan_gen = scan_gen.max(indexes.revalidate(a, db)?);
     }
     let order = match indexes.plans.get(atoms) {
         Some(plan) if plan.generation >= scan_gen => plan.order.clone(),
@@ -455,22 +499,115 @@ fn join_emit(
             order
         }
     };
+    Some(order)
+}
+
+fn ordered_atoms<'a>(atoms: &'a [Atom], order: &[usize]) -> Vec<&'a Atom> {
     let mut ordered: Vec<&Atom> = Vec::with_capacity(atoms.len());
     ordered.push(&atoms[0]);
     ordered.extend(order.iter().map(|&i| &atoms[i]));
+    ordered
+}
+
+/// The body of a linear rule as the join machinery sees it: the recursive
+/// atom first, then the trailing atoms in rule order.
+fn body_atoms(rule: &LinearRule) -> Vec<Atom> {
+    let mut atoms = Vec::with_capacity(1 + rule.nonrec_atoms().len());
+    atoms.push(rule.rec_atom().clone());
+    atoms.extend(rule.nonrec_atoms().iter().cloned());
+    atoms
+}
+
+/// Prepare every rule for a round of concurrent read-only probing
+/// ([`apply_linear_rows`]): revalidate all scans first, then build column
+/// indexes and join plans. The two passes matter — revalidating *all*
+/// predicates before planning *any* body means a rebuild triggered by a
+/// later rule can never retire a plan cached moments earlier in the same
+/// round, so the subsequent `&Indexes` probes always find a current plan.
+///
+/// Returns one flag per rule; `false` marks a rule that can derive nothing
+/// this round (its recursive atom's arity disagrees with `delta_arity`, or
+/// a trailing atom's arity disagrees with the stored relation).
+pub fn prepare_rules(
+    rules: &[LinearRule],
+    delta_arity: usize,
+    db: &Database,
+    indexes: &mut Indexes,
+) -> Vec<bool> {
+    for rule in rules {
+        for atom in rule.nonrec_atoms() {
+            let _ = indexes.revalidate(atom, db);
+        }
+    }
+    rules
+        .iter()
+        .map(|rule| {
+            if rule.rec_atom().arity() != delta_arity {
+                return false;
+            }
+            let atoms = body_atoms(rule);
+            ensure_plan(&atoms, db, indexes).is_some()
+        })
+        .collect()
+}
+
+/// Apply one rule's body to the given outer rows through a **shared,
+/// read-only** scan/index cache — the concurrent half of a parallel
+/// fixpoint round. The caller must have run [`prepare_rules`] (same rules,
+/// same database, same `Indexes`) since the database last changed; this
+/// function then only reads the cache, so any number of workers can probe
+/// it simultaneously (`Indexes` is `Sync` — it is plain data).
+///
+/// `skip_known` tuples are counted as derivations but not emitted, letting
+/// workers pre-filter against the round-frozen total.
+///
+/// # Panics
+/// If the body's join plan is missing from the cache (no `prepare_rules`).
+pub fn apply_linear_rows<'r>(
+    rule: &LinearRule,
+    rows: impl Iterator<Item = &'r [Value]>,
+    indexes: &Indexes,
+    skip_known: Option<&Relation>,
+) -> (Relation, u64) {
+    let head = rule.head();
+    let atoms = body_atoms(rule);
+    let order = &indexes
+        .plans
+        .get(&atoms)
+        .expect("apply_linear_rows needs prepare_rules first")
+        .order;
     let mut run = JoinRun {
         head,
-        atoms: ordered,
-        first_rel,
+        atoms: ordered_atoms(&atoms, order),
         indexes,
+        skip_known,
         out: Relation::new(head.arity()),
         derivations: 0,
         scratch: Vec::with_capacity(head.arity()),
     };
-    let mut bind: Bindings = FastMap::default();
-    let mut trail: Vec<Var> = Vec::new();
-    run.descend(0, &mut bind, &mut trail);
+    run.run_rows(rows);
     (run.out, run.derivations)
+}
+
+/// The recursive-atom column to hash-partition a delta by: the first
+/// position holding a variable that some trailing atom also mentions —
+/// i.e. the column whose values feed the round's first index probe, so
+/// rows sharing a join key land in one shard and probe the same index
+/// buckets (cache locality). Falls back to column 0 when no position
+/// qualifies; the choice affects only shard balance, never results (see
+/// `crate::seminaive` module docs for why).
+pub(crate) fn partition_col(rules: &[LinearRule]) -> usize {
+    for rule in rules {
+        let elsewhere: FastSet<Var> = rule.nonrec_atoms().iter().flat_map(|a| a.vars()).collect();
+        for (c, t) in rule.rec_atom().terms.iter().enumerate() {
+            if let Term::Var(v) = t {
+                if elsewhere.contains(v) {
+                    return c;
+                }
+            }
+        }
+    }
+    0
 }
 
 /// Apply a linear operator once: `A(p_rel)` with nonrecursive parameters
@@ -481,9 +618,7 @@ pub fn apply_linear(
     p_rel: &Relation,
     indexes: &mut Indexes,
 ) -> (Relation, u64) {
-    let mut atoms = Vec::with_capacity(1 + rule.nonrec_atoms().len());
-    atoms.push(rule.rec_atom().clone());
-    atoms.extend(rule.nonrec_atoms().iter().cloned());
+    let atoms = body_atoms(rule);
     join_emit(rule.head(), &atoms, p_rel, db, indexes)
 }
 
@@ -728,6 +863,84 @@ mod tests {
         db.set_relation("e", Relation::from_pairs([(1, 3)]));
         let (out, _) = apply_linear(&r, &db, &p, &mut idx);
         assert_eq!(out.sorted(), Relation::from_pairs([(0, 3)]).sorted());
+    }
+
+    #[test]
+    fn prepared_row_application_matches_apply_linear() {
+        let r = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2), (2, 3), (3, 4)]));
+        let p = Relation::from_pairs([(0, 1), (0, 2), (9, 3)]);
+        let mut idx = Indexes::new();
+        let flags = prepare_rules(std::slice::from_ref(&r), p.arity(), &db, &mut idx);
+        assert_eq!(flags, vec![true]);
+        let (rows_out, rows_d) = apply_linear_rows(&r, p.iter(), &idx, None);
+        let (seq_out, seq_d) = apply_linear(&r, &db, &p, &mut Indexes::new());
+        assert_eq!(rows_out.sorted(), seq_out.sorted());
+        assert_eq!(rows_d, seq_d);
+    }
+
+    #[test]
+    fn row_application_over_a_partition_is_additive() {
+        // The union of per-shard outputs equals the whole-delta output, and
+        // derivation counts add up — the invariant the parallel round's
+        // merge relies on.
+        use linrec_datalog::ShardView;
+        use std::sync::Arc;
+        let r = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs((0..20).map(|i| (i, i + 1))));
+        let p = Arc::new(Relation::from_pairs((0..20).map(|i| (0, i))));
+        let mut idx = Indexes::new();
+        prepare_rules(std::slice::from_ref(&r), p.arity(), &db, &mut idx);
+        let (whole, whole_d) = apply_linear_rows(&r, p.iter(), &idx, None);
+        let mut merged = Relation::new(2);
+        let mut merged_d = 0;
+        for shard in ShardView::partition(&p, partition_col(std::slice::from_ref(&r)), 3) {
+            let (out, d) = apply_linear_rows(&r, shard.iter(), &idx, None);
+            merged.union_in_place(&out);
+            merged_d += d;
+        }
+        assert_eq!(merged.sorted(), whole.sorted());
+        assert_eq!(merged_d, whole_d);
+    }
+
+    #[test]
+    fn skip_known_counts_derivations_but_drops_tuples() {
+        let r = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2), (1, 3)]));
+        let p = Relation::from_pairs([(0, 1)]);
+        let mut idx = Indexes::new();
+        prepare_rules(std::slice::from_ref(&r), p.arity(), &db, &mut idx);
+        let known = Relation::from_pairs([(0, 2)]);
+        let (out, derivs) = apply_linear_rows(&r, p.iter(), &idx, Some(&known));
+        assert_eq!(out.sorted(), Relation::from_pairs([(0, 3)]).sorted());
+        assert_eq!(derivs, 2, "filtered tuples still count as derivations");
+    }
+
+    #[test]
+    fn prepare_flags_arity_mismatches() {
+        let rules = vec![
+            parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap(),
+            parse_linear_rule("p(x,y) :- p(x,z), e(w,u,z).").unwrap(), // e at arity 3
+        ];
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs([(1, 2)]));
+        let mut idx = Indexes::new();
+        assert_eq!(prepare_rules(&rules, 2, &db, &mut idx), vec![true, false]);
+        // A delta of the wrong arity disables every rule.
+        assert_eq!(prepare_rules(&rules, 3, &db, &mut idx), vec![false, false]);
+    }
+
+    #[test]
+    fn partition_col_tracks_the_probe_position() {
+        let right = parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap();
+        assert_eq!(partition_col(std::slice::from_ref(&right)), 1); // z feeds the probe
+        let left = parse_linear_rule("p(x,y) :- p(w,y), e(x,w).").unwrap();
+        assert_eq!(partition_col(std::slice::from_ref(&left)), 0); // w does
+        let none = parse_linear_rule("p(x,y) :- p(x,y), a(u).").unwrap();
+        assert_eq!(partition_col(std::slice::from_ref(&none)), 0); // fallback
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub mod derivation;
 pub mod expr_eval;
 pub mod join;
 pub mod magic;
+pub mod parallel;
 pub mod planner;
+pub mod pool;
 pub mod program;
 pub mod provenance;
 pub mod rules;
@@ -59,15 +61,20 @@ pub mod workload;
 
 pub use derivation::{trace_decomposed, trace_star, DerivationGraph};
 pub use expr_eval::eval_expr;
-pub use join::{apply_flat, apply_linear, Indexes};
+pub use join::{apply_flat, apply_linear, apply_linear_rows, prepare_rules, Indexes};
 pub use magic::{eval_selected_star, magic_applicable};
+pub use parallel::Parallelism;
 pub use planner::{
     Analysis, AnalysisEffort, CostModel, ExecOutcome, Plan, PlanShape, StrategyError, TraceStep,
 };
+pub use pool::WorkerPool;
 pub use program::Program;
 pub use provenance::{eval_with_provenance, Provenance, Step};
 pub use selection::Selection;
-pub use seminaive::{bounded_prefix, exact_power, naive_star, seminaive_resume_in, seminaive_star};
+pub use seminaive::{
+    bounded_prefix, exact_power, naive_star, seminaive_resume_in, seminaive_resume_par_in,
+    seminaive_round_par, seminaive_star, seminaive_star_par_in,
+};
 pub use stats::EvalStats;
 #[allow(deprecated)]
 pub use strategies::{

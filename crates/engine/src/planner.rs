@@ -47,8 +47,11 @@
 
 use crate::join::Indexes;
 use crate::magic::{eval_selected_star, magic_applicable};
+use crate::parallel::Parallelism;
 use crate::selection::Selection;
-use crate::seminaive::{bounded_prefix_in, exact_power_in, naive_star, seminaive_star_in};
+use crate::seminaive::{
+    bounded_prefix_in, exact_power_in, naive_star, seminaive_star_in, seminaive_star_par_in,
+};
 use crate::stats::EvalStats;
 use linrec_core::{BoundednessCert, CommutativityCert, RedundancyCert, SeparabilityCert};
 use linrec_datalog::hash::{FastMap, FastSet};
@@ -412,6 +415,17 @@ pub struct CostModel {
     /// candidates are truncated alike, and the exponential separations the
     /// model exists to detect appear within a few rounds.
     pub horizon: usize,
+    /// Multiplicative correction to the fanout-driven derivation charge,
+    /// learned from estimate/actual feedback ([`CostModel::calibrate`]).
+    /// `1.0` is the uncalibrated default; a model that systematically
+    /// overestimates derivations ends up with a scale below 1.
+    pub fanout_scale: f64,
+    /// Charge per shard for setting up one parallel round (partitioning,
+    /// job dispatch, buffer merge), in the same unit as `per_derivation`.
+    /// Together with the thread count it fixes the parallel cutover
+    /// ([`CostModel::parallel_cutover`]): the delta size below which a
+    /// round cannot recoup the sharding overhead and stays sequential.
+    pub per_shard_setup: f64,
 }
 
 impl Default for CostModel {
@@ -420,7 +434,91 @@ impl Default for CostModel {
             per_derivation: 1.0,
             per_phase_tuple: 0.5,
             horizon: 12,
+            fanout_scale: 1.0,
+            per_shard_setup: 96.0,
         }
+    }
+}
+
+impl CostModel {
+    /// Fold estimate/actual feedback into the model: each pair is a plan's
+    /// cost estimate ([`Plan::estimate`]) next to the derivation count the
+    /// run actually performed (`EvalStats::derivations`, the unit the
+    /// estimate is denominated in). The geometric mean of the
+    /// `actual/estimate` ratios rescales [`CostModel::fanout_scale`], so a
+    /// model that was systematically off by a constant factor is corrected
+    /// after a single round of feedback (the derivation charge is linear
+    /// in the scale). Pairs with a non-positive side are ignored; the
+    /// scale is clamped to `[1e-3, 1e3]` so one wild outlier cannot wreck
+    /// the model.
+    pub fn calibrate(&mut self, feedback: &[(f64, u64)]) {
+        let (mut sum_log, mut n) = (0.0f64, 0usize);
+        for &(estimate, actual) in feedback {
+            if estimate > 0.0 && actual > 0 {
+                sum_log += (actual as f64 / estimate).ln();
+                n += 1;
+            }
+        }
+        if n > 0 {
+            let ratio = (sum_log / n as f64).exp();
+            self.fanout_scale = (self.fanout_scale * ratio).clamp(1e-3, 1e3);
+        }
+    }
+
+    /// The smallest per-round delta for which `threads`-way sharding is
+    /// predicted to pay: the fixed round price (`per_shard_setup` per
+    /// shard) must be recouped by the work the extra threads take over
+    /// (a `1 − 1/threads` share of the per-delta-tuple derivation
+    /// charge). Rounds below the cutover stay sequential — this is how
+    /// the model "charges" shard setup: not as a term in a plan's
+    /// estimate (all candidates would pay it alike) but as the gate that
+    /// decides whether a round may go parallel at all.
+    pub fn parallel_cutover(&self, threads: usize) -> usize {
+        if threads < 2 {
+            return usize::MAX;
+        }
+        let saved_share = 1.0 - 1.0 / threads as f64;
+        let per_tuple = (self.per_derivation * self.fanout_scale).max(f64::MIN_POSITIVE);
+        ((self.per_shard_setup * threads as f64) / (per_tuple * saved_share)).ceil() as usize
+    }
+
+    /// Estimated **peak** per-round delta of `(Σ rules)*` from `init` —
+    /// the figure [`Plan::parallelize`] compares against the cutover to
+    /// decide (and record) whether parallelism can ever engage.
+    pub fn estimated_peak_delta(
+        &self,
+        rules: &[LinearRule],
+        db: &Database,
+        init: &Relation,
+    ) -> f64 {
+        if rules.is_empty() {
+            return 0.0;
+        }
+        let mut est = Estimator::new(self, db, init);
+        // Raw fanout, deliberately NOT multiplied by `fanout_scale`: the
+        // learned scale is a *linear* correction to the derivation charge
+        // (see `Estimator::per_deriv`), and compounding it per round here
+        // would let calibration distort the delta trajectory geometrically.
+        // It still reaches this decision through `parallel_cutover`'s
+        // per-tuple charge.
+        let f: f64 = rules.iter().map(|r| est.fanout(r)).sum();
+        let seed_doms = est.init_doms.clone();
+        let doms = est.col_doms(rules, &seed_doms);
+        let cap = Estimator::cap(&doms);
+        let mut delta = (init.len() as f64).min(cap);
+        let mut total = delta;
+        let mut peak = delta;
+        for _ in 0..self.horizon {
+            if delta < 0.5 {
+                break;
+            }
+            let produced = delta * f;
+            let new = produced.min((cap - total).max(0.0));
+            total += new;
+            delta = new;
+            peak = peak.max(delta);
+        }
+        peak
     }
 }
 
@@ -487,6 +585,12 @@ impl<'a> Estimator<'a> {
             self.stats.insert(key, entry);
         }
         &self.stats[&key]
+    }
+
+    /// The calibrated derivation charge: `per_derivation` corrected by the
+    /// feedback-learned fanout scale ([`CostModel::calibrate`]).
+    fn per_deriv(&self) -> f64 {
+        self.model.per_derivation * self.model.fanout_scale
     }
 
     /// Expected matches produced per delta tuple by one application of
@@ -608,7 +712,7 @@ impl<'a> Estimator<'a> {
         let f: f64 = rules.iter().map(|r| self.fanout(r)).sum();
         let doms = self.col_doms(rules, seed_doms);
         let (derivs, total) = self.unroll(f, seed, Self::cap(&doms));
-        (self.model.per_derivation * derivs, total, doms)
+        (self.per_deriv() * derivs, total, doms)
     }
 
     /// `count` exact applications of `rule`: derivation charge and final
@@ -629,7 +733,7 @@ impl<'a> Estimator<'a> {
             derivs += cur * f;
             cur = (cur * f).min(cap);
         }
-        (self.model.per_derivation * derivs, cur)
+        (self.per_deriv() * derivs, cur)
     }
 
     fn node(&mut self, plan: &Plan, seed: f64, seed_doms: &[f64]) -> f64 {
@@ -644,7 +748,7 @@ impl<'a> Estimator<'a> {
                 let (derivs, total, _) = self.star(rules, seed, seed_doms);
                 let f: f64 = rules.iter().map(|r| self.fanout(r)).sum();
                 derivs
-                    + self.model.per_derivation * total * f * self.model.horizon as f64
+                    + self.per_deriv() * total * f * self.model.horizon as f64
                     + self.phase_charge(rules, seed)
             }
             PlanNode::BoundedPrefix { cert } => {
@@ -709,20 +813,20 @@ impl<'a> Estimator<'a> {
                 let mut acc = 0.0f64;
                 for r in 0..period {
                     if r > 0 {
-                        cost += self.model.per_derivation * img * fan_b;
+                        cost += self.per_deriv() * img * fan_b;
                         img = (img * fan_b).min(cap);
                     }
                     // (Bᴾ)* — a star whose per-application fanout is Bᴾ's.
                     let f = fan_b.powi(period.min(16) as i32).max(f64::MIN_POSITIVE);
                     let (derivs, total) = self.unroll(f, img, cap);
-                    cost += self.model.per_derivation * derivs + self.phase_charge(b_rules, img);
+                    cost += self.per_deriv() * derivs + self.phase_charge(b_rules, img);
                     // C^{(K+r)L}, then one B.
                     let mut cur = total;
                     for _ in 0..((k + r) * l).min(4 * self.model.horizon) {
-                        cost += self.model.per_derivation * cur * fan_c;
+                        cost += self.per_deriv() * cur * fan_c;
                         cur = (cur * fan_c).min(cap);
                     }
-                    cost += self.model.per_derivation * cur * fan_b
+                    cost += self.per_deriv() * cur * fan_b
                         + self.phase_charge(std::slice::from_ref(&dec.c), total);
                     acc += (cur * fan_b).min(cap);
                 }
@@ -763,6 +867,9 @@ pub struct Plan {
     /// Actual statistics of the latest [`Plan::execute_feedback`] run,
     /// shown next to the estimate in [`Plan::annotated_rationale`].
     actual: Option<EvalStats>,
+    /// Parallelism knob for the plan's semi-naive phases (sequential by
+    /// default; see [`Plan::parallelize`]).
+    par: Parallelism,
 }
 
 impl Plan {
@@ -772,6 +879,7 @@ impl Plan {
             rationale,
             estimate: None,
             actual: None,
+            par: Parallelism::sequential(),
         }
     }
 }
@@ -931,6 +1039,112 @@ impl Plan {
         &self.rationale
     }
 
+    /// The parallelism knob the plan's semi-naive phases execute with.
+    pub fn parallelism(&self) -> &Parallelism {
+        &self.par
+    }
+
+    fn set_parallelism(&mut self, par: &Parallelism) {
+        self.par = par.clone();
+        if let PlanNode::SelectAfter { inner, .. } = &mut self.node {
+            inner.set_parallelism(par);
+        }
+    }
+
+    /// Attach a parallelism knob unconditionally (no cost-model gate; the
+    /// per-round `min_delta` stays whatever `par` carries). Prefer
+    /// [`Plan::parallelize`], which lets the cost model set the cutover
+    /// and records the decision.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Plan {
+        self.set_parallelism(&par);
+        self
+    }
+
+    /// Offer the plan up to `par.threads()`-way sharded fixpoint rounds,
+    /// letting `model` decide whether the data can ever pay for them: the
+    /// model estimates the recursion's **peak per-round delta** and
+    /// compares it against the [`CostModel::parallel_cutover`] for this
+    /// thread count (the delta size at which sharding overhead is
+    /// recouped). If the peak clears the cutover, the knob is attached
+    /// with `min_delta = cutover`, so each individual round still gates
+    /// itself at runtime (early/late rounds with tiny deltas stay
+    /// sequential); otherwise the plan stays fully sequential. Either
+    /// way, [`Plan::rationale`] records the decision and both figures.
+    ///
+    /// Only semi-naive star/resume phases parallelize (`Direct`,
+    /// `Decomposed` clusters, `Separable`'s stars); the exact-power chains
+    /// of `BoundedPrefix`/`RedundancyBounded` run over images that the
+    /// certificates already bound to few applications.
+    pub fn parallelize(
+        mut self,
+        par: &Parallelism,
+        model: &CostModel,
+        db: &Database,
+        init: &Relation,
+    ) -> Plan {
+        if !par.is_parallel() {
+            return self;
+        }
+        if !self.has_parallel_phase() {
+            self.rationale = format!(
+                "{}; parallel declined: plan shape has no shardable semi-naive rounds",
+                self.rationale
+            );
+            return self;
+        }
+        let cutover = model.parallel_cutover(par.threads());
+        let peak = model.estimated_peak_delta(&self.star_rules(), db, init);
+        if peak >= cutover as f64 {
+            self.rationale = format!(
+                "{}; parallel: up to {}-way sharded rounds when |Δ| ≥ {cutover} \
+                 (est. peak |Δ| ≈ {peak:.0})",
+                self.rationale,
+                par.threads()
+            );
+            let tuned = par.clone().with_min_delta(cutover);
+            self.set_parallelism(&tuned);
+        } else {
+            self.rationale = format!(
+                "{}; parallel declined: est. peak |Δ| ≈ {peak:.0} below the \
+                 {}-thread cutover {cutover}",
+                self.rationale,
+                par.threads()
+            );
+        }
+        self
+    }
+
+    /// Does executing this plan ever consult the parallelism knob? Only
+    /// the semi-naive star/resume phases shard; the exact-power chains of
+    /// `BoundedPrefix`/`RedundancyBounded` and the naive baseline do not,
+    /// so claiming parallel rounds for them would misreport the run.
+    fn has_parallel_phase(&self) -> bool {
+        match &self.node {
+            PlanNode::Direct { .. } | PlanNode::Decomposed { .. } | PlanNode::Separable { .. } => {
+                true
+            }
+            PlanNode::Naive { .. }
+            | PlanNode::BoundedPrefix { .. }
+            | PlanNode::RedundancyBounded { .. } => false,
+            PlanNode::SelectAfter { inner, .. } => inner.has_parallel_phase(),
+        }
+    }
+
+    /// The rules whose star(s) the plan evaluates (delta-recurrence input
+    /// for the parallel decision).
+    fn star_rules(&self) -> Vec<LinearRule> {
+        match &self.node {
+            PlanNode::Direct { rules } | PlanNode::Naive { rules } => rules.clone(),
+            PlanNode::BoundedPrefix { cert } => vec![cert.rule().clone()],
+            PlanNode::Decomposed { cert } => cert.rules().to_vec(),
+            PlanNode::Separable { cert, .. } => {
+                vec![cert.outer().clone(), cert.inner().clone()]
+            }
+            PlanNode::RedundancyBounded { cert } => vec![cert.rule().clone()],
+            PlanNode::SelectAfter { inner, .. } => inner.star_rules(),
+        }
+    }
+
     /// The cost-model estimate recorded by [`Analysis::plan_with`]
     /// (`None` for plans chosen without the cost model). Unit-free, but
     /// dominated by the per-derivation charge, so it is directly
@@ -1088,7 +1302,7 @@ impl Plan {
     ) -> Result<(Relation, EvalStats), StrategyError> {
         match &self.node {
             PlanNode::Direct { rules } => {
-                let (rel, stats) = seminaive_star_in(rules, db, init, indexes);
+                let (rel, stats) = seminaive_star_par_in(rules, db, init, indexes, &self.par);
                 trace.push(TraceStep {
                     label: format!("semi-naive star over {} rule(s)", rules.len()),
                     stats,
@@ -1118,7 +1332,7 @@ impl Plan {
                 for cluster in cert.clusters().iter().rev() {
                     let group: Vec<LinearRule> =
                         cluster.iter().map(|&i| cert.rules()[i].clone()).collect();
-                    let (next, s) = seminaive_star_in(&group, db, &current, indexes);
+                    let (next, s) = seminaive_star_par_in(&group, db, &current, indexes, &self.par);
                     trace.push(TraceStep {
                         label: format!("star of cluster {cluster:?}"),
                         stats: s,
@@ -1129,9 +1343,16 @@ impl Plan {
                 stats.tuples = current.len();
                 Ok((current, stats))
             }
-            PlanNode::Separable { cert, sel } => {
-                exec_separable(cert.outer(), cert.inner(), sel, db, init, trace, indexes)
-            }
+            PlanNode::Separable { cert, sel } => exec_separable(
+                cert.outer(),
+                cert.inner(),
+                sel,
+                db,
+                init,
+                trace,
+                indexes,
+                &self.par,
+            ),
             PlanNode::RedundancyBounded { cert } => {
                 exec_redundancy_bounded(cert, db, init, trace, indexes)
             }
@@ -1155,6 +1376,7 @@ impl Plan {
 /// The separable algorithm (Algorithm 4.1): `outer* (σ inner*)`, pushing
 /// the selection into `inner`'s parameter relations when the binding
 /// closure allows it.
+#[allow(clippy::too_many_arguments)]
 fn exec_separable(
     outer: &LinearRule,
     inner: &LinearRule,
@@ -1163,6 +1385,7 @@ fn exec_separable(
     init: &Relation,
     trace: &mut Vec<TraceStep>,
     indexes: &mut Indexes,
+    par: &Parallelism,
 ) -> Result<(Relation, EvalStats), StrategyError> {
     // Re-checked so a cloned-and-mutated selection cannot sneak past the
     // constructor check (construction already guarantees it for planner
@@ -1180,7 +1403,8 @@ fn exec_separable(
         });
         (rel, s)
     } else {
-        let (full, mut s) = seminaive_star_in(std::slice::from_ref(inner), db, init, indexes);
+        let (full, mut s) =
+            seminaive_star_par_in(std::slice::from_ref(inner), db, init, indexes, par);
         let rel = sel.apply(&full);
         s.tuples = rel.len();
         trace.push(TraceStep {
@@ -1189,7 +1413,8 @@ fn exec_separable(
         });
         (rel, s)
     };
-    let (result, s2) = seminaive_star_in(std::slice::from_ref(outer), db, &selected, indexes);
+    let (result, s2) =
+        seminaive_star_par_in(std::slice::from_ref(outer), db, &selected, indexes, par);
     trace.push(TraceStep {
         label: "outer star over the selected relation".to_owned(),
         stats: s2,
@@ -1534,6 +1759,188 @@ mod tests {
         let analysis = Analysis::of(&rules, Some(&sel));
         let (db, init) = workload::up_down(5, 3);
         assert_eq!(analysis.plan_for(&db, &init).shape(), PlanShape::Separable);
+    }
+
+    #[test]
+    fn calibrate_rescales_the_fanout_constant() {
+        let mut model = CostModel::default();
+        assert_eq!(model.fanout_scale, 1.0);
+        // The model overestimated 10x on two runs: scale shrinks to 0.1.
+        model.calibrate(&[(1000.0, 100), (5000.0, 500)]);
+        assert!(
+            (model.fanout_scale - 0.1).abs() < 1e-9,
+            "{}",
+            model.fanout_scale
+        );
+        // Feedback folds in multiplicatively…
+        model.calibrate(&[(10.0, 100)]);
+        assert!((model.fanout_scale - 1.0).abs() < 1e-9);
+        // …degenerate pairs are ignored, and the scale stays clamped.
+        model.calibrate(&[(0.0, 5), (3.0, 0)]);
+        assert!((model.fanout_scale - 1.0).abs() < 1e-9);
+        model.calibrate(&[(1.0, u64::MAX)]);
+        assert!(model.fanout_scale <= 1e3);
+    }
+
+    #[test]
+    fn miscalibrated_model_corrects_after_one_round_of_feedback() {
+        // A model whose fanout constant is off by 12x: one round of
+        // estimate/actual feedback must bring its estimate to within a
+        // small factor of the measured derivation count (the derivation
+        // charge is linear in the scale; only the small per-phase setup
+        // term resists the correction).
+        let rules = vec![rules::tc_right()];
+        let edges = workload::chain(60);
+        let db = workload::graph_db("q", edges.clone());
+        let plan = Plan::direct(rules);
+        let actual = plan.execute(&db, &edges).unwrap().stats.derivations;
+
+        let mut model = CostModel {
+            fanout_scale: 12.0,
+            ..CostModel::default()
+        };
+        let before = model.estimate(&plan, &db, &edges);
+        let off_before = (before / actual as f64).ln().abs();
+        model.calibrate(&[(before, actual)]);
+        let after = model.estimate(&plan, &db, &edges);
+        let off_after = (after / actual as f64).ln().abs();
+        assert!(
+            off_after < off_before,
+            "calibration must reduce the error: {before:.3e} -> {after:.3e} vs {actual}"
+        );
+        assert!(
+            (0.25..4.0).contains(&(after / actual as f64)),
+            "one feedback round should land within a small factor: \
+             {after:.3e} vs actual {actual}"
+        );
+    }
+
+    #[test]
+    fn parallel_cutover_scales_with_threads_and_calibration() {
+        let model = CostModel::default();
+        assert_eq!(model.parallel_cutover(1), usize::MAX);
+        let c4 = model.parallel_cutover(4);
+        let c2 = model.parallel_cutover(2);
+        assert!(c4 > 0 && c2 > 0);
+        assert!(
+            c2 < c4,
+            "more threads, more setup to amortize: {c2} vs {c4}"
+        );
+        // A calibrated-down model (cheaper derivations) needs bigger deltas.
+        let mut cheap = CostModel::default();
+        cheap.calibrate(&[(10.0, 1)]);
+        assert!(cheap.parallel_cutover(4) > c4);
+    }
+
+    #[test]
+    fn parallelize_records_the_decision_and_gates_by_peak_delta() {
+        let rules = vec![rules::tc_right()];
+        let edges = workload::chain(400);
+        let db = workload::graph_db("q", edges.clone());
+        // Cheap shard setup so the 400-tuple peak delta clears the
+        // 4-thread cutover (the stock constant needs deltas in the
+        // hundreds — bench-sized workloads, too slow for a unit test).
+        let model = CostModel {
+            per_shard_setup: 8.0,
+            ..CostModel::default()
+        };
+        let par = Parallelism::new(4);
+
+        // 400-edge chain: est. peak delta (≈ seed) clears the 4-thread
+        // cutover, so the plan goes parallel with the cutover as its
+        // per-round gate.
+        let plan = Plan::direct(rules.clone()).parallelize(&par, &model, &db, &edges);
+        assert!(
+            plan.rationale().contains("parallel:"),
+            "{}",
+            plan.rationale()
+        );
+        assert!(plan.parallelism().is_parallel());
+        assert_eq!(plan.parallelism().min_delta(), model.parallel_cutover(4));
+        let a = plan.execute(&db, &edges).unwrap();
+        let b = Plan::direct(rules.clone()).execute(&db, &edges).unwrap();
+        assert_eq!(a.relation.sorted(), b.relation.sorted());
+        assert_eq!(a.stats, b.stats);
+
+        // A tiny workload declines.
+        let tiny = workload::chain(6);
+        let tiny_db = workload::graph_db("q", tiny.clone());
+        let plan = Plan::direct(rules).parallelize(&par, &model, &tiny_db, &tiny);
+        assert!(
+            plan.rationale().contains("parallel declined"),
+            "{}",
+            plan.rationale()
+        );
+        assert!(!plan.parallelism().is_parallel());
+
+        // A sequential knob is a no-op.
+        let plan = Plan::direct(vec![rules::tc_right()]).parallelize(
+            &Parallelism::sequential(),
+            &model,
+            &tiny_db,
+            &tiny,
+        );
+        assert!(!plan.rationale().contains("parallel"));
+    }
+
+    #[test]
+    fn parallelize_declines_shapes_without_shardable_rounds() {
+        // BoundedPrefix and RedundancyBounded execute through exact-power
+        // chains that never consult the knob — the rationale must not
+        // claim parallel rounds for them.
+        let rule = rules::shopping_rule();
+        let analysis = Analysis::of(std::slice::from_ref(&rule), None);
+        let (db, init) = workload::shopping(200, 30, 4, 99);
+        let model = CostModel {
+            per_shard_setup: 0.01,
+            ..CostModel::default()
+        };
+        let plan = Plan::redundancy_bounded(analysis.redundancy().expect("licensed").clone())
+            .parallelize(&Parallelism::new(4), &model, &db, &init);
+        assert!(
+            plan.rationale().contains("no shardable semi-naive rounds"),
+            "{}",
+            plan.rationale()
+        );
+        assert!(!plan.parallelism().is_parallel());
+        // But a SelectAfter over a Direct core still qualifies.
+        let plan = Plan::select_after(Plan::direct(vec![rules::tc_right()]), Selection::eq(0, 1));
+        assert!(plan.has_parallel_phase());
+    }
+
+    #[test]
+    fn calibration_does_not_compound_into_the_peak_delta_estimate() {
+        // fanout_scale is a linear charge correction; the delta trajectory
+        // itself must be scale-invariant, or calibration would distort the
+        // parallel decision geometrically.
+        let rules = vec![rules::tc_right()];
+        let edges = workload::chain(100);
+        let db = workload::graph_db("q", edges.clone());
+        let base = CostModel::default().estimated_peak_delta(&rules, &db, &edges);
+        let scaled = CostModel {
+            fanout_scale: 12.0,
+            ..CostModel::default()
+        }
+        .estimated_peak_delta(&rules, &db, &edges);
+        assert_eq!(base, scaled);
+    }
+
+    #[test]
+    fn parallelize_reaches_through_select_after() {
+        let rules = updown();
+        let (db, init) = workload::up_down(6, 7);
+        let sel = Selection::eq(0, 1);
+        let analysis = Analysis::of(&rules, None);
+        let plan = Plan::select_after(analysis.plan(), sel)
+            .with_parallelism(Parallelism::new(2).with_min_delta(1));
+        // The wrapper and the wrapped plan both carry the knob.
+        assert!(plan.parallelism().is_parallel());
+        let out = plan.execute(&db, &init).unwrap();
+        let seq = Plan::select_after(analysis.plan(), Selection::eq(0, 1))
+            .execute(&db, &init)
+            .unwrap();
+        assert_eq!(out.relation.sorted(), seq.relation.sorted());
+        assert_eq!(out.stats, seq.stats);
     }
 
     #[test]

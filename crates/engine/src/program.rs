@@ -159,7 +159,23 @@ impl Program {
     /// statistics next to the cost-model estimate
     /// ([`Plan::annotated_rationale`]).
     pub fn run(&self, sel: Option<&Selection>) -> Result<(ExecOutcome, Plan), StrategyError> {
-        let mut plan = self.plan_for(sel);
+        self.run_with_parallelism(sel, &crate::parallel::Parallelism::sequential())
+    }
+
+    /// [`Program::run`] under a [`crate::parallel::Parallelism`] knob: the
+    /// chosen plan is offered parallel fixpoint rounds, cost-model gated
+    /// ([`Plan::parallelize`] — the decision lands in the plan rationale).
+    pub fn run_with_parallelism(
+        &self,
+        sel: Option<&Selection>,
+        par: &crate::parallel::Parallelism,
+    ) -> Result<(ExecOutcome, Plan), StrategyError> {
+        let mut plan = self.plan_for(sel).parallelize(
+            par,
+            &crate::planner::CostModel::default(),
+            &self.db,
+            &self.init,
+        );
         let outcome = plan.execute_feedback(&self.db, &self.init)?;
         Ok((outcome, plan))
     }

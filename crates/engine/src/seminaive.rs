@@ -1,4 +1,5 @@
-//! Naive and semi-naive fixpoint evaluation (Bancilhon \[5\]).
+//! Naive and semi-naive fixpoint evaluation (Bancilhon \[5\]), with an
+//! optional shard-parallel round executor.
 //!
 //! `star(rules, db, init)` computes `(Σᵢ Aᵢ)* init` — the minimal solution
 //! of `P = Σᵢ Aᵢ(P) ∪ init` (paper, eq. 2.3). Semi-naive applies each
@@ -7,10 +8,50 @@
 //! derived through the same arc more than once"); naive evaluation re-joins
 //! the whole accumulated relation each round and serves as the substrate
 //! baseline (experiment E6).
+//!
+//! # Parallel rounds and the shard-by-join-key invariant
+//!
+//! The `*_par_in` variants run each round's rule applications over `K`
+//! hash-partitioned shards of the delta on the shared engine pool
+//! ([`crate::parallel::Parallelism`]). This is sound for exactly the
+//! reason the paper cares about commutativity: within one semi-naive
+//! round, every delta tuple is an **independent** premise. A linear
+//! operator distributes over union — `A(Δ₁ ∪ … ∪ Δ_K) = A(Δ₁) ∪ … ∪
+//! A(Δ_K)` — so any partition of `Δ` evaluates to the same derived set,
+//! and the per-tuple derivations commute (this is the commutative case of
+//! the commutativity-verification framing: operations on independently
+//! derivable tuples can be reordered freely). Partitioning therefore
+//! *commutes with the licensed plan*: a certificate that licenses a
+//! cluster order `B* C*` speaks about the order of **operator stars**,
+//! and sharding only reorders work *inside one application* of one
+//! operator, never across applications. We hash on the recursive atom's
+//! join-feeding column (`crate::join::partition_col`) purely for load
+//! balance and probe locality — correctness holds for any partition.
+//!
+//! The round protocol keeps the output bit-identical to the sequential
+//! executor:
+//!
+//! 1. **prepare** (one thread): scans revalidated, column indexes and join
+//!    plans built ([`crate::join::prepare_rules`]);
+//! 2. **probe** (K workers): each shard evaluates *every* rule body
+//!    read-only ([`crate::join::apply_linear_rows`]), pre-filtering
+//!    against the round-frozen total, into a private output buffer;
+//! 3. **merge** (one thread): per rule, shard buffers fold into the next
+//!    delta with a single deduplicating pass against the total's row-id
+//!    table — the same `contains`/`insert` sequence the sequential loop
+//!    runs, so results *and* statistics (derivations, duplicates, new
+//!    tuples, per-rule attribution) are identical.
+//!
+//! Rounds whose delta is smaller than the cost model's cutover
+//! ([`crate::planner::CostModel::parallel_cutover`]) stay sequential —
+//! the fixed sharding/dispatch/merge price is only paid where the delta
+//! can amortize it.
 
-use crate::join::{apply_linear, Indexes};
+use crate::join::{apply_linear, apply_linear_rows, partition_col, prepare_rules, Indexes};
+use crate::parallel::Parallelism;
 use crate::stats::EvalStats;
-use linrec_datalog::{Database, LinearRule, Relation};
+use linrec_datalog::{Database, LinearRule, Relation, ShardView};
+use std::sync::Arc;
 
 /// Semi-naive least fixpoint of `init ∪ Σᵢ Aᵢ(P)`.
 pub fn seminaive_star(
@@ -64,25 +105,175 @@ pub fn seminaive_resume_in(
     let mut stats = EvalStats::default();
     while !delta.is_empty() && round_cap.is_none_or(|cap| stats.iterations < cap) {
         stats.iterations += 1;
-        let mut next_delta = Relation::new(total.arity());
-        for rule in rules {
-            let (derived, count) = apply_linear(rule, db, &delta, indexes);
-            let mut new = 0u64;
-            for t in derived.iter() {
-                if !total.contains(t) && next_delta.insert(t) {
-                    new += 1;
-                }
-            }
-            // `new` counts tuples unseen in `total`; duplicates within
-            // `derived` itself were already collapsed by the relation, so
-            // recover them from the derivation count.
-            stats.record(count, new);
-        }
-        total.union_in_place(&next_delta);
-        delta = next_delta;
+        delta = sequential_round(rules, db, total, &delta, indexes, &mut stats);
+        total.union_in_place(&delta);
     }
     stats.tuples = total.len();
     stats
+}
+
+/// One sequential semi-naive round: apply every rule to `delta`, returning
+/// the next delta (tuples not yet in `total`). The caller unions it into
+/// `total`.
+fn sequential_round(
+    rules: &[LinearRule],
+    db: &Database,
+    total: &Relation,
+    delta: &Relation,
+    indexes: &mut Indexes,
+    stats: &mut EvalStats,
+) -> Relation {
+    let mut next_delta = Relation::new(total.arity());
+    for rule in rules {
+        let (derived, count) = apply_linear(rule, db, delta, indexes);
+        let mut new = 0u64;
+        for t in derived.iter() {
+            if !total.contains(t) && next_delta.insert(t) {
+                new += 1;
+            }
+        }
+        // `new` counts tuples unseen in `total`; duplicates within
+        // `derived` itself were already collapsed by the relation, so
+        // recover them from the derivation count.
+        stats.record(count, new);
+    }
+    next_delta
+}
+
+/// [`seminaive_star_in`] with a [`Parallelism`] knob: rounds whose delta
+/// reaches the knob's cutover are evaluated over hash-partitioned shards
+/// on the shared engine pool (see the module docs for the protocol and why
+/// it is exact). With a sequential knob this *is* `seminaive_star_in`.
+pub fn seminaive_star_par_in(
+    rules: &[LinearRule],
+    db: &Database,
+    init: &Relation,
+    indexes: &mut Indexes,
+    par: &Parallelism,
+) -> (Relation, EvalStats) {
+    let mut total = init.clone();
+    let stats = seminaive_resume_par_in(rules, db, &mut total, init.clone(), None, indexes, par);
+    (total, stats)
+}
+
+/// [`seminaive_resume_in`] with a [`Parallelism`] knob — the parallel
+/// variant behind both `Plan::execute` and the service's delta
+/// maintenance. Preconditions and semantics are identical to the
+/// sequential resume; output and statistics are too (module docs).
+pub fn seminaive_resume_par_in(
+    rules: &[LinearRule],
+    db: &Database,
+    total: &mut Relation,
+    mut delta: Relation,
+    round_cap: Option<usize>,
+    indexes: &mut Indexes,
+    par: &Parallelism,
+) -> EvalStats {
+    if !par.is_parallel() {
+        return seminaive_resume_in(rules, db, total, delta, round_cap, indexes);
+    }
+    let mut stats = EvalStats::default();
+    while !delta.is_empty() && round_cap.is_none_or(|cap| stats.iterations < cap) {
+        stats.iterations += 1;
+        delta = seminaive_round_par(rules, db, total, delta, indexes, par, &mut stats);
+        total.union_in_place(&delta);
+    }
+    stats.tuples = total.len();
+    stats
+}
+
+/// One semi-naive round under a [`Parallelism`] knob: apply every rule to
+/// `delta`, returning the next delta (derived tuples not in `total`).
+/// `total` is **not** updated — the caller unions the result in, and may
+/// also fold it into other accumulators (the service's per-cluster
+/// maintenance keeps a cross-cluster frontier this way). Rounds below the
+/// knob's `min_delta` (or with no pool) run the plain sequential body;
+/// results and statistics are identical either way. `stats.iterations` is
+/// the caller's to advance.
+pub fn seminaive_round_par(
+    rules: &[LinearRule],
+    db: &Database,
+    total: &mut Relation,
+    delta: Relation,
+    indexes: &mut Indexes,
+    par: &Parallelism,
+    stats: &mut EvalStats,
+) -> Relation {
+    let Some(pool) = par.pool().filter(|_| delta.len() >= par.min_delta()) else {
+        return sequential_round(rules, db, total, &delta, indexes, stats);
+    };
+    // Prepare: all cache mutation happens here, on this thread.
+    let prepared = prepare_rules(rules, delta.arity(), db, indexes);
+
+    // Share the round-frozen state with the workers. Nothing is copied:
+    // the relations and the cache are *moved* behind `Arc`s and moved
+    // back out once every worker is done.
+    let rules_arc: Arc<Vec<LinearRule>> = Arc::new(rules.to_vec());
+    let delta_arc = Arc::new(delta);
+    let total_arc = Arc::new(std::mem::take(total));
+    let idx_arc = Arc::new(std::mem::take(indexes));
+
+    // Probe: one job per non-empty shard; each evaluates every rule body
+    // read-only, pre-filtered against the frozen total.
+    let receivers: Vec<_> = ShardView::partition(&delta_arc, partition_col(rules), pool.threads())
+        .into_iter()
+        .filter(|shard| !shard.is_empty())
+        .map(|shard| {
+            let rules = Arc::clone(&rules_arc);
+            let idx = Arc::clone(&idx_arc);
+            let frozen = Arc::clone(&total_arc);
+            let flags = prepared.clone();
+            pool.submit(move || {
+                rules
+                    .iter()
+                    .zip(&flags)
+                    .map(|(rule, &ok)| {
+                        if ok {
+                            apply_linear_rows(rule, shard.iter(), &idx, Some(&frozen))
+                        } else {
+                            (Relation::new(rule.head().arity()), 0)
+                        }
+                    })
+                    .collect::<Vec<(Relation, u64)>>()
+            })
+        })
+        .collect();
+    let shard_outs: Vec<Vec<(Relation, u64)>> = receivers
+        .into_iter()
+        .map(|rx| rx.recv().expect("parallel fixpoint worker panicked"))
+        .collect();
+
+    // Every worker has finished and dropped its clones; reclaim the
+    // shared state.
+    let Ok(idx) = Arc::try_unwrap(idx_arc) else {
+        unreachable!("index cache still shared after round")
+    };
+    *indexes = idx;
+    let Ok(tot) = Arc::try_unwrap(total_arc) else {
+        unreachable!("total still shared after round")
+    };
+    *total = tot;
+    drop(delta_arc);
+
+    // Merge, rule-major so per-rule attribution matches the sequential
+    // loop: a tuple derived by several rules counts as new for the first
+    // and as a duplicate for the rest.
+    let mut next_delta = Relation::new(total.arity());
+    for r in 0..rules.len() {
+        let mut derivs = 0u64;
+        let mut new = 0u64;
+        for out in &shard_outs {
+            let (rel, d) = &out[r];
+            derivs += d;
+            for t in rel.iter() {
+                if next_delta.insert(t) {
+                    new += 1;
+                }
+            }
+        }
+        stats.record(derivs, new);
+    }
+    next_delta
 }
 
 /// Naive least fixpoint: re-applies every operator to the whole accumulated
@@ -337,5 +528,165 @@ mod tests {
         let (result, stats) = seminaive_star(&[tc_rule()], &db, &init);
         assert!(result.is_empty());
         assert_eq!(stats.iterations, 0);
+    }
+
+    /// A parallel knob that always engages (any delta size, k shards).
+    fn eager(k: usize) -> Parallelism {
+        Parallelism::new(k).with_min_delta(1)
+    }
+
+    #[test]
+    fn parallel_star_is_bit_identical_to_sequential() {
+        let db = chain_db(40);
+        let init = db.relation_named("e").unwrap().clone();
+        let (seq, seq_stats) = seminaive_star(&[tc_rule()], &db, &init);
+        for k in [1usize, 2, 3, 8] {
+            let (par, par_stats) =
+                seminaive_star_par_in(&[tc_rule()], &db, &init, &mut Indexes::new(), &eager(k));
+            assert_eq!(par.sorted(), seq.sorted(), "k={k}");
+            assert_eq!(par_stats, seq_stats, "k={k}: statistics must match too");
+        }
+    }
+
+    #[test]
+    fn parallel_multi_rule_star_matches_and_attributes_stats_identically() {
+        // Two rules that derive overlapping tuples: per-rule new/duplicate
+        // attribution in the merge must mirror the sequential rule order.
+        let up = parse_linear_rule("p(x,y) :- p(x,z), up(z,y).").unwrap();
+        let down = parse_linear_rule("p(x,y) :- p(w,y), down(x,w).").unwrap();
+        let mut db = Database::new();
+        db.set_relation("up", Relation::from_pairs((0..12).map(|i| (i, i + 1))));
+        db.set_relation("down", Relation::from_pairs((0..12).map(|i| (i + 1, i))));
+        let init = Relation::from_pairs((0..12).map(|i| (i, i)));
+        let rules = vec![up, down];
+        let (seq, seq_stats) = seminaive_star(&rules, &db, &init);
+        let (par, par_stats) =
+            seminaive_star_par_in(&rules, &db, &init, &mut Indexes::new(), &eager(3));
+        assert_eq!(par.sorted(), seq.sorted());
+        assert_eq!(par_stats, seq_stats);
+    }
+
+    #[test]
+    fn parallel_resume_matches_sequential_resume() {
+        let rule = tc_rule();
+        let db = chain_db(30);
+        let init = db.relation_named("e").unwrap().clone();
+        let (fix, _) = seminaive_star(std::slice::from_ref(&rule), &db, &init);
+        // Extend the chain and seed the resume delta as maintenance would.
+        let mut db2 = db.clone();
+        for i in 30..34 {
+            db2.insert_tuple(
+                linrec_datalog::Symbol::new("e"),
+                Relation::from_pairs([(i, i + 1)]).row(0),
+            );
+        }
+        let mut delta_db = db2.clone();
+        delta_db.set_relation("e", Relation::from_pairs((30..34).map(|i| (i, i + 1))));
+        let mut seed = Relation::from_pairs((30..34).map(|i| (i, i + 1)));
+        let (through_new, _) = apply_linear(&rule, &delta_db, &fix, &mut Indexes::new());
+        for t in through_new.iter() {
+            if !fix.contains(t) {
+                seed.insert(t);
+            }
+        }
+
+        let run = |par: Option<Parallelism>| {
+            let mut total = fix.clone();
+            total.union_in_place(&seed);
+            let stats = match par {
+                Some(par) => seminaive_resume_par_in(
+                    std::slice::from_ref(&rule),
+                    &db2,
+                    &mut total,
+                    seed.clone(),
+                    None,
+                    &mut Indexes::new(),
+                    &par,
+                ),
+                None => seminaive_resume_in(
+                    std::slice::from_ref(&rule),
+                    &db2,
+                    &mut total,
+                    seed.clone(),
+                    None,
+                    &mut Indexes::new(),
+                ),
+            };
+            (total, stats)
+        };
+        let (seq_total, seq_stats) = run(None);
+        for k in [2usize, 8] {
+            let (par_total, par_stats) = run(Some(eager(k)));
+            assert_eq!(par_total.sorted(), seq_total.sorted(), "k={k}");
+            assert_eq!(par_stats, seq_stats, "k={k}");
+        }
+        // Sanity: the resume really reaches the from-scratch fixpoint.
+        let init2 = db2.relation_named("e").unwrap().clone();
+        let (scratch, _) = seminaive_star(&[rule], &db2, &init2);
+        assert_eq!(seq_total.sorted(), scratch.sorted());
+    }
+
+    #[test]
+    fn parallel_resume_respects_the_round_cap() {
+        let rule = tc_rule();
+        let db = chain_db(10);
+        let mut total = Relation::from_pairs([(0, 1)]);
+        let delta = total.clone();
+        let stats = seminaive_resume_par_in(
+            &[rule],
+            &db,
+            &mut total,
+            delta,
+            Some(2),
+            &mut Indexes::new(),
+            &eager(4),
+        );
+        assert_eq!(stats.iterations, 2);
+        assert_eq!(total.len(), 3);
+    }
+
+    #[test]
+    fn sequential_knob_runs_without_a_pool() {
+        let db = chain_db(6);
+        let init = db.relation_named("e").unwrap().clone();
+        let (a, sa) = seminaive_star_par_in(
+            &[tc_rule()],
+            &db,
+            &init,
+            &mut Indexes::new(),
+            &Parallelism::sequential(),
+        );
+        let (b, sb) = seminaive_star(&[tc_rule()], &db, &init);
+        assert_eq!(a.sorted(), b.sorted());
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn high_min_delta_keeps_every_round_sequential_but_exact() {
+        let db = chain_db(25);
+        let init = db.relation_named("e").unwrap().clone();
+        let gated = Parallelism::new(4).with_min_delta(usize::MAX);
+        let (a, sa) = seminaive_star_par_in(&[tc_rule()], &db, &init, &mut Indexes::new(), &gated);
+        let (b, sb) = seminaive_star(&[tc_rule()], &db, &init);
+        assert_eq!(a.sorted(), b.sorted());
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn parallel_round_with_arity_mismatched_rule_matches_sequential() {
+        // `e` stored at arity 2, second rule uses it at arity 3: the
+        // prepared flag disables it in parallel rounds exactly as the
+        // sequential join treats it as empty.
+        let rules = vec![
+            tc_rule(),
+            parse_linear_rule("p(x,y) :- p(x,z), e(w,u,z).").unwrap(),
+        ];
+        let db = chain_db(20);
+        let init = db.relation_named("e").unwrap().clone();
+        let (seq, seq_stats) = seminaive_star(&rules, &db, &init);
+        let (par, par_stats) =
+            seminaive_star_par_in(&rules, &db, &init, &mut Indexes::new(), &eager(3));
+        assert_eq!(par.sorted(), seq.sorted());
+        assert_eq!(par_stats, seq_stats);
     }
 }

@@ -1,125 +1,23 @@
-//! A small fixed-size worker pool over `std::thread` (the container has no
-//! async runtime; queries are short and CPU-bound, so threads suffice).
+//! Worker pool — re-exported from the engine.
 //!
-//! Jobs are closures dispatched over an MPSC channel shared by the workers
-//! (`Arc<Mutex<Receiver>>` — the classic std-only work queue). The pool is
-//! used by the TCP front end (one job per connection) and by anything that
-//! wants fan-out reads against a snapshot; [`WorkerPool::submit`] returns
-//! a receiver for the job's result so callers can join on it.
+//! The pool started life here as the TCP front end's job queue; the
+//! parallel fixpoint executor promoted it into `linrec-engine`
+//! ([`linrec_engine::pool`]) so the engine's sharded rounds and the
+//! service's connection handling share one implementation (and, through
+//! [`linrec_engine::Parallelism`], one process-wide pool per thread
+//! count). This module stays as the service-side path for existing
+//! callers.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-
-type Job = Box<dyn FnOnce() + Send + 'static>;
-
-/// A fixed-size pool of named worker threads executing queued jobs.
-pub struct WorkerPool {
-    tx: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-impl WorkerPool {
-    /// Spawn `threads` workers (at least one).
-    pub fn new(threads: usize) -> WorkerPool {
-        let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..threads.max(1))
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                std::thread::Builder::new()
-                    .name(format!("linrec-worker-{i}"))
-                    .spawn(move || loop {
-                        // Take the next job while holding the receiver
-                        // lock, run it without.
-                        let job = match rx.lock().expect("worker queue poisoned").recv() {
-                            Ok(job) => job,
-                            Err(_) => break, // pool dropped
-                        };
-                        job();
-                    })
-                    .expect("failed to spawn worker thread")
-            })
-            .collect();
-        WorkerPool {
-            tx: Some(tx),
-            workers,
-        }
-    }
-
-    /// Number of worker threads.
-    pub fn threads(&self) -> usize {
-        self.workers.len()
-    }
-
-    /// Queue a fire-and-forget job.
-    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        self.tx
-            .as_ref()
-            .expect("pool is shutting down")
-            .send(Box::new(job))
-            .expect("worker queue closed");
-    }
-
-    /// Queue a job and get a receiver for its result. Dropping the
-    /// receiver abandons the result; the job still runs.
-    pub fn submit<T: Send + 'static>(
-        &self,
-        job: impl FnOnce() -> T + Send + 'static,
-    ) -> Receiver<T> {
-        let (tx, rx) = channel();
-        self.execute(move || {
-            let _ = tx.send(job());
-        });
-        rx
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        // Closing the channel ends every worker's recv loop; join so
-        // queued jobs finish before the pool's owner proceeds.
-        drop(self.tx.take());
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-    }
-}
+pub use linrec_engine::pool::WorkerPool;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
-    fn jobs_run_and_results_come_back() {
-        let pool = WorkerPool::new(4);
-        assert_eq!(pool.threads(), 4);
-        let rxs: Vec<_> = (0..32).map(|i| pool.submit(move || i * 2)).collect();
-        let mut results: Vec<i32> = rxs.into_iter().map(|rx| rx.recv().unwrap()).collect();
-        results.sort_unstable();
-        assert_eq!(results, (0..32).map(|i| i * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn drop_waits_for_queued_jobs() {
-        let counter = Arc::new(AtomicUsize::new(0));
-        {
-            let pool = WorkerPool::new(2);
-            for _ in 0..16 {
-                let counter = Arc::clone(&counter);
-                pool.execute(move || {
-                    counter.fetch_add(1, Ordering::SeqCst);
-                });
-            }
-        }
-        assert_eq!(counter.load(Ordering::SeqCst), 16);
-    }
-
-    #[test]
-    fn zero_threads_still_works() {
-        let pool = WorkerPool::new(0);
-        assert_eq!(pool.threads(), 1);
-        assert_eq!(pool.submit(|| 7).recv().unwrap(), 7);
+    fn reexported_pool_is_usable() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.threads(), 2);
+        assert_eq!(pool.submit(|| 6 * 7).recv().unwrap(), 42);
     }
 }

@@ -22,7 +22,7 @@
 use crate::view::{MaintainedView, ViewDef, DELTA_MARKER};
 use linrec_datalog::hash::FastMap;
 use linrec_datalog::{Database, Relation, Symbol, Value};
-use linrec_engine::{EvalStats, Selection, StrategyError};
+use linrec_engine::{EvalStats, Parallelism, Selection, StrategyError};
 use std::fmt;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -192,6 +192,9 @@ struct Writer {
     db: Database,
     views: Vec<MaintainedView>,
     epoch: u64,
+    /// Parallelism handed to every registered view's maintenance (and,
+    /// through its plan, to materialization/recompute).
+    par: Parallelism,
 }
 
 /// The service: one writer, epoch snapshots, concurrent readers. See the
@@ -203,8 +206,17 @@ pub struct ViewService {
 
 impl ViewService {
     /// A service starting from the given database at epoch 0, with no
-    /// views.
+    /// views. Maintenance runs sequentially; see
+    /// [`ViewService::with_parallelism`].
     pub fn new(db: Database) -> ViewService {
+        ViewService::with_parallelism(db, Parallelism::sequential())
+    }
+
+    /// [`ViewService::new`] with a [`Parallelism`] knob: view
+    /// materialization, recompute fallbacks, and large-delta maintenance
+    /// rounds fan out on the shared engine pool (cost-model gated per
+    /// round — small batches keep maintaining sequentially).
+    pub fn with_parallelism(db: Database, par: Parallelism) -> ViewService {
         let snapshot = Arc::new(Snapshot {
             epoch: 0,
             db: db.snapshot(),
@@ -216,6 +228,7 @@ impl ViewService {
                 db,
                 views: Vec::new(),
                 epoch: 0,
+                par,
             }),
         }
     }
@@ -240,7 +253,8 @@ impl ViewService {
             let arity = rule.arity();
             writer.db.set_relation(def.seed, Relation::new(arity));
         }
-        let mut view = MaintainedView::register(def, &writer.db)?;
+        let mut view =
+            MaintainedView::register_with_parallelism(def, &writer.db, writer.par.clone())?;
         let started = Instant::now();
         let (relation, stats) = view.materialize(&writer.db)?;
         let nanos = started.elapsed().as_nanos() as u64;
@@ -560,6 +574,30 @@ mod tests {
             &snap2.view("tc").unwrap().relation
         ));
         assert_eq!(snap2.count("ftc").unwrap(), 6);
+    }
+
+    #[test]
+    fn parallel_service_serves_the_same_views() {
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs((0..30).map(|i| (i, i + 1))));
+        let par = Parallelism::new(2).with_min_delta(1);
+        let service = ViewService::with_parallelism(db.clone(), par);
+        let sequential = ViewService::new(db);
+        for s in [&service, &sequential] {
+            s.register_view(tc_def("tc")).unwrap();
+        }
+        let batch = || {
+            (0..5)
+                .map(|i| (Symbol::new("e"), pair(31 + i, 32 + i)))
+                .collect::<Vec<_>>()
+        };
+        let a = service.apply_batch(batch()).unwrap();
+        let b = sequential.apply_batch(batch()).unwrap();
+        assert_eq!(a.views[0].stats, b.views[0].stats);
+        assert_eq!(
+            service.snapshot().view("tc").unwrap().relation.sorted(),
+            sequential.snapshot().view("tc").unwrap().relation.sorted()
+        );
     }
 
     #[test]

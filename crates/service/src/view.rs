@@ -41,9 +41,10 @@
 
 use linrec_datalog::hash::FastMap;
 use linrec_datalog::{Atom, Database, LinearRule, Relation, Rule, Symbol};
-use linrec_engine::seminaive::seminaive_resume_in;
+use linrec_engine::seminaive::{seminaive_resume_par_in, seminaive_round_par};
 use linrec_engine::{
-    apply_flat, apply_linear, Analysis, EvalStats, Indexes, Plan, PlanShape, StrategyError,
+    apply_flat, Analysis, CostModel, EvalStats, Indexes, Parallelism, Plan, PlanShape,
+    StrategyError,
 };
 use std::sync::Arc;
 
@@ -152,13 +153,32 @@ pub struct MaintainedView {
     /// batch keep their scans and indexes; mutated ones are revalidated by
     /// content version and rebuilt (see `linrec_engine::join`).
     indexes: Indexes,
+    /// Parallelism for the resumed fixpoint's rounds (and, through the
+    /// plan, for recompute fallbacks). Batch deltas are usually tiny, so
+    /// most maintenance rounds stay under the knob's cutover and run
+    /// sequentially; a large backfill batch engages the shared pool.
+    par: Parallelism,
 }
 
 impl MaintainedView {
     /// Analyze `def`'s rules against the given database, pick the
     /// cost-model-ranked plan, and derive the maintenance mode. Fails when
     /// the seed relation exists at a different arity than the rules.
+    /// Maintenance and recompute run sequentially; see
+    /// [`MaintainedView::register_with_parallelism`].
     pub fn register(def: ViewDef, db: &Database) -> Result<MaintainedView, StrategyError> {
+        MaintainedView::register_with_parallelism(def, db, Parallelism::sequential())
+    }
+
+    /// [`MaintainedView::register`] with a [`Parallelism`] knob: the
+    /// materialization/recompute plan is offered parallel rounds (cost
+    /// model gated, decision recorded in the plan rationale), and every
+    /// incremental resume runs through the same knob.
+    pub fn register_with_parallelism(
+        def: ViewDef,
+        db: &Database,
+        par: Parallelism,
+    ) -> Result<MaintainedView, StrategyError> {
         let arity = def
             .rules
             .first()
@@ -175,7 +195,9 @@ impl MaintainedView {
         }
         let seed = db.relation_or_empty(def.seed, arity);
         let analysis = Analysis::of(&def.rules, None);
-        let plan = analysis.plan_for(db, &seed);
+        let plan = analysis
+            .plan_for(db, &seed)
+            .parallelize(&par, &CostModel::default(), db, &seed);
         let mode = MaintenanceMode::of(&plan.shape());
         let vsym = view_sym(&def.name);
         let mut delta_rules = Vec::new();
@@ -200,6 +222,7 @@ impl MaintainedView {
             mode,
             delta_rules,
             indexes: Indexes::new(),
+            par,
         })
     }
 
@@ -292,23 +315,25 @@ impl MaintainedView {
         total.union_in_place(&fresh);
         match &self.mode {
             MaintenanceMode::Incremental => {
-                stats += seminaive_resume_in(
+                stats += seminaive_resume_par_in(
                     &self.def.rules,
                     &scratch,
                     &mut total,
                     fresh,
                     None,
                     &mut self.indexes,
+                    &self.par,
                 );
             }
             MaintenanceMode::IncrementalBounded(applications) => {
-                stats += seminaive_resume_in(
+                stats += seminaive_resume_par_in(
                     &self.def.rules,
                     &scratch,
                     &mut total,
                     fresh,
                     Some(*applications),
                     &mut self.indexes,
+                    &self.par,
                 );
             }
             MaintenanceMode::IncrementalDecomposed(clusters) => {
@@ -325,6 +350,7 @@ impl MaintainedView {
                         &mut total,
                         &mut frontier,
                         &mut self.indexes,
+                        &self.par,
                     );
                     stats += s;
                 }
@@ -340,31 +366,24 @@ impl MaintainedView {
     }
 }
 
-/// [`seminaive_resume_in`] that additionally folds every newly derived
-/// tuple into `frontier` (which doubles as the initial delta), so a
-/// subsequent cluster's resume starts from everything derived so far.
+/// A resume that additionally folds every newly derived tuple into
+/// `frontier` (which doubles as the initial delta), so a subsequent
+/// cluster's resume starts from everything derived so far. Rounds run
+/// through [`seminaive_round_par`]: sequential below the knob's cutover,
+/// shard-parallel above it, identical results either way.
 fn resume_collecting(
     rules: &[LinearRule],
     db: &Database,
     total: &mut Relation,
     frontier: &mut Relation,
     indexes: &mut Indexes,
+    par: &Parallelism,
 ) -> EvalStats {
     let mut stats = EvalStats::default();
     let mut delta = frontier.clone();
     while !delta.is_empty() {
         stats.iterations += 1;
-        let mut next_delta = Relation::new(total.arity());
-        for rule in rules {
-            let (derived, count) = apply_linear(rule, db, &delta, indexes);
-            let mut new = 0u64;
-            for t in derived.iter() {
-                if !total.contains(t) && next_delta.insert(t) {
-                    new += 1;
-                }
-            }
-            stats.record(count, new);
-        }
+        let next_delta = seminaive_round_par(rules, db, total, delta, indexes, par, &mut stats);
         total.union_in_place(&next_delta);
         frontier.union_in_place(&next_delta);
         delta = next_delta;
@@ -559,6 +578,55 @@ mod tests {
             outcome.relation.unwrap().sorted(),
             scratch_view(&rules, &db, Symbol::new("e")).sorted()
         );
+    }
+
+    #[test]
+    fn parallel_maintenance_matches_sequential_maintenance() {
+        // Same batches, one view maintained sequentially and one through
+        // an always-engaging parallel knob: identical relations and stats.
+        let rules = vec![
+            parse_linear_rule("p(x,y) :- p(x,z), down(z,y).").unwrap(),
+            parse_linear_rule("p(x,y) :- p(w,y), up(x,w).").unwrap(),
+        ];
+        let mut db = Database::new();
+        db.set_relation("down", Relation::from_pairs((0..15).map(|i| (i, i + 1))));
+        db.set_relation("up", Relation::from_pairs((0..15).map(|i| (i + 1, i))));
+        db.set_relation("p0", Relation::from_pairs([(0, 0), (5, 5)]));
+        let def = ViewDef {
+            name: "v".into(),
+            rules: rules.clone(),
+            seed: Symbol::new("p0"),
+        };
+        let par = Parallelism::new(3).with_min_delta(1);
+        let mut seq = MaintainedView::register(def.clone(), &db).unwrap();
+        let mut con = MaintainedView::register_with_parallelism(def, &db, par).unwrap();
+        assert_eq!(seq.mode(), con.mode());
+        let (a, _) = seq.materialize(&db).unwrap();
+        let (b, _) = con.materialize(&db).unwrap();
+        assert_eq!(a.sorted(), b.sorted());
+        let mut current_seq = Arc::new(a);
+        let mut current_con = Arc::new(b);
+        for batch in [
+            vec![("down", (15, 16)), ("p0", (1, 9))],
+            vec![("up", (16, 15)), ("up", (20, 0))],
+        ] {
+            let deltas = apply(&mut db, &batch);
+            let sq = seq.maintain(&current_seq, &db, &deltas).unwrap();
+            let cn = con.maintain(&current_con, &db, &deltas).unwrap();
+            assert_eq!(sq.mode, cn.mode);
+            assert_eq!(sq.stats, cn.stats, "stats diverged on {batch:?}");
+            if let Some(rel) = sq.relation {
+                current_seq = Arc::new(rel);
+            }
+            if let Some(rel) = cn.relation {
+                current_con = Arc::new(rel);
+            }
+            assert_eq!(current_seq.sorted(), current_con.sorted());
+            assert_eq!(
+                current_seq.sorted(),
+                scratch_view(&rules, &db, Symbol::new("p0")).sorted()
+            );
+        }
     }
 
     #[test]

@@ -4,14 +4,23 @@
 //! linrec analyze <file>                 certificates (commutativity /
 //!                                       separability / boundedness /
 //!                                       redundancy) and the plan they license
-//! linrec run <file> [pos=value ...]     plan and evaluate (optional selection)
+//! linrec run <file> [--threads N] [pos=value ...]
+//!                                       plan and evaluate (optional
+//!                                       selection); fixpoint rounds may use
+//!                                       up to N engine threads (default:
+//!                                       available parallelism, or the
+//!                                       LINREC_THREADS env var; 1 = fully
+//!                                       sequential)
 //! linrec explain <file> <v1,v2,...>     derivation of one answer tuple
 //! linrec serve <file> [--tcp ADDR] [--threads N]
 //!                                       long-lived incremental view service:
 //!                                       materialize the program's recursion,
 //!                                       maintain it under insert batches, and
 //!                                       answer the line protocol on stdin or
-//!                                       TCP (see linrec_service::protocol)
+//!                                       TCP (see linrec_service::protocol).
+//!                                       N sizes both the connection pool and
+//!                                       the engine's parallel maintenance
+//!                                       (default as for `run`)
 //! linrec figures [--dot]                regenerate the paper's figures
 //! ```
 //!
@@ -30,11 +39,35 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: linrec analyze <file>");
-    eprintln!("       linrec run <file> [pos=value ...]");
+    eprintln!("       linrec run <file> [--threads N] [pos=value ...]");
     eprintln!("       linrec explain <file> <v1,v2,...>");
     eprintln!("       linrec serve <file> [--tcp ADDR] [--threads N]");
     eprintln!("       linrec figures [--dot]");
+    eprintln!();
+    eprintln!("  --threads N   engine threads for parallel fixpoint rounds (and,");
+    eprintln!("                for serve, the connection pool size); defaults to");
+    eprintln!("                the LINREC_THREADS env var or available parallelism");
     ExitCode::from(2)
+}
+
+/// Pull `--threads N` out of `args` (anywhere), returning the remaining
+/// arguments and the resulting engine parallelism knob.
+fn parse_threads(args: &[String]) -> Result<(Vec<String>, linrec::engine::Parallelism), String> {
+    let mut rest = Vec::new();
+    let mut par = linrec::engine::Parallelism::from_env();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threads" {
+            let n: usize = it
+                .next()
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| "--threads needs a number".to_owned())?;
+            par = linrec::engine::Parallelism::new(n);
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((rest, par))
 }
 
 fn load(path: &str) -> Result<Program, String> {
@@ -101,14 +134,19 @@ fn parse_selection(args: &[String]) -> Result<Option<Selection>, String> {
     Ok(sel)
 }
 
-fn run(path: &str, sel_args: &[String]) -> Result<(), String> {
+fn run(path: &str, args: &[String]) -> Result<(), String> {
     let prog = load(path)?;
-    let sel = parse_selection(sel_args)?;
+    let (sel_args, par) = parse_threads(args)?;
+    let sel = parse_selection(&sel_args)?;
     // Cost-model ranked choice: the program's own data decides among the
-    // licensed strategies. The plan comes back annotated with the run's
-    // actual statistics next to the estimate (estimate-vs-actual ratio).
+    // licensed strategies; the parallelism knob lets large fixpoint rounds
+    // shard across the engine pool (decision recorded in the rationale).
+    // The plan comes back annotated with the run's actual statistics next
+    // to the estimate (estimate-vs-actual ratio).
     let t = std::time::Instant::now();
-    let (outcome, plan) = prog.run(sel.as_ref()).map_err(|e| e.to_string())?;
+    let (outcome, plan) = prog
+        .run_with_parallelism(sel.as_ref(), &par)
+        .map_err(|e| e.to_string())?;
     let elapsed = t.elapsed();
     println!("plan:\n{}", plan.describe());
     println!(
@@ -161,9 +199,10 @@ fn serve(path: &str, args: &[String]) -> Result<(), String> {
     use linrec::service::{serve_lines, serve_tcp, ViewDef, ViewService, WorkerPool};
     use std::sync::Arc;
 
+    let (rest, par) = parse_threads(args)?;
+    let threads = par.threads();
     let mut tcp: Option<String> = None;
-    let mut threads = 4usize;
-    let mut it = args.iter();
+    let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--tcp" => {
@@ -173,12 +212,6 @@ fn serve(path: &str, args: &[String]) -> Result<(), String> {
                         .clone(),
                 )
             }
-            "--threads" => {
-                threads = it
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .ok_or_else(|| "--threads needs a number".to_owned())?
-            }
             other => return Err(format!("unknown serve flag {other:?}")),
         }
     }
@@ -187,7 +220,9 @@ fn serve(path: &str, args: &[String]) -> Result<(), String> {
     let name = prog.rec_pred().as_str().to_owned();
     let mut db = prog.database().snapshot();
     db.set_relation(prog.rec_pred(), prog.init().clone());
-    let service = Arc::new(ViewService::new(db));
+    // One knob, two uses: `par` shards large maintenance rounds on the
+    // engine pool, `threads` sizes the connection pool below.
+    let service = Arc::new(ViewService::with_parallelism(db, par));
     let report = service
         .register_view(ViewDef {
             name: name.clone(),
@@ -209,7 +244,10 @@ fn serve(path: &str, args: &[String]) -> Result<(), String> {
         Some(addr) => {
             let listener =
                 std::net::TcpListener::bind(&addr).map_err(|e| format!("{addr}: {e}"))?;
-            let pool = WorkerPool::new(threads);
+            // Connections are I/O-bound (a client holds its worker for the
+            // whole session), so never drop below the historical default of
+            // 4 even when the CPU-bound engine knob says 1.
+            let pool = WorkerPool::new(threads.max(4));
             eprintln!(
                 "serving on {} with {} workers (line protocol; try `help`)",
                 listener.local_addr().map_err(|e| e.to_string())?,

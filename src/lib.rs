@@ -90,8 +90,8 @@ pub mod prelude {
         eval_decomposed, eval_direct, eval_redundancy_bounded, eval_select_after, eval_separable,
     };
     pub use linrec_engine::{
-        Analysis, CostModel, EvalStats, ExecOutcome, Plan, PlanShape, Program, Selection,
-        StrategyError,
+        Analysis, CostModel, EvalStats, ExecOutcome, Parallelism, Plan, PlanShape, Program,
+        Selection, StrategyError,
     };
     pub use linrec_service::{ViewDef, ViewService};
 }

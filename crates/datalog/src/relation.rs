@@ -488,6 +488,138 @@ impl Relation {
         self.slots.clear();
         self.touch();
     }
+
+    // --- bulk export / import (the storage layer's interface) -------------
+
+    /// The relation's storage, exposed wholesale for bulk serialization:
+    /// `(arena, hashes, slots)` — the flat row-major arena, the cached
+    /// per-row hashes, and the open-addressing row-id table. The parts can
+    /// be written out verbatim and handed back to
+    /// [`Relation::from_raw_parts`] to reconstruct the relation without
+    /// re-hashing a single row.
+    pub fn raw_parts(&self) -> (&[Value], &[u64], &[u32]) {
+        (&self.arena, &self.hashes, &self.slots)
+    }
+
+    /// Reassemble a relation from parts previously exported with
+    /// [`Relation::raw_parts`] — the zero-rehash load path. The table is
+    /// validated structurally (lengths, power-of-two slot count, row-id
+    /// range, exactly one slot per row) and the first row's hash is
+    /// recomputed as a drift check; any mismatch is an error, so a caller
+    /// can fall back to [`Relation::from_dense_rows`] (which rebuilds the
+    /// table from the arena alone). Persisted hashes are only portable
+    /// when every value hashes identically in this process — notably
+    /// [`Value::Sym`] hashes its process-local interned id, so relations
+    /// containing symbols must take the rebuild path.
+    pub fn from_raw_parts(
+        arity: usize,
+        arena: Vec<Value>,
+        hashes: Vec<u64>,
+        slots: Vec<u32>,
+    ) -> Result<Relation, String> {
+        let rows = hashes.len();
+        if arena.len() != rows * arity {
+            return Err(format!(
+                "arena holds {} values, expected {} ({} rows of arity {arity})",
+                arena.len(),
+                rows * arity,
+                rows
+            ));
+        }
+        // Strictly more slots than rows: open addressing needs at least
+        // one EMPTY_SLOT or probe loops can never terminate.
+        if rows > 0 && (!slots.len().is_power_of_two() || slots.len() <= rows) {
+            return Err(format!(
+                "slot table of {} cannot index {rows} rows",
+                slots.len()
+            ));
+        }
+        if rows == 0 && !slots.is_empty() {
+            return Err("non-empty slot table for an empty relation".into());
+        }
+        // Every row must be referenced by exactly one slot: a duplicate
+        // reference would leave some other row unreachable (set semantics
+        // silently broken), so it is rejected, not repaired.
+        let mut seen = vec![false; rows];
+        for &s in &slots {
+            if s == EMPTY_SLOT {
+                continue;
+            }
+            let r = s as usize;
+            if r >= rows {
+                return Err(format!("slot references row {s}, have {rows}"));
+            }
+            if seen[r] {
+                return Err(format!("row {s} is referenced by two slots"));
+            }
+            seen[r] = true;
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(format!("row {missing} is not referenced by any slot"));
+        }
+        let rel = Relation {
+            arity,
+            arena,
+            hashes,
+            slots,
+            version: NEXT_VERSION.fetch_add(1, Ordering::Relaxed),
+        };
+        if !rel.is_empty() {
+            // Hash-algorithm drift check: hashing is a pure function of the
+            // value bytes, so one recomputed row vouches for the table.
+            let h = hash_row(rel.row(0));
+            if h != rel.hashes[0] {
+                return Err("persisted hashes do not match this build's hash function".into());
+            }
+            if rel.probe(h, rel.row(0)).is_err() {
+                return Err("row 0 is not reachable through the slot table".into());
+            }
+        }
+        Ok(rel)
+    }
+
+    /// Build a relation from a dense row-major arena (`rows * arity`
+    /// values), rebuilding the hash and row-id tables in one pass — the
+    /// load path for persisted relations whose cached tables are not
+    /// portable (symbolic values re-intern to different ids per process).
+    /// Duplicate rows are an error: a dense arena is a set dump, so a
+    /// repeat means the input is corrupt.
+    pub fn from_dense_rows(
+        arity: usize,
+        rows: usize,
+        arena: Vec<Value>,
+    ) -> Result<Relation, String> {
+        if arena.len() != rows * arity {
+            return Err(format!(
+                "arena holds {} values, expected {} ({rows} rows of arity {arity})",
+                arena.len(),
+                rows * arity
+            ));
+        }
+        let mut rel = Relation {
+            arity,
+            arena,
+            hashes: Vec::with_capacity(rows),
+            slots: Vec::new(),
+            version: 0,
+        };
+        if rows > 0 {
+            let cap = (rows * 8 / 7 + 1).next_power_of_two().max(8);
+            rel.slots = vec![EMPTY_SLOT; cap];
+            for r in 0..rows {
+                let h = hash_row(&rel.arena[r * arity..(r + 1) * arity]);
+                rel.hashes.push(h);
+                // probe sees only rows < r (their hashes are pushed); row r
+                // itself is linked right after.
+                match rel.probe(h, &rel.arena[r * arity..(r + 1) * arity]) {
+                    Ok(prev) => return Err(format!("row {r} duplicates row {prev}")),
+                    Err(slot) => rel.slots[slot] = r as u32,
+                }
+            }
+            rel.touch();
+        }
+        Ok(rel)
+    }
 }
 
 // --- sharding --------------------------------------------------------------
@@ -846,6 +978,82 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ShardView>();
         assert_send_sync::<Relation>();
+    }
+
+    #[test]
+    fn raw_parts_round_trip_reconstructs_without_rehashing() {
+        let mut r = Relation::new(2);
+        for i in 0..1000 {
+            r.insert([Value::Int(i), Value::Int(i * 7 % 31)]);
+        }
+        let (arena, hashes, slots) = r.raw_parts();
+        let back =
+            Relation::from_raw_parts(2, arena.to_vec(), hashes.to_vec(), slots.to_vec()).unwrap();
+        assert_eq!(back, r);
+        assert!(back.contains(&[Value::Int(5), Value::Int(4)]));
+        assert_ne!(
+            back.version(),
+            r.version(),
+            "loaded copy gets a fresh version"
+        );
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_malformed_tables() {
+        let r = Relation::from_pairs([(1, 2), (2, 3)]);
+        let (arena, hashes, slots) = r.raw_parts();
+        // Truncated arena.
+        assert!(
+            Relation::from_raw_parts(2, arena[..2].to_vec(), hashes.to_vec(), slots.to_vec())
+                .is_err()
+        );
+        // Non-power-of-two slot table.
+        assert!(Relation::from_raw_parts(
+            2,
+            arena.to_vec(),
+            hashes.to_vec(),
+            vec![0, 1, EMPTY_SLOT]
+        )
+        .is_err());
+        // Out-of-range row id.
+        let mut bad = slots.to_vec();
+        for s in bad.iter_mut() {
+            if *s != EMPTY_SLOT {
+                *s = 9;
+                break;
+            }
+        }
+        assert!(Relation::from_raw_parts(2, arena.to_vec(), hashes.to_vec(), bad).is_err());
+        // Drifted hash for row 0.
+        let mut wrong = hashes.to_vec();
+        wrong[0] ^= 1;
+        assert!(Relation::from_raw_parts(2, arena.to_vec(), wrong, slots.to_vec()).is_err());
+        // Two slots referencing the same row (row 1 unreachable).
+        let dup = vec![0, 0, EMPTY_SLOT, EMPTY_SLOT];
+        assert!(Relation::from_raw_parts(2, arena.to_vec(), hashes.to_vec(), dup).is_err());
+        // A full table (no EMPTY_SLOT) must be rejected up front — probing
+        // it could never terminate.
+        let full = vec![1, 1];
+        assert!(Relation::from_raw_parts(2, arena.to_vec(), hashes.to_vec(), full).is_err());
+    }
+
+    #[test]
+    fn from_dense_rows_rebuilds_and_rejects_duplicates() {
+        let src = Relation::from_pairs([(1, 2), (2, 3), (3, 4)]);
+        let rebuilt = Relation::from_dense_rows(2, src.len(), src.flat().to_vec()).unwrap();
+        assert_eq!(rebuilt, src);
+        assert!(rebuilt.contains(&[Value::Int(2), Value::Int(3)]));
+        let dup = vec![Value::Int(1), Value::Int(2), Value::Int(1), Value::Int(2)];
+        assert!(Relation::from_dense_rows(2, 2, dup).is_err());
+        assert!(Relation::from_dense_rows(2, 2, vec![Value::Int(1)]).is_err());
+        // Zero-arity: one row is fine, two rows are a duplicate.
+        let zero = Relation::from_dense_rows(0, 1, Vec::new()).unwrap();
+        assert!(zero.contains(&[]));
+        assert!(Relation::from_dense_rows(0, 2, Vec::new()).is_err());
+        // Empty relations keep their arity.
+        let empty = Relation::from_dense_rows(3, 0, Vec::new()).unwrap();
+        assert_eq!(empty.arity(), 3);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //! * **Concurrent front end** ([`pool`], [`protocol`]) — a `std::thread`
 //!   worker pool serves the line-oriented protocol over stdin or TCP
 //!   (`linrec serve`).
+//! * **Durability** ([`persist`], `linrec-storage`) — an optional store:
+//!   batches are write-ahead logged (append + fsync) before they are
+//!   acknowledged, checkpoints fold the WAL into checksummed arena
+//!   snapshots, and a cold start recovers by loading the newest snapshot
+//!   and replaying the WAL tail through the same certificate-licensed
+//!   maintenance path (`linrec serve --data-dir`).
 //!
 //! # Example
 //!
@@ -53,11 +59,14 @@
 
 #![warn(missing_docs)]
 
+pub mod persist;
 pub mod pool;
 pub mod protocol;
 pub mod service;
 pub mod view;
 
+pub use linrec_storage::CheckpointPolicy;
+pub use persist::{open_durable, RecoveryReport};
 pub use pool::WorkerPool;
 pub use protocol::{serve_lines, serve_tcp, Reply, Session};
 pub use service::{BatchReport, ServiceError, Snapshot, ViewInfo, ViewReport, ViewService};

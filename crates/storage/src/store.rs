@@ -1,0 +1,539 @@
+//! The durable store: a data directory of snapshot generations, one live
+//! WAL, and a manifest that atomically names the trusted pair.
+//!
+//! # Directory layout
+//!
+//! ```text
+//! <data-dir>/
+//!   MANIFEST             generation pointer (written via temp + rename)
+//!   snapshot-<gen>.snap  arena snapshot for generation <gen>  (gen ≥ 1)
+//!   wal-<gen>.log        insert batches acknowledged since snapshot <gen>
+//! ```
+//!
+//! Generation 0 is the fresh store: no snapshot yet, batches accumulate in
+//! `wal-0.log` and replay over whatever initial state the caller builds
+//! (for `linrec serve`, the program file's facts). Every checkpoint bumps
+//! the generation: the new snapshot is written to a temp file, fsynced,
+//! renamed into place, the directory fsynced; a fresh WAL is created; and
+//! only then does the manifest move — so a crash at any point leaves the
+//! previous generation fully intact. Old generations are pruned after the
+//! manifest lands (their batches are folded into the new snapshot).
+//!
+//! # Write protocol
+//!
+//! `open` reads the manifest only. `recover` must run next: it loads and
+//! validates the live snapshot, replays the WAL (truncating a torn tail),
+//! and only then unlocks `append_batch`/`checkpoint` — an append may never
+//! land after unvalidated bytes. `append_batch` fsyncs before returning,
+//! so a batch the caller acknowledges is on disk.
+
+use crate::crc::crc32;
+use crate::error::StorageError;
+use crate::snapshot::{decode_snapshot, encode_snapshot, SnapshotData};
+use crate::wal::{Batch, Wal};
+use linrec_datalog::{Symbol, Value};
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+const MANIFEST_MAGIC: [u8; 8] = *b"LINRMAN1";
+/// Current manifest format version.
+pub const MANIFEST_FORMAT_VERSION: u32 = 1;
+/// Manifest layout: magic 8, version u32, reserved u32, generation u64,
+/// epoch u64, next_seq u64 (WAL sequence floor — keeps batch sequence
+/// numbers globally monotone across checkpoint + restart), crc u32 over
+/// bytes 0..40, pad u32.
+const MANIFEST_LEN: usize = 48;
+
+/// When the service should fold the WAL into a fresh snapshot generation.
+/// Both knobs bound cold-start replay work; whichever trips first wins.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointPolicy {
+    /// Checkpoint after this many acknowledged batches.
+    pub max_wal_batches: u64,
+    /// …or after the WAL holds this many payload bytes.
+    pub max_wal_bytes: u64,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> CheckpointPolicy {
+        CheckpointPolicy {
+            max_wal_batches: 256,
+            max_wal_bytes: 8 << 20,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// True when the WAL pressure warrants a checkpoint.
+    pub fn should_checkpoint(&self, wal_batches: u64, wal_bytes: u64) -> bool {
+        wal_batches >= self.max_wal_batches || wal_bytes >= self.max_wal_bytes
+    }
+}
+
+/// Everything `recover` hands back: the newest valid snapshot (if any
+/// checkpoint ever completed) and the WAL tail to replay on top of it.
+pub struct Recovered {
+    /// The live snapshot; `None` for a store that never checkpointed
+    /// (replay then starts from the caller's initial state).
+    pub snapshot: Option<SnapshotData>,
+    /// Acknowledged batches since that snapshot, in append order.
+    pub batches: Vec<Batch>,
+}
+
+/// A durable store rooted at one data directory. See the module docs for
+/// the layout and the write protocol.
+pub struct Store {
+    dir: PathBuf,
+    generation: u64,
+    manifest_epoch: u64,
+    /// Sequence floor from the manifest: the next append must carry at
+    /// least this, even if the live WAL (rotated at the last checkpoint)
+    /// is empty.
+    manifest_seq: u64,
+    wal: Option<Wal>,
+    wal_batches: u64,
+}
+
+impl Store {
+    /// Open (creating if needed) the store at `dir` and read its manifest.
+    /// No data is loaded yet — call [`Store::recover`] next.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Store, StorageError> {
+        let dir = dir.as_ref().to_owned();
+        std::fs::create_dir_all(&dir).map_err(|e| StorageError::io(&dir, e))?;
+        let manifest = dir.join("MANIFEST");
+        let (generation, manifest_epoch, manifest_seq) = match std::fs::read(&manifest) {
+            Ok(bytes) => read_manifest(&bytes, &manifest)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (0, 0, 1),
+            Err(e) => return Err(StorageError::io(&manifest, e)),
+        };
+        sweep_stale(&dir, generation);
+        Ok(Store {
+            dir,
+            generation,
+            manifest_epoch,
+            manifest_seq,
+            wal: None,
+            wal_batches: 0,
+        })
+    }
+
+    /// The live snapshot generation (0 before the first checkpoint).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// WAL pressure since the last checkpoint: `(batches, payload bytes)`.
+    pub fn wal_pressure(&self) -> (u64, u64) {
+        (
+            self.wal_batches,
+            self.wal.as_ref().map_or(0, Wal::payload_bytes),
+        )
+    }
+
+    fn snapshot_path(&self, gen: u64) -> PathBuf {
+        self.dir.join(format!("snapshot-{gen}.snap"))
+    }
+
+    fn wal_path(&self, gen: u64) -> PathBuf {
+        self.dir.join(format!("wal-{gen}.log"))
+    }
+
+    /// Load the newest valid snapshot and replay the WAL tail (truncating
+    /// a torn tail in place). Unlocks the write paths.
+    ///
+    /// The contract the recovery tests enforce: this either returns a
+    /// state equivalent to some acknowledged-batch prefix, or a typed
+    /// [`StorageError`] — never a panic, never a silently wrong database.
+    pub fn recover(&mut self) -> Result<Recovered, StorageError> {
+        let snapshot = if self.generation > 0 {
+            let path = self.snapshot_path(self.generation);
+            let bytes = std::fs::read(&path).map_err(|e| StorageError::io(&path, e))?;
+            let snap = decode_snapshot(&bytes, &path)?;
+            if snap.epoch != self.manifest_epoch {
+                return Err(StorageError::corrupt(
+                    &path,
+                    format!(
+                        "snapshot epoch {} disagrees with manifest epoch {}",
+                        snap.epoch, self.manifest_epoch
+                    ),
+                ));
+            }
+            Some(snap)
+        } else {
+            None
+        };
+        let mut wal = Wal::open_or_create(&self.wal_path(self.generation))?;
+        let batches = wal.replay_and_truncate()?;
+        // The manifest's floor keeps sequence numbers globally monotone
+        // even when the live WAL is empty (rotated at the last checkpoint,
+        // then restarted).
+        if wal.next_seq() < self.manifest_seq {
+            wal.set_next_seq(self.manifest_seq);
+        }
+        self.wal_batches = batches.len() as u64;
+        self.wal = Some(wal);
+        Ok(Recovered { snapshot, batches })
+    }
+
+    /// Append one acknowledged batch to the WAL (fsynced before this
+    /// returns). Returns the batch's global sequence number.
+    pub fn append_batch(&mut self, inserts: &[(Symbol, Vec<Value>)]) -> Result<u64, StorageError> {
+        let wal = self.wal.as_mut().ok_or(StorageError::NotRecovered)?;
+        let (seq, _bytes) = wal.append(inserts)?;
+        self.wal_batches += 1;
+        Ok(seq)
+    }
+
+    /// Write `data` as the next snapshot generation and atomically make it
+    /// live: temp + rename + directory fsync for the snapshot, a fresh
+    /// WAL, then the manifest swap. Prunes superseded generations (their
+    /// batches are folded into the new snapshot). Returns the new
+    /// generation number.
+    pub fn checkpoint(&mut self, data: &SnapshotData) -> Result<u64, StorageError> {
+        let old_wal_seq = match &self.wal {
+            Some(wal) => wal.next_seq(),
+            None => return Err(StorageError::NotRecovered),
+        };
+        let gen = self.generation + 1;
+
+        // 1. Snapshot: temp + fsync + rename + dir fsync.
+        let snap_path = self.snapshot_path(gen);
+        let tmp_path = self.dir.join(format!("snapshot-{gen}.tmp"));
+        let bytes = encode_snapshot(data);
+        {
+            let mut f = File::create(&tmp_path).map_err(|e| StorageError::io(&tmp_path, e))?;
+            f.write_all(&bytes)
+                .and_then(|_| f.sync_all())
+                .map_err(|e| StorageError::io(&tmp_path, e))?;
+        }
+        std::fs::rename(&tmp_path, &snap_path).map_err(|e| StorageError::io(&snap_path, e))?;
+        sync_dir(&self.dir)?;
+
+        // 2. Fresh WAL for the new generation; global seq numbering
+        //    continues across the rotation.
+        let wal_path = self.wal_path(gen);
+        let _ = std::fs::remove_file(&wal_path); // stale orphan from a crashed checkpoint
+        let mut wal = Wal::open_or_create(&wal_path)?;
+        wal.set_next_seq(old_wal_seq);
+
+        // 3. Manifest swap: after this rename (plus dir fsync) the new
+        //    generation is the one recovery will trust. The sequence floor
+        //    rides along so batch numbering survives the rotation across
+        //    restarts.
+        write_manifest(&self.dir, gen, data.epoch, old_wal_seq)?;
+
+        // 4. Prune the generation just superseded — best-effort: a
+        //    leftover file is disk waste, not a correctness problem, and
+        //    anything older was already removed by an earlier checkpoint
+        //    or by `open`'s stale sweep.
+        let _ = std::fs::remove_file(self.snapshot_path(self.generation));
+        let _ = std::fs::remove_file(self.wal_path(self.generation));
+
+        self.generation = gen;
+        self.manifest_epoch = data.epoch;
+        self.manifest_seq = old_wal_seq;
+        self.wal = Some(wal);
+        self.wal_batches = 0;
+        Ok(gen)
+    }
+}
+
+/// Remove files that are not part of the live generation: superseded
+/// snapshots/WALs a crashed process never pruned, orphans of a checkpoint
+/// that crashed before its manifest swap, and stray temp files. One
+/// `read_dir` pass at open, so checkpoints stay O(1) in the store's age.
+fn sweep_stale(dir: &Path, live_gen: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = if let Some(g) = name
+            .strip_prefix("snapshot-")
+            .and_then(|r| r.strip_suffix(".snap"))
+        {
+            g.parse::<u64>().is_ok_and(|g| g != live_gen)
+        } else if let Some(g) = name
+            .strip_prefix("wal-")
+            .and_then(|r| r.strip_suffix(".log"))
+        {
+            g.parse::<u64>().is_ok_and(|g| g != live_gen)
+        } else {
+            name.ends_with(".tmp")
+        };
+        if stale {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+fn sync_dir(dir: &Path) -> Result<(), StorageError> {
+    // Durability of renames/creates requires fsyncing the directory on
+    // Linux; on platforms where directories cannot be opened this is a
+    // no-op (the rename itself is still atomic).
+    if let Ok(d) = File::open(dir) {
+        d.sync_all().map_err(|e| StorageError::io(dir, e))?;
+    }
+    Ok(())
+}
+
+fn write_manifest(
+    dir: &Path,
+    generation: u64,
+    epoch: u64,
+    next_seq: u64,
+) -> Result<(), StorageError> {
+    let mut bytes = Vec::with_capacity(MANIFEST_LEN);
+    bytes.extend_from_slice(&MANIFEST_MAGIC);
+    bytes.extend_from_slice(&MANIFEST_FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    bytes.extend_from_slice(&generation.to_le_bytes());
+    bytes.extend_from_slice(&epoch.to_le_bytes());
+    bytes.extend_from_slice(&next_seq.to_le_bytes());
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    debug_assert_eq!(bytes.len(), MANIFEST_LEN);
+
+    let tmp = dir.join("MANIFEST.tmp");
+    let path = dir.join("MANIFEST");
+    {
+        let mut f = File::create(&tmp).map_err(|e| StorageError::io(&tmp, e))?;
+        f.write_all(&bytes)
+            .and_then(|_| f.sync_all())
+            .map_err(|e| StorageError::io(&tmp, e))?;
+    }
+    std::fs::rename(&tmp, &path).map_err(|e| StorageError::io(&path, e))?;
+    sync_dir(dir)
+}
+
+fn read_manifest(bytes: &[u8], path: &Path) -> Result<(u64, u64, u64), StorageError> {
+    if bytes.len() != MANIFEST_LEN || bytes[..8] != MANIFEST_MAGIC {
+        return Err(StorageError::corrupt(path, "bad manifest"));
+    }
+    let crc = u32::from_le_bytes(bytes[40..44].try_into().unwrap());
+    if crc32(&bytes[..40]) != crc {
+        return Err(StorageError::corrupt(path, "manifest checksum mismatch"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != MANIFEST_FORMAT_VERSION {
+        return Err(StorageError::UnsupportedVersion {
+            file: path.display().to_string(),
+            found: version,
+        });
+    }
+    let generation = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let epoch = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+    let next_seq = u64::from_le_bytes(bytes[32..40].try_into().unwrap()).max(1);
+    Ok((generation, epoch, next_seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::ViewSnapshot;
+    use linrec_datalog::{Database, Relation};
+    use std::sync::Arc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "linrec-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn state(epoch: u64, edges: &[(i64, i64)]) -> SnapshotData {
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs(edges.iter().copied()));
+        SnapshotData {
+            epoch,
+            db,
+            views: vec![ViewSnapshot {
+                name: "tc".into(),
+                fingerprint: "seed=e|rule".into(),
+                relation: Arc::new(Relation::from_pairs(edges.iter().copied())),
+            }],
+        }
+    }
+
+    fn pair_batch(i: i64) -> Vec<(Symbol, Vec<Value>)> {
+        vec![(Symbol::new("e"), vec![Value::Int(i), Value::Int(i + 1)])]
+    }
+
+    #[test]
+    fn fresh_store_recovers_empty_and_accepts_batches() {
+        let dir = tmpdir("fresh");
+        let mut store = Store::open(&dir).unwrap();
+        assert_eq!(store.generation(), 0);
+        let rec = store.recover().unwrap();
+        assert!(rec.snapshot.is_none());
+        assert!(rec.batches.is_empty());
+        assert_eq!(store.append_batch(&pair_batch(1)).unwrap(), 1);
+        assert_eq!(store.append_batch(&pair_batch(2)).unwrap(), 2);
+        assert_eq!(store.wal_pressure().0, 2);
+
+        // Reopen: the two batches replay from generation 0's WAL.
+        let mut store = Store::open(&dir).unwrap();
+        let rec = store.recover().unwrap();
+        assert!(rec.snapshot.is_none());
+        assert_eq!(rec.batches.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writes_before_recover_are_refused() {
+        let dir = tmpdir("norecover");
+        let mut store = Store::open(&dir).unwrap();
+        assert!(matches!(
+            store.append_batch(&pair_batch(1)),
+            Err(StorageError::NotRecovered)
+        ));
+        assert!(matches!(
+            store.checkpoint(&state(1, &[(1, 2)])),
+            Err(StorageError::NotRecovered)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_rotates_generation_and_prunes() {
+        let dir = tmpdir("rotate");
+        let mut store = Store::open(&dir).unwrap();
+        store.recover().unwrap();
+        store.append_batch(&pair_batch(1)).unwrap();
+        let gen = store.checkpoint(&state(3, &[(1, 2), (2, 3)])).unwrap();
+        assert_eq!(gen, 1);
+        assert_eq!(store.wal_pressure(), (0, 0));
+        // Old generation files are gone; the new pair exists.
+        assert!(!dir.join("wal-0.log").exists());
+        assert!(dir.join("snapshot-1.snap").exists());
+        assert!(dir.join("wal-1.log").exists());
+        // Seq numbering survives the rotation.
+        assert_eq!(store.append_batch(&pair_batch(3)).unwrap(), 2);
+
+        let mut store = Store::open(&dir).unwrap();
+        assert_eq!(store.generation(), 1);
+        let rec = store.recover().unwrap();
+        let snap = rec.snapshot.unwrap();
+        assert_eq!(snap.epoch, 3);
+        assert_eq!(snap.db.relation_named("e").unwrap().len(), 2);
+        assert_eq!(snap.views[0].name, "tc");
+        assert_eq!(rec.batches.len(), 1);
+        assert_eq!(rec.batches[0].seq, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sequence_numbers_survive_checkpoint_plus_restart() {
+        // Regression: the rotated WAL is empty after a checkpoint, so
+        // without the manifest's sequence floor a restart would hand out
+        // seq 1 again.
+        let dir = tmpdir("seqfloor");
+        let mut store = Store::open(&dir).unwrap();
+        store.recover().unwrap();
+        for i in 0..3 {
+            assert_eq!(store.append_batch(&pair_batch(i)).unwrap(), i as u64 + 1);
+        }
+        store.checkpoint(&state(3, &[(1, 2)])).unwrap();
+        drop(store);
+        let mut store = Store::open(&dir).unwrap();
+        let rec = store.recover().unwrap();
+        assert!(rec.batches.is_empty(), "WAL was rotated at the checkpoint");
+        assert_eq!(
+            store.append_batch(&pair_batch(9)).unwrap(),
+            4,
+            "sequence numbering continues past the checkpointed prefix"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_orphans_of_a_crashed_checkpoint() {
+        let dir = tmpdir("sweep");
+        let mut store = Store::open(&dir).unwrap();
+        store.recover().unwrap();
+        store.checkpoint(&state(1, &[(1, 2)])).unwrap();
+        // Fake a crashed later checkpoint (files exist, manifest does not
+        // point at them) plus a stray temp file and a superseded WAL.
+        std::fs::write(dir.join("snapshot-2.snap"), b"half-written").unwrap();
+        std::fs::write(dir.join("wal-2.log"), b"orphan").unwrap();
+        std::fs::write(dir.join("snapshot-9.tmp"), b"temp").unwrap();
+        std::fs::write(dir.join("wal-0.log"), b"superseded").unwrap();
+        let mut store = Store::open(&dir).unwrap();
+        store.recover().unwrap();
+        assert!(!dir.join("snapshot-2.snap").exists());
+        assert!(!dir.join("wal-2.log").exists());
+        assert!(!dir.join("snapshot-9.tmp").exists());
+        assert!(!dir.join("wal-0.log").exists());
+        assert!(dir.join("snapshot-1.snap").exists(), "live pair untouched");
+        assert!(dir.join("wal-1.log").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_typed_error() {
+        let dir = tmpdir("corruptsnap");
+        let mut store = Store::open(&dir).unwrap();
+        store.recover().unwrap();
+        store.checkpoint(&state(1, &[(1, 2)])).unwrap();
+        // Flip a byte deep in the snapshot body.
+        let path = dir.join("snapshot-1.snap");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut store = Store::open(&dir).unwrap();
+        assert!(matches!(store.recover(), Err(StorageError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_a_typed_error() {
+        let dir = tmpdir("corruptman");
+        let mut store = Store::open(&dir).unwrap();
+        store.recover().unwrap();
+        store.checkpoint(&state(1, &[(1, 2)])).unwrap();
+        let path = dir.join("MANIFEST");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Store::open(&dir),
+            Err(StorageError::Corrupt { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_live_snapshot_is_a_typed_error() {
+        let dir = tmpdir("missingsnap");
+        let mut store = Store::open(&dir).unwrap();
+        store.recover().unwrap();
+        store.checkpoint(&state(1, &[(1, 2)])).unwrap();
+        std::fs::remove_file(dir.join("snapshot-1.snap")).unwrap();
+        let mut store = Store::open(&dir).unwrap();
+        assert!(matches!(store.recover(), Err(StorageError::Io { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policy_trips_on_either_knob() {
+        let p = CheckpointPolicy {
+            max_wal_batches: 4,
+            max_wal_bytes: 1000,
+        };
+        assert!(!p.should_checkpoint(3, 999));
+        assert!(p.should_checkpoint(4, 0));
+        assert!(p.should_checkpoint(0, 1000));
+    }
+}

@@ -12,7 +12,8 @@
 //!                                       LINREC_THREADS env var; 1 = fully
 //!                                       sequential)
 //! linrec explain <file> <v1,v2,...>     derivation of one answer tuple
-//! linrec serve <file> [--tcp ADDR] [--threads N]
+//! linrec serve <file> [--tcp ADDR] [--threads N] [--data-dir DIR]
+//!               [--checkpoint-batches N] [--checkpoint-bytes B]
 //!                                       long-lived incremental view service:
 //!                                       materialize the program's recursion,
 //!                                       maintain it under insert batches, and
@@ -20,7 +21,17 @@
 //!                                       TCP (see linrec_service::protocol).
 //!                                       N sizes both the connection pool and
 //!                                       the engine's parallel maintenance
-//!                                       (default as for `run`)
+//!                                       (default as for `run`). With
+//!                                       --data-dir the service is durable:
+//!                                       batches are write-ahead logged before
+//!                                       they are acknowledged, checkpoints
+//!                                       fold the WAL into arena snapshots on
+//!                                       the given thresholds, and a restart
+//!                                       recovers by loading the newest valid
+//!                                       snapshot and replaying the WAL tail
+//!                                       through certificate-licensed
+//!                                       maintenance instead of re-running the
+//!                                       fixpoint.
 //! linrec figures [--dot]                regenerate the paper's figures
 //! ```
 //!
@@ -41,12 +52,16 @@ fn usage() -> ExitCode {
     eprintln!("usage: linrec analyze <file>");
     eprintln!("       linrec run <file> [--threads N] [pos=value ...]");
     eprintln!("       linrec explain <file> <v1,v2,...>");
-    eprintln!("       linrec serve <file> [--tcp ADDR] [--threads N]");
+    eprintln!("       linrec serve <file> [--tcp ADDR] [--threads N] [--data-dir DIR]");
+    eprintln!("                    [--checkpoint-batches N] [--checkpoint-bytes B]");
     eprintln!("       linrec figures [--dot]");
     eprintln!();
     eprintln!("  --threads N   engine threads for parallel fixpoint rounds (and,");
     eprintln!("                for serve, the connection pool size); defaults to");
     eprintln!("                the LINREC_THREADS env var or available parallelism");
+    eprintln!("  --data-dir DIR");
+    eprintln!("                durable serving: WAL every committed batch, checkpoint");
+    eprintln!("                arena snapshots, crash-recover on restart");
     ExitCode::from(2)
 }
 
@@ -191,17 +206,24 @@ fn explain(path: &str, tuple: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// `linrec serve <file> [--tcp ADDR] [--threads N]`: start the incremental
-/// materialized-view service for the program's recursive predicate. The
-/// seed facts become an EDB relation named after the predicate, so
-/// protocol inserts into it extend the seed like any other delta.
+/// `linrec serve <file> [--tcp ADDR] [--threads N] [--data-dir DIR]`:
+/// start the incremental materialized-view service for the program's
+/// recursive predicate. The seed facts become an EDB relation named after
+/// the predicate, so protocol inserts into it extend the seed like any
+/// other delta. With `--data-dir` the service opens (or creates) a durable
+/// store there: committed batches are WAL-logged before acknowledgement
+/// and a restart recovers from the newest checkpoint plus the WAL tail.
 fn serve(path: &str, args: &[String]) -> Result<(), String> {
-    use linrec::service::{serve_lines, serve_tcp, ViewDef, ViewService, WorkerPool};
+    use linrec::service::{
+        open_durable, serve_lines, serve_tcp, CheckpointPolicy, ViewDef, ViewService, WorkerPool,
+    };
     use std::sync::Arc;
 
     let (rest, par) = parse_threads(args)?;
     let threads = par.threads();
     let mut tcp: Option<String> = None;
+    let mut data_dir: Option<String> = None;
+    let mut policy = CheckpointPolicy::default();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -212,6 +234,25 @@ fn serve(path: &str, args: &[String]) -> Result<(), String> {
                         .clone(),
                 )
             }
+            "--data-dir" => {
+                data_dir = Some(
+                    it.next()
+                        .ok_or_else(|| "--data-dir needs a directory".to_owned())?
+                        .clone(),
+                )
+            }
+            "--checkpoint-batches" => {
+                policy.max_wal_batches = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| "--checkpoint-batches needs a number".to_owned())?;
+            }
+            "--checkpoint-bytes" => {
+                policy.max_wal_bytes = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| "--checkpoint-bytes needs a number".to_owned())?;
+            }
             other => return Err(format!("unknown serve flag {other:?}")),
         }
     }
@@ -220,24 +261,46 @@ fn serve(path: &str, args: &[String]) -> Result<(), String> {
     let name = prog.rec_pred().as_str().to_owned();
     let mut db = prog.database().snapshot();
     db.set_relation(prog.rec_pred(), prog.init().clone());
+    let def = ViewDef {
+        name: name.clone(),
+        rules: prog.rules().to_vec(),
+        seed: prog.rec_pred(),
+    };
     // One knob, two uses: `par` shards large maintenance rounds on the
     // engine pool, `threads` sizes the connection pool below.
-    let service = Arc::new(ViewService::with_parallelism(db, par));
-    let report = service
-        .register_view(ViewDef {
-            name: name.clone(),
-            rules: prog.rules().to_vec(),
-            seed: prog.rec_pred(),
-        })
-        .map_err(|e| e.to_string())?;
+    let service = match data_dir {
+        Some(dir) => {
+            let started = std::time::Instant::now();
+            let (service, report) =
+                open_durable(&dir, db, vec![def], par, policy).map_err(|e| e.to_string())?;
+            eprintln!(
+                "store {dir}: {} in {:.2} ms (epoch {}, {} WAL batches replayed, \
+                 generation {})",
+                if report.from_snapshot {
+                    "recovered from snapshot"
+                } else {
+                    "fresh, baseline checkpoint written"
+                },
+                started.elapsed().as_secs_f64() * 1e3,
+                report.epoch,
+                report.replayed_batches,
+                service.store_generation().unwrap_or(0),
+            );
+            Arc::new(service)
+        }
+        None => {
+            let service = Arc::new(ViewService::with_parallelism(db, par));
+            service.register_view(def).map_err(|e| e.to_string())?;
+            service
+        }
+    };
     let snapshot = service.snapshot();
     let info = snapshot.view(&name).expect("view just registered");
     eprintln!(
-        "view {name}: {} tuples materialized in {:.2} ms at epoch {} \
-         (maintenance: {})",
+        "view {name}: {} tuples at epoch {} ({}: {})",
         info.relation.len(),
-        report.views[0].nanos as f64 / 1e6,
         snapshot.epoch,
+        info.mode,
         info.rationale
     );
     match tcp {

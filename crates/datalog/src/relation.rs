@@ -368,6 +368,10 @@ impl Relation {
     /// Grow (or initialize) the slot table and re-link every row.
     fn grow_slots(&mut self) {
         let new_len = (self.slots.len() * 2).max(8);
+        debug_assert!(
+            new_len.is_power_of_two(),
+            "slot table length must stay a power of two for mask probing"
+        );
         self.slots.clear();
         self.slots.resize(new_len, EMPTY_SLOT);
         let mask = new_len - 1;
@@ -408,6 +412,11 @@ impl Relation {
                 self.hashes.push(h);
                 self.slots[slot] = row;
                 self.touch();
+                debug_assert_eq!(
+                    self.arena.len(),
+                    self.hashes.len() * self.arity,
+                    "arena must stay exactly len()*arity values after insert"
+                );
                 true
             }
         }

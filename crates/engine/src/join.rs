@@ -111,6 +111,11 @@ struct RelCache {
 
 impl RelCache {
     fn of(rel: &Relation, built_at: u64) -> RelCache {
+        debug_assert_eq!(
+            rel.flat().len(),
+            rel.len() * rel.arity(),
+            "relation arena must be exactly len()*arity values at snapshot time"
+        );
         RelCache {
             arity: rel.arity(),
             arena: rel.flat().to_vec(),
@@ -147,6 +152,11 @@ impl RelCache {
                 .or_default()
                 .push(r as u32);
         }
+        debug_assert_eq!(
+            idx.values().map(Vec::len).sum::<usize>(),
+            self.rows,
+            "a column index must reference every cached row exactly once"
+        );
         self.cols[col] = Some(idx);
     }
 
@@ -214,6 +224,10 @@ impl Indexes {
                     None => RelCache::missing(atom.arity(), next_gen),
                 }
             });
+        debug_assert_eq!(
+            cache.version, current_version,
+            "a revalidated scan must match the relation's content version"
+        );
         let built_at = cache.built_at;
         let arity_ok = cache.arity == atom.arity();
         if built {

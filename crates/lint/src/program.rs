@@ -1,0 +1,348 @@
+//! Pass 1 — program lints.
+//!
+//! Purely syntactic and set-theoretic checks over the rule set and (when
+//! provided) the database it will run against:
+//!
+//! * **safety** (`L001`): every head variable must be bound by a positive
+//!   body atom — an unbound head variable has no value to take;
+//! * **singleton variables** (`L002`): a variable occurring once joins
+//!   nothing and is almost always a typo;
+//! * **arity consistency** (`L003`): one symbol, one arity — across rules
+//!   and against the database's relations;
+//! * **dead rules** (`L004`): the EDB is immutable during a fixpoint, so a
+//!   rule joining an empty (or absent) relation can never fire, and
+//!   deleting it cannot change the result;
+//! * **subsumed / duplicate rules** (`L005`/`L006`): rule operators are
+//!   compared under Chandra–Merlin containment (via `linrec-cq`); a rule
+//!   `≤` another contributes nothing to any fixpoint;
+//! * **empty seed** (`L007`): a linear rule needs an input tuple for its
+//!   recursive atom, so an empty seed forces an empty fixpoint.
+
+use crate::diagnostic::{Code, Diagnostic, Span};
+use linrec_cq::linear_contains;
+use linrec_datalog::hash::FastMap;
+use linrec_datalog::{Database, LinearRule, Relation, Symbol};
+
+/// Run every program lint. `db`/`init` enable the data-dependent lints
+/// (`L004`, `L007`); pass `None` for purely structural checking (the
+/// service's registration gate does, since its relations fill up later).
+pub fn program_lints(
+    rules: &[LinearRule],
+    db: Option<&Database>,
+    init: Option<&Relation>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    safety(rules, &mut out);
+    singletons(rules, &mut out);
+    arity_conflicts(rules, db, &mut out);
+    if let Some(db) = db {
+        dead_rules(rules, db, &mut out);
+    }
+    subsumption(rules, &mut out);
+    if init.is_some_and(|r| r.is_empty()) {
+        out.push(
+            Diagnostic::new(
+                Code::EmptySeed,
+                Span::none(),
+                "the seed relation is empty, so the fixpoint is empty regardless of the rules",
+            )
+            .with_help("add seed facts for the recursive predicate"),
+        );
+    }
+    out
+}
+
+/// `L001`: every head variable must occur in the body.
+fn safety(rules: &[LinearRule], out: &mut Vec<Diagnostic>) {
+    for (i, r) in rules.iter().enumerate() {
+        if r.is_range_restricted() {
+            continue;
+        }
+        let body: linrec_datalog::hash::FastSet<_> = r
+            .rec_atom()
+            .vars()
+            .chain(r.nonrec_atoms().iter().flat_map(|a| a.vars()))
+            .collect();
+        let mut unbound: Vec<String> = r
+            .head_vars()
+            .iter()
+            .filter(|v| !body.contains(v))
+            .map(|v| v.name().to_owned())
+            .collect();
+        unbound.dedup();
+        out.push(
+            Diagnostic::new(
+                Code::UnsafeRule,
+                Span::rule(i),
+                format!(
+                    "head variable{} {} {} not bound by any body atom",
+                    if unbound.len() == 1 { "" } else { "s" },
+                    unbound.join(", "),
+                    if unbound.len() == 1 { "is" } else { "are" },
+                ),
+            )
+            .with_help("bind every head variable in a positive body atom, or drop it"),
+        );
+    }
+}
+
+/// `L002`: variables occurring exactly once.
+fn singletons(rules: &[LinearRule], out: &mut Vec<Diagnostic>) {
+    for (i, r) in rules.iter().enumerate() {
+        let mut once: Vec<&str> = r
+            .occurrence_counts()
+            .iter()
+            .filter(|(_, &c)| c == 1)
+            .map(|(v, _)| v.name())
+            .collect();
+        if once.is_empty() {
+            continue;
+        }
+        once.sort_unstable();
+        out.push(
+            Diagnostic::new(
+                Code::SingletonVariable,
+                Span::rule(i),
+                format!(
+                    "variable{} {} occur{} only once",
+                    if once.len() == 1 { "" } else { "s" },
+                    once.join(", "),
+                    if once.len() == 1 { "s" } else { "" },
+                ),
+            )
+            .with_help("a singleton joins nothing — check for a typo"),
+        );
+    }
+}
+
+/// `L003`: every predicate symbol must be used at a single arity, both
+/// across the rules and against the database's stored relations.
+fn arity_conflicts(rules: &[LinearRule], db: Option<&Database>, out: &mut Vec<Diagnostic>) {
+    // Symbol → (arity, rule index of first use).
+    let mut seen: FastMap<Symbol, (usize, usize)> = FastMap::default();
+    for (i, r) in rules.iter().enumerate() {
+        let atoms = std::iter::once(r.head())
+            .chain(std::iter::once(r.rec_atom()))
+            .chain(r.nonrec_atoms().iter());
+        for a in atoms {
+            if a.is_eq() {
+                continue;
+            }
+            match seen.get(&a.pred) {
+                None => {
+                    seen.insert(a.pred, (a.arity(), i));
+                }
+                Some(&(arity, first)) if arity != a.arity() => {
+                    out.push(Diagnostic::new(
+                        Code::ArityConflict,
+                        Span::rule_pred(i, a.pred),
+                        format!(
+                            "{} is used with arity {} here but arity {arity} in rule {first}",
+                            a.pred,
+                            a.arity(),
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    if let Some(db) = db {
+        for (pred, (arity, rule)) in &seen {
+            if let Some(rel) = db.relation(*pred) {
+                if rel.arity() != *arity && !rel.is_empty() {
+                    out.push(Diagnostic::new(
+                        Code::ArityConflict,
+                        Span::rule_pred(*rule, *pred),
+                        format!(
+                            "{pred} is used with arity {arity} but the database stores \
+                             {}-tuples for it",
+                            rel.arity(),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `L004`: a rule whose nonrecursive atom scans an empty or absent
+/// relation can never fire — the EDB does not change during a fixpoint.
+fn dead_rules(rules: &[LinearRule], db: &Database, out: &mut Vec<Diagnostic>) {
+    for (i, r) in rules.iter().enumerate() {
+        let dead = r
+            .nonrec_atoms()
+            .iter()
+            .find(|a| !a.is_eq() && db.relation(a.pred).is_none_or(|rel| rel.is_empty()));
+        if let Some(a) = dead {
+            out.push(
+                Diagnostic::new(
+                    Code::DeadRule,
+                    Span::rule_pred(i, a.pred),
+                    format!(
+                        "{} is {} in the database, so this rule can never fire",
+                        a.pred,
+                        if db.relation(a.pred).is_none() {
+                            "absent"
+                        } else {
+                            "empty"
+                        },
+                    ),
+                )
+                .with_help("load facts for the predicate or delete the rule"),
+            );
+        }
+    }
+}
+
+/// `L005`/`L006`: pairwise operator containment after aligning all
+/// consequents. A rule `≤` another derives a subset of its tuples from any
+/// input, so deleting it preserves every fixpoint; for equivalent rules
+/// only the later one is flagged, so the survivors of a simultaneous
+/// deletion still cover each equivalence class.
+fn subsumption(rules: &[LinearRule], out: &mut Vec<Diagnostic>) {
+    let Some(first) = rules.first() else {
+        return;
+    };
+    let aligned: Vec<Option<LinearRule>> = rules
+        .iter()
+        .map(|r| r.align_consequent(first.head()).ok())
+        .collect();
+    let mut flagged = vec![false; rules.len()];
+    for i in 0..rules.len() {
+        for j in (i + 1)..rules.len() {
+            let (Some(a), Some(b)) = (&aligned[i], &aligned[j]) else {
+                continue;
+            };
+            let i_le_j = linear_contains(b, a); // rules[i] ≤ rules[j]
+            let j_le_i = linear_contains(a, b); // rules[j] ≤ rules[i]
+            if i_le_j && j_le_i {
+                if !flagged[j] {
+                    flagged[j] = true;
+                    out.push(
+                        Diagnostic::new(
+                            Code::DuplicateRule,
+                            Span::rule(j),
+                            format!("rule {j} is equivalent to rule {i}"),
+                        )
+                        .with_help("delete the duplicate"),
+                    );
+                }
+            } else if i_le_j {
+                if !flagged[i] {
+                    flagged[i] = true;
+                    out.push(
+                        Diagnostic::new(
+                            Code::SubsumedRule,
+                            Span::rule(i),
+                            format!(
+                                "rule {i} is subsumed by rule {j} (its operator is ≤ rule {j}'s)"
+                            ),
+                        )
+                        .with_help("the rule adds no tuples any fixpoint misses — delete it"),
+                    );
+                }
+            } else if j_le_i && !flagged[j] {
+                flagged[j] = true;
+                out.push(
+                    Diagnostic::new(
+                        Code::SubsumedRule,
+                        Span::rule(j),
+                        format!("rule {j} is subsumed by rule {i} (its operator is ≤ rule {i}'s)"),
+                    )
+                    .with_help("the rule adds no tuples any fixpoint misses — delete it"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrec_datalog::parse_linear_rule;
+
+    fn lr(src: &str) -> LinearRule {
+        parse_linear_rule(src).unwrap()
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn unsafe_rule_is_l001() {
+        let rules = [lr("p(x,y) :- p(x,x), e(x,x).")];
+        let d = program_lints(&rules, None, None);
+        assert!(codes(&d).contains(&"L001"), "{d:?}");
+    }
+
+    #[test]
+    fn singleton_is_l002() {
+        let rules = [lr("p(x,y) :- p(x,y), q(z).")];
+        let d = program_lints(&rules, None, None);
+        assert!(codes(&d).contains(&"L002"), "{d:?}");
+        assert!(d.iter().any(|d| d.message.contains('z')), "{d:?}");
+    }
+
+    #[test]
+    fn arity_conflict_is_l003() {
+        let rules = [
+            lr("p(x,y) :- p(x,z), q(z,y)."),
+            lr("p(x,y) :- p(x,z), q(z,z,y)."),
+        ];
+        let d = program_lints(&rules, None, None);
+        assert!(codes(&d).contains(&"L003"), "{d:?}");
+    }
+
+    #[test]
+    fn empty_relation_is_l004() {
+        let rules = [lr("p(x,y) :- p(x,z), q(z,y).")];
+        let db = Database::new(); // q absent
+        let d = program_lints(&rules, Some(&db), None);
+        assert!(codes(&d).contains(&"L004"), "{d:?}");
+    }
+
+    #[test]
+    fn subsumed_and_duplicate_rules() {
+        // Rule 1 requires strictly more than rule 0 ⇒ rule 1 ≤ rule 0.
+        let rules = [
+            lr("p(x,y) :- p(x,z), q(z,y)."),
+            lr("p(x,y) :- p(x,z), q(z,y), t(y)."),
+        ];
+        let d = program_lints(&rules, None, None);
+        let sub: Vec<_> = d.iter().filter(|d| d.code == Code::SubsumedRule).collect();
+        assert_eq!(sub.len(), 1, "{d:?}");
+        assert_eq!(sub[0].span.rule, Some(1));
+
+        // Variable renaming only ⇒ duplicates; the later rule is flagged.
+        let rules = [
+            lr("p(x,y) :- p(x,z), q(z,y)."),
+            lr("p(a,b) :- p(a,c), q(c,b)."),
+        ];
+        let d = program_lints(&rules, None, None);
+        let dup: Vec<_> = d.iter().filter(|d| d.code == Code::DuplicateRule).collect();
+        assert_eq!(dup.len(), 1, "{d:?}");
+        assert_eq!(dup[0].span.rule, Some(1));
+    }
+
+    #[test]
+    fn empty_seed_is_l007() {
+        let rules = [lr("p(x,y) :- p(x,z), q(z,y).")];
+        let d = program_lints(&rules, None, Some(&Relation::new(2)));
+        assert!(codes(&d).contains(&"L007"), "{d:?}");
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        let rules = [
+            lr("p(x,y) :- p(x,z), q(z,y)."),
+            lr("p(x,y) :- p(w,y), q(x,w)."),
+        ];
+        let mut db = Database::new();
+        db.set_relation("q", Relation::from_pairs([(1, 2)]));
+        let seed = Relation::from_pairs([(1, 1)]);
+        let d = program_lints(&rules, Some(&db), Some(&seed));
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -77,6 +77,10 @@ pub enum ServiceError {
     Strategy(StrategyError),
     /// The durability layer failed (WAL append, checkpoint, recovery).
     Storage(StorageError),
+    /// The static analyzer refused the view's rules at registration
+    /// (error-severity findings; see
+    /// [`ViewService::set_registration_checks`] for the opt-out).
+    Lint(linrec_lint::LintReport),
 }
 
 impl fmt::Display for ServiceError {
@@ -94,6 +98,20 @@ impl fmt::Display for ServiceError {
             ServiceError::DuplicateView(name) => write!(f, "view {name} already registered"),
             ServiceError::Strategy(e) => write!(f, "{e}"),
             ServiceError::Storage(e) => write!(f, "storage: {e}"),
+            // One protocol-friendly line: the first error's typed
+            // `<code> <span>: <message>` plus how many more there are.
+            ServiceError::Lint(report) => {
+                let mut errors = report.errors();
+                let first = errors
+                    .next()
+                    .expect("a Lint error carries ≥ 1 error finding");
+                write!(f, "{}", first.protocol_line())?;
+                let more = errors.count();
+                if more > 0 {
+                    write!(f, " (+{more} more)")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -254,6 +272,9 @@ pub struct ViewService {
     writer: Mutex<Writer>,
     /// Lock order is always writer → durability → current.
     durability: Mutex<Option<Durability>>,
+    /// Deny-by-default static analysis at registration (see
+    /// [`ViewService::set_registration_checks`]).
+    registration_checks: std::sync::atomic::AtomicBool,
 }
 
 impl ViewService {
@@ -298,7 +319,19 @@ impl ViewService {
                 view_pool: None,
             }),
             durability: Mutex::new(None),
+            registration_checks: std::sync::atomic::AtomicBool::new(true),
         }
+    }
+
+    /// Enable or disable the static-analysis registration gate (on by
+    /// default): [`ViewService::register_view`] runs `linrec-lint`'s
+    /// structural passes over the offered rules and refuses error-severity
+    /// findings with [`ServiceError::Lint`]. Disabling is an experiment
+    /// escape hatch — an unsafe rule that passes the gate can still fail
+    /// (or loop) at materialization time.
+    pub fn set_registration_checks(&self, enabled: bool) {
+        self.registration_checks
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Attach a recovered store: every subsequent batch is write-ahead
@@ -374,6 +407,20 @@ impl ViewService {
         let mut writer = self.writer.lock().expect("writer lock poisoned");
         if writer.views.iter().any(|v| v.def().name == def.name) {
             return Err(ServiceError::DuplicateView(def.name));
+        }
+        // Deny-by-default static analysis: structural lints plus the
+        // certificate cross-verifier, without the data-dependent passes
+        // (registration-time relations legitimately start empty). Clients
+        // get the typed diagnostic over the protocol instead of a late
+        // fixpoint failure.
+        if self
+            .registration_checks
+            .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            let report = linrec_lint::check_rules(&def.rules, None, None);
+            if report.has_errors() {
+                return Err(ServiceError::Lint(report));
+            }
         }
         let name = def.name.clone();
         // Pin the seed relation at the rules' arity when it does not exist

@@ -4,7 +4,13 @@
 //! linrec analyze <file>                 certificates (commutativity /
 //!                                       separability / boundedness /
 //!                                       redundancy) and the plan they license
-//! linrec run <file> [--threads N] [pos=value ...]
+//! linrec check <file>... [--format json|human]
+//!                                       static analysis: program lints,
+//!                                       certificate cross-verification, plan
+//!                                       lints; exits nonzero on any warning-
+//!                                       or error-severity finding (see the
+//!                                       README's diagnostic code catalog)
+//! linrec run <file> [--threads N] [--no-check] [pos=value ...]
 //!                                       plan and evaluate (optional
 //!                                       selection); fixpoint rounds may use
 //!                                       up to N engine threads (default:
@@ -50,10 +56,11 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: linrec analyze <file>");
-    eprintln!("       linrec run <file> [--threads N] [pos=value ...]");
+    eprintln!("       linrec check <file>... [--format json|human]");
+    eprintln!("       linrec run <file> [--threads N] [--no-check] [pos=value ...]");
     eprintln!("       linrec explain <file> <v1,v2,...>");
     eprintln!("       linrec serve <file> [--tcp ADDR] [--threads N] [--data-dir DIR]");
-    eprintln!("                    [--checkpoint-batches N] [--checkpoint-bytes B]");
+    eprintln!("                    [--checkpoint-batches N] [--checkpoint-bytes B] [--no-check]");
     eprintln!("       linrec figures [--dot]");
     eprintln!();
     eprintln!("  --threads N   engine threads for parallel fixpoint rounds (and,");
@@ -62,7 +69,97 @@ fn usage() -> ExitCode {
     eprintln!("  --data-dir DIR");
     eprintln!("                durable serving: WAL every committed batch, checkpoint");
     eprintln!("                arena snapshots, crash-recover on restart");
+    eprintln!("  --no-check    skip the deny-by-default static analysis gate (run/serve");
+    eprintln!("                refuse programs with error-severity findings otherwise)");
     ExitCode::from(2)
+}
+
+/// Pull a bare flag out of `args` (anywhere), returning the remaining
+/// arguments and whether it was present.
+fn strip_flag(args: &[String], flag: &str) -> (Vec<String>, bool) {
+    let rest: Vec<String> = args.iter().filter(|a| *a != flag).cloned().collect();
+    let found = rest.len() != args.len();
+    (rest, found)
+}
+
+/// Run the deny-by-default analyzer gate for `run`/`serve`: every finding
+/// goes to stderr; error-severity findings abort unless `--no-check`.
+fn check_gate(prog: &Program, no_check: bool) -> Result<(), String> {
+    let report = linrec::lint::check_rules(prog.rules(), Some(prog.database()), Some(prog.init()));
+    if !report.diagnostics.is_empty() {
+        eprint!("{}", report.render_human());
+    }
+    if report.has_errors() && !no_check {
+        return Err(
+            "program fails static analysis (--no-check overrides; `linrec check` explains)"
+                .to_owned(),
+        );
+    }
+    Ok(())
+}
+
+/// `linrec check <file>... [--format json|human]`: run all three analyzer
+/// passes on each program. Exit 0 when clean (info-severity findings
+/// stay clean), 1 on any warning- or error-severity finding (including
+/// parse failures, reported as `L000`), 2 on usage errors.
+fn check_cmd(args: &[String]) -> ExitCode {
+    use linrec::lint::{Code, Diagnostic, LintReport, Span};
+
+    let mut json = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("human") => json = false,
+                _ => {
+                    eprintln!("--format needs json or human");
+                    return ExitCode::from(2);
+                }
+            },
+            other => files.push(other.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        return usage();
+    }
+    let mut findings = false;
+    let mut json_files: Vec<String> = Vec::new();
+    for file in &files {
+        let report = match load(file) {
+            Ok(prog) => {
+                linrec::lint::check_program(prog.rules(), prog.database(), prog.init(), None)
+            }
+            Err(e) => LintReport::from_diagnostics(vec![Diagnostic::new(
+                Code::ParseError,
+                Span::none(),
+                e,
+            )]),
+        };
+        findings |= report.has_findings();
+        if json {
+            json_files.push(format!(
+                "{{\"file\":\"{}\",\"diagnostics\":{}}}",
+                linrec::lint::json_escape(file),
+                report.render_json(),
+            ));
+        } else if report.diagnostics.is_empty() {
+            println!("{file}: clean");
+        } else {
+            for d in &report.diagnostics {
+                println!("{file}: {d}");
+            }
+        }
+    }
+    if json {
+        println!("[{}]", json_files.join(","));
+    }
+    if findings {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Pull `--threads N` out of `args` (anywhere), returning the remaining
@@ -151,7 +248,9 @@ fn parse_selection(args: &[String]) -> Result<Option<Selection>, String> {
 
 fn run(path: &str, args: &[String]) -> Result<(), String> {
     let prog = load(path)?;
-    let (sel_args, par) = parse_threads(args)?;
+    let (args, no_check) = strip_flag(args, "--no-check");
+    check_gate(&prog, no_check)?;
+    let (sel_args, par) = parse_threads(&args)?;
     let sel = parse_selection(&sel_args)?;
     // Cost-model ranked choice: the program's own data decides among the
     // licensed strategies; the parallelism knob lets large fixpoint rounds
@@ -219,7 +318,8 @@ fn serve(path: &str, args: &[String]) -> Result<(), String> {
     };
     use std::sync::Arc;
 
-    let (rest, par) = parse_threads(args)?;
+    let (args, no_check) = strip_flag(args, "--no-check");
+    let (rest, par) = parse_threads(&args)?;
     let threads = par.threads();
     let mut tcp: Option<String> = None;
     let mut data_dir: Option<String> = None;
@@ -258,6 +358,7 @@ fn serve(path: &str, args: &[String]) -> Result<(), String> {
     }
 
     let prog = load(path)?;
+    check_gate(&prog, no_check)?;
     let name = prog.rec_pred().as_str().to_owned();
     let mut db = prog.database().snapshot();
     db.set_relation(prog.rec_pred(), prog.init().clone());
@@ -290,6 +391,9 @@ fn serve(path: &str, args: &[String]) -> Result<(), String> {
         }
         None => {
             let service = Arc::new(ViewService::with_parallelism(db, par));
+            if no_check {
+                service.set_registration_checks(false);
+            }
             service.register_view(def).map_err(|e| e.to_string())?;
             service
         }
@@ -346,6 +450,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("analyze") if args.len() == 2 => analyze(&args[1]),
+        Some("check") if args.len() >= 2 => return check_cmd(&args[1..]),
         Some("run") if args.len() >= 2 => run(&args[1], &args[2..]),
         Some("explain") if args.len() == 3 => explain(&args[1], &args[2]),
         Some("serve") if args.len() >= 2 => serve(&args[1], &args[2..]),

@@ -70,6 +70,7 @@ pub use linrec_core as core;
 pub use linrec_cq as cq;
 pub use linrec_datalog as datalog;
 pub use linrec_engine as engine;
+pub use linrec_lint as lint;
 pub use linrec_service as service;
 pub use linrec_storage as storage;
 
@@ -94,6 +95,7 @@ pub mod prelude {
         Analysis, CostModel, EvalStats, ExecOutcome, Parallelism, Plan, PlanShape, Program,
         Selection, StrategyError,
     };
+    pub use linrec_lint::{check_program, check_rules, Code, Diagnostic, LintReport, Severity};
     pub use linrec_service::{ViewDef, ViewService};
 }
 

@@ -1,0 +1,144 @@
+//! `linrec check` end-to-end: the analyzer's documented exit-code and
+//! output contract, driven through the real binary.
+//!
+//! Fixture programs exercise one lint class each (unsafe rule, dead rule,
+//! subsumed rule, duplicate rule); a clean program and the shipped
+//! `examples/programs/*.lr` corpus must pass. JSON output must carry the
+//! same codes as the human renderer.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Write `src` to a unique temp file and return its path.
+struct Fixture(PathBuf);
+
+impl Fixture {
+    fn new(name: &str, src: &str) -> Fixture {
+        let path = std::env::temp_dir().join(format!("linrec-lint-{}-{name}", std::process::id()));
+        std::fs::write(&path, src).unwrap();
+        Fixture(path)
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().unwrap()
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn check(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_linrec"))
+        .arg("check")
+        .args(args)
+        .output()
+        .expect("spawn linrec")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn clean_program_exits_zero() {
+    let f = Fixture::new(
+        "clean.lr",
+        "p(x,y) :- p(x,z), e(z,y).\ne(1,2). e(2,3).\np(1,1).\n",
+    );
+    let out = check(&[f.path()]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("clean"), "{}", stdout(&out));
+}
+
+#[test]
+fn unsafe_rule_is_l001() {
+    let f = Fixture::new(
+        "unsafe.lr",
+        "q(x,w) :- q(x,z), up(z,x).\nup(1,2). q(1,1).\n",
+    );
+    let out = check(&[f.path()]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("error[L001]"), "{}", stdout(&out));
+}
+
+#[test]
+fn dead_rule_is_l004() {
+    // `ghost` has no facts: the rule joining it can never fire.
+    let f = Fixture::new(
+        "dead.lr",
+        "p(x,y) :- p(x,z), e(z,y).\np(x,y) :- p(x,z), ghost(z,y).\ne(1,2).\np(1,1).\n",
+    );
+    let out = check(&[f.path()]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("warning[L004]"), "{}", stdout(&out));
+}
+
+#[test]
+fn subsumed_rule_is_l005() {
+    // The second rule adds a restriction to the first: everything it
+    // derives, the first derives too.
+    let f = Fixture::new(
+        "subsumed.lr",
+        "p(x,y) :- p(x,z), e(z,y).\np(x,y) :- p(x,z), e(z,y), f(y,y).\ne(1,2). f(2,2).\np(1,1).\n",
+    );
+    let out = check(&[f.path()]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("warning[L005]"), "{}", stdout(&out));
+}
+
+#[test]
+fn duplicate_rule_is_l006() {
+    let f = Fixture::new(
+        "dup.lr",
+        "p(x,y) :- p(x,z), e(z,y).\np(x,y) :- p(x,w), e(w,y).\ne(1,2).\np(1,1).\n",
+    );
+    let out = check(&[f.path()]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("warning[L006]"), "{}", stdout(&out));
+}
+
+#[test]
+fn unparsable_file_is_l000() {
+    let f = Fixture::new("garbage.lr", "this is not a program\n");
+    let out = check(&[f.path()]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("error[L000]"), "{}", stdout(&out));
+}
+
+#[test]
+fn json_format_carries_the_same_codes() {
+    let f = Fixture::new(
+        "unsafe-json.lr",
+        "q(x,w) :- q(x,z), up(z,x).\nup(1,2). q(1,1).\n",
+    );
+    let out = check(&[f.path(), "--format", "json"]);
+    assert!(!out.status.success());
+    let json = stdout(&out);
+    assert!(json.trim_start().starts_with('['), "{json}");
+    assert!(json.contains("\"code\":\"L001\""), "{json}");
+    assert!(json.contains("\"severity\":\"error\""), "{json}");
+}
+
+#[test]
+fn shipped_example_programs_are_clean() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/programs");
+    let mut programs: Vec<_> = std::fs::read_dir(&dir)
+        .expect("examples/programs")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "lr"))
+        .collect();
+    programs.sort();
+    assert!(!programs.is_empty(), "no programs under {}", dir.display());
+    for p in programs {
+        let out = check(&[p.to_str().unwrap()]);
+        assert!(
+            out.status.success(),
+            "{} is not lint-clean:\n{}",
+            p.display(),
+            stdout(&out)
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Static-analyzer properties (vendored proptest, seeded rule synthesis).
+//!
+//! 1. **Safe programs run**: a program `linrec check` passes (no
+//!    error-severity finding) evaluates to a fixpoint without panicking,
+//!    under both the certificate-preferred plan and the cost-based choice.
+//! 2. **Cross-verifier agreement**: the independent certificate
+//!    cross-verifier never contradicts an honestly computed [`Analysis`] —
+//!    every `C1xx` diagnostic would be a bug in one of the two derivations.
+//! 3. **Flagged rules are deletable**: any rule the analyzer flags dead
+//!    (`L004`), subsumed (`L005`) or duplicate (`L006`) can be deleted
+//!    without changing the program's fixpoint.
+//!
+//! Rule synthesis mirrors `tests/planner_props.rs`: all randomness flows
+//! from explicit SplitMix64 seeds, so every run explores the same cases.
+
+use linrec::engine::{workload, Analysis};
+use linrec::lint::{check_rules, cross_verify, program_lints, CertClaims, Code};
+use linrec::prelude::*;
+use proptest::prelude::*;
+
+/// Deterministic generator driving rule and workload synthesis.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// A random arity-2 linear rule over head `p(x0,x1)` (possibly unsafe —
+/// the analyzer is expected to catch those).
+fn random_rule(g: &mut Gen) -> Option<LinearRule> {
+    let hv = [Var::new("x0"), Var::new("x1")];
+    let fresh = [Var::new("n0"), Var::new("n1")];
+    let head = Atom::from_vars("p", &hv);
+    let rec_terms: Vec<Term> = (0..2)
+        .map(|i| match g.below(4) {
+            0 => Term::Var(hv[i]),
+            1 => Term::Var(hv[(i + 1) % 2]),
+            n => Term::Var(fresh[(n as usize) % 2]),
+        })
+        .collect();
+    let pool: Vec<Var> = hv.iter().chain(fresh.iter()).copied().collect();
+    let mut nonrec = Vec::new();
+    for pred in ["q", "r"] {
+        if g.below(3) == 0 {
+            continue;
+        }
+        let a = pool[g.below(pool.len() as u64) as usize];
+        let b = pool[g.below(pool.len() as u64) as usize];
+        nonrec.push(Atom::from_vars(pred, &[a, b]));
+    }
+    LinearRule::from_parts(head, Atom::new("p", rec_terms), nonrec).ok()
+}
+
+/// Between one and three random rules over the same head.
+fn random_rules(g: &mut Gen) -> Vec<LinearRule> {
+    let n = 1 + g.below(3) as usize;
+    (0..n).filter_map(|_| random_rule(g)).collect()
+}
+
+/// A database covering every EDB predicate the rules mention (`sparse`
+/// leaves predicate `r` empty so dead-rule findings actually occur), plus
+/// a seed relation — all deterministic in `seed`.
+fn cover_db(rules: &[LinearRule], seed: u64, sparse: bool) -> (Database, Relation) {
+    let mut db = Database::new();
+    for rule in rules {
+        for atom in rule.nonrec_atoms() {
+            if db.relation(atom.pred).is_some() {
+                continue;
+            }
+            let rel = if sparse && atom.pred == Symbol::new("r") {
+                Relation::new(atom.arity())
+            } else {
+                workload::random_graph(8, 16, seed.wrapping_add(atom.pred.id() as u64))
+            };
+            db.set_relation(atom.pred, rel);
+        }
+    }
+    let init = workload::random_graph(8, 8, seed.wrapping_add(7));
+    (db, init)
+}
+
+#[allow(deprecated)]
+fn fixpoint(rules: &[LinearRule], db: &Database, init: &Relation) -> Vec<Tuple> {
+    linrec::engine::eval_direct(rules, db, init).0.sorted()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property 1: analyzer-safe programs evaluate without panics.
+    #[test]
+    fn analyzer_safe_programs_evaluate(seed in 0u64..(1 << 48)) {
+        let mut g = Gen(seed);
+        let rules = random_rules(&mut g);
+        prop_assume!(!rules.is_empty());
+        let (db, init) = cover_db(&rules, seed, false);
+        let report = check_rules(&rules, Some(&db), Some(&init));
+        prop_assume!(!report.has_errors());
+        // An analyzer-clean program must evaluate under both the
+        // certificate-preferred plan and the cost-based choice.
+        let analysis = Analysis::of(&rules, None);
+        let preferred = analysis.plan().execute(&db, &init);
+        prop_assert!(preferred.is_ok(), "preferred plan failed: {:?}", preferred.err());
+        let costed = analysis.plan_for(&db, &init).execute(&db, &init);
+        prop_assert!(costed.is_ok(), "cost-chosen plan failed: {:?}", costed.err());
+    }
+
+    /// Property 2: the independent cross-verifier never contradicts an
+    /// honestly computed analysis.
+    #[test]
+    fn cross_verifier_agrees_with_planner(seed in 0u64..(1 << 48)) {
+        let mut g = Gen(seed);
+        let rules = random_rules(&mut g);
+        prop_assume!(rules.iter().all(|r| r.is_range_restricted()) && !rules.is_empty());
+        let analysis = Analysis::of(&rules, None);
+        let diags = cross_verify(&rules, &CertClaims::of(&analysis));
+        prop_assert!(
+            diags.is_empty(),
+            "cross-verifier disagreed with the planner: {:?}",
+            diags.iter().map(|d| d.protocol_line()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Property 3: deleting every flagged dead/subsumed/duplicate rule
+    /// leaves the fixpoint unchanged.
+    #[test]
+    fn flagged_rules_are_deletable(seed in 0u64..(1 << 48)) {
+        let mut g = Gen(seed);
+        let rules = random_rules(&mut g);
+        prop_assume!(rules.iter().all(|r| r.is_range_restricted()) && !rules.is_empty());
+        let (db, init) = cover_db(&rules, seed, true);
+        let flagged: Vec<usize> = program_lints(&rules, Some(&db), Some(&init))
+            .iter()
+            .filter(|d| {
+                matches!(d.code, Code::DeadRule | Code::SubsumedRule | Code::DuplicateRule)
+            })
+            .filter_map(|d| d.span.rule)
+            .collect();
+        prop_assume!(!flagged.is_empty());
+        let kept: Vec<LinearRule> = rules
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !flagged.contains(i))
+            .map(|(_, r)| r.clone())
+            .collect();
+        prop_assume!(!kept.is_empty());
+        prop_assert_eq!(
+            fixpoint(&rules, &db, &init),
+            fixpoint(&kept, &db, &init),
+            "deleting flagged rules {:?} changed the fixpoint",
+            flagged
+        );
+    }
+}

@@ -79,9 +79,16 @@ impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
 /// See [`Strategy::prop_filter`].
 pub struct Filter<S, F> {
     inner: S,
-    #[allow(dead_code)]
     reason: &'static str,
     pred: F,
+}
+
+impl<S, F> Filter<S, F> {
+    /// Why values are rejected — reported when the filter exhausts its
+    /// local retry budget.
+    pub fn reason(&self) -> &'static str {
+        self.reason
+    }
 }
 
 impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
@@ -95,6 +102,7 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 }
             }
         }
+        eprintln!("proptest: filter exhausted retries: {}", self.reason);
         None
     }
 }
@@ -102,9 +110,16 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
 /// See [`Strategy::prop_filter_map`].
 pub struct FilterMap<S, F> {
     inner: S,
-    #[allow(dead_code)]
     reason: &'static str,
     f: F,
+}
+
+impl<S, F> FilterMap<S, F> {
+    /// Why values are rejected — reported when the map exhausts its
+    /// local retry budget.
+    pub fn reason(&self) -> &'static str {
+        self.reason
+    }
 }
 
 impl<S: Strategy, T, F: Fn(S::Value) -> Option<T>> Strategy for FilterMap<S, F> {
@@ -117,6 +132,7 @@ impl<S: Strategy, T, F: Fn(S::Value) -> Option<T>> Strategy for FilterMap<S, F> 
                 }
             }
         }
+        eprintln!("proptest: filter_map exhausted retries: {}", self.reason);
         None
     }
 }

@@ -29,6 +29,15 @@
 //! cost of writing one checkpoint generation. The derived
 //! `chain_tc_cold_start_speedup` is the acceptance headline (≥ 3x).
 //!
+//! The `hardening` group measures the PR 7 tentpole: the VFS-indirection
+//! cost on the WAL append path (`Store::append_batch` through
+//! `StdVfs`/dyn dispatch vs a raw `std::fs` write+sync of the same
+//! frame, same binary and filesystem) and the time to bring a degraded
+//! 1k-chain service back to read-write after a fault clears
+//! (`try_restore`: store reopen + snapshot recover). A second summary,
+//! `BENCH_pr7.json`, derives the overhead as a percentage of the
+//! 1k-chain maintenance batch it accompanies (acceptance target < 2%).
+//!
 //! Every measurement lands in `target/criterion.jsonl` (perf trajectory),
 //! and a custom `main` additionally writes the committed summary
 //! `BENCH_pr5.json` at the workspace root: median ns per strategy per
@@ -388,6 +397,109 @@ fn bench_persistence(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn bench_hardening(c: &mut Criterion) {
+    use linrec_datalog::{Symbol, Value};
+    use linrec_service::{
+        open_durable_with_vfs, CheckpointPolicy, RetryPolicy, ServiceMode, ViewDef, ViewService,
+    };
+    use linrec_storage::{FaultOp, FaultPlan, FaultVfs, StdVfs, Store, Vfs};
+    use std::io::Write as _;
+    use std::sync::Arc;
+
+    let mut group = c.benchmark_group("hardening");
+    group.sample_size(10);
+
+    // VFS-indirection cost on the WAL append path, same binary and same
+    // filesystem on both sides: `Store::append_batch` (encode + write +
+    // sync via `Arc<dyn Vfs>`/`Box<dyn VfsFile>`) against a raw
+    // `std::fs` write + sync of a frame-sized buffer. The encode cost is
+    // deliberately charged to the VFS side, so the derived overhead is
+    // an upper bound on pure dispatch.
+    let batch: Vec<(Symbol, Vec<Value>)> = (0..10)
+        .map(|i| {
+            (
+                Symbol::new("q"),
+                vec![Value::Int(2000 + i), Value::Int(2001 + i)],
+            )
+        })
+        .collect();
+    let wal_dir = std::env::temp_dir().join(format!("linrec-bench-harden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let mut store = Store::open_with(&wal_dir, Arc::new(StdVfs)).expect("open append store");
+    store.recover().expect("recover fresh store");
+    store.append_batch(&batch).expect("probe append");
+    let (_, frame_bytes) = store.wal_pressure();
+    group.bench_function("wal_append/std_vfs", |b| {
+        b.iter(|| store.append_batch(&batch).expect("append via StdVfs"))
+    });
+    let buf = vec![0xABu8; (frame_bytes as usize).max(64)];
+    let mut raw = std::fs::OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .write(true)
+        .open(wal_dir.join("raw-wal.bin"))
+        .expect("open raw append file");
+    group.bench_function("wal_append/raw_fs", |b| {
+        b.iter(|| {
+            raw.write_all(&buf).expect("raw write");
+            raw.sync_data().expect("raw sync");
+        })
+    });
+    drop(raw);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    // Time-to-recover after fault clearance: a degraded 1k-chain TC
+    // service (store handle dropped after an injected ENOSPC) back to
+    // read-write via `try_restore` — the reopen + snapshot recover is
+    // the dominant cost. Each iteration re-poisons the plan and fails
+    // one write so the next iteration starts degraded again; that
+    // refused append rides along in the measurement and is small
+    // against the recover.
+    let n = 1000i64;
+    let rules = vec![rules::tc_right()];
+    let db = workload::graph_db("q", workload::chain(n));
+    let def = ViewDef {
+        name: "tc".into(),
+        rules: rules.clone(),
+        seed: Symbol::new("q"),
+    };
+    let rec_dir = std::env::temp_dir().join(format!("linrec-bench-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&rec_dir);
+    let fault = FaultVfs::new(FaultPlan::none());
+    let vfs: Arc<dyn Vfs> = fault.clone();
+    let (service, _) = open_durable_with_vfs(
+        &rec_dir,
+        vfs,
+        db,
+        vec![def],
+        Parallelism::sequential(),
+        CheckpointPolicy::default(),
+    )
+    .expect("open durable for recover bench");
+    service.set_retry_policy(RetryPolicy::none());
+    let degrade = |service: &ViewService, fault: &FaultVfs| {
+        fault.set_plan(FaultPlan::seeded_ops(1, 1000, vec![FaultOp::Write]));
+        service
+            .apply_batch(vec![(
+                Symbol::new("q"),
+                vec![Value::Int(5000), Value::Int(5001)],
+            )])
+            .expect_err("append under injected ENOSPC must be refused");
+    };
+    degrade(&service, &fault);
+    assert_eq!(service.mode().0, ServiceMode::Degraded);
+    group.bench_function("time_to_recover/1000", |b| {
+        b.iter(|| {
+            fault.clear();
+            assert!(service.try_restore().expect("restore after clearance"));
+            degrade(&service, &fault);
+        })
+    });
+    group.finish();
+    drop(service);
+    let _ = std::fs::remove_dir_all(&rec_dir);
+}
+
 criterion_group!(
     benches,
     bench_planning_cost,
@@ -397,7 +509,8 @@ criterion_group!(
     bench_updown,
     bench_incremental,
     bench_parallel,
-    bench_persistence
+    bench_persistence,
+    bench_hardening
 );
 
 /// PR 1 seed-engine medians (ns) for the headline workloads, measured on
@@ -496,9 +609,78 @@ fn write_summary(c: &Criterion) {
     }
 }
 
+/// PR 7 summary: `BENCH_pr7.json` records the operational-hardening
+/// numbers — the VFS-indirection overhead on the WAL append path
+/// expressed against the 1k-chain maintenance median (acceptance target
+/// < 2%), and the time-to-recover after fault clearance. Every ratio is
+/// same-binary, same-run: the PR 5 maintenance baseline is the
+/// `incremental/maintain/1000` measurement this run just produced, not a
+/// stale committed number from different hardware.
+fn write_pr7_summary(c: &Criterion) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json");
+    let measurements = c.measurements();
+    let median = |needle: &str| {
+        measurements
+            .iter()
+            .find(|(id, _, _)| id == needle)
+            .map(|&(_, m, _)| m)
+    };
+    let subset: Vec<_> = measurements
+        .iter()
+        .filter(|(id, _, _)| id.starts_with("hardening/") || id == "incremental/maintain/1000")
+        .collect();
+    let mut out = String::from("{\n  \"meta\": {\n");
+    out.push_str(
+        "    \"note\": \"ratios are same-binary same-run; the PR 5 maintenance baseline \
+         (incremental/maintain/1000) is re-measured by this run, not read from a stale file\"\n",
+    );
+    out.push_str("  },\n  \"results\": {\n");
+    for (i, (id, m, samples)) in subset.iter().enumerate() {
+        let comma = if i + 1 == subset.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    \"{id}\": {{\"median_ns\": {m:.0}, \"samples\": {samples}}}{comma}"
+        );
+    }
+    out.push_str("  },\n  \"derived\": {\n");
+    // VFS dispatch cost per WAL append = StdVfs append minus a raw
+    // std::fs write+sync of the same frame (floored at zero: on fast
+    // filesystems the medians are within noise of each other).
+    let overhead_ns = match (
+        median("hardening/wal_append/std_vfs"),
+        median("hardening/wal_append/raw_fs"),
+    ) {
+        (Some(s), Some(r)) => (s - r).max(0.0),
+        _ => 0.0,
+    };
+    let _ = writeln!(out, "    \"wal_append_vfs_overhead_ns\": {overhead_ns:.0},");
+    // The acceptance headline: that per-batch cost as a percentage of
+    // the 1k-chain incremental-maintenance batch it accompanies.
+    let vs_maintain = median("incremental/maintain/1000")
+        .map(|m| overhead_ns / m * 100.0)
+        .unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "    \"chain_tc_maintain_vfs_overhead_pct\": {vs_maintain:.3},"
+    );
+    let recover_ms = median("hardening/time_to_recover/1000")
+        .map(|m| m / 1e6)
+        .unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "    \"time_to_recover_after_clearance_ms\": {recover_ms:.2}"
+    );
+    out.push_str("  }\n}\n");
+    match std::fs::write(path, &out) {
+        Ok(()) => eprintln!("planner bench: wrote {path}"),
+        Err(e) => eprintln!("planner bench: cannot write {path}: {e}"),
+    }
+}
+
 fn main() {
     let mut c = Criterion::default();
     benches(&mut c);
     write_summary(&c);
+    write_pr7_summary(&c);
     criterion::__finalize(&c);
 }

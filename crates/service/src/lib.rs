@@ -66,8 +66,11 @@ pub mod service;
 pub mod view;
 
 pub use linrec_storage::CheckpointPolicy;
-pub use persist::{open_durable, RecoveryReport};
+pub use persist::{open_durable, open_durable_with_vfs, RecoveryReport};
 pub use pool::WorkerPool;
 pub use protocol::{serve_lines, serve_tcp, Reply, Session};
-pub use service::{BatchReport, ServiceError, Snapshot, ViewInfo, ViewReport, ViewService};
+pub use service::{
+    spawn_degraded_probe, BatchReport, HealthInfo, RetryPolicy, ServiceError, ServiceLimits,
+    ServiceMode, Snapshot, ViewInfo, ViewReport, ViewService,
+};
 pub use view::{MaintainedView, MaintenanceMode, MaintenanceOutcome, ViewDef, DELTA_MARKER};

@@ -34,7 +34,7 @@ use crate::service::{ServiceError, ViewService};
 use crate::view::ViewDef;
 use linrec_datalog::Database;
 use linrec_engine::Parallelism;
-use linrec_storage::{view_fingerprint, CheckpointPolicy, Store};
+use linrec_storage::{view_fingerprint, CheckpointPolicy, StdVfs, Store, Vfs};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -67,7 +67,24 @@ pub fn open_durable(
     par: Parallelism,
     policy: CheckpointPolicy,
 ) -> Result<(ViewService, RecoveryReport), ServiceError> {
-    let mut store = Store::open(dir)?;
+    open_durable_with_vfs(dir, Arc::new(StdVfs), initial_db, defs, par, policy)
+}
+
+/// [`open_durable`] with an explicit [`Vfs`] — the fault-injection seam:
+/// every byte of storage I/O the service ever does (recovery, WAL
+/// appends, checkpoints, restore probes) goes through `vfs`, so a
+/// [`linrec_storage::FaultVfs`] here subjects the *whole* durable serve
+/// path to deterministic fault schedules. Production callers use
+/// [`open_durable`] (a [`StdVfs`]).
+pub fn open_durable_with_vfs(
+    dir: impl AsRef<Path>,
+    vfs: Arc<dyn Vfs>,
+    initial_db: Database,
+    defs: Vec<ViewDef>,
+    par: Parallelism,
+    policy: CheckpointPolicy,
+) -> Result<(ViewService, RecoveryReport), ServiceError> {
+    let mut store = Store::open_with(dir, vfs)?;
     let recovered = store.recover()?;
     let mut rematerialized = Vec::new();
     let (service, from_snapshot, snapshot_epoch) = match recovered.snapshot {

@@ -25,11 +25,22 @@
 //! rows <view> [limit]      list tuples (default limit 20)
 //! select <view> <pos>=<v> … [limit <n>]   filtered listing
 //! stats <view>             maintenance mode, stats, plan rationale
+//! health                   mode, epoch, queue depth, WAL pressure, faults
+//! ready                    `ok ready` iff writes would be accepted
 //! help                     this text
 //! quit                     end the session
 //! ```
 //!
 //! Values parse as `i64` when possible and as symbols otherwise.
+//!
+//! # Error replies
+//!
+//! Every failure is one line, `err <code> <message>`, where `<code>` is a
+//! fixed machine-parseable word (`usage`, `unknown-command`,
+//! `bad-argument`, `unknown-view`, `arity`, `reserved`, `duplicate`,
+//! `strategy`, `storage`, `degraded`, `read-only`, `busy`, `timeout`,
+//! `internal`) or a typed analyzer diagnostic code (`L…`/`C…`). Clients
+//! branch on the second token; the rest of the line is for humans.
 
 use crate::service::{ServiceError, ViewService};
 use crate::view::ViewDef;
@@ -54,14 +65,31 @@ impl Reply {
         }
     }
 
-    fn err(e: impl std::fmt::Display) -> Reply {
-        Reply::line(format!("err {e}"))
+    /// A typed error reply: `err <code> <detail>`.
+    fn err(code: &str, detail: impl std::fmt::Display) -> Reply {
+        Reply::line(format!("err {code} {detail}"))
+    }
+
+    /// A [`ServiceError`] as a typed error line. Analyzer rejections keep
+    /// their own per-finding code as the leading token (`err L001 …`);
+    /// everything else gets the error's fixed code word.
+    fn service_err(e: &ServiceError) -> Reply {
+        match e {
+            ServiceError::Lint(_) => Reply::line(format!("err {e}")),
+            _ => Reply::err(e.code(), e),
+        }
     }
 }
 
 const HELP: &str = "ok commands: register <rules> | insert <pred> <v>.. | commit | clear \
 | epoch | views | count <view> | ask <view> <v>.. | rows <view> [limit] \
-| select <view> <pos>=<v>.. [limit <n>] | stats <view> | help | quit";
+| select <view> <pos>=<v>.. [limit <n>] | stats <view> | health | ready | help | quit";
+
+/// True when `LINREC_FAULT_INJECTION=1`: the `inject` test command is
+/// honored (deliberate in-session panics for the containment suites).
+fn fault_injection_enabled() -> bool {
+    std::env::var("LINREC_FAULT_INJECTION").as_deref() == Ok("1")
+}
 
 fn parse_value(tok: &str) -> Value {
     match tok.parse::<i64>() {
@@ -114,12 +142,60 @@ impl Session {
             "rows" => self.rows(&rest),
             "select" => self.select(&rest),
             "stats" => self.stats(&rest),
+            "health" => self.health(),
+            "ready" => self.ready(),
             "help" => Reply::line(HELP),
             "quit" => Reply {
                 text: "ok bye".to_owned(),
                 quit: true,
             },
-            other => Reply::err(format_args!("unknown command {other:?} (try help)")),
+            "inject" if fault_injection_enabled() => match rest.as_slice() {
+                ["panic"] => panic!("deliberate injected panic (LINREC_FAULT_INJECTION)"),
+                _ => Reply::err("usage", "inject panic"),
+            },
+            other => Reply::err("unknown-command", format_args!("{other:?} (try help)")),
+        }
+    }
+
+    /// `health`: one `ok health` line of `key=value` tokens (the free-form
+    /// degradation reason, when present, comes last).
+    fn health(&self) -> Reply {
+        let h = self.service.health();
+        let mut text = format!(
+            "ok health mode={} epoch={} views={} staged={} waiting={} max-queue={} \
+             durable={} wal-batches={} wal-bytes={} generation={} degradations={}",
+            h.mode,
+            h.epoch,
+            h.views,
+            self.pending.len(),
+            h.waiting_writers,
+            h.max_queue,
+            h.durable,
+            h.wal_batches,
+            h.wal_bytes,
+            h.generation
+                .map_or_else(|| "-".to_owned(), |g| g.to_string()),
+            h.degradations,
+        );
+        if let Some(fault) = &h.last_fault {
+            let _ = write!(text, " last-fault={fault}");
+        }
+        Reply::line(text)
+    }
+
+    /// `ready`: `ok ready` iff a write arriving now would be accepted;
+    /// otherwise the same typed error the write would get.
+    fn ready(&self) -> Reply {
+        match self.service.mode() {
+            (crate::service::ServiceMode::ReadWrite, _) => Reply::line("ok ready"),
+            (crate::service::ServiceMode::ReadOnly, _) => {
+                Reply::service_err(&ServiceError::ReadOnly)
+            }
+            (crate::service::ServiceMode::Degraded, reason) => {
+                Reply::service_err(&ServiceError::Degraded {
+                    reason: reason.unwrap_or_else(|| "storage fault".to_owned()),
+                })
+            }
         }
     }
 
@@ -131,11 +207,11 @@ impl Session {
     /// the view materializes against the service's database.
     fn register(&self, src: &str) -> Reply {
         if src.is_empty() {
-            return Reply::err("usage: register <rules>");
+            return Reply::err("usage", "register <rules>");
         }
         let prog = match linrec_engine::Program::parse(src) {
             Ok(prog) => prog,
-            Err(e) => return Reply::err(format_args!("L000 program: {e}")),
+            Err(e) => return Reply::line(format!("err L000 program: {e}")),
         };
         let name = prog.rec_pred().as_str().to_owned();
         let def = ViewDef {
@@ -151,16 +227,23 @@ impl Session {
                     report.epoch
                 ))
             }
-            Err(e) => Reply::err(e),
+            Err(e) => Reply::service_err(&e),
         }
     }
 
     fn insert(&mut self, rest: &[&str]) -> Reply {
         let [pred, values @ ..] = rest else {
-            return Reply::err("usage: insert <pred> <v> ..");
+            return Reply::err("usage", "insert <pred> <v> ..");
         };
         if values.is_empty() {
-            return Reply::err("usage: insert <pred> <v> ..");
+            return Reply::err("usage", "insert <pred> <v> ..");
+        }
+        let max_staged = self.service.limits().max_staged;
+        if max_staged > 0 && self.pending.len() >= max_staged {
+            return Reply::err(
+                "busy",
+                format_args!("staged batch full ({max_staged} tuples; `commit` or `clear` first)"),
+            );
         }
         self.pending.push((
             Symbol::new(pred),
@@ -192,30 +275,36 @@ impl Session {
             }
             // A rejected batch stays staged (nothing landed — batches are
             // atomic): fix the bad insert's effect with `clear` and retry.
-            Err(e) => Reply::err(format_args!(
-                "{e} ({staged} still staged; `clear` discards)"
-            )),
+            Err(e) => match e {
+                ServiceError::Lint(_) => {
+                    Reply::line(format!("err {e} ({staged} still staged; `clear` discards)"))
+                }
+                _ => Reply::err(
+                    e.code(),
+                    format_args!("{e} ({staged} still staged; `clear` discards)"),
+                ),
+            },
         }
     }
 
     fn count(&self, rest: &[&str]) -> Reply {
         let [view] = rest else {
-            return Reply::err("usage: count <view>");
+            return Reply::err("usage", "count <view>");
         };
         match self.service.snapshot().count(view) {
             Ok(n) => Reply::line(format!("ok count {n}")),
-            Err(e) => Reply::err(e),
+            Err(e) => Reply::service_err(&e),
         }
     }
 
     fn ask(&self, rest: &[&str]) -> Reply {
         let [view, values @ ..] = rest else {
-            return Reply::err("usage: ask <view> <v> ..");
+            return Reply::err("usage", "ask <view> <v> ..");
         };
         let tuple: Vec<Value> = values.iter().map(|t| parse_value(t)).collect();
         match self.service.snapshot().contains(view, &tuple) {
             Ok(found) => Reply::line(format!("ok {found}")),
-            Err(e) => Reply::err(e),
+            Err(e) => Reply::service_err(&e),
         }
     }
 
@@ -224,16 +313,16 @@ impl Session {
             [view] => (view, 20usize),
             [view, limit] => match limit.parse() {
                 Ok(n) => (view, n),
-                Err(_) => return Reply::err("bad limit"),
+                Err(_) => return Reply::err("bad-argument", "bad limit"),
             },
-            _ => return Reply::err("usage: rows <view> [limit]"),
+            _ => return Reply::err("usage", "rows <view> [limit]"),
         };
         self.listing(view, None, limit)
     }
 
     fn select(&self, rest: &[&str]) -> Reply {
         let [view, args @ ..] = rest else {
-            return Reply::err("usage: select <view> <pos>=<v> .. [limit <n>]");
+            return Reply::err("usage", "select <view> <pos>=<v> .. [limit <n>]");
         };
         let mut sel: Option<Selection> = None;
         let mut limit = 20usize;
@@ -242,15 +331,18 @@ impl Session {
             if *arg == "limit" {
                 match args.next().and_then(|n| n.parse().ok()) {
                     Some(n) => limit = n,
-                    None => return Reply::err("bad limit"),
+                    None => return Reply::err("bad-argument", "bad limit"),
                 }
                 continue;
             }
             let Some((pos, val)) = arg.split_once('=') else {
-                return Reply::err(format_args!("bad binding {arg:?}; expected pos=value"));
+                return Reply::err(
+                    "bad-argument",
+                    format_args!("bad binding {arg:?}; expected pos=value"),
+                );
             };
             let Ok(pos) = pos.parse::<usize>() else {
-                return Reply::err(format_args!("bad position in {arg:?}"));
+                return Reply::err("bad-argument", format_args!("bad position in {arg:?}"));
             };
             let value = parse_value(val);
             sel = Some(match sel {
@@ -275,13 +367,13 @@ impl Session {
                 let _ = write!(text, "ok {} rows", rows.len());
                 Reply::line(text)
             }
-            Err(e) => Reply::err(e),
+            Err(e) => Reply::service_err(&e),
         }
     }
 
     fn stats(&self, rest: &[&str]) -> Reply {
         let [view] = rest else {
-            return Reply::err("usage: stats <view>");
+            return Reply::err("usage", "stats <view>");
         };
         let snapshot = self.service.snapshot();
         match snapshot.view(view) {
@@ -298,13 +390,21 @@ impl Session {
                 info.stats,
                 info.rationale,
             )),
-            None => Reply::err(ServiceError::UnknownView((*view).to_owned())),
+            None => Reply::service_err(&ServiceError::UnknownView((*view).to_owned())),
         }
     }
 }
 
 /// Run a session over arbitrary buffered line I/O (stdin REPL, test
 /// harnesses). Returns when the input ends or the session quits.
+///
+/// A panic while handling a request is **contained to the session**: the
+/// client gets one `err internal …` line and the connection closes; the
+/// service (and every other session) keeps serving. The writer lock is
+/// only at risk if the panic happened while holding it — the handler
+/// stages and queries through the service API, which never unwinds with
+/// the lock held short of a service bug, and even then only writers see
+/// the poison, not this loop.
 pub fn serve_lines(
     service: Arc<ViewService>,
     input: impl std::io::BufRead,
@@ -312,11 +412,25 @@ pub fn serve_lines(
 ) -> std::io::Result<()> {
     let mut session = Session::new(service);
     for line in input.lines() {
-        let reply = session.handle(&line?);
-        writeln!(output, "{}", reply.text)?;
-        output.flush()?;
-        if reply.quit {
-            break;
+        let line = line?;
+        let reply =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.handle(&line)));
+        match reply {
+            Ok(reply) => {
+                writeln!(output, "{}", reply.text)?;
+                output.flush()?;
+                if reply.quit {
+                    break;
+                }
+            }
+            Err(_) => {
+                writeln!(
+                    output,
+                    "err internal request handler panicked; closing session"
+                )?;
+                output.flush()?;
+                break;
+            }
         }
     }
     Ok(())
@@ -392,11 +506,11 @@ mod tests {
     fn protocol_reports_errors() {
         let service = tc_service();
         let mut s = Session::new(service);
-        assert!(s.handle("count nope").text.starts_with("err unknown view"));
+        assert!(s.handle("count nope").text.starts_with("err unknown-view"));
         assert!(s
             .handle("frobnicate")
             .text
-            .starts_with("err unknown command"));
+            .starts_with("err unknown-command"));
         assert!(s.handle("insert e 1").text.starts_with("ok staged"));
         assert!(s.handle("insert e 1 2 3").text.starts_with("ok staged"));
         // Mixed arities within one batch fail atomically: nothing lands,
@@ -449,5 +563,99 @@ mod tests {
         serve_lines(service, &input[..], &mut output).unwrap();
         let text = String::from_utf8(output).unwrap();
         assert_eq!(text, "ok count 3\nok true\nok bye\n");
+    }
+
+    #[test]
+    fn every_failure_is_a_typed_code_line() {
+        let service = tc_service();
+        let mut s = Session::new(service);
+        // Second token of every error line is a fixed code word.
+        for (line, code) in [
+            ("count", "usage"),
+            ("rows", "usage"),
+            ("rows tc nope", "bad-argument"),
+            ("select tc 0:1", "bad-argument"),
+            ("insert e", "usage"),
+            ("stats nope", "unknown-view"),
+            ("bogus-cmd", "unknown-command"),
+        ] {
+            let text = s.handle(line).text;
+            let mut toks = text.split_whitespace();
+            assert_eq!(toks.next(), Some("err"), "{line} → {text}");
+            assert_eq!(toks.next(), Some(code), "{line} → {text}");
+        }
+        // Wrong-arity commit: typed code, batch stays staged.
+        s.handle("insert e 1 2 3");
+        let text = s.handle("commit").text;
+        assert!(text.starts_with("err arity"), "{text}");
+        assert!(text.contains("still staged"), "{text}");
+    }
+
+    #[test]
+    fn health_and_ready_report_the_mode() {
+        let service = tc_service();
+        let mut s = Session::new(Arc::clone(&service));
+        assert_eq!(s.handle("ready").text, "ok ready");
+        let health = s.handle("health").text;
+        assert!(health.starts_with("ok health mode=read-write"), "{health}");
+        assert!(health.contains("epoch=1"), "{health}");
+        assert!(health.contains("views=1"), "{health}");
+        assert!(health.contains("durable=false"), "{health}");
+        assert!(health.contains("generation=-"), "{health}");
+
+        // Operator read-only: ready degrades to the typed refusal, and so
+        // does a commit; reads keep working.
+        service.set_read_only(true);
+        assert!(s.handle("ready").text.starts_with("err read-only"));
+        s.handle("insert e 7 8");
+        assert!(s.handle("commit").text.starts_with("err read-only"));
+        assert_eq!(s.handle("count tc").text, "ok count 3");
+        let health = s.handle("health").text;
+        assert!(health.contains("mode=read-only"), "{health}");
+        service.set_read_only(false);
+        assert_eq!(s.handle("ready").text, "ok ready");
+        assert!(s.handle("commit").text.starts_with("ok epoch 2"));
+    }
+
+    #[test]
+    fn staged_cap_sheds_inserts_with_busy() {
+        let service = tc_service();
+        service.set_limits(crate::service::ServiceLimits {
+            max_staged: 2,
+            ..Default::default()
+        });
+        let mut s = Session::new(service);
+        assert!(s.handle("insert e 10 11").text.starts_with("ok staged"));
+        assert!(s.handle("insert e 11 12").text.starts_with("ok staged"));
+        let shed = s.handle("insert e 12 13").text;
+        assert!(shed.starts_with("err busy"), "{shed}");
+        // The staged batch is intact and committable.
+        assert!(s
+            .handle("commit")
+            .text
+            .starts_with("ok epoch 2 inserted 2/2"));
+    }
+
+    #[test]
+    fn a_panicking_request_closes_only_its_session() {
+        std::env::set_var("LINREC_FAULT_INJECTION", "1");
+        let service = tc_service();
+        let input = b"count tc\ninject panic\nnever reached\n";
+        let mut output = Vec::new();
+        // Quiet the default panic hook for the deliberate panic.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        serve_lines(Arc::clone(&service), &input[..], &mut output).unwrap();
+        std::panic::set_hook(hook);
+        let text = String::from_utf8(output).unwrap();
+        assert_eq!(
+            text,
+            "ok count 3\nerr internal request handler panicked; closing session\n"
+        );
+        // The service survives: a fresh session serves normally.
+        let mut s = Session::new(service);
+        assert_eq!(s.handle("count tc").text, "ok count 3");
+        s.handle("insert e 3 4");
+        assert!(s.handle("commit").text.starts_with("ok epoch 2"));
     }
 }

@@ -49,11 +49,13 @@ use linrec_datalog::hash::FastMap;
 use linrec_datalog::{Database, Relation, Symbol, Value};
 use linrec_engine::{EvalStats, Parallelism, Selection, StrategyError, WorkerPool};
 use linrec_storage::{
-    view_fingerprint, CheckpointPolicy, SnapshotData, StorageError, Store, ViewSnapshot,
+    view_fingerprint, CheckpointPolicy, SnapshotData, StorageError, Store, Vfs, ViewSnapshot,
 };
 use std::fmt;
-use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, TryLockError};
+use std::time::{Duration, Instant};
 
 /// Errors from the service's write and query paths.
 #[derive(Debug)]
@@ -81,6 +83,48 @@ pub enum ServiceError {
     /// (error-severity findings; see
     /// [`ViewService::set_registration_checks`] for the opt-out).
     Lint(linrec_lint::LintReport),
+    /// The service is in fault-driven read-only degraded mode: persistent
+    /// storage failed, reads keep serving the last published epoch, and
+    /// writes are refused until the recovery probe restores the store.
+    Degraded {
+        /// Why the service degraded (the storage fault, verbatim).
+        reason: String,
+    },
+    /// The service was started (or switched) read-only by the operator.
+    ReadOnly,
+    /// Load shedding: too many writers are already queued.
+    Busy {
+        /// Writers waiting when this request was shed.
+        waiting: usize,
+        /// The configured queue bound.
+        limit: usize,
+    },
+    /// The request could not acquire the writer within its deadline.
+    Timeout {
+        /// The deadline that expired, in milliseconds.
+        millis: u64,
+    },
+}
+
+impl ServiceError {
+    /// The machine-parseable protocol code for this error — the first
+    /// word after `err` in a protocol reply. Lint errors carry their own
+    /// per-finding codes (`L…`/`C…`) and report `lint` here.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::UnknownView(_) => "unknown-view",
+            ServiceError::ArityMismatch { .. } => "arity",
+            ServiceError::ReservedPredicate(_) => "reserved",
+            ServiceError::DuplicateView(_) => "duplicate",
+            ServiceError::Strategy(_) => "strategy",
+            ServiceError::Storage(_) => "storage",
+            ServiceError::Lint(_) => "lint",
+            ServiceError::Degraded { .. } => "degraded",
+            ServiceError::ReadOnly => "read-only",
+            ServiceError::Busy { .. } => "busy",
+            ServiceError::Timeout { .. } => "timeout",
+        }
+    }
 }
 
 impl fmt::Display for ServiceError {
@@ -112,11 +156,156 @@ impl fmt::Display for ServiceError {
                 }
                 Ok(())
             }
+            ServiceError::Degraded { reason } => {
+                write!(f, "service degraded to read-only: {reason}")
+            }
+            ServiceError::ReadOnly => write!(f, "writes disabled by operator"),
+            ServiceError::Busy { waiting, limit } => {
+                write!(f, "writer queue full ({waiting} waiting, limit {limit})")
+            }
+            ServiceError::Timeout { millis } => {
+                write!(f, "request deadline of {millis}ms expired")
+            }
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
+
+/// The service's write-availability mode (reads always work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceMode {
+    /// Normal operation.
+    ReadWrite,
+    /// Operator-requested read-only (`--read-only` / `set_read_only`);
+    /// never auto-restores.
+    ReadOnly,
+    /// Fault-driven read-only: persistent storage failed. The recovery
+    /// probe re-opens the store and restores read-write automatically.
+    Degraded,
+}
+
+impl fmt::Display for ServiceMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ServiceMode::ReadWrite => "read-write",
+            ServiceMode::ReadOnly => "read-only",
+            ServiceMode::Degraded => "degraded",
+        })
+    }
+}
+
+/// Bounded retry with exponential backoff for the durable write path.
+/// Any I/O failure is retried (the WAL rolls partial appends back, so a
+/// retry is always safe); format-level errors (corruption, version skew)
+/// never are.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            initial_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all (fail on the first fault) — chaos tests use this
+    /// to make every injected fault observable.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Run `f`, retrying I/O failures up to the policy's attempt budget.
+    fn run<T>(&self, mut f: impl FnMut() -> Result<T, StorageError>) -> Result<T, StorageError> {
+        let mut backoff = self.initial_backoff;
+        let mut attempt = 1;
+        loop {
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(e @ StorageError::Io { .. }) if attempt < self.attempts => {
+                    let _ = e; // retried; only the final error surfaces
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(self.max_backoff);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Overload-control knobs for the write path.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceLimits {
+    /// Writers allowed to queue behind the writer lock before further
+    /// requests are shed with [`ServiceError::Busy`] (0 = unbounded).
+    pub max_queue: usize,
+    /// Deadline for acquiring the writer lock; expiry answers
+    /// [`ServiceError::Timeout`]. `None` waits indefinitely.
+    pub request_timeout: Option<Duration>,
+    /// Tuples a protocol session may stage before `insert` answers
+    /// [`ServiceError::Busy`] (0 = unbounded).
+    pub max_staged: usize,
+    /// Minimum interval between *inline* recovery probes: a write
+    /// arriving in degraded mode retries the store this often (the
+    /// background probe, if any, runs on its own cadence).
+    pub probe_interval: Duration,
+}
+
+impl Default for ServiceLimits {
+    fn default() -> ServiceLimits {
+        ServiceLimits {
+            max_queue: 64,
+            request_timeout: None,
+            max_staged: 1 << 20,
+            probe_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A point-in-time health report (the `health`/`ready` protocol commands).
+#[derive(Debug, Clone)]
+pub struct HealthInfo {
+    /// Write-availability mode.
+    pub mode: ServiceMode,
+    /// Why the service is degraded (`None` unless mode is `Degraded`).
+    pub reason: Option<String>,
+    /// Current published epoch.
+    pub epoch: u64,
+    /// Registered views.
+    pub views: usize,
+    /// Writers currently queued behind the writer lock.
+    pub waiting_writers: usize,
+    /// The configured queue bound (0 = unbounded).
+    pub max_queue: usize,
+    /// Whether a store is attached (even if currently degraded).
+    pub durable: bool,
+    /// WAL pressure `(batches, payload bytes)` since the last checkpoint;
+    /// zeros while degraded or volatile.
+    pub wal_batches: u64,
+    /// See `wal_batches`.
+    pub wal_bytes: u64,
+    /// Live on-disk generation (`None` while degraded or volatile).
+    pub generation: Option<u64>,
+    /// Times the service has degraded over its lifetime.
+    pub degradations: u64,
+    /// Most recent storage fault, verbatim (`None` if none ever).
+    pub last_fault: Option<String>,
+}
 
 impl From<StrategyError> for ServiceError {
     fn from(e: StrategyError) -> ServiceError {
@@ -259,10 +448,28 @@ struct Writer {
 }
 
 /// Durable state attached to a service: the store plus the checkpoint
-/// policy driving WAL-to-snapshot folding.
+/// policy driving WAL-to-snapshot folding. While degraded the store is
+/// `None` — the handle is dropped so the recovery probe re-opens the data
+/// directory from scratch (`dir` + `vfs` are kept for exactly that).
 struct Durability {
-    store: Store,
+    store: Option<Store>,
     policy: CheckpointPolicy,
+    dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
+}
+
+/// Mutable mode state behind [`ViewService::mode_state`].
+struct ModeState {
+    kind: ServiceMode,
+    /// Why the service degraded (kept while `kind == Degraded`).
+    reason: Option<String>,
+    /// Lifetime degradation count.
+    degradations: u64,
+    /// Most recent storage fault (append, checkpoint, or probe), kept
+    /// across restores for the `health` report.
+    last_fault: Option<String>,
+    /// When the last (inline or background) restore attempt ran.
+    last_probe: Option<Instant>,
 }
 
 /// The service: one writer, epoch snapshots, concurrent readers. See the
@@ -270,8 +477,20 @@ struct Durability {
 pub struct ViewService {
     current: RwLock<Arc<Snapshot>>,
     writer: Mutex<Writer>,
-    /// Lock order is always writer → durability → current.
+    /// Lock order is always writer → durability → mode_state → current.
     durability: Mutex<Option<Durability>>,
+    /// Write-availability mode (may be read without the writer lock).
+    mode_state: Mutex<ModeState>,
+    /// Overload-control knobs (see [`ServiceLimits`]).
+    limits: Mutex<ServiceLimits>,
+    /// Retry policy for the durable write path.
+    retry: Mutex<RetryPolicy>,
+    /// Writers currently queued behind the writer lock.
+    waiting_writers: AtomicUsize,
+    /// Highest WAL sequence number ever acknowledged to a caller. The
+    /// restore probe refuses to reattach a store whose recovered log does
+    /// not reach this point — that would silently lose an acked batch.
+    acked_seq: AtomicU64,
     /// Deny-by-default static analysis at registration (see
     /// [`ViewService::set_registration_checks`]).
     registration_checks: std::sync::atomic::AtomicBool,
@@ -319,6 +538,17 @@ impl ViewService {
                 view_pool: None,
             }),
             durability: Mutex::new(None),
+            mode_state: Mutex::new(ModeState {
+                kind: ServiceMode::ReadWrite,
+                reason: None,
+                degradations: 0,
+                last_fault: None,
+                last_probe: None,
+            }),
+            limits: Mutex::new(ServiceLimits::default()),
+            retry: Mutex::new(RetryPolicy::default()),
+            waiting_writers: AtomicUsize::new(0),
+            acked_seq: AtomicU64::new(0),
             registration_checks: std::sync::atomic::AtomicBool::new(true),
         }
     }
@@ -340,33 +570,279 @@ impl ViewService {
     /// [`crate::persist::open_durable`] for the full open/recover/attach
     /// flow.
     pub(crate) fn attach_durability(&self, store: Store, policy: CheckpointPolicy) {
+        let dir = store.dir().to_owned();
+        let vfs = store.vfs();
+        self.acked_seq
+            .store(store.next_seq().saturating_sub(1), Ordering::SeqCst);
         let mut dur = self.durability.lock().expect("durability lock poisoned");
-        *dur = Some(Durability { store, policy });
+        *dur = Some(Durability {
+            store: Some(store),
+            policy,
+            dir,
+            vfs,
+        });
     }
 
-    /// The live on-disk snapshot generation, when durable.
+    /// The live on-disk snapshot generation, when durable (and not
+    /// currently degraded).
     pub fn store_generation(&self) -> Option<u64> {
         self.durability
             .lock()
             .expect("durability lock poisoned")
             .as_ref()
-            .map(|d| d.store.generation())
+            .and_then(|d| d.store.as_ref())
+            .map(Store::generation)
     }
 
     /// Force a checkpoint of the current snapshot (no-op returning `false`
-    /// on a non-durable service). The write happens under the writer lock,
-    /// so it captures a batch-consistent state; readers are unaffected.
+    /// on a non-durable — or currently degraded — service). The write
+    /// happens under the writer lock, so it captures a batch-consistent
+    /// state; readers are unaffected.
     pub fn checkpoint_now(&self) -> Result<bool, ServiceError> {
+        let retry = self.retry_policy();
         let writer = self.writer.lock().expect("writer lock poisoned");
         let mut dur = self.durability.lock().expect("durability lock poisoned");
-        match dur.as_mut() {
-            Some(d) => {
+        match dur.as_mut().and_then(|d| d.store.as_mut()) {
+            Some(store) => {
                 let data = self.snapshot_data(&writer);
-                d.store.checkpoint(&data)?;
+                retry.run(|| store.checkpoint(&data))?;
                 Ok(true)
             }
             None => Ok(false),
         }
+    }
+
+    /// The current write-availability mode and (when degraded) its reason.
+    pub fn mode(&self) -> (ServiceMode, Option<String>) {
+        let mode = self.mode_state.lock().expect("mode lock poisoned");
+        (mode.kind, mode.reason.clone())
+    }
+
+    /// Operator toggle: switch the service read-only (writes answer
+    /// [`ServiceError::ReadOnly`]) or back to read-write. Switching a
+    /// *degraded* service "on" is a no-op — the fault, not the operator,
+    /// owns the mode until the probe restores it.
+    pub fn set_read_only(&self, read_only: bool) {
+        let mut mode = self.mode_state.lock().expect("mode lock poisoned");
+        match (read_only, mode.kind) {
+            (true, ServiceMode::ReadWrite) => mode.kind = ServiceMode::ReadOnly,
+            (false, ServiceMode::ReadOnly) => mode.kind = ServiceMode::ReadWrite,
+            _ => {}
+        }
+    }
+
+    /// Replace the overload-control knobs.
+    pub fn set_limits(&self, limits: ServiceLimits) {
+        *self.limits.lock().expect("limits lock poisoned") = limits;
+    }
+
+    /// The current overload-control knobs.
+    pub fn limits(&self) -> ServiceLimits {
+        *self.limits.lock().expect("limits lock poisoned")
+    }
+
+    /// Replace the durable-write retry policy.
+    pub fn set_retry_policy(&self, retry: RetryPolicy) {
+        *self.retry.lock().expect("retry lock poisoned") = retry;
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.lock().expect("retry lock poisoned")
+    }
+
+    /// A point-in-time health report: mode, epoch, queue depth, WAL
+    /// pressure, fault history. Lock-light — safe to call from any
+    /// session at any time, including while degraded.
+    pub fn health(&self) -> HealthInfo {
+        let snap = self.snapshot();
+        let (wal_batches, wal_bytes, generation, durable) = {
+            let dur = self.durability.lock().expect("durability lock poisoned");
+            match dur.as_ref() {
+                Some(d) => match d.store.as_ref() {
+                    Some(s) => {
+                        let (batches, bytes) = s.wal_pressure();
+                        (batches, bytes, Some(s.generation()), true)
+                    }
+                    None => (0, 0, None, true),
+                },
+                None => (0, 0, None, false),
+            }
+        };
+        let mode = self.mode_state.lock().expect("mode lock poisoned");
+        HealthInfo {
+            mode: mode.kind,
+            reason: mode.reason.clone(),
+            epoch: snap.epoch,
+            views: snap.views.len(),
+            waiting_writers: self.waiting_writers.load(Ordering::SeqCst),
+            max_queue: self.limits().max_queue,
+            durable,
+            wal_batches,
+            wal_bytes,
+            generation,
+            degradations: mode.degradations,
+            last_fault: mode.last_fault.clone(),
+        }
+    }
+
+    /// Enter degraded mode: drop the store handle (the probe re-opens the
+    /// directory from scratch), record the fault, and start refusing
+    /// writes. Called with the durability lock **held** by the caller.
+    fn degrade(&self, dur: &mut Option<Durability>, fault: &StorageError, context: &str) -> String {
+        let reason = format!("{context}: {fault}");
+        if let Some(d) = dur.as_mut() {
+            d.store = None;
+        }
+        let mut mode = self.mode_state.lock().expect("mode lock poisoned");
+        if mode.kind != ServiceMode::Degraded {
+            mode.kind = ServiceMode::Degraded;
+            mode.degradations += 1;
+        }
+        mode.reason = Some(reason.clone());
+        mode.last_fault = Some(reason.clone());
+        mode.last_probe = None;
+        reason
+    }
+
+    /// Record a storage fault that did *not* degrade the service (e.g. a
+    /// failed post-commit checkpoint — the WAL remains the durability
+    /// source, so the service stays read-write).
+    fn note_fault(&self, fault: &StorageError, context: &str) {
+        let mut mode = self.mode_state.lock().expect("mode lock poisoned");
+        mode.last_fault = Some(format!("{context}: {fault}"));
+    }
+
+    /// Try to leave degraded mode by re-opening and re-recovering the
+    /// store. Returns `Ok(true)` when the store was restored (mode is
+    /// read-write again), `Ok(false)` when the service was not degraded
+    /// (or is volatile), and the typed error when the probe itself failed
+    /// (the service stays degraded; the fault is recorded).
+    ///
+    /// The restored store must recover at least up to the highest
+    /// acknowledged sequence number — anything less means the disk lost an
+    /// acked batch, and reattaching would silently break the durability
+    /// contract, so the probe refuses.
+    ///
+    /// The in-memory state needs no replay: every acked batch was applied
+    /// in memory before acknowledgement, and degraded mode refused writes,
+    /// so memory is exactly the acked prefix the disk recovered.
+    pub fn try_restore(&self) -> Result<bool, ServiceError> {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let mut dur = self.durability.lock().expect("durability lock poisoned");
+        let degraded = {
+            let mut mode = self.mode_state.lock().expect("mode lock poisoned");
+            mode.last_probe = Some(Instant::now());
+            mode.kind == ServiceMode::Degraded
+        };
+        let Some(d) = dur.as_mut() else {
+            return Ok(false);
+        };
+        if !degraded && d.store.is_some() {
+            return Ok(false);
+        }
+        let probe = || -> Result<Store, StorageError> {
+            let mut store = Store::open_with(&d.dir, Arc::clone(&d.vfs))?;
+            store.recover()?;
+            Ok(store)
+        };
+        match probe() {
+            Ok(store) => {
+                let acked = self.acked_seq.load(Ordering::SeqCst);
+                if store.next_seq() <= acked {
+                    let err = StorageError::Corrupt {
+                        file: d.dir.display().to_string(),
+                        detail: format!(
+                            "recovered log ends at seq {} but seq {acked} was acknowledged",
+                            store.next_seq().saturating_sub(1)
+                        ),
+                    };
+                    self.note_fault(&err, "restore probe");
+                    return Err(ServiceError::Storage(err));
+                }
+                d.store = Some(store);
+                let mut mode = self.mode_state.lock().expect("mode lock poisoned");
+                if mode.kind == ServiceMode::Degraded {
+                    mode.kind = ServiceMode::ReadWrite;
+                    mode.reason = None;
+                }
+                Ok(true)
+            }
+            Err(e) => {
+                self.note_fault(&e, "restore probe");
+                let mut mode = self.mode_state.lock().expect("mode lock poisoned");
+                mode.reason = Some(format!("restore probe: {e}"));
+                drop(mode);
+                Err(ServiceError::Storage(e))
+            }
+        }
+    }
+
+    /// The write-path gate: refuse (typed) when read-only or degraded.
+    /// A degraded service whose inline-probe interval has elapsed gets one
+    /// restore attempt right here, so traffic alone heals the service even
+    /// without a background probe thread. Must be called **before**
+    /// acquiring the writer lock ([`ViewService::try_restore`] takes it).
+    fn write_gate(&self) -> Result<(), ServiceError> {
+        let (kind, reason, probe_due) = {
+            let mode = self.mode_state.lock().expect("mode lock poisoned");
+            let due = match mode.last_probe {
+                Some(at) => at.elapsed() >= self.limits().probe_interval,
+                None => true,
+            };
+            (mode.kind, mode.reason.clone(), due)
+        };
+        match kind {
+            ServiceMode::ReadWrite => Ok(()),
+            ServiceMode::ReadOnly => Err(ServiceError::ReadOnly),
+            ServiceMode::Degraded => {
+                if probe_due && matches!(self.try_restore(), Ok(true)) {
+                    return Ok(());
+                }
+                Err(ServiceError::Degraded {
+                    reason: reason.unwrap_or_else(|| "storage fault".to_owned()),
+                })
+            }
+        }
+    }
+
+    /// Acquire the writer lock under overload control: uncontended
+    /// acquisition is free; a contended request joins a bounded queue
+    /// (shed with [`ServiceError::Busy`] beyond `max_queue`) and spins
+    /// with a deadline (expiry answers [`ServiceError::Timeout`]).
+    fn lock_writer(&self) -> Result<MutexGuard<'_, Writer>, ServiceError> {
+        match self.writer.try_lock() {
+            Ok(w) => return Ok(w),
+            Err(TryLockError::Poisoned(_)) => panic!("writer lock poisoned"),
+            Err(TryLockError::WouldBlock) => {}
+        }
+        let limits = self.limits();
+        let waiting = self.waiting_writers.fetch_add(1, Ordering::SeqCst) + 1;
+        if limits.max_queue > 0 && waiting > limits.max_queue {
+            self.waiting_writers.fetch_sub(1, Ordering::SeqCst);
+            return Err(ServiceError::Busy {
+                waiting,
+                limit: limits.max_queue,
+            });
+        }
+        let deadline = limits.request_timeout.map(|t| (t, Instant::now() + t));
+        let result = loop {
+            match self.writer.try_lock() {
+                Ok(w) => break Ok(w),
+                Err(TryLockError::Poisoned(_)) => panic!("writer lock poisoned"),
+                Err(TryLockError::WouldBlock) => {
+                    if let Some((timeout, at)) = deadline {
+                        if Instant::now() >= at {
+                            break Err(ServiceError::Timeout {
+                                millis: timeout.as_millis() as u64,
+                            });
+                        }
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        };
+        self.waiting_writers.fetch_sub(1, Ordering::SeqCst);
+        result
     }
 
     /// The current state as a storage-layer snapshot: the master database
@@ -404,7 +880,8 @@ impl ViewService {
     /// Register a view: plan it against the current database, materialize
     /// it, and publish a new epoch.
     pub fn register_view(&self, def: ViewDef) -> Result<BatchReport, ServiceError> {
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        self.write_gate()?;
+        let mut writer = self.lock_writer()?;
         if writer.views.iter().any(|v| v.def().name == def.name) {
             return Err(ServiceError::DuplicateView(def.name));
         }
@@ -521,7 +998,8 @@ impl ViewService {
         &self,
         inserts: impl IntoIterator<Item = (Symbol, Vec<Value>)>,
     ) -> Result<BatchReport, ServiceError> {
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        self.write_gate()?;
+        let mut writer = self.lock_writer()?;
 
         // Validate and stage: nothing is written until the whole batch
         // checks out (a failed batch leaves the master database intact).
@@ -621,11 +1099,37 @@ impl ViewService {
 
         // Durability barrier: the WAL append + fsync must succeed before
         // the batch commits to the master database, publishes, or is
-        // acknowledged to the caller.
+        // acknowledged to the caller. Transient faults retry with backoff
+        // (the WAL rolls a failed append back before the retry lands, so
+        // re-appending is always safe); exhausted retries degrade the
+        // service to read-only and refuse the batch — the master database
+        // is untouched, so the unacked batch vanishes atomically.
         {
+            let retry = self.retry_policy();
             let mut dur = self.durability.lock().expect("durability lock poisoned");
-            if let Some(d) = dur.as_mut() {
-                d.store.append_batch(&logged)?;
+            let append = match dur.as_mut() {
+                None => None,
+                Some(d) => match d.store.as_mut() {
+                    Some(store) => Some(retry.run(|| store.append_batch(&logged))),
+                    // Degraded between the gate and here: refuse.
+                    None => {
+                        let (_, reason) = self.mode();
+                        return Err(ServiceError::Degraded {
+                            reason: reason.unwrap_or_else(|| "storage fault".to_owned()),
+                        });
+                    }
+                },
+            };
+            match append {
+                None | Some(Ok(_)) => {
+                    if let Some(Ok(seq)) = append {
+                        self.acked_seq.store(seq, Ordering::SeqCst);
+                    }
+                }
+                Some(Err(e)) => {
+                    let reason = self.degrade(&mut dur, &e, "wal append");
+                    return Err(ServiceError::Degraded { reason });
+                }
             }
         }
 
@@ -713,16 +1217,21 @@ impl ViewService {
     /// which remains the source of durability. The next batch (or an
     /// explicit [`ViewService::checkpoint_now`]) retries.
     fn maybe_checkpoint(&self, writer: &Writer) {
+        let retry = self.retry_policy();
         let mut dur = self.durability.lock().expect("durability lock poisoned");
         let Some(d) = dur.as_mut() else {
             return;
         };
-        let (batches, bytes) = d.store.wal_pressure();
+        let Some(store) = d.store.as_mut() else {
+            return;
+        };
+        let (batches, bytes) = store.wal_pressure();
         if !d.policy.should_checkpoint(batches, bytes) {
             return;
         }
         let data = self.snapshot_data(writer);
-        if let Err(e) = d.store.checkpoint(&data) {
+        if let Err(e) = retry.run(|| store.checkpoint(&data)) {
+            self.note_fault(&e, "checkpoint");
             eprintln!(
                 "warning: checkpoint failed ({e}); committed batches remain \
                  durable in the WAL and the next batch will retry"
@@ -734,10 +1243,12 @@ impl ViewService {
     /// [`ViewService::maybe_checkpoint`], runs after the registration has
     /// committed and published, so failures are out-of-band.
     fn checkpoint_if_durable(&self, writer: &Writer) {
+        let retry = self.retry_policy();
         let mut dur = self.durability.lock().expect("durability lock poisoned");
-        if let Some(d) = dur.as_mut() {
+        if let Some(store) = dur.as_mut().and_then(|d| d.store.as_mut()) {
             let data = self.snapshot_data(writer);
-            if let Err(e) = d.store.checkpoint(&data) {
+            if let Err(e) = retry.run(|| store.checkpoint(&data)) {
+                self.note_fault(&e, "post-registration checkpoint");
                 eprintln!(
                     "warning: post-registration checkpoint failed ({e}); the \
                      view is registered and will be captured by the next \
@@ -766,6 +1277,29 @@ impl ViewService {
         });
         *self.current.write().expect("snapshot lock poisoned") = snapshot;
     }
+}
+
+/// Start a background recovery probe: every `interval`, a degraded
+/// service gets one [`ViewService::try_restore`] attempt, so the service
+/// heals as soon as the fault clears even with zero write traffic. The
+/// thread holds only a weak reference and exits when the service is
+/// dropped; probe failures are recorded in [`ViewService::health`] and
+/// otherwise ignored (the next tick retries).
+pub fn spawn_degraded_probe(
+    service: &Arc<ViewService>,
+    interval: Duration,
+) -> std::thread::JoinHandle<()> {
+    let weak = Arc::downgrade(service);
+    std::thread::Builder::new()
+        .name("linrec-degraded-probe".to_owned())
+        .spawn(move || loop {
+            std::thread::sleep(interval);
+            let Some(svc) = weak.upgrade() else { break };
+            if svc.mode().0 == ServiceMode::Degraded {
+                let _ = svc.try_restore();
+            }
+        })
+        .expect("spawn degraded-probe thread")
 }
 
 #[cfg(test)]
@@ -1043,6 +1577,191 @@ mod tests {
         assert_eq!(report.views.len(), 2);
         assert_eq!(service.snapshot().count("tc").unwrap(), 3);
         assert_eq!(service.snapshot().count("ftc").unwrap(), 3);
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "linrec-svc-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn chain_db(n: i64) -> Database {
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs((0..n).map(|i| (i, i + 1))));
+        db
+    }
+
+    #[test]
+    fn wal_fault_degrades_to_read_only_and_restore_recovers() {
+        use linrec_storage::{FaultOp, FaultPlan, FaultVfs};
+        let dir = tmpdir("degrade");
+        let fault = FaultVfs::new(FaultPlan::none());
+        let vfs: Arc<dyn Vfs> = fault.clone();
+        let (service, _) = crate::persist::open_durable_with_vfs(
+            &dir,
+            vfs,
+            chain_db(3),
+            vec![tc_def("tc")],
+            Parallelism::sequential(),
+            CheckpointPolicy::default(),
+        )
+        .unwrap();
+        service.set_retry_policy(RetryPolicy::none());
+        service
+            .apply_batch([(Symbol::new("e"), pair(3, 4))])
+            .unwrap();
+        let epoch_before = service.snapshot().epoch;
+        let count_before = service.snapshot().count("tc").unwrap();
+
+        // The disk dies: every write, fsync, and read faults from here on.
+        fault.set_plan(FaultPlan::seeded_ops(
+            7,
+            1000,
+            vec![FaultOp::Write, FaultOp::Sync, FaultOp::Read],
+        ));
+        let err = service
+            .apply_batch([(Symbol::new("e"), pair(4, 5))])
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Degraded { .. }), "{err}");
+        assert_eq!(err.code(), "degraded");
+
+        // The unacked batch vanished atomically; reads keep serving the
+        // last acked epoch; the mode is typed and carries the fault.
+        assert_eq!(service.snapshot().epoch, epoch_before);
+        assert_eq!(service.snapshot().count("tc").unwrap(), count_before);
+        assert!(!service.snapshot().contains("tc", &pair(4, 5)).unwrap());
+        let health = service.health();
+        assert_eq!(health.mode, ServiceMode::Degraded);
+        assert_eq!(health.degradations, 1);
+        assert!(health.reason.as_deref().unwrap().contains("wal append"));
+        // Further writes answer degraded (the inline probe runs — reads
+        // are faulted too, so it fails and the mode sticks).
+        let err = service
+            .apply_batch([(Symbol::new("e"), pair(5, 6))])
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Degraded { .. }), "{err}");
+        assert_eq!(service.mode().0, ServiceMode::Degraded);
+
+        // The operator fixes the disk: the probe restores read-write and
+        // writes flow again.
+        fault.clear();
+        assert!(service.try_restore().unwrap());
+        assert_eq!(service.mode().0, ServiceMode::ReadWrite);
+        service
+            .apply_batch([(Symbol::new("e"), pair(4, 5))])
+            .unwrap();
+        assert!(service.snapshot().contains("tc", &pair(0, 5)).unwrap());
+        let want = service.snapshot().view("tc").unwrap().relation.sorted();
+        drop(service);
+
+        // Everything acked survived: a cold start (production VFS) agrees.
+        let (service, _) = crate::persist::open_durable(
+            &dir,
+            Database::new(),
+            vec![tc_def("tc")],
+            Parallelism::sequential(),
+            CheckpointPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            service.snapshot().view("tc").unwrap().relation.sorted(),
+            want
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_checkpoint_keeps_the_service_read_write() {
+        use linrec_storage::{FaultKind, FaultOp, FaultPlan, FaultVfs};
+        let dir = tmpdir("ckpt-fault");
+        let fault = FaultVfs::new(FaultPlan::none());
+        let vfs: Arc<dyn Vfs> = fault.clone();
+        let policy = CheckpointPolicy {
+            max_wal_batches: 1,
+            max_wal_bytes: u64::MAX,
+        };
+        let (service, _) = crate::persist::open_durable_with_vfs(
+            &dir,
+            vfs,
+            chain_db(3),
+            vec![tc_def("tc")],
+            Parallelism::sequential(),
+            policy,
+        )
+        .unwrap();
+        // The next checkpoint's snapshot publication (rename) fails:
+        // post-commit, so the batch stays acked and the service stays
+        // read-write — the WAL remains the durability source. (Retries
+        // off: the default policy would paper over a single lost rename,
+        // which is exactly what it is for.)
+        service.set_retry_policy(RetryPolicy::none());
+        let next_rename = fault.op_count(FaultOp::Rename) + 1;
+        fault.set_plan(FaultPlan::none().fail_nth(
+            FaultOp::Rename,
+            next_rename,
+            FaultKind::DropRename,
+        ));
+        let report = service
+            .apply_batch([(Symbol::new("e"), pair(3, 4))])
+            .unwrap();
+        assert_eq!(report.inserted, 1);
+        let health = service.health();
+        assert_eq!(health.mode, ServiceMode::ReadWrite);
+        assert!(
+            health.last_fault.as_deref().unwrap().contains("checkpoint"),
+            "{:?}",
+            health.last_fault
+        );
+        // The next batch's checkpoint succeeds and rotates the generation.
+        let g = service.store_generation().unwrap();
+        service
+            .apply_batch([(Symbol::new("e"), pair(4, 5))])
+            .unwrap();
+        assert!(service.store_generation().unwrap() > g);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn contended_writers_shed_busy_and_time_out() {
+        let service = Arc::new(ViewService::new(chain_db(2)));
+        service.register_view(tc_def("tc")).unwrap();
+        service.set_limits(ServiceLimits {
+            max_queue: 1,
+            request_timeout: Some(Duration::from_millis(200)),
+            ..Default::default()
+        });
+        // Occupy the writer lock directly (same-module test privilege).
+        let guard = service.writer.lock().unwrap();
+        // First contended writer takes the one queue slot and will time
+        // out; the second is shed immediately with `busy`.
+        let svc = Arc::clone(&service);
+        let queued = std::thread::spawn(move || {
+            svc.apply_batch([(Symbol::new("e"), pair(2, 3))])
+                .unwrap_err()
+        });
+        while service.waiting_writers.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        let shed = service
+            .apply_batch([(Symbol::new("e"), pair(3, 4))])
+            .unwrap_err();
+        assert!(matches!(shed, ServiceError::Busy { .. }), "{shed}");
+        assert_eq!(shed.code(), "busy");
+        let timed_out = queued.join().unwrap();
+        assert!(
+            matches!(timed_out, ServiceError::Timeout { .. }),
+            "{timed_out}"
+        );
+        drop(guard);
+        // The lock is free again: writes flow.
+        service
+            .apply_batch([(Symbol::new("e"), pair(2, 3))])
+            .unwrap();
+        assert_eq!(service.waiting_writers.load(Ordering::SeqCst), 0);
     }
 
     #[test]

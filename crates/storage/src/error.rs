@@ -39,6 +39,18 @@ pub enum StorageError {
     /// refuses to write until the WAL tail has been validated (and a torn
     /// tail truncated), otherwise an append could land after garbage.
     NotRecovered,
+    /// The data directory has no valid generation (no manifest, no
+    /// generation-0 WAL) yet contains snapshot/WAL files. No crash at any
+    /// point in the write protocol produces this state, so the files are
+    /// someone's data the store refuses to silently sweep — most likely a
+    /// deleted manifest or a directory mix-up. The offending files are
+    /// named so the operator can move or remove them deliberately.
+    StrayState {
+        /// The data directory.
+        dir: String,
+        /// The stray files found in it (names, sorted).
+        files: Vec<String>,
+    },
 }
 
 impl StorageError {
@@ -55,6 +67,16 @@ impl StorageError {
             detail: detail.into(),
         }
     }
+
+    /// True when the error came from the OS and retrying in place could
+    /// plausibly succeed (interrupted syscall, timeout). Format-level
+    /// errors (corruption, version skew, stray state) are never transient.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Io { source, .. } => crate::vfs::is_transient_io(source),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -67,6 +89,13 @@ impl fmt::Display for StorageError {
             }
             StorageError::NotRecovered => {
                 write!(f, "store must recover() before it accepts writes")
+            }
+            StorageError::StrayState { dir, files } => {
+                write!(
+                    f,
+                    "{dir}: stray files with no valid generation (refusing to sweep): {}",
+                    files.join(", ")
+                )
             }
         }
     }

@@ -26,6 +26,10 @@
 //!   `append_batch`/`checkpoint`, with atomic checkpoint publication
 //!   (temp + rename + manifest swap) and pruning of superseded
 //!   generations.
+//! * [`vfs`] — the virtual filesystem everything above does its I/O
+//!   through: a production [`StdVfs`] and a deterministic, seedable
+//!   [`FaultVfs`] that injects ENOSPC/EIO/short-write/torn-rename faults
+//!   for the crash-recovery and chaos suites.
 //!
 //! The crate depends only on `linrec-datalog` (and std): the service layer
 //! owns *what* to persist and *when* to checkpoint; this crate owns the
@@ -65,6 +69,7 @@ mod crc;
 pub mod error;
 pub mod snapshot;
 pub mod store;
+pub mod vfs;
 pub mod wal;
 
 pub use crc::crc32;
@@ -74,4 +79,7 @@ pub use snapshot::{
     SNAPSHOT_FORMAT_VERSION,
 };
 pub use store::{CheckpointPolicy, Recovered, Store, MANIFEST_FORMAT_VERSION};
+pub use vfs::{
+    is_transient_io, FaultKind, FaultOp, FaultPlan, FaultVfs, InjectedFault, StdVfs, Vfs, VfsFile,
+};
 pub use wal::{Batch, WAL_FORMAT_VERSION};

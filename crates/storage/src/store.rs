@@ -26,15 +26,20 @@
 //! and only then unlocks `append_batch`/`checkpoint` — an append may never
 //! land after unvalidated bytes. `append_batch` fsyncs before returning,
 //! so a batch the caller acknowledges is on disk.
+//!
+//! All I/O goes through the [`Vfs`] passed to [`Store::open_with`]
+//! (production callers use [`Store::open`], which is `open_with` on
+//! [`StdVfs`]) — the crash-recovery and chaos suites substitute a
+//! `FaultVfs` to drive every path below through injected disk faults.
 
 use crate::crc::crc32;
 use crate::error::StorageError;
 use crate::snapshot::{decode_snapshot, encode_snapshot, SnapshotData};
+use crate::vfs::{StdVfs, Vfs};
 use crate::wal::{Batch, Wal};
 use linrec_datalog::{Symbol, Value};
-use std::fs::File;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MANIFEST_MAGIC: [u8; 8] = *b"LINRMAN1";
 /// Current manifest format version.
@@ -84,6 +89,7 @@ pub struct Recovered {
 /// A durable store rooted at one data directory. See the module docs for
 /// the layout and the write protocol.
 pub struct Store {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     generation: u64,
     manifest_epoch: u64,
@@ -96,19 +102,38 @@ pub struct Store {
 }
 
 impl Store {
-    /// Open (creating if needed) the store at `dir` and read its manifest.
-    /// No data is loaded yet — call [`Store::recover`] next.
+    /// Open (creating if needed) the store at `dir` on the production
+    /// filesystem. No data is loaded yet — call [`Store::recover`] next.
     pub fn open(dir: impl AsRef<Path>) -> Result<Store, StorageError> {
+        Store::open_with(dir, Arc::new(StdVfs))
+    }
+
+    /// [`Store::open`] on an explicit [`Vfs`] — the seam the fault-injection
+    /// suites use to drive every I/O below through a `FaultVfs`.
+    pub fn open_with(dir: impl AsRef<Path>, vfs: Arc<dyn Vfs>) -> Result<Store, StorageError> {
         let dir = dir.as_ref().to_owned();
-        std::fs::create_dir_all(&dir).map_err(|e| StorageError::io(&dir, e))?;
+        vfs.create_dir_all(&dir)
+            .map_err(|e| StorageError::io(&dir, e))?;
         let manifest = dir.join("MANIFEST");
-        let (generation, manifest_epoch, manifest_seq) = match std::fs::read(&manifest) {
-            Ok(bytes) => read_manifest(&bytes, &manifest)?,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (0, 0, 1),
+        let manifest_state = match vfs.read(&manifest) {
+            Ok(bytes) => Some(read_manifest(&bytes, &manifest)?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
             Err(e) => return Err(StorageError::io(&manifest, e)),
         };
-        sweep_stale(&dir, generation);
+        if manifest_state.is_none() {
+            // No manifest: the only files a crash can legitimately leave
+            // here are generation 0's WAL plus orphans of a first
+            // checkpoint that died before its manifest swap — and those
+            // always coexist with `wal-0.log` (pruning runs after the
+            // swap). Snapshot/WAL files *without* `wal-0.log` are
+            // someone's data this manifest never pointed at; sweeping
+            // them would destroy it, so refuse with the file list.
+            check_stray_state(&*vfs, &dir)?;
+        }
+        let (generation, manifest_epoch, manifest_seq) = manifest_state.unwrap_or((0, 0, 1));
+        sweep_stale(&*vfs, &dir, generation);
         Ok(Store {
+            vfs,
             dir,
             generation,
             manifest_epoch,
@@ -126,6 +151,18 @@ impl Store {
     /// The data directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The [`Vfs`] this store performs all I/O through.
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        Arc::clone(&self.vfs)
+    }
+
+    /// Sequence number of the last batch folded into the live snapshot
+    /// generation plus the replayed WAL tail — i.e. the next append's
+    /// floor. Meaningful after [`Store::recover`].
+    pub fn next_seq(&self) -> u64 {
+        self.wal.as_ref().map_or(self.manifest_seq, Wal::next_seq)
     }
 
     /// WAL pressure since the last checkpoint: `(batches, payload bytes)`.
@@ -153,7 +190,10 @@ impl Store {
     pub fn recover(&mut self) -> Result<Recovered, StorageError> {
         let snapshot = if self.generation > 0 {
             let path = self.snapshot_path(self.generation);
-            let bytes = std::fs::read(&path).map_err(|e| StorageError::io(&path, e))?;
+            let bytes = self
+                .vfs
+                .read(&path)
+                .map_err(|e| StorageError::io(&path, e))?;
             let snap = decode_snapshot(&bytes, &path)?;
             if snap.epoch != self.manifest_epoch {
                 return Err(StorageError::corrupt(
@@ -168,7 +208,7 @@ impl Store {
         } else {
             None
         };
-        let mut wal = Wal::open_or_create(&self.wal_path(self.generation))?;
+        let mut wal = Wal::open_or_create(&self.vfs, &self.wal_path(self.generation))?;
         let batches = wal.replay_and_truncate()?;
         // The manifest's floor keeps sequence numbers globally monotone
         // even when the live WAL is empty (rotated at the last checkpoint,
@@ -183,6 +223,10 @@ impl Store {
 
     /// Append one acknowledged batch to the WAL (fsynced before this
     /// returns). Returns the batch's global sequence number.
+    ///
+    /// On failure the batch is guaranteed absent from the acknowledged
+    /// prefix and the WAL will roll any partial bytes back before the
+    /// next attempt — retrying this call is always safe.
     pub fn append_batch(&mut self, inserts: &[(Symbol, Vec<Value>)]) -> Result<u64, StorageError> {
         let wal = self.wal.as_mut().ok_or(StorageError::NotRecovered)?;
         let (seq, _bytes) = wal.append(inserts)?;
@@ -195,6 +239,10 @@ impl Store {
     /// WAL, then the manifest swap. Prunes superseded generations (their
     /// batches are folded into the new snapshot). Returns the new
     /// generation number.
+    ///
+    /// A failure anywhere before the manifest swap leaves the previous
+    /// generation fully live (orphans are swept at the next open), so the
+    /// caller may keep appending to the current WAL and retry later.
     pub fn checkpoint(&mut self, data: &SnapshotData) -> Result<u64, StorageError> {
         let old_wal_seq = match &self.wal {
             Some(wal) => wal.next_seq(),
@@ -207,33 +255,38 @@ impl Store {
         let tmp_path = self.dir.join(format!("snapshot-{gen}.tmp"));
         let bytes = encode_snapshot(data);
         {
-            let mut f = File::create(&tmp_path).map_err(|e| StorageError::io(&tmp_path, e))?;
+            let mut f = self
+                .vfs
+                .create(&tmp_path)
+                .map_err(|e| StorageError::io(&tmp_path, e))?;
             f.write_all(&bytes)
                 .and_then(|_| f.sync_all())
                 .map_err(|e| StorageError::io(&tmp_path, e))?;
         }
-        std::fs::rename(&tmp_path, &snap_path).map_err(|e| StorageError::io(&snap_path, e))?;
-        sync_dir(&self.dir)?;
+        self.vfs
+            .rename(&tmp_path, &snap_path)
+            .map_err(|e| StorageError::io(&snap_path, e))?;
+        sync_dir(&*self.vfs, &self.dir)?;
 
         // 2. Fresh WAL for the new generation; global seq numbering
         //    continues across the rotation.
         let wal_path = self.wal_path(gen);
-        let _ = std::fs::remove_file(&wal_path); // stale orphan from a crashed checkpoint
-        let mut wal = Wal::open_or_create(&wal_path)?;
+        let _ = self.vfs.remove_file(&wal_path); // stale orphan from a crashed checkpoint
+        let mut wal = Wal::open_or_create(&self.vfs, &wal_path)?;
         wal.set_next_seq(old_wal_seq);
 
         // 3. Manifest swap: after this rename (plus dir fsync) the new
         //    generation is the one recovery will trust. The sequence floor
         //    rides along so batch numbering survives the rotation across
         //    restarts.
-        write_manifest(&self.dir, gen, data.epoch, old_wal_seq)?;
+        write_manifest(&*self.vfs, &self.dir, gen, data.epoch, old_wal_seq)?;
 
         // 4. Prune the generation just superseded — best-effort: a
         //    leftover file is disk waste, not a correctness problem, and
         //    anything older was already removed by an earlier checkpoint
         //    or by `open`'s stale sweep.
-        let _ = std::fs::remove_file(self.snapshot_path(self.generation));
-        let _ = std::fs::remove_file(self.wal_path(self.generation));
+        let _ = self.vfs.remove_file(&self.snapshot_path(self.generation));
+        let _ = self.vfs.remove_file(&self.wal_path(self.generation));
 
         self.generation = gen;
         self.manifest_epoch = data.epoch;
@@ -244,17 +297,45 @@ impl Store {
     }
 }
 
+/// With no manifest present, any snapshot/WAL file not explained by the
+/// write protocol (see [`Store::open_with`]) makes the directory
+/// untrustworthy: return a typed error naming the files instead of
+/// sweeping them.
+fn check_stray_state(vfs: &dyn Vfs, dir: &Path) -> Result<(), StorageError> {
+    let Ok(names) = vfs.read_dir_names(dir) else {
+        return Ok(()); // unreadable dir surfaces as an Io error later
+    };
+    if names.iter().any(|n| n == "wal-0.log") {
+        return Ok(()); // a fresh store's own state, possibly mid-first-checkpoint
+    }
+    let mut strays: Vec<String> = names
+        .into_iter()
+        .filter(|n| {
+            let is_snap = n.starts_with("snapshot-") && n.ends_with(".snap");
+            let is_wal = n.starts_with("wal-") && n.ends_with(".log");
+            is_snap || is_wal
+        })
+        .collect();
+    if strays.is_empty() {
+        Ok(())
+    } else {
+        strays.sort();
+        Err(StorageError::StrayState {
+            dir: dir.display().to_string(),
+            files: strays,
+        })
+    }
+}
+
 /// Remove files that are not part of the live generation: superseded
 /// snapshots/WALs a crashed process never pruned, orphans of a checkpoint
 /// that crashed before its manifest swap, and stray temp files. One
-/// `read_dir` pass at open, so checkpoints stay O(1) in the store's age.
-fn sweep_stale(dir: &Path, live_gen: u64) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
+/// directory listing at open, so checkpoints stay O(1) in the store's age.
+fn sweep_stale(vfs: &dyn Vfs, dir: &Path, live_gen: u64) {
+    let Ok(names) = vfs.read_dir_names(dir) else {
         return;
     };
-    for entry in entries.flatten() {
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+    for name in names {
         let stale = if let Some(g) = name
             .strip_prefix("snapshot-")
             .and_then(|r| r.strip_suffix(".snap"))
@@ -269,22 +350,17 @@ fn sweep_stale(dir: &Path, live_gen: u64) {
             name.ends_with(".tmp")
         };
         if stale {
-            let _ = std::fs::remove_file(entry.path());
+            let _ = vfs.remove_file(&dir.join(&name));
         }
     }
 }
 
-fn sync_dir(dir: &Path) -> Result<(), StorageError> {
-    // Durability of renames/creates requires fsyncing the directory on
-    // Linux; on platforms where directories cannot be opened this is a
-    // no-op (the rename itself is still atomic).
-    if let Ok(d) = File::open(dir) {
-        d.sync_all().map_err(|e| StorageError::io(dir, e))?;
-    }
-    Ok(())
+fn sync_dir(vfs: &dyn Vfs, dir: &Path) -> Result<(), StorageError> {
+    vfs.sync_dir(dir).map_err(|e| StorageError::io(dir, e))
 }
 
 fn write_manifest(
+    vfs: &dyn Vfs,
     dir: &Path,
     generation: u64,
     epoch: u64,
@@ -305,13 +381,14 @@ fn write_manifest(
     let tmp = dir.join("MANIFEST.tmp");
     let path = dir.join("MANIFEST");
     {
-        let mut f = File::create(&tmp).map_err(|e| StorageError::io(&tmp, e))?;
+        let mut f = vfs.create(&tmp).map_err(|e| StorageError::io(&tmp, e))?;
         f.write_all(&bytes)
             .and_then(|_| f.sync_all())
             .map_err(|e| StorageError::io(&tmp, e))?;
     }
-    std::fs::rename(&tmp, &path).map_err(|e| StorageError::io(&path, e))?;
-    sync_dir(dir)
+    vfs.rename(&tmp, &path)
+        .map_err(|e| StorageError::io(&path, e))?;
+    sync_dir(vfs, dir)
 }
 
 fn read_manifest(bytes: &[u8], path: &Path) -> Result<(u64, u64, u64), StorageError> {
@@ -339,6 +416,7 @@ fn read_manifest(bytes: &[u8], path: &Path) -> Result<(u64, u64, u64), StorageEr
 mod tests {
     use super::*;
     use crate::snapshot::ViewSnapshot;
+    use crate::vfs::{FaultKind, FaultOp, FaultPlan, FaultVfs};
     use linrec_datalog::{Database, Relation};
     use std::sync::Arc;
 
@@ -523,6 +601,69 @@ mod tests {
         std::fs::remove_file(dir.join("snapshot-1.snap")).unwrap();
         let mut store = Store::open(&dir).unwrap();
         assert!(matches!(store.recover(), Err(StorageError::Io { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stray_files_without_a_generation_are_a_typed_error() {
+        // A populated directory whose MANIFEST vanished: the store must
+        // name the files it refuses to trust, not silently sweep them.
+        let dir = tmpdir("stray");
+        let mut store = Store::open(&dir).unwrap();
+        store.recover().unwrap();
+        store.checkpoint(&state(1, &[(1, 2)])).unwrap();
+        std::fs::remove_file(dir.join("MANIFEST")).unwrap();
+        match Store::open(&dir) {
+            Err(StorageError::StrayState { files, .. }) => {
+                assert_eq!(files, vec!["snapshot-1.snap", "wal-1.log"]);
+            }
+            Err(other) => panic!("expected StrayState, got {other:?}"),
+            Ok(_) => panic!("expected StrayState, got a store"),
+        }
+        // …and the files really survived the refused open.
+        assert!(dir.join("snapshot-1.snap").exists());
+        assert!(dir.join("wal-1.log").exists());
+
+        // But a crashed *first* checkpoint (orphans + wal-0.log, still no
+        // manifest) is the write protocol's own state: open proceeds and
+        // sweeps the orphans.
+        let dir2 = tmpdir("stray-wal0");
+        std::fs::create_dir_all(&dir2).unwrap();
+        let mut store = Store::open(&dir2).unwrap();
+        store.recover().unwrap();
+        store.append_batch(&pair_batch(1)).unwrap();
+        std::fs::write(dir2.join("snapshot-1.snap"), b"orphan").unwrap();
+        let mut store = Store::open(&dir2).unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.batches.len(), 1);
+        assert!(!dir2.join("snapshot-1.snap").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn failed_checkpoint_leaves_previous_generation_live() {
+        let dir = tmpdir("ckptfault");
+        // Rename 1 = snapshot-1 publish: dropping it must leave gen 0
+        // fully live and the WAL still appendable.
+        let fault =
+            FaultVfs::new(FaultPlan::none().fail_nth(FaultOp::Rename, 1, FaultKind::DropRename));
+        let vfs: Arc<dyn Vfs> = fault.clone();
+        let mut store = Store::open_with(&dir, vfs).unwrap();
+        store.recover().unwrap();
+        store.append_batch(&pair_batch(1)).unwrap();
+        assert!(store.checkpoint(&state(2, &[(1, 2)])).is_err());
+        assert_eq!(store.generation(), 0, "generation did not advance");
+        store.append_batch(&pair_batch(2)).unwrap();
+        drop(store);
+        // Cold restart on the clean filesystem: gen 0 + both batches.
+        let mut store = Store::open(&dir).unwrap();
+        assert_eq!(store.generation(), 0);
+        let rec = store.recover().unwrap();
+        assert!(rec.snapshot.is_none());
+        assert_eq!(rec.batches.len(), 2);
+        // The stranded temp file was swept at open.
+        assert!(!dir.join("snapshot-1.tmp").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

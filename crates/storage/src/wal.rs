@@ -24,14 +24,26 @@
 //! a later append can never land after garbage. A frame that passes its
 //! CRC but decodes to nonsense (bad tag, non-monotone sequence number) is
 //! not a torn write; it is corruption and surfaces as a typed error.
+//!
+//! # Failed appends and retry
+//!
+//! All I/O goes through the [`Vfs`] the [`Wal`] was opened with, and a
+//! *failed* append (short write, failed fsync, ENOSPC) may leave unknown
+//! bytes past the acknowledged prefix. The `Wal` tracks that with a dirty
+//! flag: the next append first **rolls back** — truncates the file to the
+//! last acknowledged frame and syncs — before writing anything new. A
+//! retried frame therefore never lands after garbage, which is what makes
+//! the service's retry-with-backoff policy safe: an append either becomes
+//! a durable frame at the end of the good prefix, or it leaves no
+//! acknowledged trace at all.
 
 use crate::crc::crc32;
 use crate::error::StorageError;
 use crate::snapshot::{ByteReader, ByteWriter};
+use crate::vfs::{Vfs, VfsFile};
 use linrec_datalog::{Symbol, Value};
-use std::fs::{File, OpenOptions};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 pub(crate) const WAL_MAGIC: [u8; 8] = *b"LINRWAL1";
 /// Current WAL format version.
@@ -57,12 +69,16 @@ pub struct Batch {
 
 /// An open WAL file positioned for appends.
 pub(crate) struct Wal {
-    file: File,
+    vfs: Arc<dyn Vfs>,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     /// Bytes of acknowledged frames past the file header.
     payload_bytes: u64,
     /// Sequence number the next append will carry.
     next_seq: u64,
+    /// A previous append failed partway: unknown bytes may trail the
+    /// acknowledged prefix, so the next append must roll back first.
+    dirty: bool,
 }
 
 fn encode_frame(seq: u64, inserts: &[(Symbol, Vec<Value>)]) -> Vec<u8> {
@@ -144,19 +160,13 @@ fn decode_frame(payload: &[u8], path: &Path) -> Result<Batch, StorageError> {
 }
 
 impl Wal {
-    /// Open `path` for appends, creating it (with a synced header) when
-    /// missing or empty.
-    pub(crate) fn open_or_create(path: &Path) -> Result<Wal, StorageError> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .append(true)
-            .create(true)
-            .open(path)
+    /// Open `path` for appends through `vfs`, creating it (with a synced
+    /// header) when missing or empty.
+    pub(crate) fn open_or_create(vfs: &Arc<dyn Vfs>, path: &Path) -> Result<Wal, StorageError> {
+        let mut file = vfs
+            .open_append(path)
             .map_err(|e| StorageError::io(path, e))?;
-        let len = file
-            .metadata()
-            .map_err(|e| StorageError::io(path, e))?
-            .len();
+        let len = vfs.file_len(path).map_err(|e| StorageError::io(path, e))?;
         if len == 0 {
             let mut header = Vec::with_capacity(WAL_HEADER_LEN);
             header.extend_from_slice(&WAL_MAGIC);
@@ -167,10 +177,12 @@ impl Wal {
                 .map_err(|e| StorageError::io(path, e))?;
         }
         Ok(Wal {
+            vfs: Arc::clone(vfs),
             file,
             path: path.to_owned(),
             payload_bytes: 0,
             next_seq: 1,
+            dirty: false,
         })
     }
 
@@ -178,7 +190,10 @@ impl Wal {
     /// Returns the batches in append order; afterwards the file ends at
     /// the last good frame and appends may resume.
     pub(crate) fn replay_and_truncate(&mut self) -> Result<Vec<Batch>, StorageError> {
-        let bytes = std::fs::read(&self.path).map_err(|e| StorageError::io(&self.path, e))?;
+        let bytes = self
+            .vfs
+            .read(&self.path)
+            .map_err(|e| StorageError::io(&self.path, e))?;
         if bytes.len() < WAL_HEADER_LEN || bytes[..8] != WAL_MAGIC {
             return Err(StorageError::corrupt(&self.path, "bad WAL header"));
         }
@@ -232,24 +247,47 @@ impl Wal {
         }
         self.payload_bytes = (good_end - WAL_HEADER_LEN) as u64;
         self.next_seq = last_seq + 1;
+        self.dirty = false;
         Ok(batches)
     }
 
     /// Append one batch and fsync; returns `(seq, frame_bytes)`. The
     /// caller must not acknowledge the batch before this returns.
+    ///
+    /// On failure the batch is guaranteed absent from the acknowledged
+    /// prefix, and the `Wal` remembers to roll back any partial bytes
+    /// before the next append — so the caller may simply retry.
     pub(crate) fn append(
         &mut self,
         inserts: &[(Symbol, Vec<Value>)],
     ) -> Result<(u64, u64), StorageError> {
+        if self.dirty {
+            // A previous append may have left partial bytes; cut the file
+            // back to the acknowledged prefix before writing anything.
+            let good = WAL_HEADER_LEN as u64 + self.payload_bytes;
+            self.file
+                .set_len(good)
+                .and_then(|_| self.file.sync_data())
+                .map_err(|e| StorageError::io(&self.path, e))?;
+            self.dirty = false;
+        }
         let seq = self.next_seq;
         let frame = encode_frame(seq, inserts);
-        self.file
+        match self
+            .file
             .write_all(&frame)
             .and_then(|_| self.file.sync_data())
-            .map_err(|e| StorageError::io(&self.path, e))?;
-        self.next_seq += 1;
-        self.payload_bytes += frame.len() as u64;
-        Ok((seq, frame.len() as u64))
+        {
+            Ok(()) => {
+                self.next_seq += 1;
+                self.payload_bytes += frame.len() as u64;
+                Ok((seq, frame.len() as u64))
+            }
+            Err(e) => {
+                self.dirty = true;
+                Err(StorageError::io(&self.path, e))
+            }
+        }
     }
 
     /// Bytes of acknowledged frames in the file (excluding the header).
@@ -273,6 +311,11 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultKind, FaultOp, FaultPlan, FaultVfs, StdVfs};
+
+    fn stdvfs() -> Arc<dyn Vfs> {
+        Arc::new(StdVfs)
+    }
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -296,7 +339,7 @@ mod tests {
     fn append_then_replay_round_trips() {
         let dir = tmpdir("roundtrip");
         let path = dir.join("wal-0.log");
-        let mut wal = Wal::open_or_create(&path).unwrap();
+        let mut wal = Wal::open_or_create(&stdvfs(), &path).unwrap();
         assert!(wal.replay_and_truncate().unwrap().is_empty());
         for i in 0..5 {
             let (seq, bytes) = wal.append(&batch(i)).unwrap();
@@ -304,7 +347,7 @@ mod tests {
             assert!(bytes > 8);
         }
         drop(wal);
-        let mut wal = Wal::open_or_create(&path).unwrap();
+        let mut wal = Wal::open_or_create(&stdvfs(), &path).unwrap();
         let replayed = wal.replay_and_truncate().unwrap();
         assert_eq!(replayed.len(), 5);
         for (i, b) in replayed.iter().enumerate() {
@@ -319,17 +362,17 @@ mod tests {
     fn torn_tail_is_truncated_and_appends_resume() {
         let dir = tmpdir("torn");
         let path = dir.join("wal-0.log");
-        let mut wal = Wal::open_or_create(&path).unwrap();
+        let mut wal = Wal::open_or_create(&stdvfs(), &path).unwrap();
         for i in 0..3 {
             wal.append(&batch(i)).unwrap();
         }
         let full = std::fs::metadata(&path).unwrap().len();
         drop(wal);
         // Tear the last frame mid-payload.
-        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
         f.set_len(full - 5).unwrap();
         drop(f);
-        let mut wal = Wal::open_or_create(&path).unwrap();
+        let mut wal = Wal::open_or_create(&stdvfs(), &path).unwrap();
         let replayed = wal.replay_and_truncate().unwrap();
         assert_eq!(replayed.len(), 2, "torn third frame dropped");
         // The file shrank to the good prefix and appends continue.
@@ -337,7 +380,7 @@ mod tests {
         assert!(truncated < full - 5);
         let (seq, _) = wal.append(&batch(9)).unwrap();
         assert_eq!(seq, 3, "seq continues after the surviving prefix");
-        let mut wal = Wal::open_or_create(&path).unwrap();
+        let mut wal = Wal::open_or_create(&stdvfs(), &path).unwrap();
         assert_eq!(wal.replay_and_truncate().unwrap().len(), 3);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -346,7 +389,7 @@ mod tests {
     fn flipped_byte_in_a_frame_ends_the_prefix_there() {
         let dir = tmpdir("flip");
         let path = dir.join("wal-0.log");
-        let mut wal = Wal::open_or_create(&path).unwrap();
+        let mut wal = Wal::open_or_create(&stdvfs(), &path).unwrap();
         let mut offsets = vec![std::fs::metadata(&path).unwrap().len()];
         for i in 0..4 {
             wal.append(&batch(i)).unwrap();
@@ -359,7 +402,7 @@ mod tests {
         let target = offsets[2] as usize + 12;
         bytes[target] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        let mut wal = Wal::open_or_create(&path).unwrap();
+        let mut wal = Wal::open_or_create(&stdvfs(), &path).unwrap();
         let replayed = wal.replay_and_truncate().unwrap();
         assert_eq!(replayed.len(), 2);
         assert_eq!(std::fs::metadata(&path).unwrap().len(), offsets[2]);
@@ -371,7 +414,7 @@ mod tests {
         let dir = tmpdir("header");
         let path = dir.join("wal-0.log");
         std::fs::write(&path, b"NOTAWAL!xxxxxxxx").unwrap();
-        let mut wal = Wal::open_or_create(&path).unwrap();
+        let mut wal = Wal::open_or_create(&stdvfs(), &path).unwrap();
         assert!(matches!(
             wal.replay_and_truncate(),
             Err(StorageError::Corrupt { .. })
@@ -383,12 +426,12 @@ mod tests {
     fn out_of_order_seq_is_corruption_not_tearing() {
         let dir = tmpdir("seq");
         let path = dir.join("wal-0.log");
-        let mut wal = Wal::open_or_create(&path).unwrap();
+        let mut wal = Wal::open_or_create(&stdvfs(), &path).unwrap();
         wal.append(&batch(0)).unwrap();
         wal.set_next_seq(1); // duplicate seq on the next frame
         wal.append(&batch(1)).unwrap();
         drop(wal);
-        let mut wal = Wal::open_or_create(&path).unwrap();
+        let mut wal = Wal::open_or_create(&stdvfs(), &path).unwrap();
         assert!(matches!(
             wal.replay_and_truncate(),
             Err(StorageError::Corrupt { .. })
@@ -400,17 +443,65 @@ mod tests {
     fn empty_batches_and_wide_tuples_round_trip() {
         let dir = tmpdir("shapes");
         let path = dir.join("wal-0.log");
-        let mut wal = Wal::open_or_create(&path).unwrap();
+        let mut wal = Wal::open_or_create(&stdvfs(), &path).unwrap();
         wal.append(&[]).unwrap();
         let wide: Vec<Value> = (0..9).map(Value::Int).collect();
         wal.append(&[(Symbol::new("wide"), wide.clone())]).unwrap();
         wal.append(&[(Symbol::new("unit"), Vec::new())]).unwrap();
-        let mut wal = Wal::open_or_create(&path).unwrap();
+        let mut wal = Wal::open_or_create(&stdvfs(), &path).unwrap();
         let replayed = wal.replay_and_truncate().unwrap();
         assert_eq!(replayed.len(), 3);
         assert!(replayed[0].inserts.is_empty());
         assert_eq!(replayed[1].inserts[0].1, wide);
         assert_eq!(replayed[2].inserts[0].1, Vec::<Value>::new());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_append_rolls_back_so_a_retry_lands_cleanly() {
+        let dir = tmpdir("rollback");
+        let path = dir.join("wal-0.log");
+        // Writes: 1 = header, 2 = first frame, 3 = second frame (torn).
+        let fault =
+            FaultVfs::new(FaultPlan::none().fail_nth(FaultOp::Write, 3, FaultKind::ShortWrite));
+        let vfs: Arc<dyn Vfs> = fault.clone();
+        let mut wal = Wal::open_or_create(&vfs, &path).unwrap();
+        wal.replay_and_truncate().unwrap();
+        wal.append(&batch(0)).unwrap();
+        let good = std::fs::metadata(&path).unwrap().len();
+        let err = wal.append(&batch(1)).unwrap_err();
+        assert!(matches!(err, StorageError::Io { .. }));
+        // Torn bytes really landed past the good prefix…
+        assert!(std::fs::metadata(&path).unwrap().len() > good);
+        // …but the retry rolls them back first, and the retried frame
+        // carries the same sequence number the failed attempt would have.
+        let (seq, _) = wal.append(&batch(1)).unwrap();
+        assert_eq!(seq, 2);
+        drop(wal);
+        let mut wal = Wal::open_or_create(&stdvfs(), &path).unwrap();
+        let replayed = wal.replay_and_truncate().unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[1].inserts, batch(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_fsync_after_a_full_write_still_rolls_back() {
+        let dir = tmpdir("fsyncfail");
+        let path = dir.join("wal-0.log");
+        // Syncs: 1 = header sync, 2 = first append sync (fails).
+        let fault = FaultVfs::new(FaultPlan::none().fail_nth(FaultOp::Sync, 2, FaultKind::Eio));
+        let vfs: Arc<dyn Vfs> = fault.clone();
+        let mut wal = Wal::open_or_create(&vfs, &path).unwrap();
+        wal.replay_and_truncate().unwrap();
+        // The frame's bytes hit the file, but the fsync failed, so the
+        // batch was never acknowledgeable; the retry must re-land it.
+        assert!(wal.append(&batch(0)).is_err());
+        let (seq, _) = wal.append(&batch(0)).unwrap();
+        assert_eq!(seq, 1);
+        drop(wal);
+        let mut wal = Wal::open_or_create(&stdvfs(), &path).unwrap();
+        assert_eq!(wal.replay_and_truncate().unwrap().len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -20,6 +20,7 @@
 //! linrec explain <file> <v1,v2,...>     derivation of one answer tuple
 //! linrec serve <file> [--tcp ADDR] [--threads N] [--data-dir DIR]
 //!               [--checkpoint-batches N] [--checkpoint-bytes B]
+//!               [--read-only] [--max-queue N] [--request-timeout-ms N]
 //!                                       long-lived incremental view service:
 //!                                       materialize the program's recursion,
 //!                                       maintain it under insert batches, and
@@ -61,6 +62,7 @@ fn usage() -> ExitCode {
     eprintln!("       linrec explain <file> <v1,v2,...>");
     eprintln!("       linrec serve <file> [--tcp ADDR] [--threads N] [--data-dir DIR]");
     eprintln!("                    [--checkpoint-batches N] [--checkpoint-bytes B] [--no-check]");
+    eprintln!("                    [--read-only] [--max-queue N] [--request-timeout-ms N]");
     eprintln!("       linrec figures [--dot]");
     eprintln!();
     eprintln!("  --threads N   engine threads for parallel fixpoint rounds (and,");
@@ -69,6 +71,10 @@ fn usage() -> ExitCode {
     eprintln!("  --data-dir DIR");
     eprintln!("                durable serving: WAL every committed batch, checkpoint");
     eprintln!("                arena snapshots, crash-recover on restart");
+    eprintln!("  --read-only   serve queries only; commits answer `err read-only`");
+    eprintln!("  --max-queue N writers allowed to queue before `err busy` (0 = unbounded)");
+    eprintln!("  --request-timeout-ms N");
+    eprintln!("                writer-lock deadline per commit; expiry answers `err timeout`");
     eprintln!("  --no-check    skip the deny-by-default static analysis gate (run/serve");
     eprintln!("                refuse programs with error-severity findings otherwise)");
     ExitCode::from(2)
@@ -314,16 +320,19 @@ fn explain(path: &str, tuple: &str) -> Result<(), String> {
 /// and a restart recovers from the newest checkpoint plus the WAL tail.
 fn serve(path: &str, args: &[String]) -> Result<(), String> {
     use linrec::service::{
-        open_durable, serve_lines, serve_tcp, CheckpointPolicy, ViewDef, ViewService, WorkerPool,
+        open_durable, serve_lines, serve_tcp, spawn_degraded_probe, CheckpointPolicy,
+        ServiceLimits, ViewDef, ViewService, WorkerPool,
     };
     use std::sync::Arc;
 
     let (args, no_check) = strip_flag(args, "--no-check");
+    let (args, read_only) = strip_flag(&args, "--read-only");
     let (rest, par) = parse_threads(&args)?;
     let threads = par.threads();
     let mut tcp: Option<String> = None;
     let mut data_dir: Option<String> = None;
     let mut policy = CheckpointPolicy::default();
+    let mut limits = ServiceLimits::default();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -352,6 +361,19 @@ fn serve(path: &str, args: &[String]) -> Result<(), String> {
                     .next()
                     .and_then(|n| n.parse().ok())
                     .ok_or_else(|| "--checkpoint-bytes needs a number".to_owned())?;
+            }
+            "--max-queue" => {
+                limits.max_queue = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| "--max-queue needs a number".to_owned())?;
+            }
+            "--request-timeout-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| "--request-timeout-ms needs a number".to_owned())?;
+                limits.request_timeout = Some(std::time::Duration::from_millis(ms));
             }
             other => return Err(format!("unknown serve flag {other:?}")),
         }
@@ -398,6 +420,15 @@ fn serve(path: &str, args: &[String]) -> Result<(), String> {
             service
         }
     };
+    service.set_limits(limits);
+    if read_only {
+        service.set_read_only(true);
+        eprintln!("read-only: commits answer `err read-only`; queries serve normally");
+    }
+    // A durable service heals itself: if a storage fault degrades it to
+    // read-only, this probe re-opens the store once the fault clears (a
+    // write arriving in the meantime probes inline, too).
+    let _probe = spawn_degraded_probe(&service, limits.probe_interval);
     let snapshot = service.snapshot();
     let info = snapshot.view(&name).expect("view just registered");
     eprintln!(

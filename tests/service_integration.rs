@@ -160,3 +160,59 @@ fn tcp_front_end_round_trips() {
     // The server thread blocks in accept(); leak it rather than join.
     drop(server);
 }
+
+#[test]
+fn a_panicking_tcp_session_leaves_concurrent_sessions_serving() {
+    // One client triggers a deliberate in-handler panic (the `inject`
+    // test command, enabled via LINREC_FAULT_INJECTION). The blast
+    // radius must be exactly that session: it gets a typed `err internal`
+    // line and a closed connection, the pool worker survives, and other
+    // concurrent sessions — including ones accepted afterwards on the
+    // same worker — keep reading and committing.
+    std::env::set_var("LINREC_FAULT_INJECTION", "1");
+    let service = chain_service(5);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let server = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            // One worker: if the panic killed it, every later connect
+            // below would hang instead of being served.
+            let pool = WorkerPool::new(1);
+            let _ = serve_tcp(service, listener, &pool);
+        })
+    };
+    let send = |commands: &str| -> Vec<String> {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().unwrap();
+        let reader = BufReader::new(stream);
+        writer.write_all(commands.as_bytes()).unwrap();
+        writer.flush().unwrap();
+        reader.lines().map(|l| l.unwrap()).collect()
+    };
+
+    let replies = send("count tc\ninject panic\nnever reached\n");
+    assert_eq!(replies[0], "ok count 15");
+    assert_eq!(
+        replies[1],
+        "err internal request handler panicked; closing session"
+    );
+    assert_eq!(replies.len(), 2, "session must close after the panic");
+
+    // The single worker survived the panic: fresh sessions serve, write,
+    // and observe a consistent service.
+    for round in 0..3 {
+        let replies = send(&format!(
+            "ready\ninsert e {} {}\ncommit\nquit\n",
+            5 + round,
+            6 + round
+        ));
+        assert_eq!(replies[0], "ok ready", "round {round}: {replies:?}");
+        assert!(
+            replies[2].starts_with(&format!("ok epoch {}", 2 + round)),
+            "round {round}: {replies:?}"
+        );
+    }
+    assert_eq!(service.snapshot().epoch, 4);
+    drop(server);
+}

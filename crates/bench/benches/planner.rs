@@ -245,6 +245,82 @@ fn bench_incremental(c: &mut Criterion) {
     group.finish();
 }
 
+/// PR 8 observability overhead: the same 1k-chain 1% maintenance batch as
+/// `incremental/maintain/1000`, run with the metrics/tracing layer enabled
+/// (the default) and with `linrec_obs::set_enabled(false)` — same binary,
+/// same run, so the difference is exactly the instrumentation cost
+/// (acceptance target < 2%). A primitive microbench rides along to pin
+/// the per-operation costs the budget is built from.
+fn bench_observability(c: &mut Criterion) {
+    use linrec_datalog::hash::FastMap;
+    use linrec_datalog::{Symbol, Value};
+    use linrec_service::{MaintenanceMode, ViewDef};
+    use std::sync::Arc;
+
+    let mut group = c.benchmark_group("observability");
+    group.sample_size(10);
+    let n = 1000i64;
+    let rules = vec![rules::tc_right()];
+    let mut db = linrec_engine::workload::graph_db("q", workload::chain(n));
+    let def = ViewDef {
+        name: "tc".into(),
+        rules,
+        seed: Symbol::new("q"),
+    };
+    let mut view = linrec_service::MaintainedView::register(def, &db).unwrap();
+    assert_eq!(view.mode(), &MaintenanceMode::Incremental);
+    let (materialized, _) = view.materialize(&db).unwrap();
+    let materialized = Arc::new(materialized);
+    let mut delta = linrec_datalog::Relation::new(2);
+    for i in 0..10 {
+        let t = [Value::Int(n + i), Value::Int(n + i + 1)];
+        db.insert_tuple(Symbol::new("q"), t);
+        delta.insert(t);
+    }
+    let mut deltas: FastMap<Symbol, Arc<linrec_datalog::Relation>> = FastMap::default();
+    deltas.insert(Symbol::new("q"), Arc::new(delta));
+
+    linrec_obs::set_enabled(true);
+    group.bench_function("maintain_instrumented/1000", |b| {
+        b.iter(|| {
+            view.maintain(&materialized, &db, &deltas)
+                .unwrap()
+                .relation
+                .unwrap()
+        })
+    });
+    linrec_obs::set_enabled(false);
+    group.bench_function("maintain_disabled/1000", |b| {
+        b.iter(|| {
+            view.maintain(&materialized, &db, &deltas)
+                .unwrap()
+                .relation
+                .unwrap()
+        })
+    });
+    linrec_obs::set_enabled(true);
+
+    // Primitive costs: one counter bump, one histogram observation, one
+    // full span open/attr/close through the flight recorder.
+    let counter = linrec_obs::counter("bench_obs_counter_total");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    let hist = linrec_obs::histogram("bench_obs_hist_ns");
+    let mut v = 0u64;
+    group.bench_function("histogram_observe", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            hist.observe(v >> 40)
+        })
+    });
+    group.bench_function("span_record", |b| {
+        b.iter(|| {
+            let mut sp = linrec_obs::span("bench.span");
+            sp.attr("k", 1);
+        })
+    });
+    group.finish();
+}
+
 /// Thread count for the N-thread side of the parallel groups: the
 /// engine's own resolution (`LINREC_THREADS` or available parallelism),
 /// floored at 4 so the acceptance comparison ("4+ threads vs 1 thread,
@@ -510,7 +586,8 @@ criterion_group!(
     bench_incremental,
     bench_parallel,
     bench_persistence,
-    bench_hardening
+    bench_hardening,
+    bench_observability
 );
 
 /// PR 1 seed-engine medians (ns) for the headline workloads, measured on
@@ -677,10 +754,76 @@ fn write_pr7_summary(c: &Criterion) {
     }
 }
 
+/// PR 8 summary: `BENCH_pr8.json` pins the observability cost — the same
+/// 1k-chain maintenance batch with instrumentation enabled vs disabled in
+/// the same binary and run (acceptance target: overhead < 2%), plus the
+/// primitive per-operation costs the budget decomposes into.
+fn write_pr8_summary(c: &Criterion) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr8.json");
+    let measurements = c.measurements();
+    let median = |needle: &str| {
+        measurements
+            .iter()
+            .find(|(id, _, _)| id == needle)
+            .map(|&(_, m, _)| m)
+    };
+    let subset: Vec<_> = measurements
+        .iter()
+        .filter(|(id, _, _)| id.starts_with("observability/"))
+        .collect();
+    let mut out = String::from("{\n  \"meta\": {\n");
+    out.push_str(
+        "    \"note\": \"instrumented vs disabled is same-binary same-run: the only \
+         difference is linrec_obs::set_enabled, so the delta is the metrics+tracing cost \
+         on the 1k-chain 1% maintenance batch\"\n",
+    );
+    out.push_str("  },\n  \"results\": {\n");
+    for (i, (id, m, samples)) in subset.iter().enumerate() {
+        let comma = if i + 1 == subset.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    \"{id}\": {{\"median_ns\": {m:.0}, \"samples\": {samples}}}{comma}"
+        );
+    }
+    out.push_str("  },\n  \"derived\": {\n");
+    let on = median("observability/maintain_instrumented/1000");
+    let off = median("observability/maintain_disabled/1000");
+    let overhead_pct = match (on, off) {
+        (Some(on), Some(off)) if off > 0.0 => ((on - off) / off * 100.0).max(0.0),
+        _ => 0.0,
+    };
+    let _ = writeln!(
+        out,
+        "    \"instrumentation_overhead_pct\": {overhead_pct:.3},"
+    );
+    let prim = |id: &str| median(id).unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "    \"counter_inc_ns\": {:.1},",
+        prim("observability/counter_inc")
+    );
+    let _ = writeln!(
+        out,
+        "    \"histogram_observe_ns\": {:.1},",
+        prim("observability/histogram_observe")
+    );
+    let _ = writeln!(
+        out,
+        "    \"span_record_ns\": {:.1}",
+        prim("observability/span_record")
+    );
+    out.push_str("  }\n}\n");
+    match std::fs::write(path, &out) {
+        Ok(()) => eprintln!("planner bench: wrote {path}"),
+        Err(e) => eprintln!("planner bench: cannot write {path}: {e}"),
+    }
+}
+
 fn main() {
     let mut c = Criterion::default();
     benches(&mut c);
     write_summary(&c);
     write_pr7_summary(&c);
+    write_pr8_summary(&c);
     criterion::__finalize(&c);
 }

@@ -146,6 +146,9 @@ impl RelCache {
         if self.cols[col].is_some() {
             return;
         }
+        if linrec_obs::enabled() {
+            crate::profile::join().col_index_builds.inc();
+        }
         let mut idx: FastMap<Value, Vec<u32>> = FastMap::default();
         for r in 0..self.rows {
             idx.entry(self.arena[r * self.arity + col])
@@ -232,6 +235,9 @@ impl Indexes {
         let arity_ok = cache.arity == atom.arity();
         if built {
             self.generation = next_gen;
+            if linrec_obs::enabled() {
+                crate::profile::join().scan_builds.inc();
+            }
         }
         arity_ok.then_some(built_at)
     }

@@ -956,6 +956,45 @@ pub struct TraceStep {
     pub label: String,
     /// That phase's statistics.
     pub stats: EvalStats,
+    /// Wall time of the phase in ns (0 when instrumentation is off).
+    pub nanos: u64,
+}
+
+/// Instruments one plan phase: opens a `plan.node` span before the phase
+/// runs and, on [`Phase::finish`], stamps the wall time into the
+/// [`TraceStep`] and the `linrec_engine_plan_node_ns` histogram.
+struct Phase {
+    sp: linrec_obs::Span,
+    start: Option<std::time::Instant>,
+}
+
+impl Phase {
+    fn begin(node: &'static str) -> Phase {
+        let mut sp = linrec_obs::span("plan.node");
+        sp.attr("node", node);
+        Phase {
+            sp,
+            start: linrec_obs::enabled().then(std::time::Instant::now),
+        }
+    }
+
+    fn finish(mut self, label: String, stats: EvalStats) -> TraceStep {
+        let nanos = self
+            .start
+            .map(|t| t.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
+        if self.start.is_some() {
+            crate::profile::plan().node_ns.observe(nanos);
+            self.sp.attr("label", &label);
+            self.sp.attr("derivations", stats.derivations);
+            self.sp.attr("tuples", stats.tuples);
+        }
+        TraceStep {
+            label,
+            stats,
+            nanos,
+        }
+    }
 }
 
 impl Plan {
@@ -1190,6 +1229,17 @@ impl Plan {
     ) -> Result<ExecOutcome, StrategyError> {
         let outcome = self.execute(db, init)?;
         self.actual = Some(outcome.stats);
+        // Calibration drift: estimated over actual derivations, ×1000
+        // (1000 = perfect). Observed whenever feedback execution closes
+        // the loop, so the histogram tracks drift across the fleet of
+        // plans, not one.
+        if linrec_obs::enabled() {
+            if let Some(est) = self.estimate {
+                let actual = outcome.stats.derivations.max(1) as f64;
+                let permille = (est / actual * 1000.0).clamp(0.0, u64::MAX as f64) as u64;
+                crate::profile::plan().estimate_actual.observe(permille);
+            }
+        }
         Ok(outcome)
     }
 
@@ -1302,41 +1352,42 @@ impl Plan {
     ) -> Result<(Relation, EvalStats), StrategyError> {
         match &self.node {
             PlanNode::Direct { rules } => {
+                let phase = Phase::begin("direct");
                 let (rel, stats) = seminaive_star_par_in(rules, db, init, indexes, &self.par);
-                trace.push(TraceStep {
-                    label: format!("semi-naive star over {} rule(s)", rules.len()),
+                trace.push(phase.finish(
+                    format!("semi-naive star over {} rule(s)", rules.len()),
                     stats,
-                });
+                ));
                 Ok((rel, stats))
             }
             PlanNode::Naive { rules } => {
+                let phase = Phase::begin("naive");
                 let (rel, stats) = naive_star(rules, db, init);
-                trace.push(TraceStep {
-                    label: format!("naive fixpoint over {} rule(s)", rules.len()),
+                trace.push(phase.finish(
+                    format!("naive fixpoint over {} rule(s)", rules.len()),
                     stats,
-                });
+                ));
                 Ok((rel, stats))
             }
             PlanNode::BoundedPrefix { cert } => {
+                let phase = Phase::begin("bounded-prefix");
                 let (rel, stats) =
                     bounded_prefix_in(cert.rule(), db, init, cert.applications(), indexes);
-                trace.push(TraceStep {
-                    label: format!("bounded prefix (≤ {} applications)", cert.applications()),
+                trace.push(phase.finish(
+                    format!("bounded prefix (≤ {} applications)", cert.applications()),
                     stats,
-                });
+                ));
                 Ok((rel, stats))
             }
             PlanNode::Decomposed { cert } => {
                 let mut stats = EvalStats::default();
                 let mut current = init.clone();
                 for cluster in cert.clusters().iter().rev() {
+                    let phase = Phase::begin("decomposed-cluster");
                     let group: Vec<LinearRule> =
                         cluster.iter().map(|&i| cert.rules()[i].clone()).collect();
                     let (next, s) = seminaive_star_par_in(&group, db, &current, indexes, &self.par);
-                    trace.push(TraceStep {
-                        label: format!("star of cluster {cluster:?}"),
-                        stats: s,
-                    });
+                    trace.push(phase.finish(format!("star of cluster {cluster:?}"), s));
                     stats += s;
                     current = next;
                 }
@@ -1358,15 +1409,16 @@ impl Plan {
             }
             PlanNode::SelectAfter { inner, sel } => {
                 let (rel, mut stats) = inner.run(db, init, trace, indexes)?;
+                let phase = Phase::begin("select-after");
                 let out = sel.apply(&rel);
                 stats.tuples = out.len();
-                trace.push(TraceStep {
-                    label: format!("selection σ {:?}", sel.bindings()),
-                    stats: EvalStats {
+                trace.push(phase.finish(
+                    format!("selection σ {:?}", sel.bindings()),
+                    EvalStats {
                         tuples: out.len(),
                         ..EvalStats::default()
                     },
-                });
+                ));
                 Ok((out, stats))
             }
         }
@@ -1396,29 +1448,26 @@ fn exec_separable(
     let (selected, mut stats) = if magic_applicable(inner, sel) {
         // The magic phase runs over an augmented scratch database, so it
         // keeps its own internal cache rather than sharing `indexes`.
+        let phase = Phase::begin("separable-inner-magic");
         let (rel, s) = eval_selected_star(inner, db, init, sel);
-        trace.push(TraceStep {
-            label: "σ-pushed inner star (magic frontier)".to_owned(),
-            stats: s,
-        });
+        trace.push(phase.finish("σ-pushed inner star (magic frontier)".to_owned(), s));
         (rel, s)
     } else {
+        let phase = Phase::begin("separable-inner");
         let (full, mut s) =
             seminaive_star_par_in(std::slice::from_ref(inner), db, init, indexes, par);
         let rel = sel.apply(&full);
         s.tuples = rel.len();
-        trace.push(TraceStep {
-            label: "inner star, then σ (push-down not applicable)".to_owned(),
-            stats: s,
-        });
+        trace.push(phase.finish(
+            "inner star, then σ (push-down not applicable)".to_owned(),
+            s,
+        ));
         (rel, s)
     };
+    let phase = Phase::begin("separable-outer");
     let (result, s2) =
         seminaive_star_par_in(std::slice::from_ref(outer), db, &selected, indexes, par);
-    trace.push(TraceStep {
-        label: "outer star over the selected relation".to_owned(),
-        stats: s2,
-    });
+    trace.push(phase.finish("outer star over the selected relation".to_owned(), s2));
     stats += s2;
     // σ commutes with `outer`, so the result is already σ-selected; apply
     // once more for belt and braces (cheap, and keeps the contract obvious).
@@ -1453,17 +1502,16 @@ fn exec_redundancy_bounded(
     let mut stats = EvalStats::default();
 
     // Part 1: Σ_{m=0}^{KL-1} Aᵐ q.
+    let phase = Phase::begin("redundancy-prefix");
     let (mut result, s1) = bounded_prefix_in(rule, db, init, k * l - 1, indexes);
-    trace.push(TraceStep {
-        label: format!("prefix Σ_{{m<{}}} Aᵐ q", k * l),
-        stats: s1,
-    });
+    trace.push(phase.finish(format!("prefix Σ_{{m<{}}} Aᵐ q", k * l), s1));
     stats += s1;
 
     // (Bᴾ)* is evaluated with the composed rule Bᴾ.
     let b_period = linrec_cq::power(&dec.b, period)?;
 
     // Part 2 inner sums.
+    let phase = Phase::begin("redundancy-branches");
     let branch_stats_before = stats;
     let mut acc = Relation::new(rule.arity());
     let mut img = exact_power_in(&dec.b, db, init, k - 1, &mut stats, indexes); // B^{K-1} q
@@ -1491,13 +1539,13 @@ fn exec_redundancy_bounded(
         branch.applications -= branch_stats_before.applications;
         branch.derivations -= branch_stats_before.derivations;
         branch.duplicates -= branch_stats_before.duplicates;
-        trace.push(TraceStep {
-            label: format!(
+        trace.push(phase.finish(
+            format!(
                 "{period} periodic branch(es) with C bounded at {} applications",
                 (n - 1) * l
             ),
-            stats: branch,
-        });
+            branch,
+        ));
     }
 
     stats.tuples = result.len();

@@ -1,0 +1,99 @@
+//! Profiling hooks: the engine's metric handles in the global
+//! [`linrec_obs`] registry.
+//!
+//! The paper's §3.1 cost measures (derivations, duplicates, iterations)
+//! are counted per evaluation in [`crate::EvalStats`]; this module
+//! aggregates them process-wide and attributes **wall time** to the
+//! places it is actually spent:
+//!
+//! * per semi-naive **round** — `linrec_engine_round_ns` /
+//!   `linrec_engine_round_delta_tuples` (one histogram sample per round);
+//! * per parallel-round **phase** — `..._par_prepare_ns`,
+//!   `..._par_probe_ns` (one sample per shard), `..._par_merge_ns`;
+//! * per **plan node** — `linrec_engine_plan_node_ns` plus a `nanos`
+//!   field on every [`crate::TraceStep`];
+//! * cost-model **calibration drift** —
+//!   `linrec_engine_estimate_actual_permille`, the planner's estimated
+//!   over actual derivations ×1000, recorded whenever feedback execution
+//!   observes the actual cost (1000 = perfectly calibrated).
+//!
+//! Handles are resolved once through a `OnceLock` and then shared
+//! atomics; instrumentation sites additionally gate on
+//! [`linrec_obs::enabled`] before taking clocks, so the disabled cost is
+//! one relaxed load per site.
+
+use linrec_obs::{Counter, Histogram};
+use std::sync::OnceLock;
+
+/// Metric handles for fixpoint rounds and parallel-round phases.
+pub struct RoundProfile {
+    /// Wall time of one semi-naive round (ns).
+    pub round_ns: Histogram,
+    /// Input-delta size of one semi-naive round (tuples).
+    pub round_delta: Histogram,
+    /// Parallel-round prepare phase (ns, one sample per parallel round).
+    pub prepare_ns: Histogram,
+    /// Parallel-round probe phase (ns, one sample per shard).
+    pub probe_ns: Histogram,
+    /// Parallel-round merge phase (ns, one sample per parallel round).
+    pub merge_ns: Histogram,
+    /// Semi-naive rounds executed.
+    pub rounds: Counter,
+    /// Fixpoint evaluations (star or resume) completed.
+    pub fixpoints: Counter,
+    /// Tuple derivations (paper §3.1).
+    pub derivations: Counter,
+    /// Duplicate derivations (paper §3.1).
+    pub duplicates: Counter,
+}
+
+/// The engine's round-level metric handles (registered on first use).
+pub fn rounds() -> &'static RoundProfile {
+    static HANDLES: OnceLock<RoundProfile> = OnceLock::new();
+    HANDLES.get_or_init(|| RoundProfile {
+        round_ns: linrec_obs::histogram("linrec_engine_round_ns"),
+        round_delta: linrec_obs::histogram("linrec_engine_round_delta_tuples"),
+        prepare_ns: linrec_obs::histogram("linrec_engine_par_prepare_ns"),
+        probe_ns: linrec_obs::histogram("linrec_engine_par_probe_ns"),
+        merge_ns: linrec_obs::histogram("linrec_engine_par_merge_ns"),
+        rounds: linrec_obs::counter("linrec_engine_rounds_total"),
+        fixpoints: linrec_obs::counter("linrec_engine_fixpoints_total"),
+        derivations: linrec_obs::counter("linrec_engine_derivations_total"),
+        duplicates: linrec_obs::counter("linrec_engine_duplicates_total"),
+    })
+}
+
+/// Metric handles for the join layer's scan/index cache (cold paths:
+/// one event per relation rebuild, never per tuple).
+pub struct JoinProfile {
+    /// Relation scans (re)materialized into the cache.
+    pub scan_builds: Counter,
+    /// Column indexes built on cached scans.
+    pub col_index_builds: Counter,
+}
+
+/// The engine's join-cache metric handles (registered on first use).
+pub fn join() -> &'static JoinProfile {
+    static HANDLES: OnceLock<JoinProfile> = OnceLock::new();
+    HANDLES.get_or_init(|| JoinProfile {
+        scan_builds: linrec_obs::counter("linrec_engine_scan_builds_total"),
+        col_index_builds: linrec_obs::counter("linrec_engine_col_index_builds_total"),
+    })
+}
+
+/// Metric handles for plan-node execution and cost-model calibration.
+pub struct PlanProfile {
+    /// Wall time of one executed plan node (ns).
+    pub node_ns: Histogram,
+    /// Planner estimate ÷ actual derivations, ×1000 (1000 = calibrated).
+    pub estimate_actual: Histogram,
+}
+
+/// The engine's plan-level metric handles (registered on first use).
+pub fn plan() -> &'static PlanProfile {
+    static HANDLES: OnceLock<PlanProfile> = OnceLock::new();
+    HANDLES.get_or_init(|| PlanProfile {
+        node_ns: linrec_obs::histogram("linrec_engine_plan_node_ns"),
+        estimate_actual: linrec_obs::histogram("linrec_engine_estimate_actual_permille"),
+    })
+}

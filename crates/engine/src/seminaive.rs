@@ -49,9 +49,28 @@
 
 use crate::join::{apply_linear, apply_linear_rows, partition_col, prepare_rules, Indexes};
 use crate::parallel::Parallelism;
+use crate::profile;
 use crate::stats::EvalStats;
 use linrec_datalog::{Database, LinearRule, Relation, ShardView};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Close out a fixpoint: fold the evaluation's stats into the engine
+/// counters and annotate its span (no-op when instrumentation is off).
+fn finish_fixpoint(sp: &mut linrec_obs::Span, stats: &EvalStats) {
+    if !linrec_obs::enabled() {
+        return;
+    }
+    let prof = profile::rounds();
+    prof.fixpoints.inc();
+    prof.rounds.inc_by(stats.iterations as u64);
+    prof.derivations.inc_by(stats.derivations);
+    prof.duplicates.inc_by(stats.duplicates);
+    sp.attr("rounds", stats.iterations);
+    sp.attr("derivations", stats.derivations);
+    sp.attr("duplicates", stats.duplicates);
+    sp.attr("tuples", stats.tuples);
+}
 
 /// Semi-naive least fixpoint of `init ∪ Σᵢ Aᵢ(P)`.
 pub fn seminaive_star(
@@ -102,13 +121,24 @@ pub fn seminaive_resume_in(
     round_cap: Option<usize>,
     indexes: &mut Indexes,
 ) -> EvalStats {
+    let mut sp = linrec_obs::span("engine.fixpoint");
+    let prof = linrec_obs::enabled().then(profile::rounds);
+    let mut round_start = prof.map(|_| Instant::now());
     let mut stats = EvalStats::default();
     while !delta.is_empty() && round_cap.is_none_or(|cap| stats.iterations < cap) {
         stats.iterations += 1;
+        let delta_in = delta.len() as u64;
         delta = sequential_round(rules, db, total, &delta, indexes, &mut stats);
+        if let (Some(p), Some(t0)) = (prof, round_start) {
+            let now = Instant::now();
+            p.round_ns.observe((now - t0).as_nanos() as u64);
+            p.round_delta.observe(delta_in);
+            round_start = Some(now);
+        }
         total.union_in_place(&delta);
     }
     stats.tuples = total.len();
+    finish_fixpoint(&mut sp, &stats);
     stats
 }
 
@@ -172,13 +202,25 @@ pub fn seminaive_resume_par_in(
     if !par.is_parallel() {
         return seminaive_resume_in(rules, db, total, delta, round_cap, indexes);
     }
+    let mut sp = linrec_obs::span("engine.fixpoint");
+    sp.attr("par", par.threads());
+    let prof = linrec_obs::enabled().then(profile::rounds);
+    let mut round_start = prof.map(|_| Instant::now());
     let mut stats = EvalStats::default();
     while !delta.is_empty() && round_cap.is_none_or(|cap| stats.iterations < cap) {
         stats.iterations += 1;
+        let delta_in = delta.len() as u64;
         delta = seminaive_round_par(rules, db, total, delta, indexes, par, &mut stats);
+        if let (Some(p), Some(t0)) = (prof, round_start) {
+            let now = Instant::now();
+            p.round_ns.observe((now - t0).as_nanos() as u64);
+            p.round_delta.observe(delta_in);
+            round_start = Some(now);
+        }
         total.union_in_place(&delta);
     }
     stats.tuples = total.len();
+    finish_fixpoint(&mut sp, &stats);
     stats
 }
 
@@ -203,7 +245,18 @@ pub fn seminaive_round_par(
         return sequential_round(rules, db, total, &delta, indexes, stats);
     };
     // Prepare: all cache mutation happens here, on this thread.
-    let prepared = prepare_rules(rules, delta.arity(), db, indexes);
+    let obs_on = linrec_obs::enabled();
+    let prepared = {
+        let _sp = linrec_obs::span("round.prepare");
+        let t0 = obs_on.then(Instant::now);
+        let prepared = prepare_rules(rules, delta.arity(), db, indexes);
+        if let Some(t0) = t0 {
+            profile::rounds()
+                .prepare_ns
+                .observe(t0.elapsed().as_nanos() as u64);
+        }
+        prepared
+    };
 
     // Share the round-frozen state with the workers. Nothing is copied:
     // the relations and the cache are *moved* behind `Arc`s and moved
@@ -215,16 +268,22 @@ pub fn seminaive_round_par(
 
     // Probe: one job per non-empty shard; each evaluates every rule body
     // read-only, pre-filtered against the frozen total.
+    let ctx = linrec_obs::trace::context();
     let receivers: Vec<_> = ShardView::partition(&delta_arc, partition_col(rules), pool.threads())
         .into_iter()
         .filter(|shard| !shard.is_empty())
-        .map(|shard| {
+        .enumerate()
+        .map(|(shard_no, shard)| {
             let rules = Arc::clone(&rules_arc);
             let idx = Arc::clone(&idx_arc);
             let frozen = Arc::clone(&total_arc);
             let flags = prepared.clone();
             pool.submit(move || {
-                rules
+                let _g = ctx.enter();
+                let mut sp = linrec_obs::span("round.probe");
+                sp.attr("shard", shard_no);
+                let t0 = linrec_obs::enabled().then(Instant::now);
+                let out = rules
                     .iter()
                     .zip(&flags)
                     .map(|(rule, &ok)| {
@@ -234,7 +293,13 @@ pub fn seminaive_round_par(
                             (Relation::new(rule.head().arity()), 0)
                         }
                     })
-                    .collect::<Vec<(Relation, u64)>>()
+                    .collect::<Vec<(Relation, u64)>>();
+                if let Some(t0) = t0 {
+                    profile::rounds()
+                        .probe_ns
+                        .observe(t0.elapsed().as_nanos() as u64);
+                }
+                out
             })
         })
         .collect();
@@ -258,6 +323,8 @@ pub fn seminaive_round_par(
     // Merge, rule-major so per-rule attribution matches the sequential
     // loop: a tuple derived by several rules counts as new for the first
     // and as a duplicate for the rest.
+    let _sp = linrec_obs::span("round.merge");
+    let t0 = obs_on.then(Instant::now);
     let mut next_delta = Relation::new(total.arity());
     for r in 0..rules.len() {
         let mut derivs = 0u64;
@@ -272,6 +339,11 @@ pub fn seminaive_round_par(
             }
         }
         stats.record(derivs, new);
+    }
+    if let Some(t0) = t0 {
+        profile::rounds()
+            .merge_ns
+            .observe(t0.elapsed().as_nanos() as u64);
     }
     next_delta
 }

@@ -27,11 +27,18 @@ pub struct EvalStats {
 
 impl EvalStats {
     /// Record an operator application that matched `derived` bindings of
-    /// which `new` produced previously unknown tuples.
+    /// which `new` produced previously unknown tuples. `new > derived`
+    /// would be a caller bug (a "new" tuple that was never derived):
+    /// debug builds assert, release builds saturate the duplicate count
+    /// at zero rather than wrapping.
     pub fn record(&mut self, derived: u64, new: u64) {
+        debug_assert!(
+            new <= derived,
+            "EvalStats::record: new ({new}) exceeds derived ({derived})"
+        );
         self.applications += 1;
         self.derivations += derived;
-        self.duplicates += derived - new;
+        self.duplicates += derived.saturating_sub(new);
     }
 }
 
@@ -67,6 +74,23 @@ mod tests {
         assert_eq!(s.applications, 2);
         assert_eq!(s.derivations, 15);
         assert_eq!(s.duplicates, 3);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn record_saturates_instead_of_wrapping() {
+        let mut s = EvalStats::default();
+        s.record(3, 5); // caller bug: saturate, don't wrap
+        assert_eq!(s.duplicates, 0);
+        assert_eq!(s.derivations, 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "new (5) exceeds derived (3)")]
+    fn record_asserts_on_underflow_in_debug() {
+        let mut s = EvalStats::default();
+        s.record(3, 5);
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Shared `key=value` line formatter, used by the line protocol's
+//! `health` and `metrics` replies so both stay machine-parseable with
+//! one grammar: `prefix key=value key=value ...`.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+
+/// Builder for one space-separated `key=value` line.
+pub struct KvLine {
+    buf: String,
+}
+
+impl KvLine {
+    /// Start a line with `prefix` (may be empty).
+    pub fn new(prefix: &str) -> KvLine {
+        KvLine {
+            buf: prefix.to_string(),
+        }
+    }
+
+    /// Append one `key=value` pair. Values are rendered via `Display`;
+    /// keys must not contain spaces or `=`.
+    pub fn push(&mut self, key: &str, value: impl Display) -> &mut KvLine {
+        if !self.buf.is_empty() {
+            self.buf.push(' ');
+        }
+        let _ = write!(self.buf, "{key}={value}");
+        self
+    }
+
+    /// The finished line.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_prefixed_pairs() {
+        let mut l = KvLine::new("ok health");
+        l.push("mode", "read-write").push("epoch", 3);
+        assert_eq!(l.finish(), "ok health mode=read-write epoch=3");
+        let mut bare = KvLine::new("");
+        bare.push("a", 1);
+        assert_eq!(bare.finish(), "a=1");
+    }
+}

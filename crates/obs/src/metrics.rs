@@ -1,0 +1,457 @@
+//! Lock-free metrics: counters, gauges, log-bucketed histograms, and the
+//! process-wide [`Registry`].
+//!
+//! # Histogram bucketing
+//!
+//! Values 0–3 get exact buckets; every octave `[2^b, 2^{b+1})` above that
+//! is split into 4 sub-buckets of width `2^{b-2}`, for 252 buckets total
+//! covering the full `u64` range with ≤ 25% relative error on quantile
+//! readouts. An `observe` is two `fetch_add`s plus a `fetch_min`/`max`
+//! pair — no locks, no allocation.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+const BUCKETS: usize = 252;
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        v as usize
+    } else {
+        let b = 63 - v.leading_zeros() as usize; // >= 2
+        let sub = ((v >> (b - 2)) & 3) as usize;
+        4 + (b - 2) * 4 + sub
+    }
+}
+
+/// Inclusive upper bound of a bucket: the value reported for any
+/// quantile that lands in it (clamped to the observed max by callers).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < 4 {
+        idx as u64
+    } else {
+        let b = (idx - 4) / 4 + 2;
+        let sub = ((idx - 4) % 4) as u64;
+        let lo = 1u128 << b;
+        let width = 1u128 << (b - 2);
+        let upper = lo + (sub as u128 + 1) * width - 1;
+        upper.min(u64::MAX as u128) as u64
+    }
+}
+
+/// Monotone event counter (relaxed atomic `u64`).
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter not tied to any registry (tests, ad-hoc use).
+    pub fn new() -> Counter {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn inc_by(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// Instantaneous signed level (relaxed atomic `i64`).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh gauge not tied to any registry.
+    pub fn new() -> Gauge {
+        Gauge(Arc::new(AtomicI64::new(0)))
+    }
+
+    /// Set the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+struct HistogramInner {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Log-bucketed histogram of `u64` samples (latencies in ns, sizes in
+/// tuples/bytes). Lock-free observes; quantile readouts accurate to
+/// ≤ 25% relative error (exact below 4).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// A fresh histogram not tied to any registry.
+    pub fn new() -> Histogram {
+        Histogram(Arc::new(HistogramInner {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let inner = &*self.0;
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.min.fetch_min(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest sample seen (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.0.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound for the `q`-quantile (`0.0 < q <= 1.0`): the reported
+    /// value is ≥ the true quantile and ≤ 1.25× it (clamped to the
+    /// observed max). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(idx).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Consistent point-in-time readout of the derived statistics.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Derived statistics of a [`Histogram`] at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median upper bound.
+    pub p50: u64,
+    /// 95th-percentile upper bound.
+    pub p95: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics. Get-or-register takes a short lock;
+/// the returned handles update shared atomics without any further
+/// synchronization. One process-wide instance lives behind
+/// [`registry`]; tests can hold private ones.
+#[derive(Default)]
+pub struct Registry {
+    inner: RwLock<BTreeMap<&'static str, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert<T: Clone>(
+        &self,
+        name: &'static str,
+        extract: impl Fn(&Metric) -> Option<&T>,
+        make: impl Fn() -> Metric,
+    ) -> T {
+        if let Some(m) = self.inner.read().unwrap().get(name) {
+            return extract(m)
+                .unwrap_or_else(|| panic!("metric `{name}` already registered as {}", m.kind()))
+                .clone();
+        }
+        let mut map = self.inner.write().unwrap();
+        let m = map.entry(name).or_insert_with(make);
+        extract(m)
+            .unwrap_or_else(|| panic!("metric `{name}` already registered as {}", m.kind()))
+            .clone()
+    }
+
+    /// Get-or-register a counter. Panics if `name` holds another kind.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.get_or_insert(
+            name,
+            |m| match m {
+                Metric::Counter(c) => Some(c),
+                _ => None,
+            },
+            || Metric::Counter(Counter::new()),
+        )
+    }
+
+    /// Get-or-register a gauge. Panics if `name` holds another kind.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.get_or_insert(
+            name,
+            |m| match m {
+                Metric::Gauge(g) => Some(g),
+                _ => None,
+            },
+            || Metric::Gauge(Gauge::new()),
+        )
+    }
+
+    /// Get-or-register a histogram. Panics if `name` holds another kind.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.get_or_insert(
+            name,
+            |m| match m {
+                Metric::Histogram(h) => Some(h),
+                _ => None,
+            },
+            || Metric::Histogram(Histogram::new()),
+        )
+    }
+
+    /// Flat `(key, value)` pairs, sorted by name. Histograms expand to
+    /// `name_count/_sum/_min/_max/_p50/_p95/_p99`. Shared by the line
+    /// protocol's `metrics` and `health` commands.
+    pub fn render_kv(&self) -> Vec<(String, String)> {
+        let map = self.inner.read().unwrap();
+        let mut out = Vec::with_capacity(map.len());
+        for (name, m) in map.iter() {
+            match m {
+                Metric::Counter(c) => out.push((name.to_string(), c.get().to_string())),
+                Metric::Gauge(g) => out.push((name.to_string(), g.get().to_string())),
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    out.push((format!("{name}_count"), s.count.to_string()));
+                    out.push((format!("{name}_sum"), s.sum.to_string()));
+                    out.push((format!("{name}_min"), s.min.to_string()));
+                    out.push((format!("{name}_max"), s.max.to_string()));
+                    out.push((format!("{name}_p50"), s.p50.to_string()));
+                    out.push((format!("{name}_p95"), s.p95.to_string()));
+                    out.push((format!("{name}_p99"), s.p99.to_string()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Prometheus text exposition (format 0.0.4). Counters and gauges
+    /// render as their own type; histograms render as `summary` with
+    /// `quantile` labels plus `_min`/`_max` gauges.
+    pub fn render_prometheus(&self) -> String {
+        let map = self.inner.read().unwrap();
+        let mut out = String::new();
+        for (name, m) in map.iter() {
+            match m {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter\n{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge\n{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let _ = writeln!(out, "# TYPE {name} summary");
+                    let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", s.p50);
+                    let _ = writeln!(out, "{name}{{quantile=\"0.95\"}} {}", s.p95);
+                    let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", s.p99);
+                    let _ = writeln!(out, "{name}_sum {}", s.sum);
+                    let _ = writeln!(out, "{name}_count {}", s.count);
+                    let _ = writeln!(out, "# TYPE {name}_min gauge\n{name}_min {}", s.min);
+                    let _ = writeln!(out, "# TYPE {name}_max gauge\n{name}_max {}", s.max);
+                }
+            }
+        }
+        out
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_bounds() {
+        for v in (0u64..=4096).chain([u64::MAX / 3, u64::MAX - 1, u64::MAX]) {
+            let idx = bucket_index(v);
+            let upper = bucket_upper(idx);
+            assert!(upper >= v, "upper {upper} < v {v}");
+            // ≤ 25% relative error above the exact range.
+            if v >= 4 {
+                assert!(
+                    upper as u128 <= v as u128 + v as u128 / 4,
+                    "v={v} upper={upper}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_truth() {
+        let h = Histogram::new();
+        let values: Vec<u64> = (1..=1000).map(|i| i * 7).collect();
+        for &v in &values {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), values.iter().sum::<u64>());
+        for q in [0.5, 0.95, 0.99] {
+            let est = h.quantile(q);
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let rank = ((q * 1000.0).ceil() as usize).clamp(1, 1000);
+            let truth = sorted[rank - 1];
+            assert!(est >= truth, "q={q}: est {est} < truth {truth}");
+            assert!(
+                est <= truth + truth / 4 + 2,
+                "q={q}: est {est} too high vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_kinds_and_render() {
+        let r = Registry::new();
+        r.counter("a_total").inc_by(3);
+        r.gauge("b_level").set(-2);
+        r.histogram("c_ns").observe(100);
+        let kv = r.render_kv();
+        assert!(kv.contains(&("a_total".into(), "3".into())));
+        assert!(kv.contains(&("b_level".into(), "-2".into())));
+        assert!(kv.iter().any(|(k, _)| k == "c_ns_p99"));
+        let prom = r.render_prometheus();
+        assert!(prom.contains("# TYPE a_total counter"));
+        assert!(prom.contains("c_ns{quantile=\"0.99\"}"));
+        // Handles are shared, not copies.
+        let again = r.counter("a_total");
+        again.inc();
+        assert_eq!(r.counter("a_total").get(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+}

@@ -61,6 +61,7 @@
 
 pub mod persist;
 pub mod pool;
+pub mod profile;
 pub mod protocol;
 pub mod service;
 pub mod view;

@@ -1,0 +1,54 @@
+//! Service-layer metric handles in the global [`linrec_obs`] registry:
+//! request/batch throughput and latency, view-maintenance timing, and the
+//! durability counters (`storage_retries`, `degradations`) that the
+//! `health` protocol command reports alongside its mode fields.
+
+use linrec_obs::{Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+
+/// Metric handles for the serving layer.
+pub struct ServiceProfile {
+    /// Protocol requests handled (every line, including errors).
+    pub requests: Counter,
+    /// Protocol requests answered with an `err` reply.
+    pub request_errors: Counter,
+    /// Protocol request latency in ns.
+    pub request_ns: Histogram,
+    /// Requests that exceeded the configured slow-request threshold.
+    pub slow_requests: Counter,
+    /// Committed batches.
+    pub batches: Counter,
+    /// Genuinely new tuples committed across all batches.
+    pub batch_inserted: Counter,
+    /// End-to-end batch latency in ns (stage → maintain → WAL → publish).
+    pub batch_ns: Histogram,
+    /// Per-view maintenance latency in ns.
+    pub maintain_ns: Histogram,
+    /// Durable-path I/O retries (WAL appends and checkpoints).
+    pub storage_retries: Counter,
+    /// Transitions into degraded mode.
+    pub degradations: Counter,
+    /// Currently published epoch.
+    pub epoch: Gauge,
+    /// Registered views in the published snapshot.
+    pub views: Gauge,
+}
+
+/// The service metric handles (registered on first use).
+pub fn service() -> &'static ServiceProfile {
+    static HANDLES: OnceLock<ServiceProfile> = OnceLock::new();
+    HANDLES.get_or_init(|| ServiceProfile {
+        requests: linrec_obs::counter("linrec_service_requests_total"),
+        request_errors: linrec_obs::counter("linrec_service_request_errors_total"),
+        request_ns: linrec_obs::histogram("linrec_service_request_ns"),
+        slow_requests: linrec_obs::counter("linrec_service_slow_requests_total"),
+        batches: linrec_obs::counter("linrec_service_batches_total"),
+        batch_inserted: linrec_obs::counter("linrec_service_batch_inserted_total"),
+        batch_ns: linrec_obs::histogram("linrec_service_batch_ns"),
+        maintain_ns: linrec_obs::histogram("linrec_service_view_maintain_ns"),
+        storage_retries: linrec_obs::counter("linrec_service_storage_retries_total"),
+        degradations: linrec_obs::counter("linrec_service_degradations_total"),
+        epoch: linrec_obs::gauge("linrec_service_epoch"),
+        views: linrec_obs::gauge("linrec_service_views"),
+    })
+}

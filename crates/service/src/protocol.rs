@@ -26,10 +26,22 @@
 //! select <view> <pos>=<v> … [limit <n>]   filtered listing
 //! stats <view>             maintenance mode, stats, plan rationale
 //! health                   mode, epoch, queue depth, WAL pressure, faults
+//!                          (one `key=value` line, same grammar as `metrics`)
+//! metrics                  dump the global metrics registry, one
+//!                          `metric name=value` line per reading
+//! trace [limit]            dump the flight recorder's newest spans as
+//!                          `span <json>` lines (default limit 64)
 //! ready                    `ok ready` iff writes would be accepted
 //! help                     this text
 //! quit                     end the session
 //! ```
+//!
+//! Every request runs under a fresh trace ID ([`linrec_obs::TraceId`]);
+//! the spans it opens — protocol dispatch through maintenance fixpoint,
+//! WAL append/fsync, checkpoint, and epoch publish — land in the flight
+//! recorder and correlate via that ID. Requests slower than the
+//! configured threshold ([`crate::service::ServiceLimits::slow_request`])
+//! are counted and logged to stderr with their trace ID.
 //!
 //! Values parse as `i64` when possible and as symbols otherwise.
 //!
@@ -83,7 +95,8 @@ impl Reply {
 
 const HELP: &str = "ok commands: register <rules> | insert <pred> <v>.. | commit | clear \
 | epoch | views | count <view> | ask <view> <v>.. | rows <view> [limit] \
-| select <view> <pos>=<v>.. [limit <n>] | stats <view> | health | ready | help | quit";
+| select <view> <pos>=<v>.. [limit <n>] | stats <view> | health | metrics \
+| trace [limit] | ready | help | quit";
 
 /// True when `LINREC_FAULT_INJECTION=1`: the `inject` test command is
 /// honored (deliberate in-session panics for the containment suites).
@@ -116,7 +129,48 @@ impl Session {
     }
 
     /// Handle one protocol line.
+    ///
+    /// Every non-empty line runs under a fresh trace ID inside a
+    /// `request` span, is counted in the request metrics, and — when a
+    /// [`ServiceLimits::slow_request`](crate::service::ServiceLimits)
+    /// threshold is configured — is logged to stderr with its trace ID
+    /// if it ran long. With instrumentation disabled
+    /// ([`linrec_obs::set_enabled`]) this is a plain dispatch.
     pub fn handle(&mut self, line: &str) -> Reply {
+        if !linrec_obs::enabled() {
+            return self.dispatch(line);
+        }
+        let trace = linrec_obs::trace::TraceId::next();
+        let _scope = linrec_obs::trace::enter_trace(trace);
+        let cmd = line.split_whitespace().next().unwrap_or("").to_owned();
+        let started = std::time::Instant::now();
+        let reply = {
+            let mut sp = linrec_obs::span("request");
+            sp.attr("cmd", &cmd);
+            self.dispatch(line)
+        };
+        let elapsed = started.elapsed();
+        let prof = crate::profile::service();
+        prof.requests.inc();
+        prof.request_ns.observe(elapsed.as_nanos() as u64);
+        if reply.text.starts_with("err ") {
+            prof.request_errors.inc();
+        }
+        if let Some(threshold) = self.service.limits().slow_request {
+            if elapsed >= threshold {
+                prof.slow_requests.inc();
+                eprintln!(
+                    "slow-request trace={trace} cmd={cmd} ms={:.3}",
+                    elapsed.as_secs_f64() * 1e3
+                );
+            }
+        }
+        reply
+    }
+
+    /// Parse the command word and route to its handler (no
+    /// instrumentation — [`Session::handle`] wraps this).
+    fn dispatch(&mut self, line: &str) -> Reply {
         let mut toks = line.split_whitespace();
         let Some(cmd) = toks.next() else {
             return Reply::line("ok");
@@ -143,6 +197,8 @@ impl Session {
             "select" => self.select(&rest),
             "stats" => self.stats(&rest),
             "health" => self.health(),
+            "metrics" => self.metrics(),
+            "trace" => self.trace(&rest),
             "ready" => self.ready(),
             "help" => Reply::line(HELP),
             "quit" => Reply {
@@ -157,29 +213,78 @@ impl Session {
         }
     }
 
-    /// `health`: one `ok health` line of `key=value` tokens (the free-form
-    /// degradation reason, when present, comes last).
+    /// `health`: one `ok health` line of `key=value` tokens built with the
+    /// same [`linrec_obs::KvLine`] grammar as `metrics`. Service-state
+    /// fields come first, then the registry-sourced degradation/retry
+    /// counters; the free-form degradation reason, when present, comes
+    /// last.
     fn health(&self) -> Reply {
         let h = self.service.health();
-        let mut text = format!(
-            "ok health mode={} epoch={} views={} staged={} waiting={} max-queue={} \
-             durable={} wal-batches={} wal-bytes={} generation={} degradations={}",
-            h.mode,
-            h.epoch,
-            h.views,
-            self.pending.len(),
-            h.waiting_writers,
-            h.max_queue,
-            h.durable,
-            h.wal_batches,
-            h.wal_bytes,
-            h.generation
-                .map_or_else(|| "-".to_owned(), |g| g.to_string()),
-            h.degradations,
-        );
+        let prof = crate::profile::service();
+        let mut kv = linrec_obs::KvLine::new("ok health");
+        kv.push("mode", h.mode)
+            .push("epoch", h.epoch)
+            .push("views", h.views)
+            .push("staged", self.pending.len())
+            .push("waiting", h.waiting_writers)
+            .push("max-queue", h.max_queue)
+            .push("durable", h.durable)
+            .push("wal-batches", h.wal_batches)
+            .push("wal-bytes", h.wal_bytes)
+            .push(
+                "generation",
+                h.generation
+                    .map_or_else(|| "-".to_owned(), |g| g.to_string()),
+            )
+            .push("degradations", h.degradations)
+            .push("retries", prof.storage_retries.get())
+            .push("slow-requests", prof.slow_requests.get());
         if let Some(fault) = &h.last_fault {
-            let _ = write!(text, " last-fault={fault}");
+            kv.push("last-fault", fault);
         }
+        Reply::line(kv.finish())
+    }
+
+    /// `metrics`: dump every reading in the global registry, one
+    /// `metric name=value` line per reading (histograms expand to their
+    /// `_count`/`_sum`/`_min`/`_max`/`_p50`/`_p95`/`_p99` series), closed
+    /// by `ok metrics <n>`.
+    fn metrics(&self) -> Reply {
+        let readings = linrec_obs::metrics::registry().render_kv();
+        let mut text = String::new();
+        for (name, value) in &readings {
+            let mut kv = linrec_obs::KvLine::new("metric");
+            kv.push(name, value);
+            let _ = writeln!(text, "{}", kv.finish());
+        }
+        let _ = write!(text, "ok metrics {}", readings.len());
+        Reply::line(text)
+    }
+
+    /// `trace [limit]`: dump the newest spans from the flight recorder
+    /// (default 64), one `span <json>` line each, oldest first, closed by
+    /// `ok trace <shown> spans dropped=<d>` where `dropped` counts spans
+    /// the ring buffer has evicted since startup.
+    fn trace(&self, rest: &[&str]) -> Reply {
+        let limit = match rest {
+            [] => 64usize,
+            [n] => match n.parse() {
+                Ok(n) => n,
+                Err(_) => return Reply::err("bad-argument", format_args!("bad limit {n:?}")),
+            },
+            _ => return Reply::err("usage", "trace [limit]"),
+        };
+        let (spans, dropped) = linrec_obs::trace::recorder().snapshot();
+        let skip = spans.len().saturating_sub(limit);
+        let mut text = String::new();
+        for record in &spans[skip..] {
+            let _ = writeln!(text, "span {}", record.to_json());
+        }
+        let _ = write!(
+            text,
+            "ok trace {} spans dropped={dropped}",
+            spans.len() - skip
+        );
         Reply::line(text)
     }
 
@@ -615,6 +720,100 @@ mod tests {
         service.set_read_only(false);
         assert_eq!(s.handle("ready").text, "ok ready");
         assert!(s.handle("commit").text.starts_with("ok epoch 2"));
+    }
+
+    #[test]
+    fn metrics_command_dumps_the_registry() {
+        let service = tc_service();
+        let mut s = Session::new(service);
+        s.handle("insert e 3 4");
+        assert!(s.handle("commit").text.starts_with("ok epoch 2"));
+        let text = s.handle("metrics").text;
+        let lines: Vec<&str> = text.lines().collect();
+        let (last, body) = lines.split_last().unwrap();
+        assert!(!body.is_empty(), "{text}");
+        for line in body {
+            // Shared grammar with `health`: `metric <name>=<value>`.
+            let rest = line.strip_prefix("metric ").unwrap_or_else(|| {
+                panic!("metrics line missing prefix: {line:?}");
+            });
+            let (name, value) = rest.split_once('=').unwrap();
+            assert!(!name.is_empty() && !value.is_empty(), "{line}");
+        }
+        assert_eq!(*last, format!("ok metrics {}", body.len()), "{text}");
+        // The batch just committed is visible in the dump (global
+        // registry: other tests may have committed too, so ≥ 1).
+        let batches = body
+            .iter()
+            .find_map(|l| l.strip_prefix("metric linrec_service_batches_total="))
+            .expect("batches_total present");
+        assert!(batches.parse::<u64>().unwrap() >= 1, "{batches}");
+    }
+
+    #[test]
+    fn trace_command_dumps_correlated_spans() {
+        let service = tc_service();
+        let mut s = Session::new(service);
+        s.handle("insert e 30 40");
+        assert!(s.handle("commit").text.starts_with("ok epoch 2"));
+        let text = s.handle("trace 4096").text;
+        let lines: Vec<&str> = text.lines().collect();
+        let (last, body) = lines.split_last().unwrap();
+        assert!(last.starts_with("ok trace "), "{last}");
+        assert!(last.contains(" spans dropped="), "{last}");
+        // Every span line is the JSON the flight recorder produced.
+        for line in body {
+            assert!(line.starts_with("span {\"trace\":\"t-"), "{line}");
+        }
+        // A commit's request span shares its trace ID with the
+        // maintenance fixpoint, batch, and epoch publish it triggered.
+        // (The recorder is global, so scan every commit trace — other
+        // tests' no-op commits legitimately have no fixpoint.)
+        let trace_of = |l: &str| -> String {
+            l.split_once("\"trace\":\"")
+                .unwrap()
+                .1
+                .split('"')
+                .next()
+                .unwrap()
+                .to_owned()
+        };
+        let correlated = body
+            .iter()
+            .filter(|l| l.contains("\"name\":\"request\"") && l.contains("\"cmd\":\"commit\""))
+            .map(|l| trace_of(l))
+            .any(|trace| {
+                ["engine.fixpoint", "service.batch", "service.publish"]
+                    .iter()
+                    .all(|name| {
+                        body.iter().any(|l| {
+                            l.contains(&format!("\"name\":\"{name}\"")) && l.contains(&trace)
+                        })
+                    })
+            });
+        assert!(
+            correlated,
+            "no commit trace correlates request → fixpoint → batch → publish:\n{text}"
+        );
+        assert!(s.handle("trace nope").text.starts_with("err bad-argument"));
+    }
+
+    #[test]
+    fn slow_request_threshold_counts_and_logs() {
+        let service = tc_service();
+        service.set_limits(crate::service::ServiceLimits {
+            slow_request: Some(std::time::Duration::ZERO),
+            ..Default::default()
+        });
+        let mut s = Session::new(service);
+        let before = crate::profile::service().slow_requests.get();
+        assert_eq!(s.handle("epoch").text, "ok epoch 1");
+        let after = crate::profile::service().slow_requests.get();
+        assert!(after > before, "slow-request counter did not move");
+        // And `health` surfaces the registry counter.
+        let health = s.handle("health").text;
+        assert!(health.contains("slow-requests="), "{health}");
+        assert!(health.contains("retries="), "{health}");
     }
 
     #[test]

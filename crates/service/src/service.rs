@@ -238,6 +238,9 @@ impl RetryPolicy {
                 Ok(v) => return Ok(v),
                 Err(e @ StorageError::Io { .. }) if attempt < self.attempts => {
                     let _ = e; // retried; only the final error surfaces
+                    if linrec_obs::enabled() {
+                        crate::profile::service().storage_retries.inc();
+                    }
                     std::thread::sleep(backoff);
                     backoff = (backoff * 2).min(self.max_backoff);
                     attempt += 1;
@@ -264,6 +267,10 @@ pub struct ServiceLimits {
     /// arriving in degraded mode retries the store this often (the
     /// background probe, if any, runs on its own cadence).
     pub probe_interval: Duration,
+    /// Protocol requests slower than this are counted in
+    /// `linrec_service_slow_requests_total` and logged to stderr with
+    /// their trace ID (`None` disables the slow-request log).
+    pub slow_request: Option<Duration>,
 }
 
 impl Default for ServiceLimits {
@@ -273,6 +280,7 @@ impl Default for ServiceLimits {
             request_timeout: None,
             max_staged: 1 << 20,
             probe_interval: Duration::from_millis(500),
+            slow_request: None,
         }
     }
 }
@@ -697,6 +705,9 @@ impl ViewService {
         if mode.kind != ServiceMode::Degraded {
             mode.kind = ServiceMode::Degraded;
             mode.degradations += 1;
+            if linrec_obs::enabled() {
+                crate::profile::service().degradations.inc();
+            }
         }
         mode.reason = Some(reason.clone());
         mode.last_fault = Some(reason.clone());
@@ -880,6 +891,8 @@ impl ViewService {
     /// Register a view: plan it against the current database, materialize
     /// it, and publish a new epoch.
     pub fn register_view(&self, def: ViewDef) -> Result<BatchReport, ServiceError> {
+        let mut sp = linrec_obs::span("service.register");
+        sp.attr("view", &def.name);
         self.write_gate()?;
         let mut writer = self.lock_writer()?;
         if writer.views.iter().any(|v| v.def().name == def.name) {
@@ -913,6 +926,10 @@ impl ViewService {
         let (relation, stats) = view.materialize(&writer.db)?;
         let nanos = started.elapsed().as_nanos() as u64;
         let grown_by = relation.len();
+        if linrec_obs::enabled() {
+            crate::profile::service().maintain_ns.observe(nanos);
+            sp.attr("tuples", grown_by);
+        }
         writer.epoch += 1;
         let epoch = writer.epoch;
         let info = ViewInfo {
@@ -998,6 +1015,8 @@ impl ViewService {
         &self,
         inserts: impl IntoIterator<Item = (Symbol, Vec<Value>)>,
     ) -> Result<BatchReport, ServiceError> {
+        let mut sp = linrec_obs::span("service.batch");
+        let t0 = linrec_obs::enabled().then(Instant::now);
         self.write_gate()?;
         let mut writer = self.lock_writer()?;
 
@@ -1137,6 +1156,14 @@ impl ViewService {
         writer.epoch = epoch;
         self.publish(&writer, updates);
         self.maybe_checkpoint(&writer);
+        if let Some(t0) = t0 {
+            let prof = crate::profile::service();
+            prof.batches.inc();
+            prof.batch_inserted.inc_by(inserted as u64);
+            prof.batch_ns.observe(t0.elapsed().as_nanos() as u64);
+            sp.attr("epoch", epoch);
+            sp.attr("inserted", inserted);
+        }
         Ok(BatchReport {
             epoch,
             inserted,
@@ -1166,9 +1193,17 @@ impl ViewService {
             let mut out = Vec::with_capacity(writer.views.len());
             for view in writer.views.iter_mut() {
                 let old = old_of(&view.def().name);
+                let mut sp = linrec_obs::span("view.maintain");
+                sp.attr("view", &view.def().name);
                 let started = Instant::now();
                 let outcome = view.maintain(&old, db, deltas)?;
-                out.push((outcome, started.elapsed().as_nanos() as u64));
+                let nanos = started.elapsed().as_nanos() as u64;
+                if linrec_obs::enabled() {
+                    crate::profile::service().maintain_ns.observe(nanos);
+                    sp.attr("mode", outcome.mode);
+                }
+                drop(sp);
+                out.push((outcome, nanos));
             }
             return Ok(out);
         }
@@ -1178,6 +1213,7 @@ impl ViewService {
                 .view_pool
                 .get_or_insert_with(|| Arc::new(WorkerPool::new(writer.par.threads()))),
         );
+        let ctx = linrec_obs::trace::context();
         let receivers: Vec<_> = std::mem::take(&mut writer.views)
             .into_iter()
             .map(|mut view| {
@@ -1185,9 +1221,20 @@ impl ViewService {
                 let db = db.snapshot();
                 let deltas = deltas.clone();
                 pool.submit(move || {
+                    let _g = ctx.enter();
+                    let mut sp = linrec_obs::span("view.maintain");
+                    sp.attr("view", &view.def().name);
                     let started = Instant::now();
                     let outcome = view.maintain(&old, &db, &deltas);
-                    (view, outcome, started.elapsed().as_nanos() as u64)
+                    let nanos = started.elapsed().as_nanos() as u64;
+                    if linrec_obs::enabled() {
+                        crate::profile::service().maintain_ns.observe(nanos);
+                        if let Ok(o) = &outcome {
+                            sp.attr("mode", o.mode);
+                        }
+                    }
+                    drop(sp);
+                    (view, outcome, nanos)
                 })
             })
             .collect();
@@ -1261,6 +1308,8 @@ impl ViewService {
     /// Build and publish a snapshot from the writer's state, carrying the
     /// previous snapshot's view states forward except for `updates`.
     fn publish(&self, writer: &Writer, updates: impl IntoIterator<Item = (String, ViewInfo)>) {
+        let mut sp = linrec_obs::span("service.publish");
+        sp.attr("epoch", writer.epoch);
         let mut views = self
             .current
             .read()
@@ -1269,6 +1318,11 @@ impl ViewService {
             .clone();
         for (name, info) in updates {
             views.insert(name, info);
+        }
+        if linrec_obs::enabled() {
+            let prof = crate::profile::service();
+            prof.epoch.set(writer.epoch as i64);
+            prof.views.set(views.len() as i64);
         }
         let snapshot = Arc::new(Snapshot {
             epoch: writer.epoch,

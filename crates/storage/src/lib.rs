@@ -67,6 +67,7 @@
 
 mod crc;
 pub mod error;
+pub mod profile;
 pub mod snapshot;
 pub mod store;
 pub mod vfs;

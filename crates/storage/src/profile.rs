@@ -1,0 +1,56 @@
+//! Storage-layer metric handles in the global [`linrec_obs`] registry:
+//! WAL append/fsync latency and volume, checkpoint and recovery timing.
+//! All taps sit on I/O paths (one event per batch/checkpoint, never per
+//! tuple) and gate on [`linrec_obs::enabled`] before taking clocks.
+
+use linrec_obs::{Counter, Histogram};
+use std::sync::OnceLock;
+
+/// Metric handles for the write-ahead log.
+pub struct WalProfile {
+    /// Full append (encode + write + fsync) latency in ns.
+    pub append_ns: Histogram,
+    /// fsync portion of an append in ns.
+    pub fsync_ns: Histogram,
+    /// Appended frame size in bytes.
+    pub append_bytes: Histogram,
+    /// Successful appends.
+    pub appends: Counter,
+    /// Failed appends (the batch is absent and the WAL rolls back).
+    pub append_errors: Counter,
+}
+
+/// The WAL metric handles (registered on first use).
+pub fn wal() -> &'static WalProfile {
+    static HANDLES: OnceLock<WalProfile> = OnceLock::new();
+    HANDLES.get_or_init(|| WalProfile {
+        append_ns: linrec_obs::histogram("linrec_storage_wal_append_ns"),
+        fsync_ns: linrec_obs::histogram("linrec_storage_wal_fsync_ns"),
+        append_bytes: linrec_obs::histogram("linrec_storage_wal_append_bytes"),
+        appends: linrec_obs::counter("linrec_storage_wal_appends_total"),
+        append_errors: linrec_obs::counter("linrec_storage_wal_append_errors_total"),
+    })
+}
+
+/// Metric handles for snapshots and recovery.
+pub struct StoreProfile {
+    /// Checkpoint (snapshot write + WAL rotation) latency in ns.
+    pub checkpoint_ns: Histogram,
+    /// Successful checkpoints.
+    pub checkpoints: Counter,
+    /// Recovery (snapshot load + WAL replay) latency in ns.
+    pub recover_ns: Histogram,
+    /// WAL batches replayed by recoveries.
+    pub replayed_batches: Counter,
+}
+
+/// The store metric handles (registered on first use).
+pub fn store() -> &'static StoreProfile {
+    static HANDLES: OnceLock<StoreProfile> = OnceLock::new();
+    HANDLES.get_or_init(|| StoreProfile {
+        checkpoint_ns: linrec_obs::histogram("linrec_storage_checkpoint_ns"),
+        checkpoints: linrec_obs::counter("linrec_storage_checkpoints_total"),
+        recover_ns: linrec_obs::histogram("linrec_storage_recover_ns"),
+        replayed_batches: linrec_obs::counter("linrec_storage_replayed_batches_total"),
+    })
+}

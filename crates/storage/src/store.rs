@@ -188,6 +188,9 @@ impl Store {
     /// state equivalent to some acknowledged-batch prefix, or a typed
     /// [`StorageError`] — never a panic, never a silently wrong database.
     pub fn recover(&mut self) -> Result<Recovered, StorageError> {
+        let mut sp = linrec_obs::span("store.recover");
+        sp.attr("generation", self.generation);
+        let t0 = linrec_obs::enabled().then(std::time::Instant::now);
         let snapshot = if self.generation > 0 {
             let path = self.snapshot_path(self.generation);
             let bytes = self
@@ -218,6 +221,12 @@ impl Store {
         }
         self.wal_batches = batches.len() as u64;
         self.wal = Some(wal);
+        if let Some(t0) = t0 {
+            let prof = crate::profile::store();
+            prof.recover_ns.observe(t0.elapsed().as_nanos() as u64);
+            prof.replayed_batches.inc_by(batches.len() as u64);
+            sp.attr("replayed", batches.len());
+        }
         Ok(Recovered { snapshot, batches })
     }
 
@@ -244,6 +253,9 @@ impl Store {
     /// generation fully live (orphans are swept at the next open), so the
     /// caller may keep appending to the current WAL and retry later.
     pub fn checkpoint(&mut self, data: &SnapshotData) -> Result<u64, StorageError> {
+        let mut sp = linrec_obs::span("store.checkpoint");
+        sp.attr("epoch", data.epoch);
+        let t0 = linrec_obs::enabled().then(std::time::Instant::now);
         let old_wal_seq = match &self.wal {
             Some(wal) => wal.next_seq(),
             None => return Err(StorageError::NotRecovered),
@@ -293,6 +305,12 @@ impl Store {
         self.manifest_seq = old_wal_seq;
         self.wal = Some(wal);
         self.wal_batches = 0;
+        if let Some(t0) = t0 {
+            let prof = crate::profile::store();
+            prof.checkpoint_ns.observe(t0.elapsed().as_nanos() as u64);
+            prof.checkpoints.inc();
+            sp.attr("generation", gen);
+        }
         Ok(gen)
     }
 }

@@ -273,17 +273,38 @@ impl Wal {
         }
         let seq = self.next_seq;
         let frame = encode_frame(seq, inserts);
-        match self
-            .file
-            .write_all(&frame)
-            .and_then(|_| self.file.sync_data())
-        {
+        let mut sp = linrec_obs::span("wal.append");
+        sp.attr("seq", seq);
+        sp.attr("bytes", frame.len());
+        let obs_on = linrec_obs::enabled();
+        let t_append = obs_on.then(std::time::Instant::now);
+        let result = self.file.write_all(&frame).and_then(|_| {
+            let _fsp = linrec_obs::span("wal.fsync");
+            let t_sync = obs_on.then(std::time::Instant::now);
+            let r = self.file.sync_data();
+            if let (Some(t), Ok(())) = (t_sync, &r) {
+                crate::profile::wal()
+                    .fsync_ns
+                    .observe(t.elapsed().as_nanos() as u64);
+            }
+            r
+        });
+        match result {
             Ok(()) => {
+                if let Some(t) = t_append {
+                    let prof = crate::profile::wal();
+                    prof.append_ns.observe(t.elapsed().as_nanos() as u64);
+                    prof.append_bytes.observe(frame.len() as u64);
+                    prof.appends.inc();
+                }
                 self.next_seq += 1;
                 self.payload_bytes += frame.len() as u64;
                 Ok((seq, frame.len() as u64))
             }
             Err(e) => {
+                if obs_on {
+                    crate::profile::wal().append_errors.inc();
+                }
                 self.dirty = true;
                 Err(StorageError::io(&self.path, e))
             }

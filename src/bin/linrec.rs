@@ -21,6 +21,7 @@
 //! linrec serve <file> [--tcp ADDR] [--threads N] [--data-dir DIR]
 //!               [--checkpoint-batches N] [--checkpoint-bytes B]
 //!               [--read-only] [--max-queue N] [--request-timeout-ms N]
+//!               [--metrics ADDR] [--trace-json FILE] [--slow-ms N]
 //!                                       long-lived incremental view service:
 //!                                       materialize the program's recursion,
 //!                                       maintain it under insert batches, and
@@ -38,7 +39,12 @@
 //!                                       snapshot and replaying the WAL tail
 //!                                       through certificate-licensed
 //!                                       maintenance instead of re-running the
-//!                                       fixpoint.
+//!                                       fixpoint. --metrics exposes the
+//!                                       registry as Prometheus text on ADDR,
+//!                                       --trace-json dumps the flight
+//!                                       recorder to FILE on shutdown, and
+//!                                       --slow-ms logs requests slower than
+//!                                       N ms with their trace IDs.
 //! linrec figures [--dot]                regenerate the paper's figures
 //! ```
 //!
@@ -63,6 +69,7 @@ fn usage() -> ExitCode {
     eprintln!("       linrec serve <file> [--tcp ADDR] [--threads N] [--data-dir DIR]");
     eprintln!("                    [--checkpoint-batches N] [--checkpoint-bytes B] [--no-check]");
     eprintln!("                    [--read-only] [--max-queue N] [--request-timeout-ms N]");
+    eprintln!("                    [--metrics ADDR] [--trace-json FILE] [--slow-ms N]");
     eprintln!("       linrec figures [--dot]");
     eprintln!();
     eprintln!("  --threads N   engine threads for parallel fixpoint rounds (and,");
@@ -75,6 +82,12 @@ fn usage() -> ExitCode {
     eprintln!("  --max-queue N writers allowed to queue before `err busy` (0 = unbounded)");
     eprintln!("  --request-timeout-ms N");
     eprintln!("                writer-lock deadline per commit; expiry answers `err timeout`");
+    eprintln!("  --metrics ADDR");
+    eprintln!("                expose the metrics registry as Prometheus text at");
+    eprintln!("                http://ADDR/metrics (also dumped by the `metrics` command)");
+    eprintln!("  --trace-json FILE");
+    eprintln!("                dump the span flight recorder to FILE as JSON on shutdown");
+    eprintln!("  --slow-ms N   count and log (with trace IDs) requests slower than N ms");
     eprintln!("  --no-check    skip the deny-by-default static analysis gate (run/serve");
     eprintln!("                refuse programs with error-severity findings otherwise)");
     ExitCode::from(2)
@@ -276,7 +289,16 @@ fn run(path: &str, args: &[String]) -> Result<(), String> {
         outcome.stats
     );
     for step in &outcome.trace {
-        println!("  phase: {} [{}]", step.label, step.stats);
+        if step.nanos > 0 {
+            println!(
+                "  phase: {} [{}] {:.2} ms",
+                step.label,
+                step.stats,
+                step.nanos as f64 / 1e6
+            );
+        } else {
+            println!("  phase: {} [{}]", step.label, step.stats);
+        }
     }
     let rows = outcome.relation.sorted();
     for row in rows.iter().take(20) {
@@ -331,11 +353,36 @@ fn serve(path: &str, args: &[String]) -> Result<(), String> {
     let threads = par.threads();
     let mut tcp: Option<String> = None;
     let mut data_dir: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut trace_json: Option<String> = None;
     let mut policy = CheckpointPolicy::default();
     let mut limits = ServiceLimits::default();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--metrics" => {
+                metrics_addr = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            "--metrics needs an address (e.g. 127.0.0.1:9100)".to_owned()
+                        })?
+                        .clone(),
+                )
+            }
+            "--trace-json" => {
+                trace_json = Some(
+                    it.next()
+                        .ok_or_else(|| "--trace-json needs a file path".to_owned())?
+                        .clone(),
+                )
+            }
+            "--slow-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| "--slow-ms needs a number".to_owned())?;
+                limits.slow_request = Some(std::time::Duration::from_millis(ms));
+            }
             "--tcp" => {
                 tcp = Some(
                     it.next()
@@ -425,6 +472,10 @@ fn serve(path: &str, args: &[String]) -> Result<(), String> {
         service.set_read_only(true);
         eprintln!("read-only: commits answer `err read-only`; queries serve normally");
     }
+    if let Some(addr) = &metrics_addr {
+        let bound = linrec::obs::serve_metrics(addr).map_err(|e| format!("{addr}: {e}"))?;
+        eprintln!("metrics exposition on http://{bound}/metrics");
+    }
     // A durable service heals itself: if a storage fault degrades it to
     // read-only, this probe re-opens the store once the fault clears (a
     // write arriving in the meantime probes inline, too).
@@ -438,7 +489,7 @@ fn serve(path: &str, args: &[String]) -> Result<(), String> {
         info.mode,
         info.rationale
     );
-    match tcp {
+    let served = match tcp {
         Some(addr) => {
             let listener =
                 std::net::TcpListener::bind(&addr).map_err(|e| format!("{addr}: {e}"))?;
@@ -459,7 +510,13 @@ fn serve(path: &str, args: &[String]) -> Result<(), String> {
             let stdout = std::io::stdout();
             serve_lines(service, stdin.lock(), stdout.lock()).map_err(|e| e.to_string())
         }
+    };
+    if let Some(path) = &trace_json {
+        let json = linrec::obs::trace::recorder().dump_json();
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("flight recorder dumped to {path}");
     }
+    served
 }
 
 fn figures(dot: bool) {

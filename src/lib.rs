@@ -71,6 +71,7 @@ pub use linrec_cq as cq;
 pub use linrec_datalog as datalog;
 pub use linrec_engine as engine;
 pub use linrec_lint as lint;
+pub use linrec_obs as obs;
 pub use linrec_service as service;
 pub use linrec_storage as storage;
 

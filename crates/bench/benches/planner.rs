@@ -119,7 +119,10 @@ fn bench_chain(c: &mut Criterion) {
         let edges = workload::chain(n);
         let db = workload::graph_db("q", edges.clone());
         let chosen = analysis.plan_for(&db, &edges);
-        assert_eq!(chosen.shape(), PlanShape::Direct);
+        // Since PR 9 the full-chain seed licenses the dense bitset closure
+        // (small domain, density ≈ 0.5), so "planner" here measures the
+        // power-doubling kernel against the sparse strategies below.
+        assert_eq!(chosen.shape(), PlanShape::DenseClosure);
         group.bench_with_input(BenchmarkId::new("planner", n), &n, |b, _| {
             b.iter(|| chosen.execute(&db, &edges).unwrap())
         });
@@ -145,7 +148,8 @@ fn bench_grid(c: &mut Criterion) {
     let edges = workload::grid(20, 20);
     let db = workload::graph_db("q", edges.clone());
     let chosen = analysis.plan_for(&db, &edges);
-    assert_eq!(chosen.shape(), PlanShape::Direct);
+    // PR 9: the grid's 400-node domain licenses the dense closure too.
+    assert_eq!(chosen.shape(), PlanShape::DenseClosure);
     group.bench_function("planner/20x20", |b| {
         b.iter(|| chosen.execute(&db, &edges).unwrap())
     });
@@ -157,6 +161,55 @@ fn bench_grid(c: &mut Criterion) {
     group.bench_function("naive/20x20", |b| {
         b.iter(|| naive.execute(&db, &edges).unwrap())
     });
+    group.finish();
+}
+
+/// PR 9 dense-vs-sparse medians, same binary: for each workload the
+/// cost-model pick (the dense bitset closure — asserted) against the
+/// sparse semi-naive star on identical data. Random graphs at three
+/// densities pin where the word kernels pay beyond the chain/grid
+/// headliners. Exactness is asserted before anything is timed.
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense");
+    group.sample_size(10);
+    let rules = vec![rules::tc_right()];
+    let analysis = Analysis::of(&rules, None);
+    let cases: Vec<(String, linrec_datalog::Relation)> = vec![
+        ("chain_1000".to_owned(), workload::chain(1000)),
+        ("grid_20x20".to_owned(), workload::grid(20, 20)),
+        (
+            "random_200_m400".to_owned(),
+            workload::random_graph(200, 400, 9),
+        ),
+        (
+            "random_200_m2000".to_owned(),
+            workload::random_graph(200, 2000, 9),
+        ),
+        (
+            "random_200_m8000".to_owned(),
+            workload::random_graph(200, 8000, 9),
+        ),
+    ];
+    for (name, edges) in &cases {
+        let db = workload::graph_db("q", edges.clone());
+        let chosen = analysis.plan_for(&db, edges);
+        assert_eq!(
+            chosen.shape(),
+            PlanShape::DenseClosure,
+            "the dense gate must fire on {name}: {}",
+            chosen.rationale()
+        );
+        let sparse = Plan::direct(rules.clone());
+        let a = chosen.execute(&db, edges).unwrap();
+        let b = sparse.execute(&db, edges).unwrap();
+        assert_eq!(a.relation.sorted(), b.relation.sorted());
+        group.bench_with_input(BenchmarkId::new(name, "planner"), name, |bch, _| {
+            bch.iter(|| chosen.execute(&db, edges).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new(name, "sparse"), name, |bch, _| {
+            bch.iter(|| sparse.execute(&db, edges).unwrap())
+        });
+    }
     group.finish();
 }
 
@@ -582,6 +635,7 @@ criterion_group!(
     bench_shopping,
     bench_chain,
     bench_grid,
+    bench_dense,
     bench_updown,
     bench_incremental,
     bench_parallel,
@@ -819,11 +873,92 @@ fn write_pr8_summary(c: &Criterion) {
     }
 }
 
+/// PR 9 summary: `BENCH_pr9.json` records the dense-kernel numbers — the
+/// same-binary sparse-vs-dense medians of the `dense/*` group, the
+/// planner-path chain/grid timings, and the acceptance headline: the
+/// 1k-chain TC through `plan_for` (now the bitset power-doubling closure)
+/// against both this run's sparse star and the committed PR 5 planner
+/// median from `BENCH_pr5.json` (`chain_tc/planner/1000`, ~170 ms —
+/// cross-machine, so the same-run ratio is the honest one).
+fn write_pr9_summary(c: &Criterion) {
+    /// `chain_tc/planner/1000` median committed in `BENCH_pr5.json`.
+    const PR5_CHAIN_TC_PLANNER_1000_NS: f64 = 171_758_213.0;
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json");
+    let measurements = c.measurements();
+    let median = |needle: &str| {
+        measurements
+            .iter()
+            .find(|(id, _, _)| id == needle)
+            .map(|&(_, m, _)| m)
+    };
+    let subset: Vec<_> = measurements
+        .iter()
+        .filter(|(id, _, _)| {
+            id.starts_with("dense/") || id.starts_with("chain_tc/") || id.starts_with("grid_tc/")
+        })
+        .collect();
+    let mut out = String::from("{\n  \"meta\": {\n");
+    out.push_str(
+        "    \"note\": \"dense/*/planner is the cost-model pick (bitset closure by power \
+         doubling); dense/*/sparse is the semi-naive star in the same binary and run\",\n",
+    );
+    let _ = writeln!(
+        out,
+        "    \"baseline_pr5_chain_tc_planner_1000_ns\": {PR5_CHAIN_TC_PLANNER_1000_NS:.0}"
+    );
+    out.push_str("  },\n  \"results\": {\n");
+    for (i, (id, m, samples)) in subset.iter().enumerate() {
+        let comma = if i + 1 == subset.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    \"{id}\": {{\"median_ns\": {m:.0}, \"samples\": {samples}}}{comma}"
+        );
+    }
+    out.push_str("  },\n  \"derived\": {\n");
+    let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
+        (Some(n), Some(d)) if d > 0.0 => n / d,
+        _ => 0.0,
+    };
+    // The acceptance headline, same-binary: 1k-chain sparse star vs the
+    // dense closure the planner now picks.
+    let dense_speedup = ratio(
+        median("dense/chain_1000/sparse"),
+        median("dense/chain_1000/planner"),
+    );
+    let _ = writeln!(out, "    \"chain_tc_dense_speedup\": {dense_speedup:.2},");
+    // Against the committed PR 5 planner median (cross-machine context).
+    let vs_pr5 = ratio(
+        Some(PR5_CHAIN_TC_PLANNER_1000_NS),
+        median("chain_tc/planner/1000"),
+    );
+    let _ = writeln!(out, "    \"chain_tc_planner_vs_pr5_speedup\": {vs_pr5:.2},");
+    let grid_speedup = ratio(
+        median("dense/grid_20x20/sparse"),
+        median("dense/grid_20x20/planner"),
+    );
+    let _ = writeln!(out, "    \"grid_tc_dense_speedup\": {grid_speedup:.2},");
+    for m in [400u32, 2000, 8000] {
+        let s = ratio(
+            median(&format!("dense/random_200_m{m}/sparse")),
+            median(&format!("dense/random_200_m{m}/planner")),
+        );
+        let comma = if m == 8000 { "" } else { "," };
+        let _ = writeln!(out, "    \"random_200_m{m}_dense_speedup\": {s:.2}{comma}");
+    }
+    out.push_str("  }\n}\n");
+    match std::fs::write(path, &out) {
+        Ok(()) => eprintln!("planner bench: wrote {path}"),
+        Err(e) => eprintln!("planner bench: cannot write {path}: {e}"),
+    }
+}
+
 fn main() {
     let mut c = Criterion::default();
     benches(&mut c);
     write_summary(&c);
     write_pr7_summary(&c);
     write_pr8_summary(&c);
+    write_pr9_summary(&c);
     criterion::__finalize(&c);
 }

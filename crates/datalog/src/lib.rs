@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod atom;
+pub mod bitset;
 pub mod database;
 pub mod error;
 pub mod hash;
@@ -37,6 +38,7 @@ pub mod symbol;
 pub mod term;
 
 pub use atom::{Atom, EQ_PRED};
+pub use bitset::{BitsetRelation, DenseDomain};
 pub use database::Database;
 pub use error::RuleError;
 pub use parser::{parse_linear_rule, parse_program, parse_rule, Clause};

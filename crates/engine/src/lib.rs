@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dense;
 pub mod derivation;
 pub mod expr_eval;
 pub mod join;
@@ -60,6 +61,7 @@ pub mod stats;
 pub mod strategies;
 pub mod workload;
 
+pub use dense::{closure_by_squaring, composition_shape, CompositionShape, CompositionSide};
 pub use derivation::{trace_decomposed, trace_star, DerivationGraph};
 pub use expr_eval::eval_expr;
 pub use join::{apply_flat, apply_linear, apply_linear_rows, prepare_rules, Indexes};

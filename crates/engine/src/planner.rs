@@ -45,6 +45,7 @@
 //! assert_eq!(outcome.relation.len(), outcome.stats.tuples);
 //! ```
 
+use crate::dense;
 use crate::join::Indexes;
 use crate::magic::{eval_selected_star, magic_applicable};
 use crate::parallel::Parallelism;
@@ -327,11 +328,41 @@ impl Analysis {
             .iter()
             .map(|(name, c)| format!("{name} ≈ {c:.3e}"))
             .collect();
+        // Dense gate: a single composition-shaped rule whose closure fits
+        // the bitset budget at useful density evaluates in ⌈log₂ diameter⌉
+        // squarings instead of one delta round per path length — that
+        // beats every sparse candidate above, so the gate pre-empts the
+        // competition (whose verdict stays in the rationale for the
+        // record). A decline is recorded the same way, so `linrec lint`
+        // can quote why the plan stayed sparse.
+        let mut dense_note = String::new();
+        if let [rule] = self.rules.as_slice() {
+            if let Some(shape) = dense::composition_shape(rule) {
+                match est.dense_decision(rule, &shape, seed, &seed_doms) {
+                    Ok((cost, detail)) => {
+                        let mut plan = Plan::dense_closure(rule.clone(), model.dense_budget_bytes)
+                            .expect("composition shape checked above");
+                        plan.rationale = format!(
+                            "{} [cost model: {detail}; over {}]",
+                            plan.rationale,
+                            verdict.join(", ")
+                        );
+                        plan.estimate = Some(cost);
+                        return self.wrap_selection(plan);
+                    }
+                    Err(reason) => dense_note = format!("; dense declined: {reason}"),
+                }
+            }
+        }
         let (mut chosen, chosen_cost) = match best {
             Some((plan, cost)) if cost < direct_cost => (plan, cost),
             _ => (direct, direct_cost),
         };
-        chosen.rationale = format!("{} [cost model: {}]", chosen.rationale, verdict.join(", "));
+        chosen.rationale = format!(
+            "{} [cost model: {}{dense_note}]",
+            chosen.rationale,
+            verdict.join(", ")
+        );
         chosen.estimate = Some(chosen_cost);
         self.wrap_selection(chosen)
     }
@@ -426,6 +457,20 @@ pub struct CostModel {
     /// ([`CostModel::parallel_cutover`]): the delta size below which a
     /// round cannot recoup the sharding overhead and stays sequential.
     pub per_shard_setup: f64,
+    /// Byte budget for the dense bitset working set (three
+    /// `domain × ⌈domain/64⌉`-word adjacency matrices: operand,
+    /// accumulator, scratch). A composition-shaped recursion whose
+    /// estimated domain would not fit is planned sparse; the runtime
+    /// re-checks against the *actual* domain and falls back to semi-naive
+    /// if the estimate was optimistic.
+    pub dense_budget_bytes: usize,
+    /// Minimum estimated closure density (result tuples over `domain²`)
+    /// for the dense plan: below the cutover, word-at-a-time kernels scan
+    /// mostly-zero words and round-by-round hash joins win. Since the
+    /// closure estimate grows with the seed, this effectively gates on the
+    /// seed-to-domain ratio — a point-selection seed over a wide graph
+    /// stays sparse.
+    pub dense_density_cutover: f64,
 }
 
 impl Default for CostModel {
@@ -436,6 +481,8 @@ impl Default for CostModel {
             horizon: 12,
             fanout_scale: 1.0,
             per_shard_setup: 96.0,
+            dense_budget_bytes: 64 << 20,
+            dense_density_cutover: 0.05,
         }
     }
 }
@@ -736,6 +783,74 @@ impl<'a> Estimator<'a> {
         (self.per_deriv() * derivs, cur)
     }
 
+    /// The dense-budget decision for a composition-shaped `rule`: `Ok`
+    /// with a cost estimate and a human-readable note when the bitset
+    /// kernels are predicted to pay, `Err` with the decline reason
+    /// otherwise. Two checks, in order:
+    ///
+    /// 1. **Budget** — three `domain × ⌈domain/64⌉`-word matrices must fit
+    ///    [`CostModel::dense_budget_bytes`], with the domain estimated as
+    ///    seed-domain + edge-domain (distinct-value counts, so a safe
+    ///    overestimate of the union).
+    /// 2. **Density** — the closure estimate (a *long-horizon* unroll of
+    ///    the delta recurrence, `min(domain, 4096)` rounds: the sparse
+    ///    horizon-12 truncation would misjudge a fixpoint the dense path
+    ///    runs to completion) must fill at least
+    ///    [`CostModel::dense_density_cutover`] of `domain²` — below that,
+    ///    the word kernels mostly scan zeros and hash joins win.
+    fn dense_decision(
+        &mut self,
+        rule: &LinearRule,
+        shape: &dense::CompositionShape,
+        seed: f64,
+        seed_doms: &[f64],
+    ) -> Result<(f64, String), String> {
+        let q = self.pred(shape.edge, 2);
+        let q_dom = q.ndv.iter().fold(0.0f64, |a, &n| a.max(n));
+        let seed_dom = seed_doms.iter().fold(0.0f64, |a, &d| a.max(d));
+        let d = (seed_dom + q_dom).max(2.0);
+        let words = (d / 64.0).ceil();
+        let bytes = 3.0 * d * words * 8.0;
+        if bytes > self.model.dense_budget_bytes as f64 {
+            return Err(format!(
+                "working set ≈ {:.1} MiB over the {} MiB budget",
+                bytes / (1024.0 * 1024.0),
+                self.model.dense_budget_bytes >> 20
+            ));
+        }
+        let f = self.fanout(rule);
+        let cap = (d * d).min(1e15);
+        let mut delta = seed.min(cap);
+        let mut total = delta;
+        let mut derivs = 0.0;
+        for _ in 0..(d as usize).min(4096) {
+            if delta < 0.5 {
+                break;
+            }
+            let produced = delta * f;
+            derivs += produced;
+            let new = produced.min((cap - total).max(0.0));
+            total += new;
+            delta = new;
+        }
+        let density = total / cap;
+        if density < self.model.dense_density_cutover {
+            return Err(format!(
+                "est. density {density:.1e} below the {:.1e} cutover (domain ≈ {d:.0})",
+                self.model.dense_density_cutover
+            ));
+        }
+        let cost = self.per_deriv() * derivs + self.phase_charge(std::slice::from_ref(rule), seed);
+        Ok((
+            cost,
+            format!(
+                "dense: closure by squaring over '{}' \
+                 (domain ≈ {d:.0}, est. density {density:.2}) ≈ {cost:.3e}",
+                shape.edge
+            ),
+        ))
+    }
+
     fn node(&mut self, plan: &Plan, seed: f64, seed_doms: &[f64]) -> f64 {
         match &plan.node {
             PlanNode::Direct { rules } => {
@@ -834,6 +949,17 @@ impl<'a> Estimator<'a> {
                 let (c_tail, _) = self.power_chain(rule, acc.min(cap), seed_doms, l - 1);
                 cost + c_tail
             }
+            PlanNode::DenseClosure { rule, shape, .. } => {
+                match self.dense_decision(rule, shape, seed, seed_doms) {
+                    Ok((cost, _)) => cost,
+                    Err(_) => {
+                        // Would fall back to a sparse star at runtime.
+                        let rules = std::slice::from_ref(rule);
+                        let (derivs, _, _) = self.star(rules, seed, seed_doms);
+                        derivs + self.phase_charge(rules, seed)
+                    }
+                }
+            }
             PlanNode::SelectAfter { inner, sel } => {
                 let _ = sel;
                 self.node(inner, seed, seed_doms)
@@ -905,6 +1031,11 @@ enum PlanNode {
     RedundancyBounded {
         cert: Box<RedundancyCert>,
     },
+    DenseClosure {
+        rule: LinearRule,
+        shape: dense::CompositionShape,
+        budget_bytes: usize,
+    },
     SelectAfter {
         inner: Box<Plan>,
         sel: Selection,
@@ -933,6 +1064,10 @@ pub enum PlanShape {
     Separable,
     /// Theorem 4.2 bounded evaluation of a redundant factor.
     RedundancyBounded,
+    /// Logarithmic transitive closure by boolean-matrix power doubling
+    /// over a dense bitset remap (sparse semi-naive fallback if the
+    /// runtime domain exceeds the byte budget).
+    DenseClosure,
     /// Apply a selection to an inner plan's result.
     SelectAfter(Box<PlanShape>),
 }
@@ -1058,6 +1193,37 @@ impl Plan {
         )
     }
 
+    /// Dense transitive closure by power doubling: `init ∪ init∘q⁺`
+    /// (right-linear) or `init ∪ q⁺∘init` (left-linear) over u64-word
+    /// adjacency matrices. Licensed by the **composition shape** of the
+    /// rule ([`crate::dense::composition_shape`]) — the syntactic witness
+    /// that operator powers are boolean matrix powers — and construction
+    /// fails without it. `budget_bytes` caps the runtime working set
+    /// (three `domain × words` matrices); execution falls back to the
+    /// sparse star when the actual domain exceeds it.
+    pub fn dense_closure(rule: LinearRule, budget_bytes: usize) -> Result<Plan, StrategyError> {
+        let shape = dense::composition_shape(&rule).ok_or_else(|| {
+            StrategyError::MissingCertificate(
+                "dense closure needs a composition-shaped rule \
+                 (binary head, one binary EDB atom threading the middle variable)"
+                    .to_owned(),
+            )
+        })?;
+        let rationale = format!(
+            "the rule is relational composition with '{}', so operator powers are \
+             boolean matrix powers and the closure runs by repeated squaring",
+            shape.edge
+        );
+        Ok(Plan::make(
+            PlanNode::DenseClosure {
+                rule,
+                shape,
+                budget_bytes,
+            },
+            rationale,
+        ))
+    }
+
     /// Apply `sel` to `inner`'s result — always licensed (`σ` after star).
     pub fn select_after(inner: Plan, sel: Selection) -> Plan {
         let rationale = format!("apply σ to the result of: {}", inner.rationale);
@@ -1164,7 +1330,8 @@ impl Plan {
             }
             PlanNode::Naive { .. }
             | PlanNode::BoundedPrefix { .. }
-            | PlanNode::RedundancyBounded { .. } => false,
+            | PlanNode::RedundancyBounded { .. }
+            | PlanNode::DenseClosure { .. } => false,
             PlanNode::SelectAfter { inner, .. } => inner.has_parallel_phase(),
         }
     }
@@ -1180,6 +1347,7 @@ impl Plan {
                 vec![cert.outer().clone(), cert.inner().clone()]
             }
             PlanNode::RedundancyBounded { cert } => vec![cert.rule().clone()],
+            PlanNode::DenseClosure { rule, .. } => vec![rule.clone()],
             PlanNode::SelectAfter { inner, .. } => inner.star_rules(),
         }
     }
@@ -1256,6 +1424,7 @@ impl Plan {
             },
             PlanNode::Separable { .. } => PlanShape::Separable,
             PlanNode::RedundancyBounded { .. } => PlanShape::RedundancyBounded,
+            PlanNode::DenseClosure { .. } => PlanShape::DenseClosure,
             PlanNode::SelectAfter { inner, .. } => PlanShape::SelectAfter(Box::new(inner.shape())),
         }
     }
@@ -1313,6 +1482,18 @@ impl Plan {
                 ));
                 out.push_str(&format!("{pad}  B: {}\n", dec.b));
                 out.push_str(&format!("{pad}  C: {}\n", dec.c));
+            }
+            PlanNode::DenseClosure {
+                rule,
+                shape,
+                budget_bytes,
+            } => {
+                out.push_str(&format!(
+                    "{pad}DenseClosure over '{}' (≤ {} MiB working set)\n",
+                    shape.edge,
+                    budget_bytes >> 20
+                ));
+                out.push_str(&format!("{pad}  rule: {rule}\n"));
             }
             PlanNode::SelectAfter { inner, sel } => {
                 out.push_str(&format!("{pad}SelectAfter σ {:?}\n", sel.bindings()));
@@ -1406,6 +1587,42 @@ impl Plan {
             ),
             PlanNode::RedundancyBounded { cert } => {
                 exec_redundancy_bounded(cert, db, init, trace, indexes)
+            }
+            PlanNode::DenseClosure {
+                rule,
+                shape,
+                budget_bytes,
+            } => {
+                let phase = Phase::begin("dense-closure");
+                match dense::eval_composition(shape, db, init, *budget_bytes) {
+                    Some((rel, stats)) => {
+                        trace.push(phase.finish(
+                            format!("dense closure by squaring over '{}'", shape.edge),
+                            stats,
+                        ));
+                        Ok((rel, stats))
+                    }
+                    None => {
+                        // The actual domain outgrew the planner's estimate
+                        // (or the seed is not binary): evaluate sparse,
+                        // identical semantics.
+                        let (rel, stats) = seminaive_star_par_in(
+                            std::slice::from_ref(rule),
+                            db,
+                            init,
+                            indexes,
+                            &self.par,
+                        );
+                        trace.push(
+                            phase.finish(
+                                "dense budget exceeded at runtime; sparse semi-naive fallback"
+                                    .to_owned(),
+                                stats,
+                            ),
+                        );
+                        Ok((rel, stats))
+                    }
+                }
             }
             PlanNode::SelectAfter { inner, sel } => {
                 let (rel, mut stats) = inner.run(db, init, trace, indexes)?;
@@ -2003,5 +2220,142 @@ mod tests {
         let db = workload::graph_db("q", edges.clone());
         let outcome = plan.execute(&db, &edges).unwrap();
         assert_eq!(outcome.relation.len(), 55);
+    }
+
+    #[test]
+    fn cost_model_picks_dense_on_a_small_dense_chain() {
+        // Full-chain seed over a 200-node domain: the closure fills half
+        // of domain², far above the density cutover, and the working set
+        // is a few KiB — the dense gate fires.
+        let edges = workload::chain(200);
+        let db = workload::graph_db("q", edges.clone());
+        let analysis = Analysis::of(&[rules::tc_right()], None);
+        let plan = analysis.plan_for(&db, &edges);
+        assert_eq!(
+            plan.shape(),
+            PlanShape::DenseClosure,
+            "{}",
+            plan.rationale()
+        );
+        assert!(
+            plan.rationale().contains("dense: closure by squaring"),
+            "{}",
+            plan.rationale()
+        );
+        assert!(plan.estimate().is_some());
+
+        // Same relation and honest (non-zero) derivation counters.
+        let outcome = plan.execute(&db, &edges).unwrap();
+        let direct = Plan::direct(vec![rules::tc_right()])
+            .execute(&db, &edges)
+            .unwrap();
+        assert_eq!(outcome.relation.sorted(), direct.relation.sorted());
+        assert_eq!(outcome.stats.tuples, 200 * 201 / 2);
+        assert!(outcome.stats.derivations > 0);
+        assert_eq!(outcome.trace.len(), 1);
+        assert!(outcome.trace[0].label.contains("dense closure"));
+    }
+
+    #[test]
+    fn cost_model_declines_dense_on_a_sparse_point_seed() {
+        // A single-pair seed over a wide chain: the closure is one thin
+        // row of domain² — density ~1/domain, below the cutover.
+        let edges = workload::chain(3000);
+        let db = workload::graph_db("q", edges);
+        let init = Relation::from_pairs([(0, 1)]);
+        let analysis = Analysis::of(&[rules::tc_right()], None);
+        let plan = analysis.plan_for(&db, &init);
+        assert_eq!(plan.shape(), PlanShape::Direct, "{}", plan.rationale());
+        assert!(
+            plan.rationale().contains("dense declined: est. density"),
+            "{}",
+            plan.rationale()
+        );
+    }
+
+    #[test]
+    fn cost_model_declines_dense_over_the_byte_budget() {
+        let edges = workload::chain(500);
+        let db = workload::graph_db("q", edges.clone());
+        let model = CostModel {
+            dense_budget_bytes: 1 << 10,
+            ..CostModel::default()
+        };
+        let analysis = Analysis::of(&[rules::tc_right()], None);
+        let plan = analysis.plan_with(&db, &edges, &model);
+        assert_eq!(plan.shape(), PlanShape::Direct, "{}", plan.rationale());
+        assert!(
+            plan.rationale().contains("dense declined: working set"),
+            "{}",
+            plan.rationale()
+        );
+    }
+
+    #[test]
+    fn dense_closure_requires_the_composition_shape() {
+        // Two nonrecursive atoms: not relational composition.
+        let rule = rules::shopping_rule();
+        assert!(matches!(
+            Plan::dense_closure(rule, 64 << 20),
+            Err(StrategyError::MissingCertificate(_))
+        ));
+    }
+
+    #[test]
+    fn dense_closure_falls_back_to_sparse_when_the_runtime_domain_overflows() {
+        // Constructed with a budget no real domain fits: execution must
+        // take the semi-naive fallback and still be correct.
+        let edges = workload::chain(50);
+        let db = workload::graph_db("q", edges.clone());
+        let plan = Plan::dense_closure(rules::tc_right(), 8).unwrap();
+        let outcome = plan.execute(&db, &edges).unwrap();
+        assert_eq!(outcome.relation.len(), 50 * 51 / 2);
+        assert!(
+            outcome.trace[0]
+                .label
+                .contains("sparse semi-naive fallback"),
+            "{}",
+            outcome.trace[0].label
+        );
+    }
+
+    #[test]
+    fn dense_feedback_keeps_the_estimate_actual_ratio_sane() {
+        // The dense path reports popcount-derived derivation counts, so
+        // the estimate/actual ratio stays within a small factor instead of
+        // dividing by zero-ish actuals.
+        let edges = workload::chain(300);
+        let db = workload::graph_db("q", edges.clone());
+        let analysis = Analysis::of(&[rules::tc_right()], None);
+        let mut plan = analysis.plan_for(&db, &edges);
+        assert_eq!(plan.shape(), PlanShape::DenseClosure);
+        let outcome = plan.execute_feedback(&db, &edges).unwrap();
+        let est = plan.estimate().unwrap();
+        let ratio = est / outcome.stats.derivations.max(1) as f64;
+        assert!(
+            (0.05..20.0).contains(&ratio),
+            "estimate {est:.3e} vs actual {} (ratio {ratio:.3})",
+            outcome.stats.derivations
+        );
+        assert!(plan.annotated_rationale().contains("estimate/actual"));
+    }
+
+    #[test]
+    fn dense_plan_execution_matches_direct_on_a_grid() {
+        let edges = workload::grid(20, 20);
+        let db = workload::graph_db("q", edges.clone());
+        let analysis = Analysis::of(&[rules::tc_right()], None);
+        let plan = analysis.plan_for(&db, &edges);
+        assert_eq!(
+            plan.shape(),
+            PlanShape::DenseClosure,
+            "{}",
+            plan.rationale()
+        );
+        let dense = plan.execute(&db, &edges).unwrap();
+        let direct = Plan::direct(vec![rules::tc_right()])
+            .execute(&db, &edges)
+            .unwrap();
+        assert_eq!(dense.relation.sorted(), direct.relation.sorted());
     }
 }

@@ -12,6 +12,8 @@
 //!   `..._par_probe_ns` (one sample per shard), `..._par_merge_ns`;
 //! * per **plan node** — `linrec_engine_plan_node_ns` plus a `nanos`
 //!   field on every [`crate::TraceStep`];
+//! * per dense **compose** — `linrec_engine_dense_compose_ns` /
+//!   `linrec_engine_dense_words` (one sample per boolean matrix product);
 //! * cost-model **calibration drift** —
 //!   `linrec_engine_estimate_actual_permille`, the planner's estimated
 //!   over actual derivations ×1000, recorded whenever feedback execution
@@ -78,6 +80,28 @@ pub fn join() -> &'static JoinProfile {
     HANDLES.get_or_init(|| JoinProfile {
         scan_builds: linrec_obs::counter("linrec_engine_scan_builds_total"),
         col_index_builds: linrec_obs::counter("linrec_engine_col_index_builds_total"),
+    })
+}
+
+/// Metric handles for the dense bitset kernels (one event per compose /
+/// closure, never per tuple or per word).
+pub struct DenseProfile {
+    /// Wall time of one boolean matrix compose (ns).
+    pub compose_ns: Histogram,
+    /// Adjacency words per compose operand (domain × words-per-row) —
+    /// the dense working-set size the budget rule admitted.
+    pub words: Histogram,
+    /// Closures evaluated by power doubling.
+    pub closures: Counter,
+}
+
+/// The engine's dense-kernel metric handles (registered on first use).
+pub fn dense() -> &'static DenseProfile {
+    static HANDLES: OnceLock<DenseProfile> = OnceLock::new();
+    HANDLES.get_or_init(|| DenseProfile {
+        compose_ns: linrec_obs::histogram("linrec_engine_dense_compose_ns"),
+        words: linrec_obs::histogram("linrec_engine_dense_words"),
+        closures: linrec_obs::counter("linrec_engine_dense_closures_total"),
     })
 }
 

@@ -440,6 +440,24 @@ pub fn exact_power_in(
     stats: &mut EvalStats,
     indexes: &mut Indexes,
 ) -> Relation {
+    // Dense fast path: a composition-shaped rule's power image is
+    // `init ∘ qᶜ` (or `qᶜ ∘ init`), and `qᶜ` by binary exponentiation
+    // needs O(log c) matrix composes instead of c joins. Only worth the
+    // two domain remaps for chains long enough that squaring saves work.
+    if count >= 4 {
+        if let Some(shape) = crate::dense::composition_shape(rule) {
+            if let Some(rel) = crate::dense::exact_power(
+                &shape,
+                db,
+                init,
+                count,
+                crate::dense::DEFAULT_DENSE_BUDGET_BYTES,
+                stats,
+            ) {
+                return rel;
+            }
+        }
+    }
     let mut current = init.clone();
     for _ in 0..count {
         let (next, derivs) = apply_linear(rule, db, &current, indexes);

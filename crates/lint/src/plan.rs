@@ -8,12 +8,13 @@
 //!   license pushing the selection into the inner star
 //!   (`σ(A₁+A₂)* = A₁*(σA₂*)`, Theorem 4.1);
 //! * `P202` — the cost model kept `Direct` although a commutativity or
-//!   redundancy certificate licenses a stronger strategy; advisory only
-//!   (the model may well be right on this data), with the model's verdict
-//!   quoted from the plan rationale.
+//!   redundancy certificate — or the dense composition shape — licenses a
+//!   stronger strategy; advisory only (the model may well be right on this
+//!   data: a dense decline means the budget/density rule said so, and the
+//!   reason is quoted from the plan rationale).
 
 use crate::diagnostic::{Code, Diagnostic, Span};
-use linrec_engine::{Analysis, Plan, PlanShape};
+use linrec_engine::{composition_shape, Analysis, Plan, PlanShape};
 
 /// Run the plan lints for `plan` as chosen for `analysis`.
 pub fn plan_lints(analysis: &Analysis, plan: &Plan) -> Vec<Diagnostic> {
@@ -53,6 +54,11 @@ pub fn plan_lints(analysis: &Analysis, plan: &Plan) -> Vec<Diagnostic> {
         }
         if analysis.redundancy().is_some() {
             licensed.push("RedundancyBounded");
+        }
+        if let [rule] = analysis.rules() {
+            if composition_shape(rule).is_some() {
+                licensed.push("DenseClosure");
+            }
         }
         if !licensed.is_empty() {
             out.push(
@@ -100,6 +106,40 @@ mod tests {
         let late = Plan::select_after(Plan::direct(rules), sel);
         let d = plan_lints(&analysis, &late);
         assert!(d.iter().any(|d| d.code == Code::MissedPushdown), "{d:?}");
+    }
+
+    #[test]
+    fn direct_over_a_composition_shape_quotes_the_dense_decline() {
+        use linrec_datalog::Relation;
+        use linrec_engine::workload;
+        // Point seed over a wide chain: the planner declines dense on
+        // density grounds and stays Direct — P202 flags the licensed
+        // DenseClosure, and its help quotes the decline reason verbatim.
+        let rules = vec![parse_linear_rule("p(x,y) :- p(x,z), q(z,y).").unwrap()];
+        let analysis = Analysis::of(&rules, None);
+        let edges = workload::chain(3000);
+        let db = workload::graph_db("q", edges);
+        let init = Relation::from_pairs([(0, 1)]);
+        let plan = analysis.plan_for(&db, &init);
+        assert_eq!(plan.shape(), PlanShape::Direct);
+        let d = plan_lints(&analysis, &plan);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, Code::CostSkippedCertificate);
+        assert!(d[0].message.contains("DenseClosure"), "{}", d[0].message);
+        let help = d[0].help.as_deref().unwrap_or_default();
+        assert!(help.contains("dense declined: est. density"), "{help}");
+    }
+
+    #[test]
+    fn a_chosen_dense_plan_is_clean() {
+        use linrec_engine::workload;
+        let rules = vec![parse_linear_rule("p(x,y) :- p(x,z), q(z,y).").unwrap()];
+        let analysis = Analysis::of(&rules, None);
+        let edges = workload::chain(100);
+        let db = workload::graph_db("q", edges.clone());
+        let plan = analysis.plan_for(&db, &edges);
+        assert_eq!(plan.shape(), PlanShape::DenseClosure);
+        assert!(plan_lints(&analysis, &plan).is_empty());
     }
 
     #[test]

@@ -94,7 +94,12 @@ pub enum MaintenanceMode {
 impl MaintenanceMode {
     fn of(shape: &PlanShape) -> MaintenanceMode {
         match shape {
-            PlanShape::Direct | PlanShape::Naive => MaintenanceMode::Incremental,
+            // DenseClosure: a delta batch resumes soundly through the
+            // sparse semi-naive delta rules (same fixpoint); full
+            // recomputes still go through the plan and stay dense.
+            PlanShape::Direct | PlanShape::Naive | PlanShape::DenseClosure => {
+                MaintenanceMode::Incremental
+            }
             PlanShape::BoundedPrefix { applications } => {
                 MaintenanceMode::IncrementalBounded(*applications)
             }
@@ -425,6 +430,10 @@ mod tests {
             MaintenanceMode::Incremental
         );
         assert_eq!(
+            MaintenanceMode::of(&PlanShape::DenseClosure),
+            MaintenanceMode::Incremental
+        );
+        assert_eq!(
             MaintenanceMode::of(&PlanShape::BoundedPrefix { applications: 3 }),
             MaintenanceMode::IncrementalBounded(3)
         );
@@ -473,6 +482,48 @@ mod tests {
                 current.sorted(),
                 scratch_view(&rules, &db, Symbol::new("e")).sorted(),
                 "maintenance diverged after batch {batch:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_planned_view_materializes_and_maintains_like_scratch() {
+        // A chain seed dense enough for the cost model's dense gate: the
+        // registered plan goes through the bitset closure with zero flags,
+        // and delta maintenance resumes sparsely over the same fixpoint.
+        let rules = vec![parse_linear_rule("p(x,y) :- p(x,z), e(z,y).").unwrap()];
+        let mut db = Database::new();
+        db.set_relation("e", Relation::from_pairs((0..100).map(|i| (i, i + 1))));
+        let def = ViewDef {
+            name: "tc-dense".into(),
+            rules: rules.clone(),
+            seed: Symbol::new("e"),
+        };
+        let mut view = MaintainedView::register(def, &db).unwrap();
+        assert_eq!(
+            view.plan().shape(),
+            PlanShape::DenseClosure,
+            "{}",
+            view.plan().rationale()
+        );
+        assert_eq!(view.mode(), &MaintenanceMode::Incremental);
+        let (materialized, stats) = view.materialize(&db).unwrap();
+        assert_eq!(
+            materialized.sorted(),
+            scratch_view(&rules, &db, Symbol::new("e")).sorted()
+        );
+        assert!(stats.derivations > 0, "dense stats must not read zero");
+        let mut current = Arc::new(materialized);
+        for batch in [vec![("e", (100, 101))], vec![("e", (101, 0))]] {
+            let deltas = apply(&mut db, &batch);
+            let outcome = view.maintain(&current, &db, &deltas).unwrap();
+            if let Some(next) = outcome.relation {
+                current = Arc::new(next);
+            }
+            assert_eq!(
+                current.sorted(),
+                scratch_view(&rules, &db, Symbol::new("e")).sorted(),
+                "dense-planned maintenance diverged after batch {batch:?}"
             );
         }
     }

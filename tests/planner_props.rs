@@ -40,7 +40,9 @@ fn uses_certified_strategy(shape: &PlanShape) -> bool {
         | PlanShape::RedundancyBounded
         | PlanShape::BoundedPrefix { .. } => true,
         PlanShape::SelectAfter(inner) => uses_certified_strategy(inner),
-        PlanShape::Direct | PlanShape::Naive => false,
+        // DenseClosure is licensed by a syntactic shape check, not a
+        // paper certificate.
+        PlanShape::Direct | PlanShape::Naive | PlanShape::DenseClosure => false,
     }
 }
 

@@ -78,16 +78,23 @@ impl DenseDomain {
         self.values.len().div_ceil(64)
     }
 
-    /// Bytes one full adjacency matrix over this domain occupies.
+    /// Bytes one full adjacency matrix over this domain occupies
+    /// (saturating: a domain too large to even size stays `usize::MAX`
+    /// rather than wrapping past a caller's byte budget).
     pub fn matrix_bytes(&self) -> usize {
-        self.len() * self.words() * 8
+        self.len().saturating_mul(self.words()).saturating_mul(8)
     }
 }
 
 /// A binary relation as a dense adjacency matrix: row `i` is
 /// [`DenseDomain::words`] contiguous `u64`s whose bit `j` means the pair
 /// `(value(i), value(j))` is present. All operands of a kernel must share
-/// one [`DenseDomain`] (checked by `debug_assert!` in every kernel).
+/// one [`DenseDomain`]: every binary kernel ([`BitsetRelation::compose`],
+/// [`BitsetRelation::or_assign`], [`BitsetRelation::and`]) **panics** —
+/// in release builds too — when its operands' domains differ. Dense ids
+/// decode through the domain's value table, so mixing domains would not
+/// merely be out of contract, it would silently produce wrong pairs; the
+/// check is one `Arc` pointer compare in the common case.
 #[derive(Debug, Clone)]
 pub struct BitsetRelation {
     domain: Arc<DenseDomain>,
@@ -199,18 +206,27 @@ impl BitsetRelation {
         self.bits.iter().all(|&w| w == 0)
     }
 
+    /// Unconditional (release builds included): a domain mismatch would
+    /// decode ids through the wrong value table and silently yield wrong
+    /// pairs, so it must never pass structurally. The fast path is one
+    /// `Arc` pointer compare; the full value-list comparison runs only
+    /// for distinct allocations of an equal domain.
+    #[track_caller]
     fn assert_same_domain(&self, other: &BitsetRelation) {
-        debug_assert!(
+        assert!(
             Arc::ptr_eq(&self.domain, &other.domain) || self.domain == other.domain,
             "bitset operands must share one dense domain"
         );
-        debug_assert_eq!(self.words, other.words, "word widths disagree");
-        debug_assert_eq!(self.bits.len(), other.bits.len(), "block counts disagree");
+        assert_eq!(self.words, other.words, "word widths disagree");
+        assert_eq!(self.bits.len(), other.bits.len(), "block counts disagree");
     }
 
     /// Word-at-a-time union: OR `other` into `self`, returning the number
     /// of newly set bits (the popcount delta — the dense analogue of the
     /// semi-naive "new tuples this round" count).
+    ///
+    /// # Panics
+    /// When the operands were built over different [`DenseDomain`]s.
     pub fn or_assign(&mut self, other: &BitsetRelation) -> u64 {
         self.assert_same_domain(other);
         let mut new = 0u64;
@@ -222,6 +238,9 @@ impl BitsetRelation {
     }
 
     /// Word-at-a-time intersection: the pairs present in both operands.
+    ///
+    /// # Panics
+    /// When the operands were built over different [`DenseDomain`]s.
     pub fn and(&self, other: &BitsetRelation) -> BitsetRelation {
         self.assert_same_domain(other);
         BitsetRelation {
@@ -241,6 +260,9 @@ impl BitsetRelation {
     /// composition over the shared middle column. For every set bit `j`
     /// of a row of `self`, `other`'s row `j` is OR-ed in whole words, so
     /// the cost is `|self| × words-per-row` word operations.
+    ///
+    /// # Panics
+    /// When the operands were built over different [`DenseDomain`]s.
     pub fn compose(&self, other: &BitsetRelation) -> BitsetRelation {
         self.assert_same_domain(other);
         let mut out = BitsetRelation::empty(Arc::clone(&self.domain));
@@ -344,6 +366,32 @@ mod tests {
         assert_eq!(da.len(), 2);
         let both = da.and(&db);
         assert_eq!(both.to_relation().sorted(), b.sorted());
+    }
+
+    #[test]
+    #[should_panic(expected = "share one dense domain")]
+    fn kernels_refuse_operands_over_different_domains() {
+        // Equal-sized but disjoint domains: every structural size check
+        // passes, so only the unconditional domain assert can stop the
+        // ids from decoding through the wrong value table.
+        let a = rel(&[(1, 2)]);
+        let b = rel(&[(3, 4)]);
+        let da =
+            BitsetRelation::from_relation(&a, Arc::new(DenseDomain::from_relations([&a]))).unwrap();
+        let db =
+            BitsetRelation::from_relation(&b, Arc::new(DenseDomain::from_relations([&b]))).unwrap();
+        let _ = da.compose(&db);
+    }
+
+    #[test]
+    fn equal_domains_from_distinct_allocations_are_accepted() {
+        let a = rel(&[(1, 2), (2, 3)]);
+        let d1 = Arc::new(DenseDomain::from_relations([&a]));
+        let d2 = Arc::new(DenseDomain::from_relations([&a]));
+        let da = BitsetRelation::from_relation(&a, d1).unwrap();
+        let mut db = BitsetRelation::from_relation(&a, d2).unwrap();
+        assert_eq!(db.or_assign(&da), 0);
+        assert_eq!(da.compose(&db).to_relation().sorted(), rel(&[(1, 3)]).sorted());
     }
 
     #[test]

@@ -30,7 +30,10 @@ use std::sync::Arc;
 
 /// Default byte budget for the dense working set (three `domain × words`
 /// matrices: operand, accumulator, scratch) when no cost model supplies
-/// one — used by the `exact_power_in` fast path.
+/// one — used by entry points with no planner context (e.g. the
+/// [`crate::seminaive::exact_power`] convenience wrapper). Planner-driven
+/// execution threads [`crate::planner::CostModel::dense_budget_bytes`]
+/// instead.
 pub const DEFAULT_DENSE_BUDGET_BYTES: usize = 64 << 20;
 
 /// Which side of the recursive atom the EDB relation composes on.
@@ -162,12 +165,22 @@ pub fn closure_by_squaring(a: &BitsetRelation) -> (BitsetRelation, EvalStats) {
 /// densified over one shared domain. `None` when the shapes cannot
 /// densify (non-binary seed, or EDB stored at a different arity — the
 /// join treats the latter as matching nothing, so the dense side uses an
-/// empty matrix the same way).
+/// empty matrix the same way), or when three `domain × words` matrices
+/// would exceed `budget_bytes`.
+///
+/// Order matters here: the [`DenseDomain`] (input-proportional — a
+/// sorted value list plus its inverse map) is built first, the byte
+/// budget is checked against it, and only then are the `domain²`-bit
+/// adjacency matrices allocated. Checking after allocation would defeat
+/// the budget's purpose — a large runtime domain would OOM the process
+/// on the very matrices the budget exists to refuse, instead of taking
+/// the graceful sparse fallback.
 fn densify(
     shape: &CompositionShape,
     db: &Database,
     init: &Relation,
-) -> Option<(Arc<DenseDomain>, BitsetRelation, BitsetRelation)> {
+    budget_bytes: usize,
+) -> Option<(BitsetRelation, BitsetRelation)> {
     if init.arity() != 2 {
         return None;
     }
@@ -177,27 +190,27 @@ fn densify(
         _ => &empty,
     };
     let domain = Arc::new(DenseDomain::from_relations([init, edge]));
+    if domain.matrix_bytes().saturating_mul(3) > budget_bytes {
+        return None;
+    }
     let a = BitsetRelation::from_relation(init, Arc::clone(&domain)).ok()?;
     let e = BitsetRelation::from_relation(edge, Arc::clone(&domain)).ok()?;
-    Some((domain, a, e))
+    Some((a, e))
 }
 
 /// Evaluate the fixpoint of a composition-shaped rule densely:
 /// `init ∪ init∘q⁺` (right-linear) or `init ∪ q⁺∘init` (left-linear),
 /// converted back to a flat-arena [`Relation`] at the boundary. Returns
 /// `None` when densification is not possible or the working set exceeds
-/// `budget_bytes` (three `domain × words` matrices) — callers fall back
-/// to the sparse semi-naive path.
+/// `budget_bytes` (three `domain × words` matrices; checked before any
+/// matrix allocation) — callers fall back to the sparse semi-naive path.
 pub fn eval_composition(
     shape: &CompositionShape,
     db: &Database,
     init: &Relation,
     budget_bytes: usize,
 ) -> Option<(Relation, EvalStats)> {
-    let (domain, mut a, e) = densify(shape, db, init)?;
-    if domain.matrix_bytes().saturating_mul(3) > budget_bytes {
-        return None;
-    }
+    let (mut a, e) = densify(shape, db, init, budget_bytes)?;
     let (closure, mut stats) = closure_by_squaring(&e);
     let image = match shape.side {
         CompositionSide::Right => compose(&a, &closure),
@@ -216,7 +229,7 @@ pub fn eval_composition(
 /// exponentiation — `O(log c)` composes instead of `c` joins. Derivation
 /// counters come from popcount deltas, one [`EvalStats::record`] per
 /// compose. Returns `None` when densification fails or the working set
-/// exceeds `budget_bytes`.
+/// exceeds `budget_bytes` (checked before any matrix allocation).
 pub fn exact_power(
     shape: &CompositionShape,
     db: &Database,
@@ -226,10 +239,7 @@ pub fn exact_power(
     stats: &mut EvalStats,
 ) -> Option<Relation> {
     debug_assert!(count > 0, "count 0 is the identity; callers skip it");
-    let (domain, a, e) = densify(shape, db, init)?;
-    if domain.matrix_bytes().saturating_mul(3) > budget_bytes {
-        return None;
-    }
+    let (a, e) = densify(shape, db, init, budget_bytes)?;
     // q^count by square-and-multiply over the bit positions of `count`.
     let mut power: Option<BitsetRelation> = None;
     let mut base = e;
@@ -350,6 +360,23 @@ mod tests {
         let db = workload::graph_db("q", edges.clone());
         let shape = composition_shape(&rules::tc_right()).unwrap();
         assert!(eval_composition(&shape, &db, &edges, 64).is_none());
+    }
+
+    #[test]
+    fn budget_check_precedes_matrix_allocation_on_wide_domains() {
+        // 100k+1 distinct values: one adjacency matrix alone would be
+        // ~1.2 GiB, far past the 64 MiB default budget. The decline must
+        // come from the domain size alone — if the gate ever moves back
+        // behind the matrix allocations, this test balloons to gigabytes
+        // of transient memory instead of returning in microseconds.
+        let edges = workload::chain(100_000);
+        let db = workload::graph_db("q", edges.clone());
+        let shape = composition_shape(&rules::tc_right()).unwrap();
+        assert!(eval_composition(&shape, &db, &edges, DEFAULT_DENSE_BUDGET_BYTES).is_none());
+        let mut stats = EvalStats::default();
+        assert!(
+            exact_power(&shape, &db, &edges, 8, DEFAULT_DENSE_BUDGET_BYTES, &mut stats).is_none()
+        );
     }
 
     #[test]

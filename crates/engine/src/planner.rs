@@ -290,12 +290,14 @@ impl Analysis {
     /// ties (fewest phases, no certificate machinery).
     pub fn plan_with(&self, db: &Database, init: &Relation, model: &CostModel) -> Plan {
         if let Some(cert) = &self.boundedness {
-            return self.wrap_selection(Plan::bounded_prefix(cert.clone()));
+            return self
+                .wrap_selection(Plan::bounded_prefix(cert.clone()))
+                .with_dense_budget(model.dense_budget_bytes);
         }
         if let Some(sel) = &self.selection {
             if let Some((_, _, cert)) = self.separability.first() {
                 if let Ok(plan) = Plan::separable(cert.clone(), sel.clone()) {
-                    return plan;
+                    return plan.with_dense_budget(model.dense_budget_bytes);
                 }
             }
         }
@@ -348,7 +350,9 @@ impl Analysis {
                             verdict.join(", ")
                         );
                         plan.estimate = Some(cost);
-                        return self.wrap_selection(plan);
+                        return self
+                            .wrap_selection(plan)
+                            .with_dense_budget(model.dense_budget_bytes);
                     }
                     Err(reason) => dense_note = format!("; dense declined: {reason}"),
                 }
@@ -365,6 +369,7 @@ impl Analysis {
         );
         chosen.estimate = Some(chosen_cost);
         self.wrap_selection(chosen)
+            .with_dense_budget(model.dense_budget_bytes)
     }
 
     fn wrap_selection(&self, plan: Plan) -> Plan {
@@ -790,8 +795,12 @@ impl<'a> Estimator<'a> {
     ///
     /// 1. **Budget** — three `domain × ⌈domain/64⌉`-word matrices must fit
     ///    [`CostModel::dense_budget_bytes`], with the domain estimated as
-    ///    seed-domain + edge-domain (distinct-value counts, so a safe
-    ///    overestimate of the union).
+    ///    the **sum of both columns' distinct-value counts of both
+    ///    relations**. The runtime domain is the union of all four value
+    ///    sets, so the sum is a safe overestimate — erring toward
+    ///    declining a plan, never toward admitting one whose actual
+    ///    working set exceeds the budget (the runtime re-check before
+    ///    allocation remains the hard guard either way).
     /// 2. **Density** — the closure estimate (a *long-horizon* unroll of
     ///    the delta recurrence, `min(domain, 4096)` rounds: the sparse
     ///    horizon-12 truncation would misjudge a fixpoint the dense path
@@ -806,8 +815,8 @@ impl<'a> Estimator<'a> {
         seed_doms: &[f64],
     ) -> Result<(f64, String), String> {
         let q = self.pred(shape.edge, 2);
-        let q_dom = q.ndv.iter().fold(0.0f64, |a, &n| a.max(n));
-        let seed_dom = seed_doms.iter().fold(0.0f64, |a, &d| a.max(d));
+        let q_dom: f64 = q.ndv.iter().sum();
+        let seed_dom: f64 = seed_doms.iter().sum();
         let d = (seed_dom + q_dom).max(2.0);
         let words = (d / 64.0).ceil();
         let bytes = 3.0 * d * words * 8.0;
@@ -996,6 +1005,13 @@ pub struct Plan {
     /// Parallelism knob for the plan's semi-naive phases (sequential by
     /// default; see [`Plan::parallelize`]).
     par: Parallelism,
+    /// Byte budget for any dense bitset working set this plan's execution
+    /// may allocate — the `DenseClosure` node's own budget lives in the
+    /// node, but exact-power chains (`RedundancyBounded`) also take a
+    /// dense fast path, and it must honor the same knob. Defaults to
+    /// [`dense::DEFAULT_DENSE_BUDGET_BYTES`]; [`Analysis::plan_with`]
+    /// overwrites it with [`CostModel::dense_budget_bytes`].
+    dense_budget_bytes: usize,
 }
 
 impl Plan {
@@ -1006,6 +1022,7 @@ impl Plan {
             estimate: None,
             actual: None,
             par: Parallelism::sequential(),
+            dense_budget_bytes: dense::DEFAULT_DENSE_BUDGET_BYTES,
         }
     }
 }
@@ -1254,6 +1271,23 @@ impl Plan {
         if let PlanNode::SelectAfter { inner, .. } = &mut self.node {
             inner.set_parallelism(par);
         }
+    }
+
+    fn set_dense_budget(&mut self, bytes: usize) {
+        self.dense_budget_bytes = bytes;
+        if let PlanNode::SelectAfter { inner, .. } = &mut self.node {
+            inner.set_dense_budget(bytes);
+        }
+    }
+
+    /// Cap the dense bitset working set of the plan's exact-power fast
+    /// paths at `bytes` (see [`CostModel::dense_budget_bytes`]; `0`
+    /// keeps those paths fully sparse). [`Analysis::plan_with`] applies
+    /// the active model's budget automatically; call this only when
+    /// executing a hand-built plan under a non-default budget.
+    pub fn with_dense_budget(mut self, bytes: usize) -> Plan {
+        self.set_dense_budget(bytes);
+        self
     }
 
     /// Attach a parallelism knob unconditionally (no cost-model gate; the
@@ -1586,7 +1620,7 @@ impl Plan {
                 &self.par,
             ),
             PlanNode::RedundancyBounded { cert } => {
-                exec_redundancy_bounded(cert, db, init, trace, indexes)
+                exec_redundancy_bounded(cert, db, init, trace, indexes, self.dense_budget_bytes)
             }
             PlanNode::DenseClosure {
                 rule,
@@ -1711,6 +1745,7 @@ fn exec_redundancy_bounded(
     init: &Relation,
     trace: &mut Vec<TraceStep>,
     indexes: &mut Indexes,
+    dense_budget_bytes: usize,
 ) -> Result<(Relation, EvalStats), StrategyError> {
     let rule = cert.rule();
     let dec = cert.decomposition();
@@ -1731,15 +1766,16 @@ fn exec_redundancy_bounded(
     let phase = Phase::begin("redundancy-branches");
     let branch_stats_before = stats;
     let mut acc = Relation::new(rule.arity());
-    let mut img = exact_power_in(&dec.b, db, init, k - 1, &mut stats, indexes); // B^{K-1} q
+    let budget = dense_budget_bytes;
+    let mut img = exact_power_in(&dec.b, db, init, k - 1, &mut stats, indexes, budget); // B^{K-1} q
     for r in 0..period {
         if r > 0 {
-            img = exact_power_in(&dec.b, db, &img, 1, &mut stats, indexes); // B^{K-1+r} q
+            img = exact_power_in(&dec.b, db, &img, 1, &mut stats, indexes, budget); // B^{K-1+r} q
         }
         let (bstar, s) = seminaive_star_in(std::slice::from_ref(&b_period), db, &img, indexes);
         stats += s;
-        let after_c = exact_power_in(&dec.c, db, &bstar, (k + r) * l, &mut stats, indexes);
-        let with_b = exact_power_in(&dec.b, db, &after_c, 1, &mut stats, indexes);
+        let after_c = exact_power_in(&dec.c, db, &bstar, (k + r) * l, &mut stats, indexes, budget);
+        let with_b = exact_power_in(&dec.b, db, &after_c, 1, &mut stats, indexes, budget);
         acc.union_in_place(&with_b);
     }
 
@@ -1747,7 +1783,7 @@ fn exec_redundancy_bounded(
     let mut cur = acc.clone();
     result.union_in_place(&acc);
     for _ in 1..l {
-        cur = exact_power_in(rule, db, &cur, 1, &mut stats, indexes);
+        cur = exact_power_in(rule, db, &cur, 1, &mut stats, indexes, budget);
         result.union_in_place(&cur);
     }
     {
@@ -2289,6 +2325,22 @@ mod tests {
             "{}",
             plan.rationale()
         );
+    }
+
+    #[test]
+    fn plan_with_threads_the_model_budget_into_the_plan() {
+        // The declined plan stays sparse for its closure, but its
+        // exact-power fast paths must still run under the *model's*
+        // budget, not the module default.
+        let edges = workload::chain(500);
+        let db = workload::graph_db("q", edges.clone());
+        let model = CostModel {
+            dense_budget_bytes: 1 << 10,
+            ..CostModel::default()
+        };
+        let analysis = Analysis::of(&[rules::tc_right()], None);
+        let plan = analysis.plan_with(&db, &edges, &model);
+        assert_eq!(plan.dense_budget_bytes, 1 << 10);
     }
 
     #[test]

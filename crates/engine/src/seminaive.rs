@@ -420,7 +420,10 @@ pub fn bounded_prefix_in(
     (total, stats)
 }
 
-/// The exact power image `Aᶜᵒᵘⁿᵗ(init)` (not accumulated).
+/// The exact power image `Aᶜᵒᵘⁿᵗ(init)` (not accumulated). The dense
+/// fast path runs under [`crate::dense::DEFAULT_DENSE_BUDGET_BYTES`];
+/// planner execution uses [`exact_power_in`] with the active cost
+/// model's budget instead.
 pub fn exact_power(
     rule: &LinearRule,
     db: &Database,
@@ -428,10 +431,24 @@ pub fn exact_power(
     count: usize,
     stats: &mut EvalStats,
 ) -> Relation {
-    exact_power_in(rule, db, init, count, stats, &mut Indexes::new())
+    exact_power_in(
+        rule,
+        db,
+        init,
+        count,
+        stats,
+        &mut Indexes::new(),
+        crate::dense::DEFAULT_DENSE_BUDGET_BYTES,
+    )
 }
 
-/// [`exact_power`] with a caller-provided scan/index cache.
+/// [`exact_power`] with a caller-provided scan/index cache and dense
+/// byte budget. `dense_budget_bytes` caps the working set of the dense
+/// fast path (three `domain × words` bitset matrices) — pass the active
+/// [`crate::planner::CostModel::dense_budget_bytes`] so a deployment
+/// that tightened its budget never sees larger transient dense
+/// allocations; `0` disables the fast path outright.
+#[allow(clippy::too_many_arguments)]
 pub fn exact_power_in(
     rule: &LinearRule,
     db: &Database,
@@ -439,6 +456,7 @@ pub fn exact_power_in(
     count: usize,
     stats: &mut EvalStats,
     indexes: &mut Indexes,
+    dense_budget_bytes: usize,
 ) -> Relation {
     // Dense fast path: a composition-shaped rule's power image is
     // `init ∘ qᶜ` (or `qᶜ ∘ init`), and `qᶜ` by binary exponentiation
@@ -446,14 +464,9 @@ pub fn exact_power_in(
     // two domain remaps for chains long enough that squaring saves work.
     if count >= 4 {
         if let Some(shape) = crate::dense::composition_shape(rule) {
-            if let Some(rel) = crate::dense::exact_power(
-                &shape,
-                db,
-                init,
-                count,
-                crate::dense::DEFAULT_DENSE_BUDGET_BYTES,
-                stats,
-            ) {
+            if let Some(rel) =
+                crate::dense::exact_power(&shape, db, init, count, dense_budget_bytes, stats)
+            {
                 return rel;
             }
         }
@@ -503,6 +516,45 @@ mod tests {
         assert_eq!(a.sorted(), b.sorted());
         // Naive re-derives everything each round: strictly more duplicates.
         assert!(sb.duplicates > sa.duplicates);
+    }
+
+    #[test]
+    fn exact_power_in_honors_the_dense_budget() {
+        let db = chain_db(40);
+        let init = db.relation_named("e").unwrap().clone();
+        let rule = tc_rule();
+        let mut sparse_stats = EvalStats::default();
+        let sparse = exact_power_in(
+            &rule,
+            &db,
+            &init,
+            8,
+            &mut sparse_stats,
+            &mut Indexes::new(),
+            0,
+        );
+        let mut dense_stats = EvalStats::default();
+        let dense = exact_power_in(
+            &rule,
+            &db,
+            &init,
+            8,
+            &mut dense_stats,
+            &mut Indexes::new(),
+            crate::dense::DEFAULT_DENSE_BUDGET_BYTES,
+        );
+        assert_eq!(sparse.sorted(), dense.sorted());
+        // One record per sparse join vs O(log c) dense composes: the
+        // stats betray which path ran, so a tightened (here: zero)
+        // budget demonstrably keeps the power chain off dense matrices.
+        assert_eq!(
+            sparse_stats.applications, 8,
+            "a zero budget must stay on the sparse join path"
+        );
+        assert!(
+            dense_stats.applications < 8,
+            "the default budget licenses O(log c) dense composes"
+        );
     }
 
     #[test]

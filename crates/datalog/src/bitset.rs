@@ -391,7 +391,10 @@ mod tests {
         let da = BitsetRelation::from_relation(&a, d1).unwrap();
         let mut db = BitsetRelation::from_relation(&a, d2).unwrap();
         assert_eq!(db.or_assign(&da), 0);
-        assert_eq!(da.compose(&db).to_relation().sorted(), rel(&[(1, 3)]).sorted());
+        assert_eq!(
+            da.compose(&db).to_relation().sorted(),
+            rel(&[(1, 3)]).sorted()
+        );
     }
 
     #[test]

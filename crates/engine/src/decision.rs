@@ -1,0 +1,296 @@
+//! Structured plan-decision records.
+//!
+//! Every call to [`Analysis::plan_with`](crate::planner::Analysis::plan_with)
+//! weighs candidates (Direct, Decomposed, RedundancyBounded, DenseClosure)
+//! against a cost model, leans on typed certificates, and picks a winner;
+//! [`Plan::parallelize`](crate::Plan::parallelize) then decides whether to
+//! shard semi-naive rounds, and
+//! [`Plan::execute_feedback`](crate::Plan::execute_feedback) learns what the
+//! plan actually cost. Historically all of that was flattened into a
+//! free-text rationale string — good for humans, useless for tools.
+//!
+//! [`PlanDecision`] is the machine-readable counterpart: one record per
+//! planned query or registered view, carrying the candidate list with
+//! estimates, the certificates the winner leaned on, the dense-gate and
+//! parallel verdicts, the maintenance mode the service derived, and —
+//! after execution — the actual [`EvalStats`] and the estimate/actual
+//! ratio. Records serialize to JSON by hand (the workspace is
+//! dependency-free) and flow into `linrec_obs::journal` plus the optional
+//! on-disk `decisions.log`.
+
+use crate::stats::EvalStats;
+use linrec_obs::trace::json_escape;
+
+/// One plan candidate the cost model weighed, with its estimated cost.
+#[derive(Debug, Clone)]
+pub struct CandidateEstimate {
+    /// Candidate name (`"Direct"`, `"Decomposed"`, `"DenseClosure"`, …).
+    pub name: &'static str,
+    /// Estimated cost in the model's abstract derivation units.
+    pub cost: f64,
+}
+
+/// The dense gate's verdict for a single-rule composition shape.
+#[derive(Debug, Clone)]
+pub struct DenseVerdict {
+    /// Did the dense closure-by-squaring plan win?
+    pub chosen: bool,
+    /// The gate's reasoning: the cost breakdown when chosen, or the
+    /// decline reason (budget / density cutover) when not.
+    pub detail: String,
+}
+
+/// The outcome of [`Plan::parallelize`](crate::Plan::parallelize).
+#[derive(Debug, Clone)]
+pub struct ParallelVerdict {
+    /// Did the plan engage sharded semi-naive rounds?
+    pub engaged: bool,
+    /// Worker threads the parallelism policy would use.
+    pub threads: usize,
+    /// Estimated peak |Δ| the decision compared against the cutover.
+    pub est_peak_delta: f64,
+    /// Human-readable reasoning for the verdict.
+    pub detail: String,
+}
+
+/// A structured record of one planning decision, completed with actuals
+/// after `execute_feedback`.
+#[derive(Debug, Clone, Default)]
+pub struct PlanDecision {
+    /// View the plan belongs to; empty for ad-hoc queries.
+    pub view: String,
+    /// Winning plan shape label (core shape, ignoring `SelectAfter`).
+    pub winner: String,
+    /// `"cost-model"` when candidates were compared by estimate,
+    /// `"fixed-priority"` when a certificate short-circuited the
+    /// competition (boundedness, separability).
+    pub picked_by: &'static str,
+    /// Every candidate considered, with its estimate.
+    pub candidates: Vec<CandidateEstimate>,
+    /// Rationales of the certificates the winner leaned on.
+    pub certificates: Vec<String>,
+    /// Dense-gate verdict, when a composition shape made dense eligible.
+    pub dense: Option<DenseVerdict>,
+    /// Parallelization verdict, when `parallelize` made a real choice.
+    pub parallel: Option<ParallelVerdict>,
+    /// Maintenance mode the service derived from the shape
+    /// (`"incremental"`, `"recompute"`, …); `None` for ad-hoc plans.
+    pub maintenance_mode: Option<&'static str>,
+    /// The winner's estimated cost, when the cost model produced one.
+    pub estimate: Option<f64>,
+    /// Actual evaluation statistics, filled in by `execute_feedback`.
+    pub actual: Option<EvalStats>,
+}
+
+impl PlanDecision {
+    /// Start a record for a winner picked by comparing cost estimates.
+    pub fn cost_model(winner: impl Into<String>) -> PlanDecision {
+        PlanDecision {
+            winner: winner.into(),
+            picked_by: "cost-model",
+            ..PlanDecision::default()
+        }
+    }
+
+    /// Start a record for a winner a certificate short-circuited to.
+    pub fn fixed_priority(winner: impl Into<String>) -> PlanDecision {
+        PlanDecision {
+            winner: winner.into(),
+            picked_by: "fixed-priority",
+            ..PlanDecision::default()
+        }
+    }
+
+    /// Estimate divided by actual derivations, when both are known.
+    /// Actual derivations are clamped to ≥ 1 so the ratio stays finite.
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.estimate, &self.actual) {
+            (Some(est), Some(stats)) => Some(est / stats.derivations.max(1) as f64),
+            _ => None,
+        }
+    }
+
+    /// One-line human summary: winner, how it was picked, the candidate
+    /// estimates, and the dense/parallel verdicts. This is what lint
+    /// diagnostics and `explain` print.
+    pub fn summary(&self) -> String {
+        let mut out = format!("picked {} by {}", self.winner, self.picked_by);
+        if !self.candidates.is_empty() {
+            let listed: Vec<String> = self
+                .candidates
+                .iter()
+                .map(|c| format!("{} ≈ {:.3e}", c.name, c.cost))
+                .collect();
+            out.push_str(&format!(" over {{{}}}", listed.join(", ")));
+        }
+        if let Some(dense) = &self.dense {
+            if dense.chosen {
+                out.push_str(&format!("; dense chosen: {}", dense.detail));
+            } else {
+                out.push_str(&format!("; dense declined: {}", dense.detail));
+            }
+        }
+        if let Some(par) = &self.parallel {
+            if par.engaged {
+                out.push_str(&format!("; parallel engaged: {}", par.detail));
+            } else {
+                out.push_str(&format!("; parallel declined: {}", par.detail));
+            }
+        }
+        if let Some(ratio) = self.ratio() {
+            out.push_str(&format!("; estimate/actual = {ratio:.3}"));
+        }
+        out
+    }
+
+    /// Serialize the record as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        push_str_field(&mut out, "view", &self.view);
+        push_str_field(&mut out, "winner", &self.winner);
+        push_str_field(&mut out, "picked_by", self.picked_by);
+        out.push_str("\"candidates\":[");
+        for (i, c) in self.candidates.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cost\":{}}}",
+                json_escape(c.name),
+                json_f64(c.cost)
+            ));
+        }
+        out.push_str("],\"certificates\":[");
+        for (i, cert) in self.certificates.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&json_escape(cert));
+            out.push('"');
+        }
+        out.push_str("],");
+        match &self.dense {
+            Some(d) => out.push_str(&format!(
+                "\"dense\":{{\"chosen\":{},\"detail\":\"{}\"}},",
+                d.chosen,
+                json_escape(&d.detail)
+            )),
+            None => out.push_str("\"dense\":null,"),
+        }
+        match &self.parallel {
+            Some(p) => out.push_str(&format!(
+                "\"parallel\":{{\"engaged\":{},\"threads\":{},\"est_peak_delta\":{},\
+                 \"detail\":\"{}\"}},",
+                p.engaged,
+                p.threads,
+                json_f64(p.est_peak_delta),
+                json_escape(&p.detail)
+            )),
+            None => out.push_str("\"parallel\":null,"),
+        }
+        match self.maintenance_mode {
+            Some(mode) => out.push_str(&format!("\"maintenance_mode\":\"{}\",", json_escape(mode))),
+            None => out.push_str("\"maintenance_mode\":null,"),
+        }
+        match self.estimate {
+            Some(est) => out.push_str(&format!("\"estimate\":{},", json_f64(est))),
+            None => out.push_str("\"estimate\":null,"),
+        }
+        match &self.actual {
+            Some(s) => out.push_str(&format!(
+                "\"actual\":{{\"tuples\":{},\"derivations\":{},\"duplicates\":{},\
+                 \"iterations\":{},\"applications\":{}}},",
+                s.tuples, s.derivations, s.duplicates, s.iterations, s.applications
+            )),
+            None => out.push_str("\"actual\":null,"),
+        }
+        match self.ratio() {
+            Some(r) => out.push_str(&format!("\"estimate_actual_ratio\":{}", json_f64(r))),
+            None => out.push_str("\"estimate_actual_ratio\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(&format!("\"{key}\":\"{}\",", json_escape(value)));
+}
+
+/// JSON-safe float: finite values verbatim, NaN/∞ become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_names_the_winner_and_the_verdicts() {
+        let mut d = PlanDecision::cost_model("Direct");
+        d.candidates.push(CandidateEstimate {
+            name: "Direct",
+            cost: 120.0,
+        });
+        d.candidates.push(CandidateEstimate {
+            name: "Decomposed",
+            cost: 450.0,
+        });
+        d.dense = Some(DenseVerdict {
+            chosen: false,
+            detail: "est. density 1.0e-5 below the 5.0e-2 cutover (domain ≈ 3000)".to_string(),
+        });
+        let s = d.summary();
+        assert!(s.contains("picked Direct by cost-model"), "{s}");
+        assert!(s.contains("Direct ≈ 1.200e2"), "{s}");
+        assert!(s.contains("dense declined: est. density"), "{s}");
+    }
+
+    #[test]
+    fn json_round_trips_the_interesting_fields() {
+        let mut d = PlanDecision::cost_model("DenseClosure");
+        d.view = "tc".to_string();
+        d.estimate = Some(1234.5);
+        d.certificates
+            .push("composition shape over \"e\"".to_string());
+        d.actual = Some(EvalStats {
+            iterations: 4,
+            applications: 8,
+            derivations: 1000,
+            duplicates: 12,
+            tuples: 988,
+        });
+        d.maintenance_mode = Some("recompute");
+        let json = d.to_json();
+        assert!(json.contains("\"view\":\"tc\""), "{json}");
+        assert!(json.contains("\"winner\":\"DenseClosure\""), "{json}");
+        assert!(json.contains("\"estimate\":1234.5"), "{json}");
+        assert!(json.contains("\"derivations\":1000"), "{json}");
+        assert!(
+            json.contains("\"maintenance_mode\":\"recompute\""),
+            "{json}"
+        );
+        assert!(json.contains("composition shape over \\\"e\\\""), "{json}");
+        assert!(json.contains("\"estimate_actual_ratio\":1.2345"), "{json}");
+        assert!(json.contains("\"dense\":null"), "{json}");
+    }
+
+    #[test]
+    fn non_finite_costs_serialize_as_null() {
+        let mut d = PlanDecision::fixed_priority("BoundedPrefix");
+        d.candidates.push(CandidateEstimate {
+            name: "Direct",
+            cost: f64::INFINITY,
+        });
+        let json = d.to_json();
+        assert!(json.contains("\"cost\":null"), "{json}");
+        assert!(json.contains("\"picked_by\":\"fixed-priority\""), "{json}");
+    }
+}

@@ -374,9 +374,15 @@ mod tests {
         let shape = composition_shape(&rules::tc_right()).unwrap();
         assert!(eval_composition(&shape, &db, &edges, DEFAULT_DENSE_BUDGET_BYTES).is_none());
         let mut stats = EvalStats::default();
-        assert!(
-            exact_power(&shape, &db, &edges, 8, DEFAULT_DENSE_BUDGET_BYTES, &mut stats).is_none()
-        );
+        assert!(exact_power(
+            &shape,
+            &db,
+            &edges,
+            8,
+            DEFAULT_DENSE_BUDGET_BYTES,
+            &mut stats
+        )
+        .is_none());
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod decision;
 pub mod dense;
 pub mod derivation;
 pub mod expr_eval;
@@ -61,6 +62,7 @@ pub mod stats;
 pub mod strategies;
 pub mod workload;
 
+pub use decision::{CandidateEstimate, DenseVerdict, ParallelVerdict, PlanDecision};
 pub use dense::{closure_by_squaring, composition_shape, CompositionShape, CompositionSide};
 pub use derivation::{trace_decomposed, trace_star, DerivationGraph};
 pub use expr_eval::eval_expr;

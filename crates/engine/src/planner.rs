@@ -45,6 +45,7 @@
 //! assert_eq!(outcome.relation.len(), outcome.stats.tuples);
 //! ```
 
+use crate::decision::{CandidateEstimate, DenseVerdict, ParallelVerdict, PlanDecision};
 use crate::dense;
 use crate::join::Indexes;
 use crate::magic::{eval_selected_star, magic_applicable};
@@ -290,13 +291,22 @@ impl Analysis {
     /// ties (fewest phases, no certificate machinery).
     pub fn plan_with(&self, db: &Database, init: &Relation, model: &CostModel) -> Plan {
         if let Some(cert) = &self.boundedness {
+            let mut plan = Plan::bounded_prefix(cert.clone());
+            let mut dec = PlanDecision::fixed_priority("BoundedPrefix");
+            dec.certificates
+                .push(format!("boundedness: {}", cert.rationale()));
+            plan.decision = Some(Box::new(dec));
             return self
-                .wrap_selection(Plan::bounded_prefix(cert.clone()))
+                .wrap_selection(plan)
                 .with_dense_budget(model.dense_budget_bytes);
         }
         if let Some(sel) = &self.selection {
             if let Some((_, _, cert)) = self.separability.first() {
-                if let Ok(plan) = Plan::separable(cert.clone(), sel.clone()) {
+                if let Ok(mut plan) = Plan::separable(cert.clone(), sel.clone()) {
+                    let mut dec = PlanDecision::fixed_priority("Separable");
+                    dec.certificates
+                        .push(format!("separability: {}", cert.rationale()));
+                    plan.decision = Some(Box::new(dec));
                     return plan.with_dense_budget(model.dense_budget_bytes);
                 }
             }
@@ -338,23 +348,46 @@ impl Analysis {
         // record). A decline is recorded the same way, so `linrec lint`
         // can quote why the plan stayed sparse.
         let mut dense_note = String::new();
+        let mut dense_verdict: Option<DenseVerdict> = None;
         if let [rule] = self.rules.as_slice() {
             if let Some(shape) = dense::composition_shape(rule) {
                 match est.dense_decision(rule, &shape, seed, &seed_doms) {
                     Ok((cost, detail)) => {
                         let mut plan = Plan::dense_closure(rule.clone(), model.dense_budget_bytes)
                             .expect("composition shape checked above");
+                        let mut dec = PlanDecision::cost_model("DenseClosure");
+                        dec.candidates = considered
+                            .iter()
+                            .map(|&(name, cost)| CandidateEstimate { name, cost })
+                            .collect();
+                        dec.candidates.push(CandidateEstimate {
+                            name: "DenseClosure",
+                            cost,
+                        });
+                        dec.certificates.push(plan.rationale.clone());
+                        dec.dense = Some(DenseVerdict {
+                            chosen: true,
+                            detail: detail.clone(),
+                        });
+                        dec.estimate = Some(cost);
                         plan.rationale = format!(
                             "{} [cost model: {detail}; over {}]",
                             plan.rationale,
                             verdict.join(", ")
                         );
                         plan.estimate = Some(cost);
+                        plan.decision = Some(Box::new(dec));
                         return self
                             .wrap_selection(plan)
                             .with_dense_budget(model.dense_budget_bytes);
                     }
-                    Err(reason) => dense_note = format!("; dense declined: {reason}"),
+                    Err(reason) => {
+                        dense_note = format!("; dense declined: {reason}");
+                        dense_verdict = Some(DenseVerdict {
+                            chosen: false,
+                            detail: reason,
+                        });
+                    }
                 }
             }
         }
@@ -362,12 +395,25 @@ impl Analysis {
             Some((plan, cost)) if cost < direct_cost => (plan, cost),
             _ => (direct, direct_cost),
         };
+        let mut dec = PlanDecision::cost_model(chosen.shape().label());
+        dec.candidates = considered
+            .iter()
+            .map(|&(name, cost)| CandidateEstimate { name, cost })
+            .collect();
+        if !matches!(chosen.node, PlanNode::Direct { .. }) {
+            // For certificate-backed winners the pre-competition rationale
+            // *is* the certificate's rationale.
+            dec.certificates.push(chosen.rationale.clone());
+        }
+        dec.dense = dense_verdict;
+        dec.estimate = Some(chosen_cost);
         chosen.rationale = format!(
             "{} [cost model: {}{dense_note}]",
             chosen.rationale,
             verdict.join(", ")
         );
         chosen.estimate = Some(chosen_cost);
+        chosen.decision = Some(Box::new(dec));
         self.wrap_selection(chosen)
             .with_dense_budget(model.dense_budget_bytes)
     }
@@ -1012,6 +1058,13 @@ pub struct Plan {
     /// [`dense::DEFAULT_DENSE_BUDGET_BYTES`]; [`Analysis::plan_with`]
     /// overwrites it with [`CostModel::dense_budget_bytes`].
     dense_budget_bytes: usize,
+    /// Structured record of how this plan was chosen (candidates,
+    /// estimates, certificates, dense/parallel verdicts), captured by
+    /// [`Analysis::plan_with`] and completed by
+    /// [`Plan::execute_feedback`]. `None` for hand-built plans and the
+    /// fixed-order [`Analysis::plan`]. Boxed: most plans in tests are
+    /// hand-built and should not pay for the record.
+    decision: Option<Box<PlanDecision>>,
 }
 
 impl Plan {
@@ -1023,6 +1076,7 @@ impl Plan {
             actual: None,
             par: Parallelism::sequential(),
             dense_budget_bytes: dense::DEFAULT_DENSE_BUDGET_BYTES,
+            decision: None,
         }
     }
 }
@@ -1087,6 +1141,24 @@ pub enum PlanShape {
     DenseClosure,
     /// Apply a selection to an inner plan's result.
     SelectAfter(Box<PlanShape>),
+}
+
+impl PlanShape {
+    /// Short stable label for the *core* shape (a `SelectAfter` wrapper
+    /// reports its inner shape) — the key the decision journal and the
+    /// drift sentinel group by.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanShape::Direct => "Direct",
+            PlanShape::Naive => "Naive",
+            PlanShape::BoundedPrefix { .. } => "BoundedPrefix",
+            PlanShape::Decomposed { .. } => "Decomposed",
+            PlanShape::Separable => "Separable",
+            PlanShape::RedundancyBounded => "RedundancyBounded",
+            PlanShape::DenseClosure => "DenseClosure",
+            PlanShape::SelectAfter(inner) => inner.label(),
+        }
+    }
 }
 
 /// The result of [`Plan::execute`]: the relation, the paper's cost
@@ -1242,9 +1314,12 @@ impl Plan {
     }
 
     /// Apply `sel` to `inner`'s result — always licensed (`σ` after star).
-    pub fn select_after(inner: Plan, sel: Selection) -> Plan {
+    pub fn select_after(mut inner: Plan, sel: Selection) -> Plan {
         let rationale = format!("apply σ to the result of: {}", inner.rationale);
         let estimate = inner.estimate;
+        // The wrapper owns the decision record: feedback and journaling
+        // happen on the outermost plan.
+        let decision = inner.decision.take();
         let mut plan = Plan::make(
             PlanNode::SelectAfter {
                 inner: Box::new(inner),
@@ -1253,6 +1328,7 @@ impl Plan {
             rationale,
         );
         plan.estimate = estimate;
+        plan.decision = decision;
         plan
     }
 
@@ -1329,28 +1405,56 @@ impl Plan {
                 "{}; parallel declined: plan shape has no shardable semi-naive rounds",
                 self.rationale
             );
+            self.record_parallel_verdict(ParallelVerdict {
+                engaged: false,
+                threads: par.threads(),
+                est_peak_delta: 0.0,
+                detail: "plan shape has no shardable semi-naive rounds".to_owned(),
+            });
             return self;
         }
         let cutover = model.parallel_cutover(par.threads());
         let peak = model.estimated_peak_delta(&self.star_rules(), db, init);
         if peak >= cutover as f64 {
-            self.rationale = format!(
-                "{}; parallel: up to {}-way sharded rounds when |Δ| ≥ {cutover} \
+            let detail = format!(
+                "up to {}-way sharded rounds when |Δ| ≥ {cutover} \
                  (est. peak |Δ| ≈ {peak:.0})",
-                self.rationale,
                 par.threads()
             );
+            self.rationale = format!("{}; parallel: {detail}", self.rationale);
             let tuned = par.clone().with_min_delta(cutover);
             self.set_parallelism(&tuned);
+            self.record_parallel_verdict(ParallelVerdict {
+                engaged: true,
+                threads: par.threads(),
+                est_peak_delta: peak,
+                detail,
+            });
         } else {
-            self.rationale = format!(
-                "{}; parallel declined: est. peak |Δ| ≈ {peak:.0} below the \
-                 {}-thread cutover {cutover}",
-                self.rationale,
+            let detail = format!(
+                "est. peak |Δ| ≈ {peak:.0} below the {}-thread cutover {cutover}",
                 par.threads()
             );
+            self.rationale = format!("{}; parallel declined: {detail}", self.rationale);
+            self.record_parallel_verdict(ParallelVerdict {
+                engaged: false,
+                threads: par.threads(),
+                est_peak_delta: peak,
+                detail,
+            });
         }
         self
+    }
+
+    /// Stamp a [`ParallelVerdict`] into the decision record, creating a
+    /// minimal record first when the plan was built without the cost
+    /// model (so `parallelize` choices are journaled either way).
+    fn record_parallel_verdict(&mut self, verdict: ParallelVerdict) {
+        let winner = self.shape().label();
+        let dec = self
+            .decision
+            .get_or_insert_with(|| Box::new(PlanDecision::fixed_priority(winner)));
+        dec.parallel = Some(verdict);
     }
 
     /// Does executing this plan ever consult the parallelism knob? Only
@@ -1399,6 +1503,19 @@ impl Plan {
         self.actual.as_ref()
     }
 
+    /// The structured decision record captured by [`Analysis::plan_with`]
+    /// (`None` for hand-built plans and the fixed-order
+    /// [`Analysis::plan`]).
+    pub fn decision(&self) -> Option<&PlanDecision> {
+        self.decision.as_deref()
+    }
+
+    /// Mutable access to the decision record, for callers that amend it —
+    /// the service stamps the owning view's name and maintenance mode.
+    pub fn decision_mut(&mut self) -> Option<&mut PlanDecision> {
+        self.decision.as_deref_mut()
+    }
+
     /// The rationale with the latest run's actual statistics attached next
     /// to the cost-model estimate — the estimate-vs-actual ratio this
     /// exposes per run is the groundwork for feedback-calibrated cost
@@ -1431,6 +1548,9 @@ impl Plan {
     ) -> Result<ExecOutcome, StrategyError> {
         let outcome = self.execute(db, init)?;
         self.actual = Some(outcome.stats);
+        if let Some(dec) = self.decision.as_deref_mut() {
+            dec.actual = Some(outcome.stats);
+        }
         // Calibration drift: estimated over actual derivations, ×1000
         // (1000 = perfect). Observed whenever feedback execution closes
         // the loop, so the histogram tracks drift across the fleet of
@@ -1441,6 +1561,20 @@ impl Plan {
                 let permille = (est / actual * 1000.0).clamp(0.0, u64::MAX as f64) as u64;
                 crate::profile::plan().estimate_actual.observe(permille);
             }
+            let total_nanos: u64 = outcome.trace.iter().map(|t| t.nanos).sum();
+            let (view, json) = match self.decision.as_deref() {
+                Some(dec) => (dec.view.clone(), dec.to_json()),
+                None => (String::new(), String::new()),
+            };
+            linrec_obs::journal::journal().record(
+                "plan",
+                &view,
+                self.shape().label(),
+                self.estimate.unwrap_or(0.0),
+                outcome.stats.derivations,
+                total_nanos,
+                json,
+            );
         }
         Ok(outcome)
     }
@@ -1770,7 +1904,8 @@ fn exec_redundancy_bounded(
     let mut img = exact_power_in(&dec.b, db, init, k - 1, &mut stats, indexes, budget); // B^{K-1} q
     for r in 0..period {
         if r > 0 {
-            img = exact_power_in(&dec.b, db, &img, 1, &mut stats, indexes, budget); // B^{K-1+r} q
+            img = exact_power_in(&dec.b, db, &img, 1, &mut stats, indexes, budget);
+            // B^{K-1+r} q
         }
         let (bstar, s) = seminaive_star_in(std::slice::from_ref(&b_period), db, &img, indexes);
         stats += s;

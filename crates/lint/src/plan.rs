@@ -61,6 +61,14 @@ pub fn plan_lints(analysis: &Analysis, plan: &Plan) -> Vec<Diagnostic> {
             }
         }
         if !licensed.is_empty() {
+            // Prefer the structured decision record — candidate estimates
+            // and the dense decline come out typed, not scraped from the
+            // rationale prose. Hand-built plans carry no record: quote
+            // the rationale as before.
+            let verdict = plan
+                .decision()
+                .map(|dec| dec.summary())
+                .unwrap_or_else(|| plan.rationale().to_owned());
             out.push(
                 Diagnostic::new(
                     Code::CostSkippedCertificate,
@@ -70,7 +78,7 @@ pub fn plan_lints(analysis: &Analysis, plan: &Plan) -> Vec<Diagnostic> {
                         licensed.join(" and "),
                     ),
                 )
-                .with_help(format!("cost model's verdict: {}", plan.rationale())),
+                .with_help(format!("cost model's verdict: {verdict}")),
             );
         }
     }

@@ -1,0 +1,289 @@
+//! Bounded in-memory journal of plan and maintenance decisions.
+//!
+//! The engine's planner and the service's maintenance loop produce
+//! structured decision records — which plan candidates were considered,
+//! what each was estimated to cost, which won, and (after execution) what
+//! it actually cost. This module keeps the last [`Journal::capacity`] of
+//! those records in a ring so operators can ask "what did the planner just
+//! decide, and was it right?" without trawling logs, and so the service's
+//! drift sentinel can hand `CostModel::calibrate` a window of recent
+//! (estimate, actual) pairs.
+//!
+//! The journal is deliberately tiny and std-only: a mutex-guarded
+//! `VecDeque` with a monotonically increasing sequence number. Entries
+//! carry the full decision JSON (opaque to this crate) plus a few typed
+//! fields that the sentinel and the `decisions` protocol command need
+//! without re-parsing JSON.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::trace::json_escape;
+
+/// One recorded decision or decision-feedback event.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// Monotonic sequence number, unique within the process.
+    pub seq: u64,
+    /// Wall-clock milliseconds since the Unix epoch when recorded.
+    pub unix_ms: u64,
+    /// Event class: `"plan"` (a plan was chosen and executed),
+    /// `"maintain"` (a view maintenance batch), `"drift"` (the sentinel
+    /// tripped) or `"calibrate"` (the cost model was recalibrated).
+    pub kind: &'static str,
+    /// View name the event belongs to; empty for ad-hoc queries.
+    pub view: String,
+    /// Plan-shape label, e.g. `"DenseClosure"`.
+    pub shape: String,
+    /// The cost model's estimate for the work (0 when unavailable).
+    pub estimate: f64,
+    /// Actual derivations performed (0 when unavailable).
+    pub actual: u64,
+    /// Wall time of the work in nanoseconds (0 when unavailable).
+    pub nanos: u64,
+    /// Full decision record as a JSON object, or empty when the event
+    /// carries no structured record (e.g. a bare maintenance sample).
+    pub json: String,
+}
+
+impl JournalEntry {
+    /// Render the entry as a single JSON object. The embedded decision
+    /// record (already JSON) is inlined under `"decision"`, or `null`
+    /// when absent.
+    pub fn to_json(&self) -> String {
+        let decision = if self.json.is_empty() {
+            "null".to_string()
+        } else {
+            self.json.clone()
+        };
+        format!(
+            "{{\"seq\":{},\"unix_ms\":{},\"kind\":\"{}\",\"view\":\"{}\",\"shape\":\"{}\",\
+             \"estimate\":{},\"actual\":{},\"nanos\":{},\"decision\":{}}}",
+            self.seq,
+            self.unix_ms,
+            json_escape(self.kind),
+            json_escape(&self.view),
+            json_escape(&self.shape),
+            fmt_f64(self.estimate),
+            self.actual,
+            self.nanos,
+            decision,
+        )
+    }
+}
+
+/// Format a float for JSON: finite values verbatim, everything else `0`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+struct State {
+    entries: VecDeque<JournalEntry>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded ring of [`JournalEntry`] records.
+pub struct Journal {
+    inner: Mutex<State>,
+    capacity: usize,
+}
+
+impl Journal {
+    /// Create a journal keeping at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Journal {
+        Journal {
+            inner: Mutex::new(State {
+                entries: VecDeque::new(),
+                next_seq: 1,
+                dropped: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum number of entries retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append an entry; the oldest entry is dropped when full. Returns
+    /// the assigned sequence number.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        kind: &'static str,
+        view: &str,
+        shape: &str,
+        estimate: f64,
+        actual: u64,
+        nanos: u64,
+        json: String,
+    ) -> u64 {
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        if state.entries.len() == self.capacity {
+            state.entries.pop_front();
+            state.dropped += 1;
+        }
+        state.entries.push_back(JournalEntry {
+            seq,
+            unix_ms,
+            kind,
+            view: view.to_string(),
+            shape: shape.to_string(),
+            estimate,
+            actual,
+            nanos,
+            json,
+        });
+        seq
+    }
+
+    /// The newest `n` entries, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<JournalEntry> {
+        let state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let skip = state.entries.len().saturating_sub(n);
+        state.entries.iter().skip(skip).cloned().collect()
+    }
+
+    /// Recent `(estimate, actual)` pairs suitable for
+    /// `CostModel::calibrate`: entries of kind `"plan"`/`"maintain"` with
+    /// a positive estimate and a nonzero actual, newest `n`, optionally
+    /// restricted to one view and to entries recorded after `since_seq`.
+    pub fn recent_pairs(&self, view: Option<&str>, n: usize, since_seq: u64) -> Vec<(f64, u64)> {
+        let state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut pairs: Vec<(f64, u64)> = state
+            .entries
+            .iter()
+            .rev()
+            .filter(|e| e.seq > since_seq)
+            .filter(|e| matches!(e.kind, "plan" | "maintain"))
+            .filter(|e| e.estimate > 0.0 && e.actual > 0)
+            .filter(|e| view.is_none_or(|v| e.view == v))
+            .take(n)
+            .map(|e| (e.estimate, e.actual))
+            .collect();
+        pairs.reverse();
+        pairs
+    }
+
+    /// Number of entries currently retained.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
+    }
+
+    /// True when the journal holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries evicted so far to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dropped
+    }
+
+    /// Discard all retained entries (sequence numbers keep increasing).
+    pub fn clear(&self) {
+        let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        state.entries.clear();
+    }
+
+    /// Highest sequence number assigned so far (0 before any record).
+    pub fn last_seq(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .next_seq
+            - 1
+    }
+}
+
+/// Process-wide decision journal (capacity 256).
+pub fn journal() -> &'static Journal {
+    static GLOBAL: OnceLock<Journal> = OnceLock::new();
+    GLOBAL.get_or_init(|| Journal::new(256))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let j = Journal::new(3);
+        for i in 0..5u64 {
+            j.record(
+                "plan",
+                "v",
+                "Direct",
+                i as f64 + 1.0,
+                i + 1,
+                0,
+                String::new(),
+            );
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        let recent = j.recent(10);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].seq, 3);
+        assert_eq!(recent[2].seq, 5);
+        assert_eq!(j.last_seq(), 5);
+    }
+
+    #[test]
+    fn recent_pairs_filters_by_view_kind_and_seq() {
+        let j = Journal::new(16);
+        j.record("plan", "a", "Direct", 10.0, 5, 0, String::new());
+        j.record("maintain", "b", "Direct", 20.0, 10, 0, String::new());
+        j.record("drift", "a", "Direct", 30.0, 15, 0, String::new());
+        j.record("maintain", "a", "Direct", 0.0, 15, 0, String::new());
+        j.record("maintain", "a", "Direct", 40.0, 0, 0, String::new());
+        let seq = j.record("maintain", "a", "Direct", 50.0, 25, 0, String::new());
+        assert_eq!(j.recent_pairs(None, 10, 0).len(), 3);
+        assert_eq!(
+            j.recent_pairs(Some("a"), 10, 0),
+            vec![(10.0, 5), (50.0, 25)]
+        );
+        assert_eq!(j.recent_pairs(Some("a"), 10, seq - 1), vec![(50.0, 25)]);
+        assert!(j.recent_pairs(Some("a"), 10, seq).is_empty());
+    }
+
+    #[test]
+    fn entry_json_escapes_and_inlines_decision() {
+        let e = JournalEntry {
+            seq: 7,
+            unix_ms: 1,
+            kind: "plan",
+            view: "v\"1".to_string(),
+            shape: "Direct".to_string(),
+            estimate: 2.5,
+            actual: 3,
+            nanos: 9,
+            json: "{\"winner\":\"Direct\"}".to_string(),
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"view\":\"v\\\"1\""));
+        assert!(json.contains("\"decision\":{\"winner\":\"Direct\"}"));
+        let bare = JournalEntry {
+            json: String::new(),
+            ..e
+        };
+        assert!(bare.to_json().contains("\"decision\":null"));
+    }
+}

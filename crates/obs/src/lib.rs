@@ -20,6 +20,9 @@
 //! * [`expose`] — a minimal HTTP/1.1 endpoint
 //!   ([`expose::serve_metrics`]) that serves the Prometheus exposition,
 //!   for `linrec serve --metrics ADDR`.
+//! * [`journal`] — a bounded ring of structured plan-decision records
+//!   fed by the engine's planner and the service's maintenance loop; the
+//!   `decisions` protocol command and the drift sentinel read from it.
 //!
 //! The whole layer sits behind a process-wide switch: [`set_enabled`]
 //! (default **on**). Instrumentation sites in the engine/storage/service
@@ -33,13 +36,15 @@
 #![forbid(unsafe_code)]
 
 pub mod expose;
+pub mod journal;
 pub mod kv;
 pub mod metrics;
 pub mod trace;
 
 pub use expose::serve_metrics;
+pub use journal::{Journal, JournalEntry};
 pub use kv::KvLine;
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use metrics::{escape_label_value, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use trace::{FlightRecorder, Span, SpanRecord, TraceId};
 
 use std::sync::atomic::{AtomicBool, Ordering};

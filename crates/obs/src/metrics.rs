@@ -260,6 +260,7 @@ impl Metric {
 #[derive(Default)]
 pub struct Registry {
     inner: RwLock<BTreeMap<&'static str, Metric>>,
+    helps: RwLock<BTreeMap<&'static str, String>>,
 }
 
 impl Registry {
@@ -322,9 +323,17 @@ impl Registry {
         )
     }
 
-    /// Flat `(key, value)` pairs, sorted by name. Histograms expand to
-    /// `name_count/_sum/_min/_max/_p50/_p95/_p99`. Shared by the line
-    /// protocol's `metrics` and `health` commands.
+    /// Attach a HELP docstring to `name`, rendered (escaped) as a
+    /// `# HELP` line by [`Registry::render_prometheus`]. Last write wins.
+    pub fn describe(&self, name: &'static str, help: impl Into<String>) {
+        self.helps.write().unwrap().insert(name, help.into());
+    }
+
+    /// Flat `(key, value)` pairs in stable sorted order — byte-wise by
+    /// key, including the expanded histogram series
+    /// (`name_count/_sum/_min/_max/_p50/_p95/_p99`), so consumers can
+    /// diff successive dumps line by line. Shared by the line protocol's
+    /// `metrics` and `health` commands.
     pub fn render_kv(&self) -> Vec<(String, String)> {
         let map = self.inner.read().unwrap();
         let mut out = Vec::with_capacity(map.len());
@@ -344,29 +353,46 @@ impl Registry {
                 }
             }
         }
+        // The base names come out of a BTreeMap sorted, but histogram
+        // expansion emits its suffixes in semantic order and a neighboring
+        // metric can sort between two series of one histogram — sort the
+        // flat view so the order is a stable contract.
+        out.sort();
         out
     }
 
     /// Prometheus text exposition (format 0.0.4). Counters and gauges
     /// render as their own type; histograms render as `summary` with
-    /// `quantile` labels plus `_min`/`_max` gauges.
+    /// `quantile` labels plus `_min`/`_max` gauges. Docstrings registered
+    /// via [`Registry::describe`] render as `# HELP` lines with the
+    /// format's escaping.
     pub fn render_prometheus(&self) -> String {
         let map = self.inner.read().unwrap();
+        let helps = self.helps.read().unwrap();
         let mut out = String::new();
+        let help_line = |out: &mut String, name: &str| {
+            if let Some(help) = helps.get(name) {
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+            }
+        };
         for (name, m) in map.iter() {
             match m {
                 Metric::Counter(c) => {
+                    help_line(&mut out, name);
                     let _ = writeln!(out, "# TYPE {name} counter\n{name} {}", c.get());
                 }
                 Metric::Gauge(g) => {
+                    help_line(&mut out, name);
                     let _ = writeln!(out, "# TYPE {name} gauge\n{name} {}", g.get());
                 }
                 Metric::Histogram(h) => {
                     let s = h.snapshot();
+                    help_line(&mut out, name);
                     let _ = writeln!(out, "# TYPE {name} summary");
-                    let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", s.p50);
-                    let _ = writeln!(out, "{name}{{quantile=\"0.95\"}} {}", s.p95);
-                    let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", s.p99);
+                    for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+                        let _ =
+                            writeln!(out, "{name}{{quantile=\"{}\"}} {v}", escape_label_value(q));
+                    }
                     let _ = writeln!(out, "{name}_sum {}", s.sum);
                     let _ = writeln!(out, "{name}_count {}", s.count);
                     let _ = writeln!(out, "# TYPE {name}_min gauge\n{name}_min {}", s.min);
@@ -376,6 +402,22 @@ impl Registry {
         }
         out
     }
+}
+
+/// Escape a HELP docstring for the Prometheus text format: `\` → `\\`
+/// and newline → `\n` (the format forbids raw newlines inside a comment
+/// line; an unescaped backslash would corrupt a later escape).
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label value for the Prometheus text format: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`. Public so exporters adding labeled series
+/// over this registry escape consistently.
+pub fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
@@ -453,5 +495,77 @@ mod tests {
         let r = Registry::new();
         r.counter("x");
         r.gauge("x");
+    }
+
+    #[test]
+    fn render_kv_is_stably_sorted_across_histogram_expansion() {
+        let r = Registry::new();
+        // `c_ns_extra` sorts *between* the expanded series of `c_ns`
+        // (after c_ns_count, before c_ns_max) — the flat view must still
+        // come out globally sorted.
+        r.histogram("c_ns").observe(5);
+        r.counter("c_ns_extra").inc();
+        r.counter("a_total").inc();
+        r.gauge("z_level").set(1);
+        let kv = r.render_kv();
+        let keys: Vec<&String> = kv.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "{keys:?}");
+        assert!(kv.iter().any(|(k, _)| k == "c_ns_extra"));
+        // Same call twice → identical order (stable contract).
+        let keys_of = |kv: &[(String, String)]| -> Vec<String> {
+            kv.iter().map(|(k, _)| k.clone()).collect()
+        };
+        assert_eq!(keys_of(&r.render_kv()), keys_of(&r.render_kv()));
+    }
+
+    #[test]
+    fn prometheus_help_lines_escape_hostile_strings() {
+        let r = Registry::new();
+        r.counter("evil_total").inc();
+        r.describe(
+            "evil_total",
+            "first line\nsecond \\ line with \"quotes\" and C:\\path",
+        );
+        let prom = r.render_prometheus();
+        // The HELP line is exactly one line with `\n` and `\\` escapes;
+        // quotes are legal in HELP text and pass through.
+        let help = prom
+            .lines()
+            .find(|l| l.starts_with("# HELP evil_total "))
+            .expect("HELP line present");
+        assert_eq!(
+            help,
+            "# HELP evil_total first line\\nsecond \\\\ line with \"quotes\" and C:\\\\path"
+        );
+        assert!(prom.contains("# TYPE evil_total counter"), "{prom}");
+        // No raw newline leaked out of the docstring: every line is a
+        // comment, a sample, or empty.
+        for line in prom.lines() {
+            assert!(
+                line.is_empty() || line.starts_with('#') || line.contains(' '),
+                "torn line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b \"c\"\nd"), "a\\\\b \\\"c\\\"\\nd");
+        // Escaping backslash first keeps later escapes unambiguous.
+        assert_eq!(escape_label_value("\\n"), "\\\\n");
+    }
+
+    #[test]
+    fn histogram_help_renders_before_the_summary_type() {
+        let r = Registry::new();
+        r.histogram("lat_ns").observe(7);
+        r.describe("lat_ns", "latency in ns");
+        let prom = r.render_prometheus();
+        let help_at = prom.find("# HELP lat_ns latency in ns").expect("help");
+        let type_at = prom.find("# TYPE lat_ns summary").expect("type");
+        assert!(help_at < type_at, "{prom}");
     }
 }

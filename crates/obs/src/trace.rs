@@ -405,6 +405,86 @@ mod tests {
         assert!(current_trace().is_none());
     }
 
+    fn rec_span(span: u64) -> SpanRecord {
+        SpanRecord {
+            trace: 1,
+            span,
+            parent: 0,
+            name: "s",
+            start_us: span,
+            dur_ns: 10,
+            attrs: vec![],
+        }
+    }
+
+    #[test]
+    fn snapshot_of_an_empty_ring_is_empty_not_padded() {
+        let rec = FlightRecorder::new(8);
+        let (spans, dropped) = rec.snapshot();
+        assert!(spans.is_empty());
+        assert_eq!(dropped, 0);
+        assert_eq!(rec.dump_json(), "{\"dropped\":0,\"spans\":[]}");
+        // Partially filled: only the recorded spans come back, no `None`
+        // slots leak through as phantom records.
+        rec.record(rec_span(1));
+        rec.record(rec_span(2));
+        let (spans, dropped) = rec.snapshot();
+        assert_eq!(spans.iter().map(|s| s.span).collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn capacity_one_ring_keeps_exactly_the_newest() {
+        let rec = FlightRecorder::new(0); // clamps to 1
+        assert_eq!(rec.capacity(), 1);
+        for i in 1..=5 {
+            rec.record(rec_span(i));
+        }
+        let (spans, dropped) = rec.snapshot();
+        assert_eq!(spans.iter().map(|s| s.span).collect::<Vec<_>>(), [5]);
+        assert_eq!(dropped, 4);
+    }
+
+    #[test]
+    fn concurrent_writers_racing_dumps_never_tear_the_ring() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let rec = Arc::new(FlightRecorder::new(16));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..3)
+            .map(|w| {
+                let rec = Arc::clone(&rec);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        rec.record(rec_span(w * 1_000_000 + i));
+                        i += 1;
+                    }
+                    i
+                })
+            })
+            .collect();
+        // Race dumps against the writers: every snapshot must be
+        // internally consistent — at most `capacity` spans, and
+        // dropped + len == total recorded so far (monotone).
+        let mut last_total = 0u64;
+        for _ in 0..200 {
+            let (spans, dropped) = rec.snapshot();
+            assert!(spans.len() <= rec.capacity());
+            let total = dropped + spans.len() as u64;
+            assert!(total >= last_total, "total went backwards");
+            last_total = total;
+            let json = rec.dump_json();
+            assert!(json.starts_with("{\"dropped\":"), "{json}");
+            assert!(json.ends_with("]}"), "{json}");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let written: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        let (spans, dropped) = rec.snapshot();
+        assert_eq!(dropped + spans.len() as u64, written);
+    }
+
     #[test]
     fn json_dump_escapes_and_structures() {
         let rec = FlightRecorder::new(4);

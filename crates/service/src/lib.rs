@@ -63,15 +63,17 @@ pub mod persist;
 pub mod pool;
 pub mod profile;
 pub mod protocol;
+pub mod sentinel;
 pub mod service;
 pub mod view;
 
 pub use linrec_storage::CheckpointPolicy;
 pub use persist::{open_durable, open_durable_with_vfs, RecoveryReport};
 pub use pool::WorkerPool;
-pub use protocol::{serve_lines, serve_tcp, Reply, Session};
+pub use protocol::{explain_json, serve_lines, serve_tcp, Reply, Session};
+pub use sentinel::{DriftTrip, SentinelConfig};
 pub use service::{
-    spawn_degraded_probe, BatchReport, HealthInfo, RetryPolicy, ServiceError, ServiceLimits,
-    ServiceMode, Snapshot, ViewInfo, ViewReport, ViewService,
+    spawn_degraded_probe, BatchReport, ExplainReport, HealthInfo, RetryPolicy, ServiceError,
+    ServiceLimits, ServiceMode, Snapshot, ViewInfo, ViewReport, ViewService,
 };
 pub use view::{MaintainedView, MaintenanceMode, MaintenanceOutcome, ViewDef, DELTA_MARKER};

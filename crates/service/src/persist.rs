@@ -84,13 +84,27 @@ pub fn open_durable_with_vfs(
     par: Parallelism,
     policy: CheckpointPolicy,
 ) -> Result<(ViewService, RecoveryReport), ServiceError> {
-    let mut store = Store::open_with(dir, vfs)?;
+    let dir = dir.as_ref();
+    let mut store = Store::open_with(dir, Arc::clone(&vfs))?;
     let recovered = store.recover()?;
+    // The decision log is observability, not ground truth: a failure to
+    // open it must not fail recovery. Opened before views register so
+    // registration-time plan decisions land in it.
+    let mut decision_log = match linrec_storage::DecisionLog::open(&vfs, dir) {
+        Ok(log) => Some(log),
+        Err(e) => {
+            eprintln!("linrec: decision log unavailable at {}: {e}", dir.display());
+            None
+        }
+    };
     let mut rematerialized = Vec::new();
     let (service, from_snapshot, snapshot_epoch) = match recovered.snapshot {
         Some(snap) => {
             let epoch = snap.epoch;
             let service = ViewService::with_parallelism_at_epoch(snap.db, par, epoch);
+            if let Some(log) = decision_log.take() {
+                service.attach_decision_log(log);
+            }
             for def in defs {
                 let fp = view_fingerprint(def.seed, def.rules.iter());
                 let persisted = snap
@@ -109,6 +123,9 @@ pub fn open_durable_with_vfs(
         }
         None => {
             let service = ViewService::with_parallelism(initial_db, par);
+            if let Some(log) = decision_log.take() {
+                service.attach_decision_log(log);
+            }
             for def in defs {
                 rematerialized.push(def.name.clone());
                 service.register_view(def)?;

@@ -28,6 +28,10 @@ pub struct ServiceProfile {
     pub storage_retries: Counter,
     /// Transitions into degraded mode.
     pub degradations: Counter,
+    /// Plan-drift events raised by the regression sentinel.
+    pub plan_drift: Counter,
+    /// Failed best-effort appends to the on-disk decision log.
+    pub decision_log_errors: Counter,
     /// Currently published epoch.
     pub epoch: Gauge,
     /// Registered views in the published snapshot.
@@ -37,7 +41,30 @@ pub struct ServiceProfile {
 /// The service metric handles (registered on first use).
 pub fn service() -> &'static ServiceProfile {
     static HANDLES: OnceLock<ServiceProfile> = OnceLock::new();
-    HANDLES.get_or_init(|| ServiceProfile {
+    HANDLES.get_or_init(|| {
+        let reg = linrec_obs::metrics::registry();
+        reg.describe(
+            "linrec_service_request_ns",
+            "Protocol request latency in nanoseconds",
+        );
+        reg.describe(
+            "linrec_service_view_maintain_ns",
+            "Per-view incremental maintenance latency in nanoseconds",
+        );
+        reg.describe(
+            "linrec_service_plan_drift_total",
+            "Plan-drift events raised by the regression sentinel",
+        );
+        reg.describe(
+            "linrec_service_decision_log_errors_total",
+            "Failed best-effort appends to the on-disk decision log",
+        );
+        handles()
+    })
+}
+
+fn handles() -> ServiceProfile {
+    ServiceProfile {
         requests: linrec_obs::counter("linrec_service_requests_total"),
         request_errors: linrec_obs::counter("linrec_service_request_errors_total"),
         request_ns: linrec_obs::histogram("linrec_service_request_ns"),
@@ -48,7 +75,9 @@ pub fn service() -> &'static ServiceProfile {
         maintain_ns: linrec_obs::histogram("linrec_service_view_maintain_ns"),
         storage_retries: linrec_obs::counter("linrec_service_storage_retries_total"),
         degradations: linrec_obs::counter("linrec_service_degradations_total"),
+        plan_drift: linrec_obs::counter("linrec_service_plan_drift_total"),
+        decision_log_errors: linrec_obs::counter("linrec_service_decision_log_errors_total"),
         epoch: linrec_obs::gauge("linrec_service_epoch"),
         views: linrec_obs::gauge("linrec_service_views"),
-    })
+    }
 }

@@ -25,6 +25,16 @@
 //! rows <view> [limit]      list tuples (default limit 20)
 //! select <view> <pos>=<v> … [limit <n>]   filtered listing
 //! stats <view>             maintenance mode, stats, plan rationale
+//! explain <view> [json]    the view's plan tree with per-node estimates
+//!                          plus the structured plan-decision record
+//!                          (`plan`/`decision` lines, or one `explain
+//!                          <json>` line)
+//! explain analyze <view> [json]   `explain`, plus actually run the plan
+//!                          against the current snapshot and report
+//!                          per-node wall time and statistics (`node`
+//!                          lines)
+//! decisions [n]            newest plan/maintenance/drift journal entries,
+//!                          one `decision <json>` line each (default 16)
 //! health                   mode, epoch, queue depth, WAL pressure, faults
 //!                          (one `key=value` line, same grammar as `metrics`)
 //! metrics                  dump the global metrics registry, one
@@ -95,7 +105,8 @@ impl Reply {
 
 const HELP: &str = "ok commands: register <rules> | insert <pred> <v>.. | commit | clear \
 | epoch | views | count <view> | ask <view> <v>.. | rows <view> [limit] \
-| select <view> <pos>=<v>.. [limit <n>] | stats <view> | health | metrics \
+| select <view> <pos>=<v>.. [limit <n>] | stats <view> \
+| explain [analyze] <view> [json] | decisions [n] | health | metrics \
 | trace [limit] | ready | help | quit";
 
 /// True when `LINREC_FAULT_INJECTION=1`: the `inject` test command is
@@ -196,6 +207,8 @@ impl Session {
             "rows" => self.rows(&rest),
             "select" => self.select(&rest),
             "stats" => self.stats(&rest),
+            "explain" => self.explain(&rest),
+            "decisions" => self.decisions(&rest),
             "health" => self.health(),
             "metrics" => self.metrics(),
             "trace" => self.trace(&rest),
@@ -498,6 +511,127 @@ impl Session {
             None => Reply::service_err(&ServiceError::UnknownView((*view).to_owned())),
         }
     }
+
+    /// `explain [analyze] <view> [json]`: the plan tree with per-node
+    /// estimates plus the structured decision record; with `analyze` the
+    /// plan also runs against the current snapshot and the reply carries
+    /// per-node wall time. Human form is `plan`/`decision`/`node` lines
+    /// closed by `ok explain <view> …`; `json` collapses the report into
+    /// one `explain <json>` line.
+    fn explain(&self, rest: &[&str]) -> Reply {
+        let (analyze, rest) = match rest {
+            ["analyze", tail @ ..] => (true, tail),
+            tail => (false, tail),
+        };
+        let (view, json) = match rest {
+            [view] => (view, false),
+            [view, "json"] => (view, true),
+            _ => return Reply::err("usage", "explain [analyze] <view> [json]"),
+        };
+        let report = match self.service.explain(view, analyze) {
+            Ok(report) => report,
+            Err(e) => return Reply::service_err(&e),
+        };
+        let mut text = String::new();
+        if json {
+            let _ = writeln!(text, "explain {}", explain_json(&report));
+            let _ = write!(text, "ok explain {}", report.view);
+            return Reply::line(text);
+        }
+        let _ = writeln!(text, "plan view {} mode {}", report.view, report.mode);
+        for line in report.tree.lines() {
+            let _ = writeln!(text, "plan {line}");
+        }
+        if let Some(summary) = &report.decision_summary {
+            let _ = writeln!(text, "decision {summary}");
+        }
+        for (i, node) in report.nodes.iter().enumerate() {
+            let _ = writeln!(
+                text,
+                "node {i} {:.3} ms [{}] {}",
+                node.nanos as f64 / 1e6,
+                node.stats,
+                node.label
+            );
+        }
+        if report.analyzed {
+            let _ = write!(
+                text,
+                "ok explain {} analyzed {} nodes in {:.3} ms",
+                report.view,
+                report.nodes.len(),
+                report.total_nanos as f64 / 1e6
+            );
+        } else {
+            let _ = write!(text, "ok explain {}", report.view);
+        }
+        Reply::line(text)
+    }
+
+    /// `decisions [n]`: the newest `n` (default 16) entries of the global
+    /// decision journal, one `decision <json>` line each, oldest first,
+    /// closed by `ok decisions <shown> dropped=<d>`.
+    fn decisions(&self, rest: &[&str]) -> Reply {
+        let limit = match rest {
+            [] => 16usize,
+            [n] => match n.parse() {
+                Ok(n) => n,
+                Err(_) => return Reply::err("bad-argument", format_args!("bad limit {n:?}")),
+            },
+            _ => return Reply::err("usage", "decisions [n]"),
+        };
+        let journal = linrec_obs::journal::journal();
+        let entries = journal.recent(limit);
+        let mut text = String::new();
+        for entry in &entries {
+            let _ = writeln!(text, "decision {}", entry.to_json());
+        }
+        let _ = write!(
+            text,
+            "ok decisions {} dropped={}",
+            entries.len(),
+            journal.dropped()
+        );
+        Reply::line(text)
+    }
+}
+
+/// Render an [`ExplainReport`](crate::service::ExplainReport) as one JSON
+/// object. The embedded decision record (already JSON) is inlined. Shared
+/// by the protocol's `explain … json` reply and `linrec explain --format
+/// json`.
+pub fn explain_json(report: &crate::service::ExplainReport) -> String {
+    use linrec_obs::trace::json_escape;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"view\":\"{}\",\"mode\":\"{}\",\"analyzed\":{},\"tree\":\"{}\",\"decision\":{}",
+        json_escape(&report.view),
+        json_escape(report.mode),
+        report.analyzed,
+        json_escape(&report.tree),
+        report.decision_json.as_deref().unwrap_or("null"),
+    );
+    let _ = write!(out, ",\"total_nanos\":{},\"nodes\":[", report.total_nanos);
+    for (i, node) in report.nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"label\":\"{}\",\"nanos\":{},\"tuples\":{},\"derivations\":{},\
+             \"duplicates\":{},\"iterations\":{},\"applications\":{}}}",
+            json_escape(&node.label),
+            node.nanos,
+            node.stats.tuples,
+            node.stats.derivations,
+            node.stats.duplicates,
+            node.stats.iterations,
+            node.stats.applications,
+        );
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Run a session over arbitrary buffered line I/O (stdin REPL, test
@@ -796,6 +930,99 @@ mod tests {
             "no commit trace correlates request → fixpoint → batch → publish:\n{text}"
         );
         assert!(s.handle("trace nope").text.starts_with("err bad-argument"));
+    }
+
+    #[test]
+    fn trace_edge_limits_zero_and_larger_than_the_ring() {
+        let service = tc_service();
+        let mut s = Session::new(service);
+        s.handle("insert e 50 60");
+        assert!(s.handle("commit").text.starts_with("ok epoch 2"));
+
+        // `trace 0`: no span lines, just the terminator.
+        let zero = s.handle("trace 0").text;
+        assert_eq!(zero.lines().count(), 1, "{zero}");
+        assert!(zero.starts_with("ok trace 0 spans dropped="), "{zero}");
+
+        // A limit far beyond the ring capacity returns every held span
+        // and reports the honest count, not the limit.
+        let cap = linrec_obs::trace::recorder().capacity();
+        let huge = s.handle(&format!("trace {}", cap * 100)).text;
+        let lines: Vec<&str> = huge.lines().collect();
+        let (last, body) = lines.split_last().unwrap();
+        assert!(
+            body.len() <= cap,
+            "{} spans > ring capacity {cap}",
+            body.len()
+        );
+        let shown: usize = last
+            .strip_prefix("ok trace ")
+            .and_then(|r| r.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert_eq!(shown, body.len(), "{last}");
+    }
+
+    #[test]
+    fn explain_shows_the_plan_and_decision_record() {
+        let service = tc_service();
+        let mut s = Session::new(service);
+        let text = s.handle("explain tc").text;
+        assert!(text.starts_with("plan view tc mode incremental"), "{text}");
+        assert!(text.contains("decision picked "), "{text}");
+        assert!(
+            !text.contains("\nnode "),
+            "plain explain must not run: {text}"
+        );
+        assert!(text.ends_with("ok explain tc"), "{text}");
+
+        let analyzed = s.handle("explain analyze tc").text;
+        assert!(analyzed.contains("\nnode 0 "), "{analyzed}");
+        assert!(analyzed.contains("derivations="), "{analyzed}");
+        let last = analyzed.lines().last().unwrap();
+        assert!(last.starts_with("ok explain tc analyzed"), "{analyzed}");
+
+        let json = s.handle("explain analyze tc json").text;
+        let mut lines = json.lines();
+        let body = lines.next().unwrap();
+        assert!(body.starts_with("explain {\"view\":\"tc\""), "{json}");
+        assert!(body.contains("\"decision\":{"), "{json}");
+        assert!(body.contains("\"winner\""), "{json}");
+        assert!(body.contains("\"nodes\":[{"), "{json}");
+        assert_eq!(lines.next(), Some("ok explain tc"), "{json}");
+
+        assert!(s
+            .handle("explain nope")
+            .text
+            .starts_with("err unknown-view"));
+        assert!(s.handle("explain").text.starts_with("err usage"));
+    }
+
+    #[test]
+    fn decisions_dumps_the_journal() {
+        let service = tc_service();
+        let mut s = Session::new(Arc::clone(&service));
+        s.handle("insert e 3 4");
+        assert!(s.handle("commit").text.starts_with("ok epoch 2"));
+        let text = s.handle("decisions 256").text;
+        let lines: Vec<&str> = text.lines().collect();
+        let (last, body) = lines.split_last().unwrap();
+        assert!(last.starts_with("ok decisions "), "{last}");
+        assert!(last.contains(" dropped="), "{last}");
+        for line in body {
+            assert!(line.starts_with("decision {\"seq\":"), "{line}");
+        }
+        // The commit above journaled a maintenance sample for tc (the
+        // journal is global, so scan rather than index).
+        assert!(
+            body.iter()
+                .any(|l| l.contains("\"kind\":\"maintain\"") && l.contains("\"view\":\"tc\"")),
+            "{text}"
+        );
+        assert!(s
+            .handle("decisions nope")
+            .text
+            .starts_with("err bad-argument"));
     }
 
     #[test]

@@ -44,12 +44,16 @@
 //! worker-starvation deadlock (a view job never waits on the pool it runs
 //! on).
 
+use crate::sentinel::{DriftTrip, Sentinel, SentinelConfig};
 use crate::view::{MaintainedView, MaintenanceOutcome, ViewDef, DELTA_MARKER};
 use linrec_datalog::hash::FastMap;
 use linrec_datalog::{Database, Relation, Symbol, Value};
-use linrec_engine::{EvalStats, Parallelism, Selection, StrategyError, WorkerPool};
+use linrec_engine::{
+    CostModel, EvalStats, Parallelism, Selection, StrategyError, TraceStep, WorkerPool,
+};
 use linrec_storage::{
-    view_fingerprint, CheckpointPolicy, SnapshotData, StorageError, Store, Vfs, ViewSnapshot,
+    view_fingerprint, CheckpointPolicy, DecisionLog, SnapshotData, StorageError, Store, Vfs,
+    ViewSnapshot,
 };
 use std::fmt;
 use std::path::PathBuf;
@@ -426,6 +430,30 @@ pub struct ViewReport {
     pub grown_by: usize,
 }
 
+/// Result of [`ViewService::explain`]: the plan tree, the structured
+/// decision record, and (with `analyze`) per-node actuals from running
+/// the plan against the current snapshot.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// The view explained.
+    pub view: String,
+    /// Maintenance mode label (`"incremental"`, `"recompute"`, ...).
+    pub mode: &'static str,
+    /// Indented plan tree with per-node rationales and estimates.
+    pub tree: String,
+    /// The structured [`PlanDecision`](linrec_engine::PlanDecision) as
+    /// JSON, when the planner produced one.
+    pub decision_json: Option<String>,
+    /// One-line human summary of the decision record.
+    pub decision_summary: Option<String>,
+    /// Per-node execution record (empty unless analyzed).
+    pub nodes: Vec<TraceStep>,
+    /// Total wall time across all nodes (ns; 0 unless analyzed).
+    pub total_nanos: u64,
+    /// Whether the plan actually ran (`explain analyze`).
+    pub analyzed: bool,
+}
+
 /// Report for one applied batch.
 #[derive(Debug)]
 pub struct BatchReport {
@@ -502,6 +530,15 @@ pub struct ViewService {
     /// Deny-by-default static analysis at registration (see
     /// [`ViewService::set_registration_checks`]).
     registration_checks: std::sync::atomic::AtomicBool,
+    /// The shared cost model every registration plans with. Mutable so
+    /// the drift sentinel can recalibrate it from journal feedback.
+    cost_model: Mutex<CostModel>,
+    /// Per-view drift state + knobs (see [`SentinelConfig`]).
+    sentinel: Mutex<Sentinel>,
+    /// Optional on-disk decision log (`decisions.log` next to the WAL).
+    /// Appends are best-effort: a failure is counted, never surfaced to a
+    /// batch caller.
+    decision_log: Mutex<Option<DecisionLog>>,
 }
 
 impl ViewService {
@@ -558,6 +595,9 @@ impl ViewService {
             waiting_writers: AtomicUsize::new(0),
             acked_seq: AtomicU64::new(0),
             registration_checks: std::sync::atomic::AtomicBool::new(true),
+            cost_model: Mutex::new(CostModel::default()),
+            sentinel: Mutex::new(Sentinel::new(SentinelConfig::default())),
+            decision_log: Mutex::new(None),
         }
     }
 
@@ -570,6 +610,70 @@ impl ViewService {
     pub fn set_registration_checks(&self, enabled: bool) {
         self.registration_checks
             .store(enabled, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// A copy of the shared [`CostModel`] views are planned with. The
+    /// drift sentinel mutates the shared model in place
+    /// ([`CostModel::calibrate`]), so two calls can observe different
+    /// `fanout_scale`s.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost_model
+            .lock()
+            .expect("cost model lock poisoned")
+            .clone()
+    }
+
+    /// Replace the shared cost model (e.g. with deployment-specific
+    /// constants, or a deliberately skewed model in drift tests). Applies
+    /// to future registrations and future per-batch estimates; already
+    /// registered views keep their plans.
+    pub fn set_cost_model(&self, model: CostModel) {
+        *self.cost_model.lock().expect("cost model lock poisoned") = model;
+    }
+
+    /// The drift sentinel's current knobs.
+    pub fn sentinel_config(&self) -> SentinelConfig {
+        self.sentinel
+            .lock()
+            .expect("sentinel lock poisoned")
+            .config()
+            .clone()
+    }
+
+    /// Replace the drift sentinel's knobs. Every view's EWMA state and
+    /// warm-up restarts (it was accumulated under the old tolerances).
+    pub fn set_sentinel_config(&self, cfg: SentinelConfig) {
+        self.sentinel
+            .lock()
+            .expect("sentinel lock poisoned")
+            .set_config(cfg);
+    }
+
+    /// Attach a `decisions.log`: registration decisions, drift events and
+    /// recalibrations append to it (CRC-framed, best-effort — see
+    /// [`linrec_storage::DecisionLog`]). `open_durable` attaches one next
+    /// to the WAL automatically.
+    pub(crate) fn attach_decision_log(&self, log: DecisionLog) {
+        *self
+            .decision_log
+            .lock()
+            .expect("decision log lock poisoned") = Some(log);
+    }
+
+    /// Best-effort append to the attached decision log. Failures bump
+    /// `linrec_service_decision_log_errors_total` and are otherwise
+    /// swallowed: the log is observability data and must never fail an
+    /// acknowledged operation.
+    fn log_decision(&self, json: &str) {
+        let mut log = self
+            .decision_log
+            .lock()
+            .expect("decision log lock poisoned");
+        if let Some(log) = log.as_mut() {
+            if log.append(json).is_err() {
+                crate::profile::service().decision_log_errors.inc();
+            }
+        }
     }
 
     /// Attach a recovered store: every subsequent batch is write-ahead
@@ -888,6 +992,50 @@ impl ViewService {
         Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
     }
 
+    /// Explain a registered view's plan: the tree with per-node
+    /// estimates/rationales plus the structured decision record. With
+    /// `analyze`, the plan additionally *runs* against the current
+    /// snapshot (on a clone — the registered view's state is untouched)
+    /// and the report carries per-node actual wall times and statistics.
+    pub fn explain(&self, name: &str, analyze: bool) -> Result<ExplainReport, ServiceError> {
+        // Clone the plan under a brief writer lock, then run (if asked)
+        // against the lock-free published snapshot: an analyze of a big
+        // view must not stall the write path.
+        let (mut plan, seed_sym, arity, mode) = {
+            let writer = self.lock_writer()?;
+            let view = writer
+                .views
+                .iter()
+                .find(|v| v.def().name == name)
+                .ok_or_else(|| ServiceError::UnknownView(name.to_owned()))?;
+            (
+                view.plan().clone(),
+                view.def().seed,
+                view.def().rules[0].arity(),
+                view.mode().label(),
+            )
+        };
+        let mut nodes = Vec::new();
+        let mut total_nanos = 0;
+        if analyze {
+            let snap = self.snapshot();
+            let seed = snap.db.relation_or_empty(seed_sym, arity);
+            let outcome = plan.execute_feedback(&snap.db, &seed)?;
+            total_nanos = outcome.trace.iter().map(|t| t.nanos).sum();
+            nodes = outcome.trace;
+        }
+        Ok(ExplainReport {
+            view: name.to_owned(),
+            mode,
+            tree: plan.describe(),
+            decision_json: plan.decision().map(|d| d.to_json()),
+            decision_summary: plan.decision().map(|d| d.summary()),
+            nodes,
+            total_nanos,
+            analyzed: analyze,
+        })
+    }
+
     /// Register a view: plan it against the current database, materialize
     /// it, and publish a new epoch.
     pub fn register_view(&self, def: ViewDef) -> Result<BatchReport, ServiceError> {
@@ -921,7 +1069,7 @@ impl ViewService {
             writer.db.set_relation(def.seed, Relation::new(arity));
         }
         let mut view =
-            MaintainedView::register_with_parallelism(def, &writer.db, writer.par.clone())?;
+            MaintainedView::register_with(def, &writer.db, writer.par.clone(), &self.cost_model())?;
         let started = Instant::now();
         let (relation, stats) = view.materialize(&writer.db)?;
         let nanos = started.elapsed().as_nanos() as u64;
@@ -929,6 +1077,11 @@ impl ViewService {
         if linrec_obs::enabled() {
             crate::profile::service().maintain_ns.observe(nanos);
             sp.attr("tuples", grown_by);
+        }
+        // Persist the registration's decision record (the journal got it
+        // from `execute_feedback` inside materialize).
+        if let Some(dec) = view.plan().decision() {
+            self.log_decision(&dec.to_json());
         }
         writer.epoch += 1;
         let epoch = writer.epoch;
@@ -981,7 +1134,8 @@ impl ViewService {
             let arity = rule.arity();
             writer.db.set_relation(def.seed, Relation::new(arity));
         }
-        let view = MaintainedView::register_with_parallelism(def, &writer.db, writer.par.clone())?;
+        let view =
+            MaintainedView::register_with(def, &writer.db, writer.par.clone(), &self.cost_model())?;
         let arity = view.def().rules[0].arity();
         if relation.arity() != arity {
             return Err(ServiceError::ArityMismatch {
@@ -1156,6 +1310,12 @@ impl ViewService {
         writer.epoch = epoch;
         self.publish(&writer, updates);
         self.maybe_checkpoint(&writer);
+        // The batch is committed and acked from here on; feed the drift
+        // sentinel (estimate each maintained view's batch against the
+        // shared model, journal the pair, trip + recalibrate on drift).
+        if linrec_obs::enabled() {
+            self.observe_maintenance(&writer, &deltas, &reports);
+        }
         if let Some(t0) = t0 {
             let prof = crate::profile::service();
             prof.batches.inc();
@@ -1169,6 +1329,118 @@ impl ViewService {
             inserted,
             views: reports,
         })
+    }
+
+    /// Per-view drift observation for one committed batch: estimate the
+    /// maintenance work the shared model predicts for this delta, journal
+    /// the (estimate, actual) pair, and let the sentinel decide whether
+    /// the model has drifted.
+    fn observe_maintenance(
+        &self,
+        writer: &Writer,
+        deltas: &FastMap<Symbol, Arc<Relation>>,
+        reports: &[ViewReport],
+    ) {
+        let model = self.cost_model();
+        let journal = linrec_obs::journal::journal();
+        for (view, report) in writer.views.iter().zip(reports) {
+            if report.mode == "unchanged" {
+                continue;
+            }
+            let estimate = deltas
+                .get(&view.def().seed)
+                .map(|delta| model.estimate(view.plan(), &writer.db, delta));
+            let shape = view.plan().shape().label();
+            journal.record(
+                "maintain",
+                &report.name,
+                shape,
+                estimate.unwrap_or(0.0),
+                report.stats.derivations,
+                report.nanos,
+                String::new(),
+            );
+            let trip = self
+                .sentinel
+                .lock()
+                .expect("sentinel lock poisoned")
+                .observe(
+                    &report.name,
+                    estimate,
+                    report.stats.derivations,
+                    report.nanos,
+                );
+            if let Some(trip) = trip {
+                self.handle_drift(&report.name, shape, &trip);
+            }
+        }
+    }
+
+    /// A drift trip: emit the typed `plan-drift` event (counter +
+    /// flight-recorder span + stderr line with the trace id + journal and
+    /// decision-log records), then — for ratio drift with auto-calibrate
+    /// on — recalibrate the shared cost model from the journal's recent
+    /// (estimate, actual) pairs and restart the view's drift window.
+    fn handle_drift(&self, view: &str, shape: &'static str, trip: &DriftTrip) {
+        let journal = linrec_obs::journal::journal();
+        crate::profile::service().plan_drift.inc();
+        let mut sp = linrec_obs::span("plan.drift");
+        sp.attr("view", view);
+        sp.attr("kind", trip.kind());
+        let trace = linrec_obs::trace::current_trace()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "-".to_owned());
+        eprintln!(
+            "linrec: plan-drift on view '{view}' ({}) trace={trace}",
+            trip.describe()
+        );
+        let drift_json = format!(
+            "{{\"event\":\"plan-drift\",\"view\":\"{}\",\"kind\":\"{}\",\
+             \"detail\":\"{}\",\"trace\":\"{trace}\"}}",
+            linrec_obs::trace::json_escape(view),
+            trip.kind(),
+            linrec_obs::trace::json_escape(&trip.describe()),
+        );
+        journal.record("drift", view, shape, 0.0, 0, 0, drift_json.clone());
+        self.log_decision(&drift_json);
+        let (auto, window) = {
+            let sentinel = self.sentinel.lock().expect("sentinel lock poisoned");
+            let cfg = sentinel.config();
+            (cfg.auto_calibrate, cfg.calibration_window)
+        };
+        if !auto || !matches!(trip, DriftTrip::Ratio { .. }) {
+            return;
+        }
+        let since = self
+            .sentinel
+            .lock()
+            .expect("sentinel lock poisoned")
+            .last_calibrate_seq(view);
+        let pairs = journal.recent_pairs(Some(view), window, since);
+        if pairs.is_empty() {
+            return;
+        }
+        let scale = {
+            let mut model = self.cost_model.lock().expect("cost model lock poisoned");
+            model.calibrate(&pairs);
+            model.fanout_scale
+        };
+        let calib_json = format!(
+            "{{\"event\":\"calibrate\",\"view\":\"{}\",\"pairs\":{},\"fanout_scale\":{scale}}}",
+            linrec_obs::trace::json_escape(view),
+            pairs.len()
+        );
+        let seq = journal.record("calibrate", view, shape, 0.0, 0, 0, calib_json.clone());
+        self.log_decision(&calib_json);
+        self.sentinel
+            .lock()
+            .expect("sentinel lock poisoned")
+            .note_calibrated(view, seq);
+        eprintln!(
+            "linrec: recalibrated cost model from {} journal pairs for view '{view}' \
+             (fanout_scale → {scale:.4}) trace={trace}",
+            pairs.len()
+        );
     }
 
     /// Maintain every registered view against the post-batch database,

@@ -184,6 +184,21 @@ impl MaintainedView {
         db: &Database,
         par: Parallelism,
     ) -> Result<MaintainedView, StrategyError> {
+        MaintainedView::register_with(def, db, par, &CostModel::default())
+    }
+
+    /// [`MaintainedView::register_with_parallelism`] with an explicit
+    /// [`CostModel`] — the service passes its shared (possibly
+    /// drift-recalibrated) model so a view registered after a
+    /// recalibration plans with the corrected constants. The plan's
+    /// decision record is stamped with the view's name and derived
+    /// maintenance mode.
+    pub fn register_with(
+        def: ViewDef,
+        db: &Database,
+        par: Parallelism,
+        model: &CostModel,
+    ) -> Result<MaintainedView, StrategyError> {
         let arity = def
             .rules
             .first()
@@ -200,10 +215,14 @@ impl MaintainedView {
         }
         let seed = db.relation_or_empty(def.seed, arity);
         let analysis = Analysis::of(&def.rules, None);
-        let plan = analysis
-            .plan_for(db, &seed)
-            .parallelize(&par, &CostModel::default(), db, &seed);
+        let mut plan = analysis
+            .plan_with(db, &seed, model)
+            .parallelize(&par, model, db, &seed);
         let mode = MaintenanceMode::of(&plan.shape());
+        if let Some(dec) = plan.decision_mut() {
+            dec.view = def.name.clone();
+            dec.maintenance_mode = Some(mode.label());
+        }
         let vsym = view_sym(&def.name);
         let mut delta_rules = Vec::new();
         for rule in &def.rules {

@@ -66,6 +66,7 @@
 #![warn(missing_docs)]
 
 mod crc;
+pub mod decisions;
 pub mod error;
 pub mod profile;
 pub mod snapshot;
@@ -74,6 +75,7 @@ pub mod vfs;
 pub mod wal;
 
 pub use crc::crc32;
+pub use decisions::{read_decision_log, DecisionLog, DECISIONS_FILE};
 pub use error::StorageError;
 pub use snapshot::{
     decode_snapshot, encode_snapshot, view_fingerprint, SnapshotData, ViewSnapshot,

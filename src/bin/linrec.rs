@@ -18,6 +18,18 @@
 //!                                       LINREC_THREADS env var; 1 = fully
 //!                                       sequential)
 //! linrec explain <file> <v1,v2,...>     derivation of one answer tuple
+//! linrec explain <file> [analyze] [--format json|human] [--no-check]
+//!                                       the plan the program gets: tree with
+//!                                       per-node estimates, certificates, and
+//!                                       the structured plan-decision record;
+//!                                       `analyze` additionally runs the plan
+//!                                       and reports per-node wall time
+//! linrec top <addr> [--once] [--interval-ms N] [-n N]
+//!                                       live dashboard over a serving
+//!                                       instance's protocol port: request
+//!                                       latency percentiles, maintenance
+//!                                       timing, epoch rate, WAL pressure, and
+//!                                       the newest plan decisions
 //! linrec serve <file> [--tcp ADDR] [--threads N] [--data-dir DIR]
 //!               [--checkpoint-batches N] [--checkpoint-bytes B]
 //!               [--read-only] [--max-queue N] [--request-timeout-ms N]
@@ -66,6 +78,8 @@ fn usage() -> ExitCode {
     eprintln!("       linrec check <file>... [--format json|human]");
     eprintln!("       linrec run <file> [--threads N] [--no-check] [pos=value ...]");
     eprintln!("       linrec explain <file> <v1,v2,...>");
+    eprintln!("       linrec explain <file> [analyze] [--format json|human] [--no-check]");
+    eprintln!("       linrec top <addr> [--once] [--interval-ms N] [-n N]");
     eprintln!("       linrec serve <file> [--tcp ADDR] [--threads N] [--data-dir DIR]");
     eprintln!("                    [--checkpoint-batches N] [--checkpoint-bytes B] [--no-check]");
     eprintln!("                    [--read-only] [--max-queue N] [--request-timeout-ms N]");
@@ -333,6 +347,256 @@ fn explain(path: &str, tuple: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `linrec explain <file> [analyze] [--format json|human]`: the plan the
+/// program's recursion gets — tree with per-node estimates, the
+/// certificates it leans on, and the structured plan-decision record.
+/// With `analyze` the plan also runs (registration materializes the view,
+/// then the analyzed run re-executes it) and per-node wall time is
+/// reported. Registration goes through the same machinery `serve` uses,
+/// so what this prints is exactly what serving this program would decide.
+fn explain_plan(path: &str, args: &[String]) -> Result<(), String> {
+    use linrec::service::{explain_json, ViewDef, ViewService};
+
+    let (args, no_check) = strip_flag(args, "--no-check");
+    let (args, analyze_flag) = strip_flag(&args, "--analyze");
+    let (args, analyze_word) = strip_flag(&args, "analyze");
+    let analyze = analyze_flag || analyze_word;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("human") => json = false,
+                _ => return Err("--format needs json or human".to_owned()),
+            },
+            other => return Err(format!("unknown explain flag {other:?}")),
+        }
+    }
+    let prog = load(path)?;
+    check_gate(&prog, no_check)?;
+    let name = prog.rec_pred().as_str().to_owned();
+    let mut db = prog.database().snapshot();
+    db.set_relation(prog.rec_pred(), prog.init().clone());
+    let service = ViewService::new(db);
+    if no_check {
+        service.set_registration_checks(false);
+    }
+    service
+        .register_view(ViewDef {
+            name: name.clone(),
+            rules: prog.rules().to_vec(),
+            seed: prog.rec_pred(),
+        })
+        .map_err(|e| e.to_string())?;
+    let report = service.explain(&name, analyze).map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", explain_json(&report));
+        return Ok(());
+    }
+    println!("view {} (maintenance mode: {})", report.view, report.mode);
+    println!("plan:");
+    for line in report.tree.lines() {
+        println!("  {line}");
+    }
+    if let Some(summary) = &report.decision_summary {
+        println!("decision: {summary}");
+    }
+    for (i, node) in report.nodes.iter().enumerate() {
+        println!(
+            "node {i}: {:.3} ms [{}] {}",
+            node.nanos as f64 / 1e6,
+            node.stats,
+            node.label
+        );
+    }
+    if report.analyzed {
+        println!(
+            "analyzed: {} nodes in {:.3} ms",
+            report.nodes.len(),
+            report.total_nanos as f64 / 1e6
+        );
+    }
+    Ok(())
+}
+
+/// Issue one protocol command over `stream` and collect the reply: body
+/// lines first, then the closing `ok …`/`err …` line (single-line replies
+/// are just that closing line).
+fn top_request(
+    reader: &mut impl std::io::BufRead,
+    writer: &mut impl std::io::Write,
+    cmd: &str,
+) -> Result<Vec<String>, String> {
+    writeln!(writer, "{cmd}").map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed mid-reply".to_owned());
+        }
+        let line = line.trim_end().to_owned();
+        let first = line.split_whitespace().next().unwrap_or("");
+        let done = first == "ok" || first == "err";
+        lines.push(line);
+        if done {
+            return Ok(lines);
+        }
+    }
+}
+
+/// Pull one string field (`"key":"value"`) out of a JSON line without a
+/// JSON parser — good enough for the journal's known-shape records.
+fn json_str_field(json: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let rest = &json[json.find(&tag)? + tag.len()..];
+    Some(rest.split('"').next().unwrap_or("").to_owned())
+}
+
+/// Pull one numeric field (`"key":123`) out of a JSON line.
+fn json_num_field(json: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let rest = &json[json.find(&tag)? + tag.len()..];
+    rest.split([',', '}']).next()?.parse().ok()
+}
+
+/// `linrec top <addr> [--once] [--interval-ms N] [-n N]`: a refresh-loop
+/// dashboard over a serving instance's protocol port. Each refresh opens
+/// a connection, issues `health`, `metrics`, and `decisions`, and renders
+/// request-latency percentiles, maintenance timing, the epoch rate
+/// (derived from successive samples), WAL pressure, and the newest plan
+/// decisions.
+fn top(args: &[String]) -> Result<(), String> {
+    let (args, once) = strip_flag(args, "--once");
+    let mut addr: Option<String> = None;
+    let mut interval_ms = 2000u64;
+    let mut decisions = 8usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--interval-ms" => {
+                interval_ms = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| "--interval-ms needs a number".to_owned())?;
+            }
+            "-n" => {
+                decisions = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| "-n needs a number".to_owned())?;
+            }
+            other if addr.is_none() && !other.starts_with('-') => addr = Some(other.to_owned()),
+            other => return Err(format!("unknown top flag {other:?}")),
+        }
+    }
+    let addr = addr.ok_or_else(|| "top needs a serve address (e.g. 127.0.0.1:7171)".to_owned())?;
+    let mut prev_epoch: Option<(f64, std::time::Instant)> = None;
+    loop {
+        let stream = std::net::TcpStream::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+        let mut reader = std::io::BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        let mut writer = stream;
+        let health = top_request(&mut reader, &mut writer, "health")?;
+        let metrics = top_request(&mut reader, &mut writer, "metrics")?;
+        let journal = top_request(&mut reader, &mut writer, &format!("decisions {decisions}"))?;
+        let _ = top_request(&mut reader, &mut writer, "quit");
+        let now = std::time::Instant::now();
+
+        // `metric name=value` lines → name → value.
+        let metric = |name: &str| -> Option<f64> {
+            metrics.iter().find_map(|l| {
+                l.strip_prefix(&format!("metric {name}="))
+                    .and_then(|v| v.parse().ok())
+            })
+        };
+        // `ok health k=v k=v …` → k → v.
+        let health_kv = |key: &str| -> String {
+            health
+                .first()
+                .and_then(|l| {
+                    l.split_whitespace()
+                        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+                })
+                .unwrap_or("-")
+                .to_owned()
+        };
+        let epoch = metric("linrec_service_epoch").unwrap_or(0.0);
+        let epoch_rate = prev_epoch
+            .map(|(prev, at)| (epoch - prev) / now.duration_since(at).as_secs_f64().max(1e-9));
+        prev_epoch = Some((epoch, now));
+
+        if !once {
+            // Clear screen + home, like any self-respecting `top`.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!(
+            "linrec top — {addr}  mode={} epoch={} views={} durable={}",
+            health_kv("mode"),
+            health_kv("epoch"),
+            health_kv("views"),
+            health_kv("durable"),
+        );
+        let ms = |name: &str| -> String {
+            metric(name).map_or_else(|| "-".to_owned(), |v| format!("{:.3}", v / 1e6))
+        };
+        println!(
+            "requests: {} total, {} errors | latency ms p50={} p95={} p99={}",
+            metric("linrec_service_requests_total").unwrap_or(0.0),
+            metric("linrec_service_request_errors_total").unwrap_or(0.0),
+            ms("linrec_service_request_ns_p50"),
+            ms("linrec_service_request_ns_p95"),
+            ms("linrec_service_request_ns_p99"),
+        );
+        println!(
+            "maintain: ms p50={} p95={} p99={} | batches={} | epoch rate={}",
+            ms("linrec_service_view_maintain_ns_p50"),
+            ms("linrec_service_view_maintain_ns_p95"),
+            ms("linrec_service_view_maintain_ns_p99"),
+            metric("linrec_service_batches_total").unwrap_or(0.0),
+            epoch_rate.map_or_else(|| "-".to_owned(), |r| format!("{r:.2}/s")),
+        );
+        println!(
+            "wal: batches={} bytes={} generation={} | drift events={} degradations={}",
+            health_kv("wal-batches"),
+            health_kv("wal-bytes"),
+            health_kv("generation"),
+            metric("linrec_service_plan_drift_total").unwrap_or(0.0),
+            health_kv("degradations"),
+        );
+        println!("decisions (newest last):");
+        let mut shown = false;
+        for line in &journal {
+            let Some(json) = line.strip_prefix("decision ") else {
+                continue;
+            };
+            shown = true;
+            let est = json_num_field(json, "estimate").unwrap_or(0.0);
+            let actual = json_num_field(json, "actual").unwrap_or(0.0);
+            let ratio = if est > 0.0 && actual > 0.0 {
+                format!("{:.2}", est / actual)
+            } else {
+                "-".to_owned()
+            };
+            println!(
+                "  #{:<6} {:<9} view={} shape={} est={est:.1} actual={actual} est/actual={ratio}",
+                json_num_field(json, "seq").unwrap_or(0.0),
+                json_str_field(json, "kind").unwrap_or_default(),
+                json_str_field(json, "view").unwrap_or_default(),
+                json_str_field(json, "shape").unwrap_or_default(),
+            );
+        }
+        if !shown {
+            println!("  (journal empty)");
+        }
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
 /// `linrec serve <file> [--tcp ADDR] [--threads N] [--data-dir DIR]`:
 /// start the incremental materialized-view service for the program's
 /// recursive predicate. The seed facts become an EDB relation named after
@@ -540,7 +804,15 @@ fn main() -> ExitCode {
         Some("analyze") if args.len() == 2 => analyze(&args[1]),
         Some("check") if args.len() >= 2 => return check_cmd(&args[1..]),
         Some("run") if args.len() >= 2 => run(&args[1], &args[2..]),
-        Some("explain") if args.len() == 3 => explain(&args[1], &args[2]),
+        // `explain <file> <v1,v2,..>` is the provenance form; anything
+        // else (bare, `analyze`, flags) explains the *plan*.
+        Some("explain")
+            if args.len() == 3 && args[2] != "analyze" && !args[2].starts_with("--") =>
+        {
+            explain(&args[1], &args[2])
+        }
+        Some("explain") if args.len() >= 2 => explain_plan(&args[1], &args[2..]),
+        Some("top") if args.len() >= 2 => top(&args[1..]),
         Some("serve") if args.len() >= 2 => serve(&args[1], &args[2..]),
         Some("figures") => {
             figures(args.iter().any(|a| a == "--dot"));

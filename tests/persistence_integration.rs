@@ -132,7 +132,8 @@ fn generations_rotate_and_prune_on_disk() {
     }
     let g3 = service.store_generation().unwrap();
     assert_eq!(g3, g0 + 3, "every batch tripped the one-batch policy");
-    // Exactly one snapshot + one WAL + the manifest remain.
+    // Exactly one snapshot + one WAL + the manifest remain (plus the
+    // append-only plan-decision log, which is not generational).
     let mut names: Vec<String> = std::fs::read_dir(&dir)
         .unwrap()
         .map(|e| e.unwrap().file_name().into_string().unwrap())
@@ -142,6 +143,7 @@ fn generations_rotate_and_prune_on_disk() {
         names,
         vec![
             "MANIFEST".to_owned(),
+            "decisions.log".to_owned(),
             format!("snapshot-{g3}.snap"),
             format!("wal-{g3}.log"),
         ],
